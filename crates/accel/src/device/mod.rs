@@ -1,0 +1,238 @@
+//! The device abstraction — alpaka's `Acc` in Rust.
+//!
+//! alpaka selects the accelerator at compile time (`using Acc =
+//! alpaka::AccGpuHipRt<...>`) and every kernel is written once against the
+//! accelerator concept. Here [`Device`] is the concept: a kernel is a
+//! closure over row indices, launched with [`Device::launch_rows_reduce`],
+//! and runs unchanged on every back-end. The back-ends are:
+//!
+//! * [`Serial`] — single-threaded reference back-end; reductions fold in
+//!   row order (bitwise-deterministic).
+//! * [`Threads`] — shared-memory CPU back-end (alpaka's OpenMP analogue);
+//!   rows are chunked over a persistent worker pool and chunk partials are
+//!   merged in chunk order (deterministic for a fixed thread count, but a
+//!   *different* floating-point grouping than `Serial` — exactly the
+//!   OpenMP-reduction effect the paper observes on LUMI-C).
+//! * [`SimGpu`] — simulated GPU back-end: rows are grouped into thread
+//!   blocks, block partials are combined with a pairwise tree as a real GPU
+//!   reduction would, and launch/traffic events are recorded for the
+//!   performance model. Different "GPUs" use different block shapes, which
+//!   reproduces the paper's cross-architecture iteration-count variations.
+
+mod serial;
+mod simgpu;
+mod threads;
+
+pub use serial::Serial;
+pub use simgpu::{GpuSimParams, SimGpu};
+pub use threads::Threads;
+
+use crate::events::{KernelInfo, Recorder};
+use crate::index::RowMap;
+use crate::scalar::Scalar;
+
+/// Which back-end a device is.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DeviceKind {
+    /// Single-threaded CPU.
+    CpuSerial,
+    /// Multi-threaded CPU with the given worker count.
+    CpuThreads {
+        /// Number of pool workers.
+        threads: usize,
+    },
+    /// Simulated GPU with the given block shape.
+    SimGpu {
+        /// Rows folded per thread block before the tree reduction.
+        block_rows: usize,
+    },
+}
+
+/// A compute device that can launch kernels (alpaka's accelerator concept).
+///
+/// Kernels receive each output row `(j, k)` of the launch's [`RowMap`] as an
+/// exclusive `&mut [T]` slice and may return `NR` partial sums which the
+/// device reduces according to its back-end policy. All solver kernels —
+/// the fused `KernelBiCGS1..6`, the Chebyshev kernels and the boundary
+/// kernels — are expressed through these two entry points.
+pub trait Device: Clone + Send + Sync + 'static {
+    /// Human-readable device name for reports.
+    fn name(&self) -> String;
+
+    /// Back-end discriminator.
+    fn kind(&self) -> DeviceKind;
+
+    /// The event stream this device reports launches to.
+    fn recorder(&self) -> &Recorder;
+
+    /// Launch a kernel over the rows of `out` described by `map`, fusing an
+    /// `NR`-way sum reduction (the paper's `KernelBiCGS1/3/5` fuse the
+    /// stencil apply with local dot products exactly like this).
+    fn launch_rows_reduce<T: Scalar, F, const NR: usize>(
+        &self,
+        info: KernelInfo,
+        map: RowMap,
+        out: &mut [T],
+        f: F,
+    ) -> [T; NR]
+    where
+        F: Fn(usize, usize, &mut [T]) -> [T; NR] + Sync;
+
+    /// Launch a pure reduction kernel over `ny * nz` rows (no output field).
+    fn launch_reduce<T: Scalar, F, const NR: usize>(
+        &self,
+        info: KernelInfo,
+        ny: usize,
+        nz: usize,
+        f: F,
+    ) -> [T; NR]
+    where
+        F: Fn(usize, usize) -> [T; NR] + Sync;
+
+    /// Launch a kernel with no reduction (element-wise update).
+    fn launch_rows<T: Scalar, F>(&self, info: KernelInfo, map: RowMap, out: &mut [T], f: F)
+    where
+        F: Fn(usize, usize, &mut [T]) + Sync,
+    {
+        let _: [T; 0] = self.launch_rows_reduce(info, map, out, |j, k, row| {
+            f(j, k, row);
+            []
+        });
+    }
+}
+
+/// Runtime-selected device (one enum, zero dynamic dispatch in kernels).
+///
+/// The compile-time path (`fn solve<D: Device>`) mirrors alpaka's
+/// `using Acc = ...`; `AnyDevice` is the convenience for CLI tools that
+/// pick the back-end from a flag.
+#[derive(Clone)]
+pub enum AnyDevice {
+    /// Serial CPU back-end.
+    Serial(Serial),
+    /// Threaded CPU back-end.
+    Threads(Threads),
+    /// Simulated GPU back-end.
+    SimGpu(SimGpu),
+}
+
+impl AnyDevice {
+    /// Parse a back-end spec: `serial`, `threads[:N]`, `mi250x`, `h100`,
+    /// or `simgpu[:BLOCK_ROWS]`.
+    pub fn from_spec(spec: &str, recorder: Recorder) -> Result<Self, String> {
+        let (head, arg) = match spec.split_once(':') {
+            Some((h, a)) => (h, Some(a)),
+            None => (spec, None),
+        };
+        match head {
+            "serial" => Ok(Self::Serial(Serial::new(recorder))),
+            "threads" => {
+                let n = match arg {
+                    Some(a) => a.parse().map_err(|e| format!("bad thread count {a:?}: {e}"))?,
+                    None => std::thread::available_parallelism().map_or(1, |p| p.get()),
+                };
+                Ok(Self::Threads(Threads::new(n, recorder)))
+            }
+            "mi250x" => Ok(Self::SimGpu(SimGpu::new(GpuSimParams::mi250x(), recorder))),
+            "h100" => Ok(Self::SimGpu(SimGpu::new(GpuSimParams::h100(), recorder))),
+            "simgpu" => {
+                let block_rows = match arg {
+                    Some(a) => a.parse().map_err(|e| format!("bad block_rows {a:?}: {e}"))?,
+                    None => 4,
+                };
+                Ok(Self::SimGpu(SimGpu::new(
+                    GpuSimParams { name: "simgpu", block_rows },
+                    recorder,
+                )))
+            }
+            other => Err(format!(
+                "unknown device spec {other:?}; expected serial | threads[:N] | mi250x | h100 | simgpu[:B]"
+            )),
+        }
+    }
+}
+
+impl Device for AnyDevice {
+    fn name(&self) -> String {
+        match self {
+            Self::Serial(d) => d.name(),
+            Self::Threads(d) => d.name(),
+            Self::SimGpu(d) => d.name(),
+        }
+    }
+
+    fn kind(&self) -> DeviceKind {
+        match self {
+            Self::Serial(d) => d.kind(),
+            Self::Threads(d) => d.kind(),
+            Self::SimGpu(d) => d.kind(),
+        }
+    }
+
+    fn recorder(&self) -> &Recorder {
+        match self {
+            Self::Serial(d) => d.recorder(),
+            Self::Threads(d) => d.recorder(),
+            Self::SimGpu(d) => d.recorder(),
+        }
+    }
+
+    fn launch_rows_reduce<T: Scalar, F, const NR: usize>(
+        &self,
+        info: KernelInfo,
+        map: RowMap,
+        out: &mut [T],
+        f: F,
+    ) -> [T; NR]
+    where
+        F: Fn(usize, usize, &mut [T]) -> [T; NR] + Sync,
+    {
+        match self {
+            Self::Serial(d) => d.launch_rows_reduce(info, map, out, f),
+            Self::Threads(d) => d.launch_rows_reduce(info, map, out, f),
+            Self::SimGpu(d) => d.launch_rows_reduce(info, map, out, f),
+        }
+    }
+
+    fn launch_reduce<T: Scalar, F, const NR: usize>(
+        &self,
+        info: KernelInfo,
+        ny: usize,
+        nz: usize,
+        f: F,
+    ) -> [T; NR]
+    where
+        F: Fn(usize, usize) -> [T; NR] + Sync,
+    {
+        match self {
+            Self::Serial(d) => d.launch_reduce(info, ny, nz, f),
+            Self::Threads(d) => d.launch_reduce(info, ny, nz, f),
+            Self::SimGpu(d) => d.launch_reduce(info, ny, nz, f),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_parsing() {
+        let r = Recorder::disabled;
+        assert!(matches!(AnyDevice::from_spec("serial", r()), Ok(AnyDevice::Serial(_))));
+        assert!(matches!(AnyDevice::from_spec("threads:3", r()), Ok(AnyDevice::Threads(_))));
+        assert!(matches!(AnyDevice::from_spec("mi250x", r()), Ok(AnyDevice::SimGpu(_))));
+        assert!(matches!(AnyDevice::from_spec("h100", r()), Ok(AnyDevice::SimGpu(_))));
+        assert!(matches!(AnyDevice::from_spec("simgpu:8", r()), Ok(AnyDevice::SimGpu(_))));
+        assert!(AnyDevice::from_spec("cuda", r()).is_err());
+        assert!(AnyDevice::from_spec("threads:x", r()).is_err());
+    }
+
+    #[test]
+    fn any_device_forwards_kind() {
+        let d = AnyDevice::from_spec("threads:2", Recorder::disabled()).unwrap();
+        assert_eq!(d.kind(), DeviceKind::CpuThreads { threads: 2 });
+        let d = AnyDevice::from_spec("mi250x", Recorder::disabled()).unwrap();
+        assert!(matches!(d.kind(), DeviceKind::SimGpu { .. }));
+    }
+}

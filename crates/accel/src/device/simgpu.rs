@@ -1,0 +1,223 @@
+//! Simulated-GPU back-end.
+//!
+//! No GPU hardware is available in this environment, so this back-end
+//! reproduces the *algorithmically visible* properties of a GPU execution:
+//!
+//! * **Block-structured work division.** Rows are grouped into thread
+//!   blocks of `block_rows` rows; a real launch would map these to CUDA/HIP
+//!   blocks. Block geometry is part of the device identity — "MI250X" and
+//!   "H100" presets use different shapes, as the tuned alpaka work
+//!   divisions on those chips do.
+//! * **Tree reductions.** Per-block partials are combined with a pairwise
+//!   binary tree, the canonical GPU reduction order. This produces
+//!   different floating-point rounding than the serial or chunked-CPU
+//!   orders — the mechanism behind the paper's observation that CPU and
+//!   GPU back-ends need different iteration counts.
+//! * **Launch accounting.** Every launch is recorded with its element,
+//!   byte and flop footprint so `perfmodel` can replay the stream against
+//!   real MI250X/H100 bandwidth/latency figures.
+//!
+//! Execution itself is host-serial: on the single-core evaluation machine,
+//! parallel emulation would add noise without changing any observable the
+//! reproduction relies on.
+
+use crate::events::{KernelInfo, Recorder};
+use crate::index::RowMap;
+use crate::scalar::{add_partials, Scalar};
+
+use super::{Device, DeviceKind};
+
+/// Block geometry and identity of a simulated GPU.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GpuSimParams {
+    /// Device name used in reports ("mi250x", "h100", ...).
+    pub name: &'static str,
+    /// Rows folded sequentially inside one simulated thread block.
+    pub block_rows: usize,
+}
+
+impl GpuSimParams {
+    /// AMD MI250X GCD preset (LUMI-G node device).
+    pub const fn mi250x() -> Self {
+        Self { name: "mi250x", block_rows: 4 }
+    }
+
+    /// NVIDIA H100 preset (MareNostrum5 accelerated partition device).
+    pub const fn h100() -> Self {
+        Self { name: "h100", block_rows: 8 }
+    }
+}
+
+/// Simulated GPU device.
+#[derive(Clone)]
+pub struct SimGpu {
+    params: GpuSimParams,
+    recorder: Recorder,
+}
+
+impl SimGpu {
+    /// Create a simulated GPU with the given geometry.
+    pub fn new(params: GpuSimParams, recorder: Recorder) -> Self {
+        assert!(params.block_rows >= 1, "block_rows must be >= 1");
+        Self { params, recorder }
+    }
+
+    /// The device's block geometry.
+    pub fn params(&self) -> GpuSimParams {
+        self.params
+    }
+}
+
+/// Pairwise binary-tree combination of block partials (GPU reduction order).
+fn tree_reduce<T: Scalar, const NR: usize>(mut partials: Vec<[T; NR]>) -> [T; NR] {
+    if partials.is_empty() {
+        return [T::ZERO; NR];
+    }
+    while partials.len() > 1 {
+        let half = partials.len() / 2;
+        for i in 0..half {
+            partials[i] = add_partials(partials[2 * i], partials[2 * i + 1]);
+        }
+        if partials.len() % 2 == 1 {
+            partials[half] = partials[partials.len() - 1];
+            partials.truncate(half + 1);
+        } else {
+            partials.truncate(half);
+        }
+    }
+    partials[0]
+}
+
+impl Device for SimGpu {
+    fn name(&self) -> String {
+        format!("simgpu-{}", self.params.name)
+    }
+
+    fn kind(&self) -> DeviceKind {
+        DeviceKind::SimGpu { block_rows: self.params.block_rows }
+    }
+
+    fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    fn launch_rows_reduce<T: Scalar, F, const NR: usize>(
+        &self,
+        info: KernelInfo,
+        map: RowMap,
+        out: &mut [T],
+        f: F,
+    ) -> [T; NR]
+    where
+        F: Fn(usize, usize, &mut [T]) -> [T; NR] + Sync,
+    {
+        map.validate(out.len());
+        self.recorder.kernel(info, map.elems());
+        let rows = map.rows();
+        let bs = self.params.block_rows;
+        let blocks = rows.div_ceil(bs);
+        let mut block_partials = Vec::with_capacity(blocks);
+        for b in 0..blocks {
+            let mut acc = [T::ZERO; NR];
+            for r in b * bs..((b + 1) * bs).min(rows) {
+                let (j, k) = map.row_jk(r);
+                let off = map.row_offset(j, k);
+                let row = &mut out[off..off + map.len];
+                acc = add_partials(acc, f(j, k, row));
+            }
+            block_partials.push(acc);
+        }
+        tree_reduce(block_partials)
+    }
+
+    fn launch_reduce<T: Scalar, F, const NR: usize>(
+        &self,
+        info: KernelInfo,
+        ny: usize,
+        nz: usize,
+        f: F,
+    ) -> [T; NR]
+    where
+        F: Fn(usize, usize) -> [T; NR] + Sync,
+    {
+        self.recorder.kernel(info, ny * nz);
+        let rows = ny * nz;
+        if rows == 0 {
+            return [T::ZERO; NR];
+        }
+        let bs = self.params.block_rows;
+        let blocks = rows.div_ceil(bs);
+        let mut block_partials = Vec::with_capacity(blocks);
+        for b in 0..blocks {
+            let mut acc = [T::ZERO; NR];
+            for r in b * bs..((b + 1) * bs).min(rows) {
+                acc = add_partials(acc, f(r % ny, r / ny));
+            }
+            block_partials.push(acc);
+        }
+        tree_reduce(block_partials)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::Serial;
+    use crate::index::Extent3;
+
+    const INFO: KernelInfo = KernelInfo::new("test", 8, 1);
+
+    #[test]
+    fn tree_reduce_exact_values() {
+        let parts: Vec<[f64; 1]> = (1..=9).map(|i| [i as f64]).collect();
+        assert_eq!(tree_reduce(parts), [45.0]);
+        let empty: Vec<[f64; 1]> = vec![];
+        assert_eq!(tree_reduce(empty), [0.0]);
+        assert_eq!(tree_reduce(vec![[7.0f64]]), [7.0]);
+    }
+
+    #[test]
+    fn elementwise_matches_serial() {
+        let e = Extent3::new(4, 6, 5);
+        let map = RowMap::halo_interior(e);
+        let padded = 6 * 8 * 7;
+        let mut a = vec![0.0f64; padded];
+        let mut b = vec![0.0f64; padded];
+        let kernel = |j: usize, k: usize, row: &mut [f64]| {
+            for (i, v) in row.iter_mut().enumerate() {
+                *v = (i * 31 + j * 7 + k) as f64;
+            }
+        };
+        Serial::new(Recorder::disabled()).launch_rows(INFO, map, &mut a, kernel);
+        SimGpu::new(GpuSimParams::mi250x(), Recorder::disabled()).launch_rows(INFO, map, &mut b, kernel);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reduction_exact_on_integers() {
+        let dev = SimGpu::new(GpuSimParams::h100(), Recorder::disabled());
+        let [s] = dev.launch_reduce(INFO, 37, 11, |j, k| [(j + k) as f64]);
+        let expect: f64 = (0..11).flat_map(|k| (0..37).map(move |j| (j + k) as f64)).sum();
+        assert_eq!(s, expect);
+    }
+
+    #[test]
+    fn rounding_differs_from_serial_on_inexact_sums() {
+        // A sum of many irrational-ish values: tree vs serial grouping
+        // should (almost surely) give different last-bit results, which is
+        // exactly the nondeterminism mechanism the paper reports.
+        let n = 4096;
+        let data: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.7391).sin() / 3.0).collect();
+        let serial = Serial::new(Recorder::disabled());
+        let gpu = SimGpu::new(GpuSimParams::mi250x(), Recorder::disabled());
+        let [a]: [f64; 1] = serial.launch_reduce(INFO, n, 1, |j, _| [data[j]]);
+        let [b]: [f64; 1] = gpu.launch_reduce(INFO, n, 1, |j, _| [data[j]]);
+        assert!((a - b).abs() < 1e-12, "same value mathematically");
+        assert_ne!(a.to_bits(), b.to_bits(), "different rounding expected");
+    }
+
+    #[test]
+    fn presets_have_distinct_geometry() {
+        assert_ne!(GpuSimParams::mi250x().block_rows, GpuSimParams::h100().block_rows);
+    }
+}

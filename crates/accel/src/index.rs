@@ -1,0 +1,311 @@
+//! Index spaces and work division.
+//!
+//! alpaka expresses a kernel's index domain as an `alpaka::Vec` extent and a
+//! work division (`WorkDivMembers`). Our kernels iterate a 3-D interior
+//! region of a halo-padded array; the natural safe unit of parallelism in
+//! Rust is a *row* (the unit-stride x-line of a (j, k) pencil), so the work
+//! division here is over rows. A [`RowMap`] describes where each row of the
+//! output lives inside the backing slice and is validated to guarantee rows
+//! are disjoint and in bounds, which is what lets the back-ends hand each
+//! worker an exclusive `&mut [T]` without data races.
+
+/// 3-D extent (x is the contiguous/fastest dimension).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Extent3 {
+    /// Number of elements in x (row length).
+    pub nx: usize,
+    /// Number of rows in y.
+    pub ny: usize,
+    /// Number of planes in z.
+    pub nz: usize,
+}
+
+impl Extent3 {
+    /// Create an extent.
+    pub const fn new(nx: usize, ny: usize, nz: usize) -> Self {
+        Self { nx, ny, nz }
+    }
+
+    /// Total number of elements.
+    pub const fn len(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// `true` if the extent contains no elements.
+    pub const fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Maps the rows of a 3-D region onto a backing slice.
+///
+/// Row `(j, k)` with `j < ny`, `k < nz` occupies the half-open range
+/// `[base + j*sy + k*sz, base + j*sy + k*sz + len)`.
+///
+/// For a halo-padded field of padded dims `(pnx, pny, pnz)` whose interior
+/// is `(nx, ny, nz)` with halo width 1, the interior rows are
+/// `RowMap { base: 1 + pnx + pnx*pny, len: nx, ny, nz, sy: pnx, sz: pnx*pny }`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RowMap {
+    /// Offset of row `(0, 0)` in the backing slice.
+    pub base: usize,
+    /// Row length (elements per row).
+    pub len: usize,
+    /// Number of rows in y.
+    pub ny: usize,
+    /// Number of rows (planes) in z.
+    pub nz: usize,
+    /// Stride between consecutive y rows.
+    pub sy: usize,
+    /// Stride between consecutive z planes.
+    pub sz: usize,
+}
+
+impl RowMap {
+    /// Row map for a plain contiguous slice of `n` elements (a single row).
+    pub const fn contiguous(n: usize) -> Self {
+        Self { base: 0, len: n, ny: 1, nz: 1, sy: n, sz: n }
+    }
+
+    /// Row map for the interior of a halo-padded field.
+    ///
+    /// `interior` is the interior extent; the padded field has one halo
+    /// layer on every side, so padded dims are `interior + 2` per axis.
+    pub const fn halo_interior(interior: Extent3) -> Self {
+        let pnx = interior.nx + 2;
+        let pny = interior.ny + 2;
+        Self {
+            base: 1 + pnx + pnx * pny,
+            len: interior.nx,
+            ny: interior.ny,
+            nz: interior.nz,
+            sy: pnx,
+            sz: pnx * pny,
+        }
+    }
+
+    /// Total number of mapped elements.
+    pub const fn elems(&self) -> usize {
+        self.len * self.ny * self.nz
+    }
+
+    /// Total number of rows.
+    pub const fn rows(&self) -> usize {
+        self.ny * self.nz
+    }
+
+    /// Offset of row `(j, k)` in the backing slice.
+    #[inline(always)]
+    pub const fn row_offset(&self, j: usize, k: usize) -> usize {
+        self.base + j * self.sy + k * self.sz
+    }
+
+    /// Check the *disjointness invariant*: with `sy >= len` and
+    /// `sz >= ny * sy`, distinct `(j, k)` rows can never overlap, and the
+    /// last row must end within `out_len`. Panics with a descriptive
+    /// message if violated; back-ends call this before any unsafe row
+    /// splitting.
+    pub fn validate(&self, out_len: usize) {
+        assert!(self.len > 0 && self.ny > 0 && self.nz > 0, "RowMap with empty extent: {self:?}");
+        assert!(
+            self.sy >= self.len,
+            "RowMap rows overlap in y: sy={} < len={}",
+            self.sy,
+            self.len
+        );
+        assert!(
+            self.sz >= self.ny * self.sy,
+            "RowMap planes overlap in z: sz={} < ny*sy={}",
+            self.sz,
+            self.ny * self.sy
+        );
+        let last_end = self.row_offset(self.ny - 1, self.nz - 1) + self.len;
+        assert!(
+            last_end <= out_len,
+            "RowMap out of bounds: last row ends at {last_end} but slice has {out_len} elements"
+        );
+    }
+
+    /// Decompose a linear row index `r in 0..rows()` into `(j, k)`.
+    #[inline(always)]
+    pub const fn row_jk(&self, r: usize) -> (usize, usize) {
+        (r % self.ny, r / self.ny)
+    }
+}
+
+/// A raw pointer that may be sent to worker threads.
+///
+/// Used by the back-ends to hand out *disjoint* mutable row slices of one
+/// output buffer. Safety is established by [`RowMap::validate`]: distinct
+/// rows never alias, so concurrent `&mut` row slices are sound.
+#[derive(Clone, Copy)]
+pub(crate) struct SendPtr<T>(pub *mut T);
+
+// SAFETY: the pointer is only dereferenced through `row_slice_mut`, which
+// produces non-overlapping ranges for distinct rows (validated RowMap), and
+// the owning `&mut [T]` outlives every launch (back-ends join all workers
+// before returning).
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+/// Produce the exclusive row slice for row `(j, k)`.
+///
+/// # Safety
+/// - `map` must have been validated against the length of the allocation
+///   `ptr` points to ([`RowMap::validate`]).
+/// - No two live slices for the same `(j, k)` may exist at once; callers
+///   ensure each row is processed by exactly one worker per launch.
+#[inline(always)]
+pub(crate) unsafe fn row_slice_mut<'a, T>(ptr: SendPtr<T>, map: &RowMap, j: usize, k: usize) -> &'a mut [T] {
+    debug_assert!(j < map.ny && k < map.nz);
+    std::slice::from_raw_parts_mut(ptr.0.add(map.row_offset(j, k)), map.len)
+}
+
+/// Split `n` items into `parts` nearly-equal contiguous ranges.
+///
+/// Returns the half-open range for `part`; ranges for successive parts
+/// tile `0..n` exactly. The first `n % parts` parts get one extra item.
+#[inline]
+pub fn chunk_range(n: usize, parts: usize, part: usize) -> std::ops::Range<usize> {
+    debug_assert!(part < parts);
+    let base = n / parts;
+    let rem = n % parts;
+    let start = part * base + part.min(rem);
+    let len = base + usize::from(part < rem);
+    start..start + len
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extent_len() {
+        let e = Extent3::new(4, 5, 6);
+        assert_eq!(e.len(), 120);
+        assert!(!e.is_empty());
+        assert!(Extent3::new(0, 5, 6).is_empty());
+    }
+
+    #[test]
+    fn contiguous_map() {
+        let m = RowMap::contiguous(10);
+        m.validate(10);
+        assert_eq!(m.elems(), 10);
+        assert_eq!(m.rows(), 1);
+        assert_eq!(m.row_offset(0, 0), 0);
+    }
+
+    #[test]
+    fn halo_interior_map() {
+        let e = Extent3::new(3, 4, 5);
+        let m = RowMap::halo_interior(e);
+        // padded dims 5 x 6 x 7
+        m.validate(5 * 6 * 7);
+        assert_eq!(m.elems(), 60);
+        assert_eq!(m.row_offset(0, 0), 1 + 5 + 30);
+        // first interior element of second plane
+        assert_eq!(m.row_offset(0, 1), 1 + 5 + 60);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn validate_rejects_short_slice() {
+        let m = RowMap::halo_interior(Extent3::new(3, 4, 5));
+        m.validate(10);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn validate_rejects_overlapping_rows() {
+        let m = RowMap { base: 0, len: 5, ny: 2, nz: 1, sy: 3, sz: 100 };
+        m.validate(1000);
+    }
+
+    #[test]
+    fn row_jk_roundtrip() {
+        let m = RowMap::halo_interior(Extent3::new(2, 3, 4));
+        for r in 0..m.rows() {
+            let (j, k) = m.row_jk(r);
+            assert_eq!(k * m.ny + j, r);
+        }
+    }
+
+    #[test]
+    fn chunk_ranges_tile_exactly() {
+        for n in [0usize, 1, 7, 64, 100] {
+            for parts in [1usize, 2, 3, 7, 16] {
+                let mut covered = 0;
+                for p in 0..parts {
+                    let r = chunk_range(n, parts, p);
+                    assert_eq!(r.start, covered, "n={n} parts={parts} p={p}");
+                    covered = r.end;
+                }
+                assert_eq!(covered, n);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn halo_interior_rowmaps_always_validate(
+            nx in 1usize..32, ny in 1usize..32, nz in 1usize..32,
+        ) {
+            let e = Extent3::new(nx, ny, nz);
+            let m = RowMap::halo_interior(e);
+            let padded = (nx + 2) * (ny + 2) * (nz + 2);
+            m.validate(padded);
+            prop_assert_eq!(m.elems(), e.len());
+        }
+
+        #[test]
+        fn rows_never_overlap(
+            nx in 1usize..16, ny in 1usize..16, nz in 1usize..16,
+        ) {
+            let m = RowMap::halo_interior(Extent3::new(nx, ny, nz));
+            // mark every mapped element; each must be touched exactly once
+            let padded = (nx + 2) * (ny + 2) * (nz + 2);
+            let mut hits = vec![0u8; padded];
+            for r in 0..m.rows() {
+                let (j, k) = m.row_jk(r);
+                let off = m.row_offset(j, k);
+                for i in 0..m.len {
+                    hits[off + i] += 1;
+                }
+            }
+            prop_assert!(hits.iter().all(|&h| h <= 1), "overlapping rows");
+            prop_assert_eq!(hits.iter().map(|&h| h as usize).sum::<usize>(), m.elems());
+        }
+
+        #[test]
+        fn chunks_are_balanced(n in 0usize..10_000, parts in 1usize..64) {
+            let sizes: Vec<usize> = (0..parts).map(|p| chunk_range(n, parts, p).len()).collect();
+            let min = *sizes.iter().min().unwrap();
+            let max = *sizes.iter().max().unwrap();
+            prop_assert!(max - min <= 1, "chunks must differ by at most one element");
+            prop_assert_eq!(sizes.iter().sum::<usize>(), n);
+        }
+
+        #[test]
+        fn row_jk_is_a_bijection(ny in 1usize..40, nz in 1usize..40) {
+            let m = RowMap { base: 0, len: 1, ny, nz, sy: 1, sz: ny };
+            let mut seen = vec![false; ny * nz];
+            for r in 0..m.rows() {
+                let (j, k) = m.row_jk(r);
+                prop_assert!(j < ny && k < nz);
+                let slot = k * ny + j;
+                prop_assert!(!seen[slot], "duplicate (j,k)");
+                seen[slot] = true;
+            }
+            prop_assert!(seen.into_iter().all(|s| s));
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Criterion benchmarks of full solves per Table I configuration —
+//! the wall-clock counterpart of Table II at CI scale.
+
+use accel::{Recorder, Serial};
+use blockgrid::Decomp;
+use comm::SelfComm;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use krylov::{SolveParams, SolverKind, SolverOptions};
+use poisson::{paper_problem, PoissonSolver};
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_solve_17cubed");
+    group.sample_size(10);
+    for kind in SolverKind::all() {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &kind| {
+            b.iter(|| {
+                let mut solver: PoissonSolver<f64, _, _> = PoissonSolver::new(
+                    paper_problem(17),
+                    Decomp::single(),
+                    Serial::new(Recorder::disabled()),
+                    SelfComm::default(),
+                );
+                let out = solver.solve(
+                    kind,
+                    &SolverOptions { eig_min_factor: 10.0, ..Default::default() },
+                    &SolveParams { tol: 1e-10, max_iters: 20_000, record_history: false, ..Default::default() },
+                );
+                assert!(out.converged);
+                out.iterations
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_setup(c: &mut Criterion) {
+    // problem assembly + normalisation + offload (the paper's setup phase)
+    let mut group = c.benchmark_group("setup");
+    for nodes in [17usize, 33] {
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, &nodes| {
+            b.iter(|| {
+                let solver: PoissonSolver<f64, _, _> = PoissonSolver::new(
+                    paper_problem(nodes),
+                    Decomp::single(),
+                    Serial::new(Recorder::disabled()),
+                    SelfComm::default(),
+                );
+                solver.rhs_norm()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_solvers, bench_setup
+);
+criterion_main!(benches);

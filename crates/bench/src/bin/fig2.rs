@@ -1,0 +1,103 @@
+//! Fig. 2 — residual norm per iteration for all six solvers.
+//!
+//! Paper setting: 256³ mesh, 64 GCDs / 64 MPI ranks on LUMI-G, relative
+//! tolerance 1e-10. Default here: 64³ mesh on 8 in-process ranks (pass
+//! `--full` for 256 nodes on a 4x4x4 decomposition — slow on one core).
+//!
+//! Usage: `fig2 [--nodes N] [--ranks AxBxC] [--device spec] [--full]`
+
+use bench::{ascii_semilogy, run_once, write_json, Args, ExperimentRecord, RunConfig};
+use krylov::SolverKind;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Series {
+    solver: String,
+    iterations: usize,
+    converged: bool,
+    residuals: Vec<f64>,
+}
+
+fn main() {
+    let args = Args::parse();
+    let full = args.flag("full");
+    let nodes = args.get("nodes", if full { 256 } else { 64 });
+    let decomp = args.decomp("ranks", if full { [4, 4, 4] } else { [2, 2, 2] });
+    let device = args.get_str("device", "serial");
+
+    println!("Fig. 2: residual norm vs iteration, all solvers");
+    println!("mesh {nodes}^3, ranks {decomp:?}, device {device}, tol 1e-10\n");
+
+    let mut series = Vec::new();
+    for kind in SolverKind::all() {
+        let mut cfg = RunConfig::small(kind);
+        cfg.nodes = nodes;
+        cfg.decomp = decomp;
+        cfg.device = device.clone();
+        if full {
+            // Sec. IV: the 256^3 experiments rescale lambda_min by 100
+            cfg.opts.eig_min_factor = 100.0;
+        }
+        let res = run_once(&cfg);
+        println!(
+            "{:<20} iterations {:>6}  converged {}  final residual {:.3e}",
+            kind.label(),
+            res.outcome.iterations,
+            res.outcome.converged,
+            res.outcome.final_residual
+        );
+        series.push(Series {
+            solver: kind.label().to_owned(),
+            iterations: res.outcome.iterations,
+            converged: res.outcome.converged,
+            residuals: res.outcome.residual_history.clone(),
+        });
+    }
+
+    println!("\niter  {}", series.iter().map(|s| format!("{:>22}", s.solver)).collect::<String>());
+    let longest = series.iter().map(|s| s.residuals.len()).max().unwrap_or(0);
+    let stride = (longest / 40).max(1);
+    for i in (0..longest).step_by(stride) {
+        let mut row = format!("{i:>5} ");
+        for s in &series {
+            match s.residuals.get(i) {
+                Some(r) => row.push_str(&format!("{r:>22.6e}")),
+                None => row.push_str(&format!("{:>22}", "-")),
+            }
+        }
+        println!("{row}");
+    }
+
+    // the figure itself, terminal rendition
+    let plot_series: Vec<(String, Vec<f64>)> = series
+        .iter()
+        .map(|s| (s.solver.clone(), s.residuals.clone()))
+        .collect();
+    println!("\n{}", ascii_semilogy(&plot_series, 76, 20));
+
+    // paper-shape checks
+    let iters = |k: &str| series.iter().find(|s| s.solver == k).map(|s| s.iterations).unwrap();
+    let plain = iters("BiCGS");
+    println!("\nShape vs paper:");
+    println!("  plain BiCGS iterations: {plain} (paper @256^3: ~1543)");
+    for s in &series[1..] {
+        let speedup = plain as f64 / s.iterations.max(1) as f64;
+        println!(
+            "  {:<20} {:>6} iterations  ({speedup:.1}x fewer than plain; paper: all preconditioners < 200 @256^3)",
+            s.solver, s.iterations
+        );
+    }
+    let g = iters("FBiCGS-G(BiCGS)");
+    assert!(g < iters("BiCGS-GNoComm(CI)"), "global preconditioner needs fewest outer iterations");
+
+    let record = ExperimentRecord {
+        experiment: "fig2".to_owned(),
+        nodes,
+        ranks: decomp.iter().product(),
+        data: series,
+    };
+    match write_json(&record) {
+        Ok(path) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+}

@@ -1,0 +1,101 @@
+//! Fig. 4 — residual norm per iteration for BiCGS-GNoComm(CI) across
+//! back-ends, single rank.
+//!
+//! Paper setting: 64³ mesh, one MPI process (one GCD / one GPU / 128 OMP
+//! threads), CI iterations fixed at 24, eigenvalue rescaling (1−1e-4, 10).
+//! This is the paper's own default size, so it runs as-is here. The paper
+//! observed 14 iterations on both GPUs vs 27 on the CPU back-end — a pure
+//! floating-point-reduction-order effect, reproduced here by the
+//! back-ends' different summation groupings.
+//!
+//! Usage: `fig4 [--nodes N]`
+
+use bench::{ascii_semilogy, run_once, write_json, Args, ExperimentRecord, RunConfig};
+use krylov::SolverKind;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Series {
+    backend: String,
+    iterations: usize,
+    converged: bool,
+    residuals: Vec<f64>,
+}
+
+fn main() {
+    let args = Args::parse();
+    let nodes = args.get("nodes", 64); // the paper's actual Fig. 4 mesh
+
+    println!("Fig. 4: residual vs iteration, BiCGS-GNoComm(CI), single rank");
+    println!("mesh {nodes}^3, 1 rank, CI=24, rescale (1-1e-4, x10)\n");
+
+    let mut series = Vec::new();
+    for device in ["serial", "threads:4", "mi250x", "h100"] {
+        let mut cfg = RunConfig::small(SolverKind::BiCgsGNoCommCi);
+        cfg.nodes = nodes;
+        cfg.decomp = [1, 1, 1];
+        cfg.device = device.to_owned();
+        let res = run_once(&cfg);
+        println!(
+            "{:<12} iterations {:>5}  converged {}  final residual {:.3e}",
+            device, res.outcome.iterations, res.outcome.converged, res.outcome.final_residual
+        );
+        series.push(Series {
+            backend: device.to_owned(),
+            iterations: res.outcome.iterations,
+            converged: res.outcome.converged,
+            residuals: res.outcome.residual_history.clone(),
+        });
+    }
+
+    let longest = series.iter().map(|s| s.residuals.len()).max().unwrap_or(0);
+    println!("\niter  {}", series.iter().map(|s| format!("{:>16}", s.backend)).collect::<String>());
+    for i in 0..longest {
+        let mut row = format!("{i:>5} ");
+        for s in &series {
+            match s.residuals.get(i) {
+                Some(r) => row.push_str(&format!("{r:>16.4e}")),
+                None => row.push_str(&format!("{:>16}", "-")),
+            }
+        }
+        println!("{row}");
+    }
+
+    let plot_series: Vec<(String, Vec<f64>)> = series
+        .iter()
+        .map(|s| (s.backend.clone(), s.residuals.clone()))
+        .collect();
+    println!("\n{}", ascii_semilogy(&plot_series, 76, 18));
+
+    println!("\nShape vs paper: every back-end converges to 1e-10; iteration counts");
+    println!("differ only through floating-point reduction order (paper: GPUs 14,");
+    println!("CPU 27 on this mesh).");
+    assert!(series.iter().all(|s| s.converged), "all back-ends must converge");
+    // quantify the reduction-order divergence between back-ends
+    let reference = &series[0].residuals;
+    for s in &series[1..] {
+        let div = s
+            .residuals
+            .iter()
+            .zip(reference)
+            .map(|(a, b)| (a - b).abs() / b.max(f64::MIN_POSITIVE))
+            .fold(0.0f64, f64::max);
+        println!(
+            "  residual-history divergence vs {}: max rel {:.2e} ({})",
+            series[0].backend,
+            div,
+            s.backend
+        );
+    }
+
+    let record = ExperimentRecord {
+        experiment: "fig4".to_owned(),
+        nodes,
+        ranks: 1,
+        data: series,
+    };
+    match write_json(&record) {
+        Ok(path) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+}

@@ -1,0 +1,137 @@
+//! Fig. 5 — strong scaling of BiCGS-GNoComm(CI) on LUMI-G, 1024³ mesh,
+//! 8 → 256 GCDs, efficiency relative to 8 GCDs.
+//!
+//! A 1024³ problem needs ~8.6 GB per solver vector — far beyond this
+//! machine — so the harness combines two *measured* ingredients with the
+//! MI250X machine model:
+//!
+//! 1. **Iteration counts per rank count** — real solves on a reduced
+//!    mesh with the exact decompositions of the sweep. The GNoComm
+//!    preconditioner weakens as the block count grows (more truncated
+//!    couplings), so outer iterations genuinely increase with ranks; this
+//!    algorithmic term is measured, not modelled.
+//! 2. **Per-iteration event profile** — the kernel/message/reduction
+//!    stream of one outer iteration from an interior rank, with byte
+//!    footprints rescaled to each target local mesh
+//!    (`perfmodel::strong_scaling` machinery).
+//!
+//! Usage: `fig5 [--nodes N] [--fixed-iters]`
+
+use bench::{first_iteration_profile, run_once, write_json, Args, ExperimentRecord, RunConfig};
+use krylov::SolverKind;
+use perfmodel::{replay, scale_events, MachineModel};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Point {
+    ranks: usize,
+    iterations: usize,
+    per_iter_compute_s: f64,
+    per_iter_comm_s: f64,
+    tts_s: f64,
+    efficiency: f64,
+}
+
+fn main() {
+    let args = Args::parse();
+    let nodes = args.get("nodes", 64);
+    let fixed_iters = args.flag("fixed-iters");
+    let machine = MachineModel::mi250x();
+    // decomposition per rank count, near-cubic as on LUMI-G
+    let sweep: [(usize, [usize; 3]); 6] = [
+        (8, [2, 2, 2]),
+        (16, [4, 2, 2]),
+        (32, [4, 4, 2]),
+        (64, [4, 4, 4]),
+        (128, [8, 4, 4]),
+        (256, [8, 8, 4]),
+    ];
+
+    println!("Fig. 5: strong scaling, 1024^3 mesh, {} model", machine.name);
+    println!(
+        "iteration counts measured on a {nodes}^3 mesh; per-iteration costs from a\nmeasured event profile rescaled to the 1024^3 local meshes\n"
+    );
+
+    // one profiled run to get the per-iteration event structure from an
+    // interior rank (3x3x3 => rank 13 has all six interface faces)
+    let mut pcfg = RunConfig::small(SolverKind::BiCgsGNoCommCi);
+    pcfg.nodes = nodes;
+    pcfg.decomp = [3, 3, 3];
+    pcfg.record_events = true;
+    let pres = run_once(&pcfg);
+    assert!(pres.outcome.converged);
+    let profile = first_iteration_profile(&pres.events[13]);
+    let unknowns = nodes - 1;
+    let mlocal = accel::chunk_range(unknowns, 3, 1).len();
+    let mvol = (mlocal * mlocal * mlocal) as f64;
+    let mface = (mlocal * mlocal) as f64;
+
+    let mut points = Vec::new();
+    for (ranks, decomp) in sweep {
+        // measured iteration count at this decomposition
+        let mut cfg = RunConfig::small(SolverKind::BiCgsGNoCommCi);
+        cfg.nodes = nodes;
+        cfg.decomp = decomp;
+        let res = run_once(&cfg);
+        assert!(res.outcome.converged, "{ranks} ranks: {:?}", res.outcome);
+        let iterations = if fixed_iters { pres.outcome.iterations } else { res.outcome.iterations };
+
+        // rescale the measured per-iteration profile to the 1024^3 local mesh
+        let local: [f64; 3] = std::array::from_fn(|a| 1024.0 / decomp[a] as f64);
+        let vol = local[0] * local[1] * local[2];
+        let face = (local[0] * local[1] + local[1] * local[2] + local[0] * local[2]) / 3.0;
+        let scaled = scale_events(&profile, vol / mvol, face / mface);
+        let per_iter = replay(&scaled, &machine, ranks);
+        let tts = per_iter.total_s() * iterations as f64;
+        points.push(Point {
+            ranks,
+            iterations,
+            per_iter_compute_s: per_iter.compute_s,
+            per_iter_comm_s: per_iter.comm_s,
+            tts_s: tts,
+            efficiency: 1.0,
+        });
+    }
+    let t0 = points[0].tts_s * points[0].ranks as f64;
+    for p in &mut points {
+        p.efficiency = t0 / (p.tts_s * p.ranks as f64);
+    }
+
+    println!(
+        "{:>6} {:>8} {:>14} {:>12} {:>12} {:>12}",
+        "GCDs", "iters", "per-iter comp", "per-iter comm", "TTS [s]", "efficiency"
+    );
+    let paper = [1.0, 0.95, 0.95, 0.91, 0.85, 0.65];
+    for (p, pe) in points.iter().zip(paper) {
+        let bar = "#".repeat((p.efficiency * 40.0).round() as usize);
+        println!(
+            "{:>6} {:>8} {:>12.2}ms {:>10.2}ms {:>12.3} {:>11.1}%  |{bar:<40}| paper {:.0}%",
+            p.ranks,
+            p.iterations,
+            p.per_iter_compute_s * 1e3,
+            p.per_iter_comm_s * 1e3,
+            p.tts_s,
+            p.efficiency * 100.0,
+            pe * 100.0
+        );
+    }
+
+    println!("\nShape vs paper: >=90% efficiency through 64 GCDs, decaying beyond");
+    println!("(the paper attributes the decay to GPU underutilisation; here the");
+    println!("measured block-count-driven iteration growth provides the same shape).");
+    let eff = |r: usize| points.iter().find(|p| p.ranks == r).unwrap().efficiency;
+    assert!(eff(16) > 0.80, "16 GCDs: {}", eff(16));
+    assert!(eff(256) < eff(64), "efficiency must decay from 64 to 256 GCDs");
+    assert!(eff(256) < 0.95, "256 GCDs must show real degradation");
+
+    let record = ExperimentRecord {
+        experiment: "fig5".to_owned(),
+        nodes: 1024,
+        ranks: 256,
+        data: points,
+    };
+    match write_json(&record) {
+        Ok(path) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+}

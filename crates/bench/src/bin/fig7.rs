@@ -1,0 +1,76 @@
+//! Fig. 7 — BiCGS-GNoComm(CI) time to solution across architectures,
+//! single rank, 64³ mesh (the paper's own size).
+//!
+//! Paper observation: both GPUs massively outperform the 128-thread CPU
+//! node in computation — 50× (MI250X) and 47× (H100); with a single
+//! process there is no MPI, so communication is nil everywhere.
+//!
+//! Usage: `fig7 [--nodes N]`
+
+use bench::{run_once, write_json, Args, ExperimentRecord, RunConfig};
+use krylov::SolverKind;
+use perfmodel::{replay, CostBreakdown, MachineModel};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Bar {
+    machine: String,
+    breakdown: CostBreakdown,
+    total_s: f64,
+    compute_speedup_vs_cpu: f64,
+}
+
+fn main() {
+    let args = Args::parse();
+    let nodes = args.get("nodes", 64);
+
+    let mut cfg = RunConfig::small(SolverKind::BiCgsGNoCommCi);
+    cfg.nodes = nodes;
+    cfg.decomp = [1, 1, 1];
+    cfg.record_events = true;
+    let res = run_once(&cfg);
+    assert!(res.outcome.converged);
+
+    println!("Fig. 7: BiCGS-GNoComm(CI) TTS across architectures (single rank)");
+    println!("mesh {nodes}^3, 1 rank, {} iterations (measured)\n", res.outcome.iterations);
+
+    let machines = [
+        MachineModel::lumi_c_node(),
+        MachineModel::mi250x(),
+        MachineModel::h100_gpudirect(),
+    ];
+    let cpu_compute = replay(&res.events[0], &machines[0], 1).compute_s;
+    let mut bars = Vec::new();
+    for m in &machines {
+        let b = replay(&res.events[0], m, 1);
+        let speedup = cpu_compute / b.compute_s;
+        println!(
+            "{:<40} compute {:>9.4} s   comm {:>7.4} s   total {:>9.4} s   compute speedup vs CPU {:>5.1}x",
+            m.name,
+            b.compute_s,
+            b.comm_s,
+            b.total_s(),
+            speedup
+        );
+        bars.push(Bar {
+            machine: m.name.clone(),
+            breakdown: b,
+            total_s: b.total_s(),
+            compute_speedup_vs_cpu: speedup,
+        });
+    }
+
+    println!("\nShape vs paper: 50x (MI250X) and 47x (H100) computation speedups,");
+    println!("no communication in the single-process run.");
+    let amd = bars[1].compute_speedup_vs_cpu;
+    let nv = bars[2].compute_speedup_vs_cpu;
+    assert!((amd - 50.0).abs() < 15.0, "AMD speedup {amd}");
+    assert!((nv - 47.0).abs() < 15.0, "NVIDIA speedup {nv}");
+    assert!(bars.iter().all(|b| b.breakdown.comm_s == 0.0), "single rank => no comm");
+
+    let record = ExperimentRecord { experiment: "fig7".to_owned(), nodes, ranks: 1, data: bars };
+    match write_json(&record) {
+        Ok(path) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+}

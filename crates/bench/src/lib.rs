@@ -1,0 +1,414 @@
+//! # bench — the experiment harness behind every paper table and figure
+//!
+//! One binary per table/figure (`table1`, `fig2`, `table2`, `fig3`,
+//! `fig4`, `fig5`, `fig6`, `fig7`, `fig8`) plus Criterion micro-benches.
+//! This library holds the shared machinery: a tiny CLI parser, the SPMD
+//! experiment runner, and JSON result records.
+//!
+//! Default problem sizes are scaled to a small CI machine; pass `--full`
+//! (or explicit `--nodes`/`--ranks`) for paper-scale runs. Convergence
+//! observables are always *measured*; times-to-solution are produced by
+//! replaying the measured event stream through `perfmodel` machine
+//! models (see DESIGN.md for the substitution rationale).
+
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use accel::{AnyDevice, Event, Recorder};
+use blockgrid::Decomp;
+use comm::{run_ranks_recorded, CommStats, Communicator, ReduceOrder};
+use krylov::{SolveOutcome, SolveParams, SolverKind, SolverOptions};
+use poisson::{paper_problem, PoissonSolver};
+use serde::Serialize;
+
+/// Minimal `--key value` / `--flag` CLI parser for the harness binaries.
+pub struct Args {
+    map: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parse `std::env::args`.
+    pub fn parse() -> Self {
+        let mut map = HashMap::new();
+        let mut flags = Vec::new();
+        let mut it = std::env::args().skip(1).peekable();
+        while let Some(arg) = it.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                match it.peek() {
+                    Some(v) if !v.starts_with("--") => {
+                        map.insert(key.to_owned(), it.next().unwrap());
+                    }
+                    _ => flags.push(key.to_owned()),
+                }
+            }
+        }
+        Self { map, flags }
+    }
+
+    /// Typed lookup with default.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T
+    where
+        T::Err: std::fmt::Debug,
+    {
+        self.map
+            .get(key)
+            .map(|v| v.parse().unwrap_or_else(|e| panic!("--{key} {v:?}: {e:?}")))
+            .unwrap_or(default)
+    }
+
+    /// String lookup with default.
+    pub fn get_str(&self, key: &str, default: &str) -> String {
+        self.map.get(key).cloned().unwrap_or_else(|| default.to_owned())
+    }
+
+    /// Presence of `--flag`.
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+
+    /// Parse a decomposition spec like `2x2x2`.
+    pub fn decomp(&self, key: &str, default: [usize; 3]) -> [usize; 3] {
+        match self.map.get(key) {
+            None => default,
+            Some(spec) => {
+                let parts: Vec<usize> = spec
+                    .split('x')
+                    .map(|p| p.parse().unwrap_or_else(|e| panic!("--{key} {spec:?}: {e}")))
+                    .collect();
+                assert_eq!(parts.len(), 3, "--{key} must be AxBxC");
+                [parts[0], parts[1], parts[2]]
+            }
+        }
+    }
+}
+
+/// Configuration of one solver experiment.
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    /// Mesh nodes per axis (the paper's "N × N × N mesh").
+    pub nodes: usize,
+    /// Process-grid decomposition.
+    pub decomp: [usize; 3],
+    /// Solver configuration under test.
+    pub kind: SolverKind,
+    /// Preconditioner tunables.
+    pub opts: SolverOptions,
+    /// Relative residual tolerance (paper: 1e-10).
+    pub tol: f64,
+    /// Outer iteration cap.
+    pub max_iters: usize,
+    /// Back-end spec for [`accel::AnyDevice::from_spec`].
+    pub device: String,
+    /// Reduction ordering (Arrival reproduces the paper's run-to-run
+    /// variance).
+    pub order: ReduceOrder,
+    /// Capture the per-rank event streams.
+    pub record_events: bool,
+    /// Extra solver options (mid-loop exit, true-residual monitoring,
+    /// restart budget) threaded through to [`SolveParams`].
+    pub params_extra: ParamsExtra,
+}
+
+/// The optional [`SolveParams`] features exposed on [`RunConfig`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ParamsExtra {
+    /// Algorithm 1's mid-loop convergence check.
+    pub early_exit_check: bool,
+    /// True-residual recomputation period (0 = off).
+    pub true_residual_every: usize,
+    /// Shadow-residual restart budget on breakdown.
+    pub max_restarts: usize,
+}
+
+impl RunConfig {
+    /// A small-machine default: 64³ mesh, 2×2×2 ranks, serial back-end,
+    /// paper tolerances, single-rank eigenvalue rescaling (×10 — the 64³
+    /// setting of Sec. IV).
+    pub fn small(kind: SolverKind) -> Self {
+        Self {
+            nodes: 64,
+            decomp: [2, 2, 2],
+            kind,
+            opts: SolverOptions { eig_min_factor: 10.0, ..Default::default() },
+            tol: 1e-10,
+            max_iters: 50_000,
+            device: "serial".into(),
+            order: ReduceOrder::RankOrder,
+            record_events: false,
+            params_extra: ParamsExtra::default(),
+        }
+    }
+
+    /// Total rank count.
+    pub fn ranks(&self) -> usize {
+        self.decomp[0] * self.decomp[1] * self.decomp[2]
+    }
+}
+
+/// Result of one experiment run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Solver outcome (identical on all ranks; taken from rank 0).
+    pub outcome: SolveOutcome,
+    /// Max total preconditioner sweeps across ranks (local inner solves
+    /// may differ per rank for `BJ(BiCGS)`).
+    pub prec_iterations_max: u64,
+    /// Wall-clock seconds of the solve phase (max over ranks).
+    pub wall_s: f64,
+    /// Per-rank event streams (`record_events` only).
+    pub events: Vec<Vec<Event>>,
+    /// Rank-0 communication counters.
+    pub comm_stats: CommStats,
+    /// Global relative L2 error vs. the manufactured solution.
+    pub l2_error: f64,
+}
+
+/// Run one solver experiment on the paper problem.
+pub fn run_once(cfg: &RunConfig) -> RunResult {
+    let ranks = cfg.ranks();
+    let recorders: Vec<Recorder> = (0..ranks)
+        .map(|_| if cfg.record_events { Recorder::enabled() } else { Recorder::disabled() })
+        .collect();
+    let handles = recorders.clone();
+    let decomp = Decomp::new(cfg.decomp);
+    let cfg2 = cfg.clone();
+    let per_rank = run_ranks_recorded::<f64, _, _>(ranks, cfg.order, recorders, move |comm| {
+        let rec = comm.recorder().clone();
+        let dev = AnyDevice::from_spec(&cfg2.device, rec).expect("bad device spec");
+        let problem = paper_problem(cfg2.nodes);
+        let mut solver: PoissonSolver<f64, _, _> =
+            PoissonSolver::new(problem, decomp, dev, comm);
+        let params = SolveParams {
+            tol: cfg2.tol,
+            max_iters: cfg2.max_iters,
+            record_history: true,
+            early_exit_check: cfg2.params_extra.early_exit_check,
+            true_residual_every: cfg2.params_extra.true_residual_every,
+            max_restarts: cfg2.params_extra.max_restarts,
+        };
+        let t0 = Instant::now();
+        let outcome = solver.solve(cfg2.kind, &cfg2.opts, &params);
+        let wall = t0.elapsed().as_secs_f64();
+        let (l2, _linf) = solver.error_vs_exact();
+        let stats = solver.ctx().comm.stats();
+        (outcome, wall, stats, l2)
+    });
+    let events: Vec<Vec<Event>> = handles.iter().map(|r| r.drain()).collect();
+    let outcome = per_rank[0].0.clone();
+    RunResult {
+        prec_iterations_max: per_rank.iter().map(|r| r.0.prec_iterations).max().unwrap_or(0),
+        wall_s: per_rank.iter().map(|r| r.1).fold(0.0, f64::max),
+        comm_stats: per_rank[0].2,
+        l2_error: per_rank[0].3,
+        events,
+        outcome,
+    }
+}
+
+/// Extract the events of the solve's *first outer iteration* from a
+/// recorded stream: everything from the first `Begin("Preconditioner")`
+/// to just before the second one... more precisely, one full cycle —
+/// two preconditioner stages, the kernels and the three reductions.
+pub fn first_iteration_profile(events: &[Event]) -> Vec<Event> {
+    let starts: Vec<usize> = events
+        .iter()
+        .enumerate()
+        .filter_map(|(i, e)| match e {
+            Event::Begin { name } if *name == "Preconditioner" => Some(i),
+            _ => None,
+        })
+        .collect();
+    match starts.len() {
+        0 => events.to_vec(),
+        1 | 2 => events[starts[0]..].to_vec(),
+        // an outer iteration contains exactly two Preconditioner stages
+        _ => events[starts[0]..starts[2]].to_vec(),
+    }
+}
+
+/// Mean and population standard deviation.
+pub fn mean_std(values: &[f64]) -> (f64, f64) {
+    assert!(!values.is_empty());
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64;
+    (mean, var.sqrt())
+}
+
+/// A serialisable experiment record written next to each harness run.
+#[derive(Serialize)]
+pub struct ExperimentRecord<T: Serialize> {
+    /// Experiment id (e.g. `"table2"`).
+    pub experiment: String,
+    /// Mesh nodes per axis.
+    pub nodes: usize,
+    /// Rank count.
+    pub ranks: usize,
+    /// Payload rows.
+    pub data: T,
+}
+
+/// Write an experiment record as pretty JSON under `results/`.
+pub fn write_json<T: Serialize>(record: &ExperimentRecord<T>) -> std::io::Result<String> {
+    std::fs::create_dir_all("results")?;
+    let path = format!("results/{}.json", record.experiment);
+    std::fs::write(&path, serde_json::to_string_pretty(record).expect("serialise"))?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_std_basics() {
+        let (m, s) = mean_std(&[2.0, 4.0]);
+        assert_eq!(m, 3.0);
+        assert_eq!(s, 1.0);
+        let (m, s) = mean_std(&[5.0]);
+        assert_eq!(m, 5.0);
+        assert_eq!(s, 0.0);
+    }
+
+    #[test]
+    fn small_config_runs_and_converges() {
+        let mut cfg = RunConfig::small(SolverKind::BiCgsGNoCommCi);
+        cfg.nodes = 17;
+        cfg.decomp = [2, 1, 1];
+        let res = run_once(&cfg);
+        assert!(res.outcome.converged, "{:?}", res.outcome);
+        assert!(res.l2_error < 1e-2);
+        assert!(res.outcome.residual_history.len() == res.outcome.iterations + 1);
+    }
+
+    #[test]
+    fn recorded_run_produces_event_streams() {
+        let mut cfg = RunConfig::small(SolverKind::BiCgsGNoCommCi);
+        cfg.nodes = 13;
+        cfg.decomp = [2, 1, 1];
+        cfg.record_events = true;
+        let res = run_once(&cfg);
+        assert_eq!(res.events.len(), 2);
+        assert!(!res.events[0].is_empty());
+        let profile = first_iteration_profile(&res.events[0]);
+        // a GNoComm(CI) iteration: 2 preconditioner stages with 24 CI
+        // sweeps each, plus the BiCGS kernels
+        let kernels = profile
+            .iter()
+            .filter(|e| matches!(e, Event::Kernel { .. }))
+            .count();
+        assert!(kernels > 40, "expected a full iteration, got {kernels} kernels");
+        let allreduces = profile
+            .iter()
+            .filter(|e| matches!(e, Event::AllReduce { .. }))
+            .count();
+        assert_eq!(allreduces, 3, "MPI2, MPI4, MPI5");
+    }
+
+    #[test]
+    fn prec_iterations_counted() {
+        let mut cfg = RunConfig::small(SolverKind::BiCgsBjCi);
+        cfg.nodes = 13;
+        cfg.decomp = [1, 1, 1];
+        let res = run_once(&cfg);
+        assert!(res.outcome.converged);
+        // fixed 24-sweep CI applied twice per outer iteration
+        assert_eq!(res.outcome.prec_per_outer(), 48.0);
+    }
+}
+
+/// Render convergence series as an ASCII semilog plot (x = iteration,
+/// y = log10 of the residual) — the terminal rendition of the paper's
+/// Figs. 2–4. Each series gets a distinct glyph; overlapping points show
+/// the later series' glyph.
+pub fn ascii_semilogy(series: &[(String, Vec<f64>)], width: usize, height: usize) -> String {
+    const GLYPHS: [char; 8] = ['o', '+', 'x', '*', '#', '@', '%', '&'];
+    let max_len = series.iter().map(|(_, s)| s.len()).max().unwrap_or(0);
+    if max_len == 0 {
+        return String::from("(no data)\n");
+    }
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for (_, s) in series {
+        for &v in s {
+            if v > 0.0 && v.is_finite() {
+                lo = lo.min(v.log10());
+                hi = hi.max(v.log10());
+            }
+        }
+    }
+    if !lo.is_finite() || hi - lo < 1e-12 {
+        return String::from("(series constant or empty)\n");
+    }
+    let mut canvas = vec![vec![' '; width]; height];
+    for (si, (_, s)) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for (i, &v) in s.iter().enumerate() {
+            if !(v > 0.0 && v.is_finite()) {
+                continue;
+            }
+            let x = if max_len == 1 { 0 } else { i * (width - 1) / (max_len - 1) };
+            let fy = (v.log10() - lo) / (hi - lo);
+            let y = ((1.0 - fy) * (height - 1) as f64).round() as usize;
+            canvas[y.min(height - 1)][x.min(width - 1)] = glyph;
+        }
+    }
+    let mut out = String::new();
+    for (row, line) in canvas.iter().enumerate() {
+        let level = hi - (hi - lo) * row as f64 / (height - 1) as f64;
+        out.push_str(&format!("1e{level:>6.1} |"));
+        out.extend(line.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("         +{}\n", "-".repeat(width)));
+    out.push_str(&format!(
+        "          0{:>width$}\n",
+        format!("iter {}", max_len - 1),
+        width = width - 1
+    ));
+    for (si, (name, _)) in series.iter().enumerate() {
+        out.push_str(&format!("  {} {}\n", GLYPHS[si % GLYPHS.len()], name));
+    }
+    out
+}
+
+#[cfg(test)]
+mod plot_tests {
+    use super::ascii_semilogy;
+
+    #[test]
+    fn plot_contains_legend_and_axes() {
+        let series = vec![
+            ("fast".to_owned(), vec![1.0, 1e-3, 1e-6, 1e-9]),
+            ("slow".to_owned(), vec![1.0, 1e-1, 1e-2, 1e-3]),
+        ];
+        let txt = ascii_semilogy(&series, 40, 12);
+        assert!(txt.contains("o fast"));
+        assert!(txt.contains("+ slow"));
+        assert!(txt.contains("iter 3"));
+        // the fast series must reach a lower row than the slow one
+        assert!(txt.lines().count() > 12);
+    }
+
+    #[test]
+    fn empty_and_degenerate_series_are_safe() {
+        assert!(ascii_semilogy(&[], 20, 5).contains("no data"));
+        let flat = vec![("flat".to_owned(), vec![1.0, 1.0])];
+        assert!(ascii_semilogy(&flat, 20, 5).contains("constant"));
+        let zeros = vec![("z".to_owned(), vec![0.0, 0.0])];
+        assert!(ascii_semilogy(&zeros, 20, 5).contains("constant"));
+    }
+
+    #[test]
+    fn monotone_series_descends_across_rows() {
+        let s = vec![("d".to_owned(), (0..20).map(|i| 10f64.powi(-i)).collect::<Vec<_>>())];
+        let txt = ascii_semilogy(&s, 40, 10);
+        // first data row (top) holds the early iterations, bottom the late
+        let rows: Vec<&str> = txt.lines().take(10).collect();
+        let first_col = rows[0].find('o').unwrap();
+        let last_col = rows[9].find('o').unwrap();
+        assert!(first_col < last_col, "plot must descend left-to-right");
+    }
+}

@@ -1,0 +1,58 @@
+//! Boundary-condition kinds.
+
+/// Physical boundary condition on one face of the global domain.
+///
+/// Determines the 1-D operator structure along each axis (Eq. 4 vs Eq. 5
+/// of the paper): a Dirichlet side truncates the operator (boundary values
+/// are eliminated into the right-hand side), a Neumann side keeps the
+/// boundary node as an unknown with a mirrored ghost (`-2` off-diagonal).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BcKind {
+    /// Value prescribed on the boundary; boundary nodes are not unknowns.
+    Dirichlet,
+    /// Normal derivative prescribed (second-order ghost elimination);
+    /// boundary nodes are unknowns.
+    Neumann,
+}
+
+/// What one face of a *subdomain* borders on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LocalBoundary {
+    /// Internal interface: the neighbouring subdomain with this rank.
+    Interface {
+        /// Rank owning the neighbouring subdomain.
+        neighbor: usize,
+    },
+    /// Face of the global domain with this physical condition.
+    Physical(BcKind),
+}
+
+impl LocalBoundary {
+    /// `true` if this face has a neighbouring subdomain.
+    pub fn is_interface(&self) -> bool {
+        matches!(self, Self::Interface { .. })
+    }
+
+    /// The neighbour rank, if any.
+    pub fn neighbor(&self) -> Option<usize> {
+        match self {
+            Self::Interface { neighbor } => Some(*neighbor),
+            Self::Physical(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_boundary_accessors() {
+        let iface = LocalBoundary::Interface { neighbor: 3 };
+        assert!(iface.is_interface());
+        assert_eq!(iface.neighbor(), Some(3));
+        let phys = LocalBoundary::Physical(BcKind::Neumann);
+        assert!(!phys.is_interface());
+        assert_eq!(phys.neighbor(), None);
+    }
+}

@@ -1,0 +1,432 @@
+//! N-rank in-process communicator.
+
+use accel::{Event, Recorder, Scalar};
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use crate::types::{CommStats, Communicator, ReduceOp, ReduceOrder, StatsCell, Tag};
+
+/// Per-destination mailbox: messages keyed by (source, tag), FIFO per key.
+struct Mailbox<T> {
+    queues: Mutex<HashMap<(usize, Tag), VecDeque<Vec<T>>>>,
+    arrived: Condvar,
+}
+
+impl<T> Default for Mailbox<T> {
+    fn default() -> Self {
+        Self { queues: Mutex::new(HashMap::new()), arrived: Condvar::new() }
+    }
+}
+
+/// Phase of the collective engine.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Accepting contributions for the current generation.
+    Collect,
+    /// Result published; ranks are copying it out.
+    Distribute,
+}
+
+/// State of the generation-stamped collective engine.
+struct Collective<T> {
+    phase: Phase,
+    generation: u64,
+    /// Contributions in arrival order (rank, payload).
+    contributions: Vec<(usize, Vec<T>)>,
+    result: Vec<T>,
+    departed: usize,
+}
+
+impl<T> Default for Collective<T> {
+    fn default() -> Self {
+        Self {
+            phase: Phase::Collect,
+            generation: 0,
+            contributions: Vec::new(),
+            result: Vec::new(),
+            departed: 0,
+        }
+    }
+}
+
+struct Shared<T> {
+    size: usize,
+    order: ReduceOrder,
+    mailboxes: Vec<Mailbox<T>>,
+    collective: Mutex<Collective<T>>,
+    collective_cvar: Condvar,
+}
+
+/// One rank's handle onto an N-rank world.
+///
+/// Created in bulk with [`ThreadComm::world`]; each handle is moved onto
+/// its rank's thread (see [`crate::run_ranks`]).
+///
+/// Semantics mirror buffered MPI: `send` enqueues and returns immediately,
+/// `recv` blocks for a matching `(source, tag)` message, `all_reduce` and
+/// `barrier` synchronise all ranks. If a rank panics while peers are
+/// blocked in a collective the program hangs, as a crashed MPI rank also
+/// hangs its communicator — run SPMD closures that do not panic.
+pub struct ThreadComm<T> {
+    shared: Arc<Shared<T>>,
+    rank: usize,
+    stats: Arc<StatsCell>,
+    recorder: Recorder,
+}
+
+impl<T: Scalar> ThreadComm<T> {
+    /// Create an N-rank world. `recorders[r]` receives rank `r`'s
+    /// collective events; pass [`Recorder::disabled`] handles to skip
+    /// recording.
+    pub fn world(size: usize, order: ReduceOrder, recorders: Vec<Recorder>) -> Vec<Self> {
+        assert!(size >= 1, "world needs at least one rank");
+        assert_eq!(recorders.len(), size, "one recorder per rank required");
+        let shared = Arc::new(Shared {
+            size,
+            order,
+            mailboxes: (0..size).map(|_| Mailbox::default()).collect(),
+            collective: Mutex::new(Collective::default()),
+            collective_cvar: Condvar::new(),
+        });
+        recorders
+            .into_iter()
+            .enumerate()
+            .map(|(rank, recorder)| Self {
+                shared: Arc::clone(&shared),
+                rank,
+                stats: Arc::new(StatsCell::default()),
+                recorder,
+            })
+            .collect()
+    }
+
+    /// Create a world with deterministic reductions and no recording.
+    pub fn world_default(size: usize) -> Vec<Self> {
+        Self::world(size, ReduceOrder::RankOrder, vec![Recorder::disabled(); size])
+    }
+
+    /// The reduction-order policy of this world.
+    pub fn reduce_order(&self) -> ReduceOrder {
+        self.shared.order
+    }
+
+    fn collective_exchange(&self, vals: &mut [T], op: ReduceOp) {
+        let shared = &self.shared;
+        let mut st = shared.collective.lock();
+        // Entry gate: the previous round must fully drain first.
+        while st.phase == Phase::Distribute {
+            shared.collective_cvar.wait(&mut st);
+        }
+        let my_generation = st.generation;
+        st.contributions.push((self.rank, vals.to_vec()));
+        if st.contributions.len() == shared.size {
+            // Last arriver folds and publishes.
+            let mut items = std::mem::take(&mut st.contributions);
+            if shared.order == ReduceOrder::RankOrder {
+                items.sort_by_key(|(rank, _)| *rank);
+            }
+            let mut iter = items.into_iter();
+            let (_, mut acc) = iter.next().expect("at least one contribution");
+            for (_, contribution) in iter {
+                for (a, b) in acc.iter_mut().zip(contribution) {
+                    *a = op.combine(*a, b);
+                }
+            }
+            st.result = acc;
+            st.phase = Phase::Distribute;
+            st.departed = 0;
+            shared.collective_cvar.notify_all();
+        } else {
+            while !(st.phase == Phase::Distribute && st.generation == my_generation) {
+                shared.collective_cvar.wait(&mut st);
+            }
+        }
+        vals.copy_from_slice(&st.result);
+        st.departed += 1;
+        if st.departed == shared.size {
+            st.phase = Phase::Collect;
+            st.generation += 1;
+            st.result.clear();
+            shared.collective_cvar.notify_all();
+        }
+    }
+}
+
+impl<T: Scalar> Communicator<T> for ThreadComm<T> {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.shared.size
+    }
+
+    fn send(&self, dest: usize, tag: Tag, data: Vec<T>) {
+        assert!(dest < self.shared.size, "send to rank {dest} outside world");
+        self.stats.msgs_sent.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .bytes_sent
+            .fetch_add((data.len() * T::BYTES) as u64, Ordering::Relaxed);
+        let mailbox = &self.shared.mailboxes[dest];
+        mailbox
+            .queues
+            .lock()
+            .entry((self.rank, tag))
+            .or_default()
+            .push_back(data);
+        mailbox.arrived.notify_all();
+    }
+
+    fn recv(&self, src: usize, tag: Tag) -> Vec<T> {
+        assert!(src < self.shared.size, "recv from rank {src} outside world");
+        let mailbox = &self.shared.mailboxes[self.rank];
+        let mut queues = mailbox.queues.lock();
+        loop {
+            if let Some(msg) = queues.get_mut(&(src, tag)).and_then(VecDeque::pop_front) {
+                return msg;
+            }
+            mailbox.arrived.wait(&mut queues);
+        }
+    }
+
+    fn all_reduce(&self, vals: &mut [T], op: ReduceOp) {
+        self.stats.allreduces.fetch_add(1, Ordering::Relaxed);
+        self.recorder.record(Event::AllReduce { elems: vals.len() as u32 });
+        self.collective_exchange(vals, op);
+    }
+
+    fn barrier(&self) {
+        self.collective_exchange(&mut [], ReduceOp::Sum);
+    }
+
+    fn stats(&self) -> CommStats {
+        self.stats.snapshot()
+    }
+
+    fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_ranks;
+
+    #[test]
+    fn ring_pass_delivers_in_order() {
+        let sums = run_ranks::<f64, _, _>(4, ReduceOrder::RankOrder, |comm| {
+            let right = (comm.rank() + 1) % comm.size();
+            let left = (comm.rank() + comm.size() - 1) % comm.size();
+            comm.send(right, 0, vec![comm.rank() as f64]);
+            comm.send(right, 0, vec![comm.rank() as f64 + 0.5]);
+            let first = comm.recv(left, 0);
+            let second = comm.recv(left, 0);
+            first[0] + second[0]
+        });
+        for (rank, s) in sums.iter().enumerate() {
+            let left = (rank + 3) % 4;
+            assert_eq!(*s, left as f64 * 2.0 + 0.5);
+        }
+    }
+
+    #[test]
+    fn all_reduce_sum_matches_serial() {
+        let results = run_ranks::<f64, _, _>(5, ReduceOrder::RankOrder, |comm| {
+            let mut v = vec![comm.rank() as f64, 1.0];
+            comm.all_reduce(&mut v, ReduceOp::Sum);
+            v
+        });
+        for v in &results {
+            assert_eq!(v, &vec![10.0, 5.0]);
+        }
+    }
+
+    #[test]
+    fn all_reduce_min_max() {
+        let results = run_ranks::<f64, _, _>(3, ReduceOrder::RankOrder, |comm| {
+            let mut v = vec![comm.rank() as f64];
+            comm.all_reduce(&mut v, ReduceOp::Max);
+            let mut w = vec![comm.rank() as f64];
+            comm.all_reduce(&mut w, ReduceOp::Min);
+            (v[0], w[0])
+        });
+        assert!(results.iter().all(|&(mx, mn)| mx == 2.0 && mn == 0.0));
+    }
+
+    #[test]
+    fn repeated_collectives_do_not_cross_generations() {
+        let results = run_ranks::<f64, _, _>(4, ReduceOrder::RankOrder, |comm| {
+            let mut acc = 0.0;
+            for round in 0..200 {
+                let mut v = [comm.rank() as f64 + round as f64];
+                comm.all_reduce(&mut v, ReduceOp::Sum);
+                acc += v[0];
+            }
+            acc
+        });
+        let expect: f64 = (0..200).map(|round| 6.0 + 4.0 * round as f64).sum();
+        assert!(results.iter().all(|&a| a == expect));
+    }
+
+    #[test]
+    fn arrival_order_gives_identical_result_on_all_ranks() {
+        for _ in 0..10 {
+            let results = run_ranks::<f64, _, _>(6, ReduceOrder::Arrival, |comm| {
+                let mut v = [1.0 / (comm.rank() as f64 + 3.0)];
+                comm.all_reduce(&mut v, ReduceOp::Sum);
+                v[0]
+            });
+            let first = results[0].to_bits();
+            assert!(results.iter().all(|r| r.to_bits() == first));
+        }
+    }
+
+    #[test]
+    fn barrier_synchronises() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        run_ranks::<f64, _, _>(4, ReduceOrder::RankOrder, |comm| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            comm.barrier();
+            // After the barrier every rank must have incremented.
+            assert_eq!(counter.load(Ordering::SeqCst), 4);
+        });
+    }
+
+    #[test]
+    fn stats_and_events_are_per_rank() {
+        let recorders: Vec<Recorder> = (0..2).map(|_| Recorder::enabled()).collect();
+        let snapshot = recorders.clone();
+        let comms = ThreadComm::<f64>::world(2, ReduceOrder::RankOrder, recorders);
+        std::thread::scope(|s| {
+            for comm in comms {
+                s.spawn(move || {
+                    if comm.rank() == 0 {
+                        comm.send(1, 3, vec![1.0, 2.0, 3.0]);
+                    } else {
+                        let m = comm.recv(0, 3);
+                        assert_eq!(m.len(), 3);
+                    }
+                    let mut v = [1.0];
+                    comm.all_reduce(&mut v, ReduceOp::Sum);
+                    if comm.rank() == 0 {
+                        let st = comm.stats();
+                        assert_eq!(st.msgs_sent, 1);
+                        assert_eq!(st.bytes_sent, 24);
+                        assert_eq!(st.allreduces, 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(snapshot[0].snapshot(), vec![Event::AllReduce { elems: 1 }]);
+        assert_eq!(snapshot[1].snapshot(), vec![Event::AllReduce { elems: 1 }]);
+    }
+
+    #[test]
+    fn messages_with_distinct_tags_do_not_mix() {
+        run_ranks::<f64, _, _>(2, ReduceOrder::RankOrder, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 10, vec![10.0]);
+                comm.send(1, 20, vec![20.0]);
+            } else {
+                // Receive in the opposite order of sending.
+                assert_eq!(comm.recv(0, 20), vec![20.0]);
+                assert_eq!(comm.recv(0, 10), vec![10.0]);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod stress_tests {
+    use super::*;
+    use crate::run_ranks;
+
+    /// Random-ish all-to-all message storm: every rank sends a batch of
+    /// messages with varying tags to every peer, then receives them all.
+    /// Exercises mailbox matching under contention.
+    #[test]
+    fn all_to_all_message_storm() {
+        let size = 6;
+        let rounds = 20;
+        run_ranks::<f64, _, _>(size, ReduceOrder::RankOrder, move |comm| {
+            let me = comm.rank();
+            for round in 0..rounds {
+                for dest in 0..size {
+                    if dest != me {
+                        comm.send(dest, round as Tag, vec![(me * 1000 + round) as f64]);
+                    }
+                }
+                for src in 0..size {
+                    if src != me {
+                        let msg = comm.recv(src, round as Tag);
+                        assert_eq!(msg, vec![(src * 1000 + round) as f64]);
+                    }
+                }
+            }
+        });
+    }
+
+    /// Mixed collectives and point-to-point in the same round must not
+    /// interfere (the solver does exactly this inside one iteration).
+    #[test]
+    fn interleaved_p2p_and_collectives() {
+        run_ranks::<f64, _, _>(5, ReduceOrder::Arrival, |comm| {
+            let me = comm.rank();
+            let size = comm.size();
+            for round in 0..50u32 {
+                let right = (me + 1) % size;
+                let left = (me + size - 1) % size;
+                comm.send(right, round, vec![me as f64; 3]);
+                let mut v = [1.0f64];
+                comm.all_reduce(&mut v, ReduceOp::Sum);
+                assert_eq!(v[0] as usize, size);
+                let got = comm.recv(left, round);
+                assert_eq!(got, vec![left as f64; 3]);
+                comm.barrier();
+            }
+        });
+    }
+
+    /// Large payloads survive intact.
+    #[test]
+    fn large_message_integrity() {
+        run_ranks::<f64, _, _>(2, ReduceOrder::RankOrder, |comm| {
+            if comm.rank() == 0 {
+                let payload: Vec<f64> = (0..1_000_000).map(|i| i as f64 * 0.5).collect();
+                comm.send(1, 0, payload);
+            } else {
+                let got = comm.recv(0, 0);
+                assert_eq!(got.len(), 1_000_000);
+                assert_eq!(got[999_999], 999_999.0 * 0.5);
+                assert_eq!(got[123_456], 123_456.0 * 0.5);
+            }
+        });
+    }
+
+    /// f32 worlds work end to end (the comm layer is generic over T_data).
+    #[test]
+    fn f32_world() {
+        run_ranks::<f32, _, _>(3, ReduceOrder::RankOrder, |comm| {
+            let mut v = [comm.rank() as f32 + 0.5];
+            comm.all_reduce(&mut v, ReduceOp::Sum);
+            assert_eq!(v[0], 0.5 + 1.5 + 2.5);
+            assert_eq!(comm.stats().allreduces, 1);
+        });
+    }
+
+    /// Min/Max reductions across many ranks.
+    #[test]
+    fn min_max_over_many_ranks() {
+        run_ranks::<f64, _, _>(12, ReduceOrder::Arrival, |comm| {
+            let mut v = [comm.rank() as f64, -(comm.rank() as f64)];
+            comm.all_reduce(&mut v[..1], ReduceOp::Max);
+            comm.all_reduce(&mut v[1..], ReduceOp::Min);
+            assert_eq!(v[0], 11.0);
+            assert_eq!(v[1], -11.0);
+        });
+    }
+}

@@ -1,0 +1,838 @@
+//! Preconditioned Bi-CGSTAB exactly as implemented in the paper (Alg. 3).
+//!
+//! One outer iteration is six fused device kernels, two preconditioner
+//! applications, two halo exchanges and three reduction stages:
+//!
+//! ```text
+//! Preconditioner  MPI1+BCs  KernelBiCGS1  MPI2   host α
+//! KernelBiCGS2    Preconditioner  MPI3+BCs  KernelBiCGS3  MPI4  host ω
+//! KernelBiCGS4    KernelBiCGS5    MPI5   host β   KernelBiCGS6
+//! ```
+//!
+//! The same routine serves as the *outer* solver and — in [`Scope::Local`]
+//! and [`Scope::Global`] flavours with an identity preconditioner — as the
+//! *inner* solver of the `G(BiCGS)` and `BJ(BiCGS)` preconditioners:
+//! local scope skips every exchange and reduction and restricts the
+//! operator to the subdomain block (Eq. 13).
+
+use accel::Scalar;
+use accel::Device;
+use blockgrid::Field;
+use comm::{Communicator, ReduceOp};
+use stencil::apply_physical_bcs;
+
+use crate::ctx::{RankCtx, Workspace};
+use crate::kernels::{
+    axpy2_inplace, axpy_inplace, diff_norm2, dot, p_update, residual_update_fused, INFO_BICGS1,
+    INFO_BICGS2, INFO_BICGS3, INFO_BICGS4, INFO_BICGS5, INFO_BICGS6, INFO_DOT,
+};
+use crate::precond::Preconditioner;
+
+/// Whether the solve is the global problem or a subdomain-restricted one.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scope {
+    /// Global system: halo exchanges and `MPI_Allreduce` reductions.
+    Global,
+    /// Block-restricted system `R_s A R_sᵀ x = R_s b`: communication-free,
+    /// local reductions only (inner solver of `BJ(BiCGS)`).
+    Local,
+}
+
+/// Stopping parameters of one Bi-CGSTAB solve.
+#[derive(Clone, Copy, Debug)]
+pub struct SolveParams {
+    /// Absolute tolerance on the residual 2-norm (the caller normalises
+    /// the RHS, making this a relative tolerance as in the paper).
+    pub tol: f64,
+    /// Maximum outer iterations.
+    pub max_iters: usize,
+    /// Record the residual-norm history (Figs. 2–4).
+    pub record_history: bool,
+    /// Check convergence mid-loop after the α update (Algorithm 1 lines
+    /// 9–11). The paper's implementation (Algorithm 3) omits this check,
+    /// saving one reduction per iteration at the cost of potentially one
+    /// superfluous half-iteration — this flag is the ablation switch.
+    pub early_exit_check: bool,
+    /// Every `k` outer iterations recompute the *true* residual
+    /// `‖b − A x‖` (one extra exchange + sweep + reduction) and use it
+    /// for the convergence decision; `0` disables. Guards against the
+    /// recursive-residual drift inherent to BiCGStab's non-monotone
+    /// updates (visible in the paper's Fig. 2).
+    pub true_residual_every: usize,
+    /// On a ρ/ω breakdown, restart with a fresh shadow residual
+    /// (`r̃ = r`, recomputed true residual) up to this many times before
+    /// reporting the breakdown.
+    pub max_restarts: usize,
+}
+
+impl Default for SolveParams {
+    fn default() -> Self {
+        Self {
+            tol: 1e-10,
+            max_iters: 10_000,
+            record_history: true,
+            early_exit_check: false,
+            true_residual_every: 0,
+            max_restarts: 0,
+        }
+    }
+}
+
+/// Why a solve stopped before converging.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Breakdown {
+    /// `r̃ᵀ A p̂` vanished (α undefined).
+    PSumZero,
+    /// `ρ` vanished (β undefined).
+    RhoZero,
+    /// `ω` vanished with a non-converged residual (stagnation).
+    OmegaZero,
+    /// A non-finite value appeared (overflow / NaN).
+    NonFinite,
+}
+
+/// Outcome of one solve; identical on every rank in [`Scope::Global`].
+#[derive(Clone, Debug)]
+pub struct SolveOutcome {
+    /// `true` if the residual tolerance was met.
+    pub converged: bool,
+    /// Outer iterations performed.
+    pub iterations: usize,
+    /// Total preconditioner sweeps across all applications.
+    pub prec_iterations: u64,
+    /// Residual 2-norm per outer iteration, starting with `‖r_0‖`.
+    pub residual_history: Vec<f64>,
+    /// Final residual 2-norm.
+    pub final_residual: f64,
+    /// Breakdown cause, if any.
+    pub breakdown: Option<Breakdown>,
+    /// Number of shadow-residual restarts taken (see
+    /// [`SolveParams::max_restarts`]).
+    pub restarts: usize,
+    /// `(iteration, ‖b − A x‖)` samples when
+    /// [`SolveParams::true_residual_every`] is active.
+    pub true_residuals: Vec<(usize, f64)>,
+}
+
+impl SolveOutcome {
+    /// Mean preconditioner sweeps per outer iteration (Table II column).
+    pub fn prec_per_outer(&self) -> f64 {
+        if self.iterations == 0 {
+            0.0
+        } else {
+            self.prec_iterations as f64 / self.iterations as f64
+        }
+    }
+}
+
+/// Refresh ghost layers for an operator application in `scope`.
+fn refresh_ghosts<T: Scalar, D: Device, C: Communicator<T>>(
+    ctx: &RankCtx<T, D, C>,
+    scope: Scope,
+    stage: &'static str,
+    f: &mut Field<T>,
+) {
+    match scope {
+        Scope::Global => {
+            ctx.recorder.stage(stage, || ctx.halo.exchange(&ctx.comm, f));
+            apply_physical_bcs(&ctx.grid, f, &ctx.recorder, false);
+        }
+        Scope::Local => {
+            apply_physical_bcs(&ctx.grid, f, &ctx.recorder, true);
+        }
+    }
+}
+
+/// Sum `vals` across ranks in [`Scope::Global`]; local identity otherwise.
+fn global_sum<T: Scalar, D: Device, C: Communicator<T>>(
+    ctx: &RankCtx<T, D, C>,
+    scope: Scope,
+    stage: &'static str,
+    vals: &mut [T],
+) {
+    if scope == Scope::Global {
+        ctx.recorder
+            .stage(stage, || ctx.comm.all_reduce(vals, ReduceOp::Sum));
+    }
+}
+
+/// Solve `A x = b` with preconditioned Bi-CGSTAB (Alg. 3).
+///
+/// `x` holds the initial guess on entry and the solution on exit.
+/// In [`Scope::Global`] the outcome is identical on every rank (all
+/// stopping decisions are made on allreduced quantities).
+pub fn bicgstab_solve<T, D, C, P>(
+    ctx: &RankCtx<T, D, C>,
+    scope: Scope,
+    b: &Field<T>,
+    x: &mut Field<T>,
+    prec: &mut P,
+    ws: &mut Workspace<T>,
+    params: &SolveParams,
+) -> SolveOutcome
+where
+    T: Scalar,
+    D: Device,
+    C: Communicator<T>,
+    P: Preconditioner<T, D, C> + ?Sized,
+{
+    let mut history = Vec::new();
+    let mut prec_iterations = 0u64;
+
+    // r_0 = b − A x_0
+    refresh_ghosts(ctx, scope, "MPI0", x);
+    ctx.lap.apply(&ctx.dev, stencil::INFO_APPLY, x, &mut ws.w);
+    ws.r.copy_from(b);
+    axpy_inplace(&ctx.dev, INFO_BICGS2, &ctx.grid, &mut ws.r, &ws.w, -T::ONE);
+
+    // r̃ = r_0, p_0 = r_0, ρ_0 = r̃ᵀ r_0 = ‖r_0‖²
+    ws.r0t.copy_from(&ws.r);
+    ws.p.copy_from(&ws.r);
+    let mut sums = [dot(&ctx.dev, INFO_DOT, &ctx.grid, &ws.r0t, &ws.r)];
+    global_sum(ctx, scope, "MPI0", &mut sums);
+    let mut rho = sums[0];
+    let res0 = rho.to_f64().max(0.0).sqrt();
+    if params.record_history {
+        history.push(res0);
+    }
+    if res0 < params.tol {
+        return SolveOutcome {
+            converged: true,
+            iterations: 0,
+            prec_iterations: 0,
+            residual_history: history,
+            final_residual: res0,
+            breakdown: None,
+            restarts: 0,
+            true_residuals: Vec::new(),
+        };
+    }
+
+    let mut outcome_breakdown = None;
+    let mut converged = false;
+    let mut final_residual = res0;
+    let mut iterations = 0;
+    let mut restarts = 0usize;
+    let mut true_residuals: Vec<(usize, f64)> = Vec::new();
+
+    for i in 1..=params.max_iters {
+        iterations = i;
+
+        /// On a curable breakdown: restart the Krylov process from the
+        /// current iterate with a fresh shadow residual (`r̃ = r`), or
+        /// give up when the restart budget is spent.
+        macro_rules! breakdown_or_restart {
+            ($kind:expr) => {{
+                let kind = $kind;
+                if restarts < params.max_restarts && kind != Breakdown::NonFinite {
+                    restarts += 1;
+                    refresh_ghosts(ctx, scope, "MPI0", x);
+                    ctx.lap.apply(&ctx.dev, stencil::INFO_APPLY, x, &mut ws.w);
+                    ws.r.copy_from(b);
+                    axpy_inplace(&ctx.dev, INFO_BICGS2, &ctx.grid, &mut ws.r, &ws.w, -T::ONE);
+                    ws.r0t.copy_from(&ws.r);
+                    ws.p.copy_from(&ws.r);
+                    let mut s = [dot(&ctx.dev, INFO_DOT, &ctx.grid, &ws.r0t, &ws.r)];
+                    global_sum(ctx, scope, "MPI0", &mut s);
+                    rho = s[0];
+                    let res = rho.to_f64().max(0.0).sqrt();
+                    final_residual = res;
+                    if res < params.tol {
+                        converged = true;
+                        break;
+                    }
+                    continue;
+                } else {
+                    outcome_breakdown = Some(kind);
+                    break;
+                }
+            }};
+        }
+
+        // Solve M p̂ = p
+        prec_iterations += ctx
+            .recorder
+            .stage("Preconditioner", || prec.apply(ctx, &mut ws.p, &mut ws.p_hat))
+            as u64;
+        // MPI1 + KernelNeumannBCs, then KernelBiCGS1: w = A p̂, p_sum = r̃ᵀ w
+        refresh_ghosts(ctx, scope, "MPI1", &mut ws.p_hat);
+        let psum_local =
+            ctx.lap
+                .apply_fused_dot(&ctx.dev, INFO_BICGS1, &ws.p_hat, &mut ws.w, &ws.r0t);
+        let mut sums = [psum_local];
+        global_sum(ctx, scope, "MPI2", &mut sums);
+        let psum = sums[0];
+        if !psum.is_finite() {
+            outcome_breakdown = Some(Breakdown::NonFinite);
+            break;
+        }
+        if psum == T::ZERO {
+            breakdown_or_restart!(Breakdown::PSumZero);
+        }
+        let alpha = rho / psum;
+
+        // KernelBiCGS2: r ← r − α w
+        axpy_inplace(&ctx.dev, INFO_BICGS2, &ctx.grid, &mut ws.r, &ws.w, -alpha);
+
+        // Optional mid-loop convergence check (Algorithm 1 lines 9–11).
+        // One extra reduction per iteration; Algorithm 3 trades it away.
+        if params.early_exit_check {
+            let mut s = [dot(&ctx.dev, INFO_DOT, &ctx.grid, &ws.r, &ws.r)];
+            global_sum(ctx, scope, "MPI2b", &mut s);
+            let res = s[0].to_f64().max(0.0).sqrt();
+            if res < params.tol {
+                // x ← x + α p̂, then exit (Alg. 1 line 10)
+                axpy_inplace(&ctx.dev, INFO_BICGS4, &ctx.grid, x, &ws.p_hat, alpha);
+                final_residual = res;
+                if params.record_history {
+                    history.push(res);
+                }
+                converged = true;
+                break;
+            }
+        }
+
+        // Solve M r̂ = r
+        prec_iterations += ctx
+            .recorder
+            .stage("Preconditioner", || prec.apply(ctx, &mut ws.r, &mut ws.r_hat))
+            as u64;
+        // MPI3 + BCs, then KernelBiCGS3: t = A r̂, p1 = tᵀ r, p2 = tᵀ t
+        refresh_ghosts(ctx, scope, "MPI3", &mut ws.r_hat);
+        let (p1l, p2l) =
+            ctx.lap
+                .apply_fused_dot2(&ctx.dev, INFO_BICGS3, &ws.r_hat, &mut ws.t, &ws.r);
+        let mut sums = [p1l, p2l];
+        global_sum(ctx, scope, "MPI4", &mut sums);
+        let [p1, p2] = sums;
+        if !(p1.is_finite() && p2.is_finite()) {
+            outcome_breakdown = Some(Breakdown::NonFinite);
+            break;
+        }
+        // t = 0 can only happen when r is (numerically) zero; ω = 0 keeps
+        // the update well-defined and the convergence check decides.
+        let omega = if p2 == T::ZERO { T::ZERO } else { p1 / p2 };
+
+        // KernelBiCGS4: x ← x + α p̂ + ω r̂
+        axpy2_inplace(
+            &ctx.dev,
+            INFO_BICGS4,
+            &ctx.grid,
+            x,
+            &ws.p_hat,
+            alpha,
+            &ws.r_hat,
+            omega,
+        );
+        // KernelBiCGS5: r ← r − ω t, fused dots (r̃·r, r·r)
+        let (rho_new_local, rnorm2_local) = residual_update_fused(
+            &ctx.dev,
+            INFO_BICGS5,
+            &ctx.grid,
+            &mut ws.r,
+            &ws.t,
+            omega,
+            &ws.r0t,
+        );
+        let mut sums = [rho_new_local, rnorm2_local];
+        global_sum(ctx, scope, "MPI5", &mut sums);
+        let [rho_new, rnorm2] = sums;
+        let res = rnorm2.to_f64().max(0.0).sqrt();
+        final_residual = res;
+        if params.record_history {
+            history.push(res);
+        }
+        if !res.is_finite() {
+            outcome_breakdown = Some(Breakdown::NonFinite);
+            break;
+        }
+        if res < params.tol {
+            converged = true;
+            break;
+        }
+        // Optional drift guard: recompute the true residual ‖b − A x‖
+        // (the recursive residual can decouple from it in long stagnating
+        // solves) and let it decide convergence too.
+        if params.true_residual_every > 0 && i % params.true_residual_every == 0 {
+            refresh_ghosts(ctx, scope, "MPI6", x);
+            ctx.lap.apply(&ctx.dev, stencil::INFO_APPLY, x, &mut ws.t);
+            let mut s = [diff_norm2(&ctx.dev, INFO_DOT, &ctx.grid, b, &ws.t)];
+            global_sum(ctx, scope, "MPI6", &mut s);
+            let tres = s[0].to_f64().max(0.0).sqrt();
+            true_residuals.push((i, tres));
+            if tres < params.tol {
+                final_residual = tres;
+                converged = true;
+                break;
+            }
+        }
+        if rho_new == T::ZERO {
+            breakdown_or_restart!(Breakdown::RhoZero);
+        }
+        if omega == T::ZERO {
+            // stagnated: ω = 0 with a non-converged residual
+            breakdown_or_restart!(Breakdown::OmegaZero);
+        }
+        let beta = (rho_new / rho) * (alpha / omega);
+        rho = rho_new;
+
+        // KernelBiCGS6: p ← r + β (p − ω w)
+        p_update(&ctx.dev, INFO_BICGS6, &ctx.grid, &mut ws.p, &ws.r, &ws.w, beta, omega);
+    }
+
+    SolveOutcome {
+        converged,
+        iterations,
+        prec_iterations,
+        residual_history: history,
+        final_residual,
+        breakdown: outcome_breakdown,
+        restarts,
+        true_residuals,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{SolverKind, SolverOptions};
+    use crate::precond::IdentityPrec;
+    use accel::{Recorder, Serial};
+    use blockgrid::{BcKind, BlockGrid, Decomp, GlobalGrid};
+    use comm::{run_ranks, ReduceOrder, SelfComm, ThreadComm};
+    use stencil::matrix::assemble_poisson;
+
+    fn rng_values(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+            })
+            .collect()
+    }
+
+    fn paper_bcs() -> [[BcKind; 2]; 3] {
+        [
+            [BcKind::Dirichlet, BcKind::Neumann],
+            [BcKind::Neumann, BcKind::Dirichlet],
+            [BcKind::Neumann, BcKind::Dirichlet],
+        ]
+    }
+
+    fn ctx_single(n: [usize; 3], bc: [[BcKind; 2]; 3]) -> RankCtx<f64, Serial, SelfComm<f64>> {
+        let mut g = GlobalGrid::dirichlet(n, [0.15; 3], [0.0; 3]);
+        g.bc = bc;
+        let grid = BlockGrid::new(g, Decomp::single(), 0);
+        RankCtx::new(Serial::new(Recorder::disabled()), SelfComm::default(), grid)
+    }
+
+    fn solve_single(
+        ctx: &RankCtx<f64, Serial, SelfComm<f64>>,
+        kind: SolverKind,
+        b_host: &[f64],
+        tol: f64,
+    ) -> (Vec<f64>, SolveOutcome) {
+        let b = Field::from_interior(&ctx.dev, &ctx.grid, b_host);
+        let mut x = ctx.field();
+        let mut ws = Workspace::new(&ctx.dev, &ctx.grid);
+        let opts = SolverOptions { eig_min_factor: 10.0, ..SolverOptions::default() };
+        let mut prec = kind.build_preconditioner(ctx, &opts);
+        let params = SolveParams { tol, max_iters: 20_000, record_history: true, ..Default::default() };
+        let out = bicgstab_solve(ctx, Scope::Global, &b, &mut x, &mut *prec, &mut ws, &params);
+        (x.interior_to_host(&ctx.grid), out)
+    }
+
+    #[test]
+    fn plain_bicgstab_matches_dense_lu() {
+        let ctx = ctx_single([5, 4, 3], paper_bcs());
+        let n = ctx.grid.global.unknowns();
+        let b = rng_values(n, 5);
+        let (x, out) = solve_single(&ctx, SolverKind::BiCgs, &b, 1e-12);
+        assert!(out.converged, "did not converge: {out:?}");
+        let m = assemble_poisson(&ctx.lap.global_ops(), ctx.grid.global.h);
+        let x_ref = m.solve(&b);
+        for i in 0..n {
+            assert!(
+                (x[i] - x_ref[i]).abs() < 1e-8 * x_ref[i].abs().max(1.0),
+                "unknown {i}: {} vs {}",
+                x[i],
+                x_ref[i]
+            );
+        }
+    }
+
+    #[test]
+    fn all_six_solvers_converge_to_the_same_solution() {
+        let ctx = ctx_single([6, 6, 6], paper_bcs());
+        let n = ctx.grid.global.unknowns();
+        let b = rng_values(n, 17);
+        let m = assemble_poisson(&ctx.lap.global_ops(), ctx.grid.global.h);
+        let x_ref = m.solve(&b);
+        let bnorm: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
+        for kind in SolverKind::all() {
+            let (x, out) = solve_single(&ctx, kind, &b, 1e-10 * bnorm);
+            assert!(out.converged, "{kind}: {out:?}");
+            let err: f64 = x
+                .iter()
+                .zip(&x_ref)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+                .sqrt();
+            assert!(err < 1e-6, "{kind}: solution error {err}");
+        }
+    }
+
+    #[test]
+    fn preconditioning_reduces_outer_iterations() {
+        let ctx = ctx_single([8, 8, 8], paper_bcs());
+        let n = ctx.grid.global.unknowns();
+        let b = rng_values(n, 23);
+        let bnorm: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
+        let tol = 1e-10 * bnorm;
+        let (_, plain) = solve_single(&ctx, SolverKind::BiCgs, &b, tol);
+        let (_, gnocomm) = solve_single(&ctx, SolverKind::BiCgsGNoCommCi, &b, tol);
+        assert!(plain.converged && gnocomm.converged);
+        assert!(
+            gnocomm.iterations * 2 < plain.iterations,
+            "GNoComm(CI) should cut iterations at least in half: {} vs {}",
+            gnocomm.iterations,
+            plain.iterations
+        );
+    }
+
+    #[test]
+    fn residual_history_is_recorded_and_final_matches() {
+        let ctx = ctx_single([5, 5, 5], paper_bcs());
+        let n = ctx.grid.global.unknowns();
+        let b = rng_values(n, 31);
+        let (_, out) = solve_single(&ctx, SolverKind::BiCgsGNoCommCi, &b, 1e-10);
+        assert_eq!(out.residual_history.len(), out.iterations + 1);
+        assert_eq!(*out.residual_history.last().unwrap(), out.final_residual);
+        assert!(out.final_residual < 1e-10);
+    }
+
+    #[test]
+    fn zero_rhs_converges_immediately() {
+        let ctx = ctx_single([4, 4, 4], paper_bcs());
+        let b = vec![0.0; 64];
+        let (x, out) = solve_single(&ctx, SolverKind::BiCgs, &b, 1e-12);
+        assert!(out.converged);
+        assert_eq!(out.iterations, 0);
+        assert!(x.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn nonzero_initial_guess_is_used() {
+        let ctx = ctx_single([4, 4, 4], paper_bcs());
+        let n = 64;
+        let x_true = rng_values(n, 3);
+        let m = assemble_poisson(&ctx.lap.global_ops(), ctx.grid.global.h);
+        let b_host = m.matvec(&x_true);
+        let b = Field::from_interior(&ctx.dev, &ctx.grid, &b_host);
+        // start from the exact solution: must converge in 0 iterations
+        let mut x = Field::from_interior(&ctx.dev, &ctx.grid, &x_true);
+        let mut ws = Workspace::new(&ctx.dev, &ctx.grid);
+        let out = bicgstab_solve(
+            &ctx,
+            Scope::Global,
+            &b,
+            &mut x,
+            &mut IdentityPrec,
+            &mut ws,
+            &SolveParams { tol: 1e-8, max_iters: 100, record_history: false, ..Default::default() },
+        );
+        assert!(out.converged);
+        assert_eq!(out.iterations, 0);
+    }
+
+    #[test]
+    fn multirank_matches_single_rank_solution() {
+        // 8 ranks (2x2x2) with deterministic reductions must produce the
+        // same solution as 1 rank (different FP grouping is allowed in the
+        // iterates, so compare against the true solution, tightly).
+        let mut g = GlobalGrid::dirichlet([8, 8, 8], [0.15; 3], [0.0; 3]);
+        g.bc = paper_bcs();
+        let n = g.unknowns();
+        let b_host = rng_values(n, 41);
+        let bnorm: f64 = b_host.iter().map(|v| v * v).sum::<f64>().sqrt();
+        let tol = 1e-11 * bnorm;
+
+        // single-rank reference
+        let ctx1 = ctx_single([8, 8, 8], paper_bcs());
+        let (x1, out1) = solve_single(&ctx1, SolverKind::BiCgsGNoCommCi, &b_host, tol);
+        assert!(out1.converged);
+
+        // distributed solve
+        let decomp = Decomp::new([2, 2, 2]);
+        let g2 = g.clone();
+        let b_ref = &b_host;
+        let results = run_ranks::<f64, _, _>(8, ReduceOrder::RankOrder, move |comm| {
+            let grid = BlockGrid::new(g2.clone(), decomp, comm.rank());
+            // scatter the global RHS to this rank's interior
+            let ln = grid.local_n;
+            let mut local = Vec::with_capacity(ln[0] * ln[1] * ln[2]);
+            for k in 0..ln[2] {
+                for j in 0..ln[1] {
+                    for i in 0..ln[0] {
+                        let gidx = (grid.offset[0] + i)
+                            + 8 * ((grid.offset[1] + j) + 8 * (grid.offset[2] + k));
+                        local.push(b_ref[gidx]);
+                    }
+                }
+            }
+            let dev = Serial::new(Recorder::disabled());
+            let ctx: RankCtx<f64, _, ThreadComm<f64>> = RankCtx::new(dev, comm, grid);
+            let b = Field::from_interior(&ctx.dev, &ctx.grid, &local);
+            let mut x = ctx.field();
+            let mut ws = Workspace::new(&ctx.dev, &ctx.grid);
+            let opts = SolverOptions { eig_min_factor: 10.0, ..SolverOptions::default() };
+            let mut prec = SolverKind::BiCgsGNoCommCi.build_preconditioner(&ctx, &opts);
+            let params = SolveParams { tol, max_iters: 20_000, record_history: false, ..Default::default() };
+            let out =
+                bicgstab_solve(&ctx, Scope::Global, &b, &mut x, &mut *prec, &mut ws, &params);
+            (out, x.interior_to_host(&ctx.grid), ctx.grid.offset, ctx.grid.local_n)
+        });
+
+        // all ranks converged with identical outcome
+        let iters: Vec<usize> = results.iter().map(|(o, _, _, _)| o.iterations).collect();
+        assert!(results.iter().all(|(o, _, _, _)| o.converged), "iters {iters:?}");
+        assert!(iters.iter().all(|&i| i == iters[0]), "ranks disagree: {iters:?}");
+
+        // gather and compare to the single-rank solution
+        let mut x_gather = vec![0.0; n];
+        for (_, local, off, ln) in &results {
+            let mut idx = 0;
+            for k in 0..ln[2] {
+                for j in 0..ln[1] {
+                    for i in 0..ln[0] {
+                        let gidx = (off[0] + i) + 8 * ((off[1] + j) + 8 * (off[2] + k));
+                        x_gather[gidx] = local[idx];
+                        idx += 1;
+                    }
+                }
+            }
+        }
+        for i in 0..n {
+            assert!(
+                (x_gather[i] - x1[i]).abs() < 1e-7 * x1[i].abs().max(1.0),
+                "unknown {i}: {} vs {}",
+                x_gather[i],
+                x1[i]
+            );
+        }
+    }
+
+    #[test]
+    fn f32_solver_reaches_single_precision_tolerance() {
+        let mut g = GlobalGrid::dirichlet([6, 6, 6], [0.15; 3], [0.0; 3]);
+        g.bc = paper_bcs();
+        let grid = BlockGrid::new(g, Decomp::single(), 0);
+        let ctx: RankCtx<f32, _, _> =
+            RankCtx::new(Serial::new(Recorder::disabled()), SelfComm::default(), grid);
+        let b_host: Vec<f32> = rng_values(216, 2).iter().map(|&v| v as f32).collect();
+        let bnorm: f64 = b_host.iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>().sqrt();
+        let b = Field::from_interior(&ctx.dev, &ctx.grid, &b_host);
+        let mut x = ctx.field();
+        let mut ws = Workspace::new(&ctx.dev, &ctx.grid);
+        let out = bicgstab_solve(
+            &ctx,
+            Scope::Global,
+            &b,
+            &mut x,
+            &mut IdentityPrec,
+            &mut ws,
+            &SolveParams { tol: 1e-4 * bnorm, max_iters: 5_000, record_history: false, ..Default::default() },
+        );
+        assert!(out.converged, "{out:?}");
+    }
+
+    #[test]
+    fn local_scope_solves_each_block_independently() {
+        // Two ranks, local scope: each solves its restricted block. Verify
+        // against per-block dense references.
+        let mut g = GlobalGrid::dirichlet([8, 4, 4], [0.2; 3], [0.0; 3]);
+        g.bc = paper_bcs();
+        let decomp = Decomp::new([2, 1, 1]);
+        let g2 = g.clone();
+        run_ranks::<f64, _, _>(2, ReduceOrder::RankOrder, move |comm| {
+            let rank = comm.rank();
+            let grid = BlockGrid::new(g2.clone(), decomp, rank);
+            let dev = Serial::new(Recorder::disabled());
+            let ctx: RankCtx<f64, _, ThreadComm<f64>> = RankCtx::new(dev, comm, grid);
+            let nloc = ctx.grid.local_n.iter().product::<usize>();
+            let b_host = rng_values(nloc, 100 + rank as u64);
+            let b = Field::from_interior(&ctx.dev, &ctx.grid, &b_host);
+            let mut x = ctx.field();
+            let mut ws = Workspace::new(&ctx.dev, &ctx.grid);
+            let out = bicgstab_solve(
+                &ctx,
+                Scope::Local,
+                &b,
+                &mut x,
+                &mut IdentityPrec,
+                &mut ws,
+                &SolveParams { tol: 1e-12, max_iters: 5_000, record_history: false, ..Default::default() },
+            );
+            assert!(out.converged);
+            let m = assemble_poisson(&ctx.lap.local_ops(), ctx.grid.global.h);
+            let x_ref = m.solve(&b_host);
+            let got = x.interior_to_host(&ctx.grid);
+            for i in 0..nloc {
+                assert!(
+                    (got[i] - x_ref[i]).abs() < 1e-8 * x_ref[i].abs().max(1.0),
+                    "rank {rank} unknown {i}"
+                );
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod feature_tests {
+    use super::*;
+    use crate::config::{SolverKind, SolverOptions};
+    use crate::precond::{IdentityPrec, PrecTraits, Preconditioner};
+    use accel::{Recorder, Serial};
+    use blockgrid::{BcKind, BlockGrid, Decomp, GlobalGrid};
+    use comm::SelfComm;
+
+    fn rng_values(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+            })
+            .collect()
+    }
+
+    fn ctx() -> RankCtx<f64, Serial, SelfComm<f64>> {
+        let mut g = GlobalGrid::dirichlet([6, 6, 6], [0.15; 3], [0.0; 3]);
+        g.bc[0] = [BcKind::Dirichlet, BcKind::Neumann];
+        let grid = BlockGrid::new(g, Decomp::single(), 0);
+        RankCtx::new(Serial::new(Recorder::disabled()), SelfComm::default(), grid)
+    }
+
+    fn solve_with(params: &SolveParams) -> SolveOutcome {
+        let ctx = ctx();
+        let b = Field::from_interior(&ctx.dev, &ctx.grid, &rng_values(216, 7));
+        let mut x = ctx.field();
+        let mut ws = Workspace::new(&ctx.dev, &ctx.grid);
+        bicgstab_solve(&ctx, Scope::Global, &b, &mut x, &mut IdentityPrec, &mut ws, params)
+    }
+
+    #[test]
+    fn early_exit_check_still_converges() {
+        let plain = solve_with(&SolveParams { tol: 1e-10, ..Default::default() });
+        let early = solve_with(&SolveParams {
+            tol: 1e-10,
+            early_exit_check: true,
+            ..Default::default()
+        });
+        assert!(plain.converged && early.converged);
+        // the mid-loop check can only save work, never add iterations
+        assert!(early.iterations <= plain.iterations);
+        assert!(early.final_residual < 1e-10);
+    }
+
+    #[test]
+    fn true_residual_sampling_matches_recursive_residual() {
+        let out = solve_with(&SolveParams {
+            tol: 1e-12,
+            true_residual_every: 3,
+            ..Default::default()
+        });
+        assert!(out.converged);
+        assert!(!out.true_residuals.is_empty(), "samples must be taken");
+        for (i, tres) in &out.true_residuals {
+            assert_eq!(i % 3, 0);
+            // recursive residual history[i] and the true residual track
+            // each other well in a healthy solve (same order of magnitude;
+            // the last bits drift once the residual approaches round-off)
+            let recursive = out.residual_history[*i];
+            let ratio = tres / recursive.max(1e-300);
+            assert!(
+                (0.5..2.0).contains(&ratio),
+                "iter {i}: true {tres} vs recursive {recursive}"
+            );
+        }
+    }
+
+    #[test]
+    fn clean_solves_take_no_restarts() {
+        let out = solve_with(&SolveParams { tol: 1e-10, max_restarts: 3, ..Default::default() });
+        assert!(out.converged);
+        assert_eq!(out.restarts, 0);
+    }
+
+    /// A pathological preconditioner that maps everything to zero — it
+    /// forces `p̂ = 0`, hence `r̃ᵀ A p̂ = 0`, a PSumZero breakdown every
+    /// iteration.
+    struct ZeroPrec;
+    impl Preconditioner<f64, Serial, SelfComm<f64>> for ZeroPrec {
+        fn apply(
+            &mut self,
+            _ctx: &RankCtx<f64, Serial, SelfComm<f64>>,
+            _rhs: &mut Field<f64>,
+            out: &mut Field<f64>,
+        ) -> usize {
+            out.fill_zero();
+            0
+        }
+        fn traits(&self) -> PrecTraits {
+            PrecTraits { fixed: true, comm_free: true, reduction_free: true }
+        }
+        fn name(&self) -> &'static str {
+            "Zero"
+        }
+    }
+
+    #[test]
+    fn restart_budget_is_spent_then_breakdown_reported() {
+        let ctx = ctx();
+        let b = Field::from_interior(&ctx.dev, &ctx.grid, &rng_values(216, 9));
+        let mut x = ctx.field();
+        let mut ws = Workspace::new(&ctx.dev, &ctx.grid);
+        let out = bicgstab_solve(
+            &ctx,
+            Scope::Global,
+            &b,
+            &mut x,
+            &mut ZeroPrec,
+            &mut ws,
+            &SolveParams { tol: 1e-10, max_iters: 50, max_restarts: 2, ..Default::default() },
+        );
+        assert!(!out.converged);
+        assert_eq!(out.restarts, 2, "both restarts must be attempted");
+        assert_eq!(out.breakdown, Some(Breakdown::PSumZero));
+    }
+
+    #[test]
+    fn early_exit_solution_satisfies_system() {
+        // when the early-exit path fires, x must still solve A x = b
+        let ctx = ctx();
+        let n = 216;
+        let b_host = rng_values(n, 21);
+        let b = Field::from_interior(&ctx.dev, &ctx.grid, &b_host);
+        let mut x = ctx.field();
+        let mut ws = Workspace::new(&ctx.dev, &ctx.grid);
+        let opts = SolverOptions { eig_min_factor: 10.0, ..Default::default() };
+        let mut prec = SolverKind::BiCgsGNoCommCi.build_preconditioner(&ctx, &opts);
+        let out = bicgstab_solve(
+            &ctx,
+            Scope::Global,
+            &b,
+            &mut x,
+            &mut *prec,
+            &mut ws,
+            &SolveParams { tol: 1e-9, early_exit_check: true, ..Default::default() },
+        );
+        assert!(out.converged);
+        let dense = stencil::matrix::assemble_poisson(&ctx.lap.global_ops(), ctx.grid.global.h);
+        let got = x.interior_to_host(&ctx.grid);
+        let ax = dense.matvec(&got);
+        let res: f64 = ax.iter().zip(&b_host).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
+        assert!(res < 1e-7, "true residual {res}");
+    }
+}

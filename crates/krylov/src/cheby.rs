@@ -1,0 +1,527 @@
+//! The Chebyshev iteration (Algorithms 2 and 4 of the paper).
+//!
+//! Given the extreme eigenvalues `[α, β]` of the operator, the Chebyshev
+//! iteration approximates `A⁻¹ b` with a fixed polynomial recurrence —
+//! no scalar products, hence *reduction-free*, which makes it a fixed
+//! preconditioner (Sec. III-A). Three communication flavours implement
+//! the paper's preconditioner family:
+//!
+//! * [`ChebyMode::Global`] — halo exchanges every sweep: approximates the
+//!   global `A⁻¹` (the `G(CI)` preconditioner).
+//! * [`ChebyMode::GlobalNoComm`] — skips all communication but keeps the
+//!   *global* eigenvalue bounds (`GNoComm(CI)`). As the paper notes, this
+//!   is equivalent to a Block-Jacobi application with global Chebyshev
+//!   parameters; the operator restriction zeroes interface ghosts.
+//! * [`ChebyMode::BlockJacobi`] — same restricted operator but with the
+//!   *local* subdomain bounds (`BJ(CI)`, Eq. 14).
+
+use accel::{Device, Scalar};
+use blockgrid::Field;
+use comm::Communicator;
+use stencil::{apply_physical_bcs, spectrum, SpectralBounds};
+
+use crate::ctx::RankCtx;
+use crate::kernels::{INFO_CI1, INFO_CI2, INFO_SCALE};
+
+/// Communication flavour of the Chebyshev iteration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChebyMode {
+    /// Exchange halos before every operator application (not comm-free).
+    Global,
+    /// No communication; global spectral bounds (`GNoComm`).
+    GlobalNoComm,
+    /// No communication; local (subdomain) spectral bounds (`BJ`).
+    BlockJacobi,
+}
+
+impl ChebyMode {
+    /// `true` if this flavour never communicates.
+    pub fn comm_free(self) -> bool {
+        !matches!(self, Self::Global)
+    }
+}
+
+/// Extreme eigenvalues of the rank's *global* operator (Eqs. 10–11).
+pub fn global_bounds<T: Scalar, D: Device, C: Communicator<T>>(
+    ctx: &RankCtx<T, D, C>,
+) -> SpectralBounds {
+    spectrum::kronecker_bounds(&ctx.lap.global_ops(), ctx.grid.global.h)
+}
+
+/// Extreme eigenvalues of the rank's *restricted* operator
+/// `R_s A R_sᵀ` (interfaces truncated, Eq. 13).
+pub fn local_bounds<T: Scalar, D: Device, C: Communicator<T>>(
+    ctx: &RankCtx<T, D, C>,
+) -> SpectralBounds {
+    spectrum::kronecker_bounds(&ctx.lap.local_ops(), ctx.grid.global.h)
+}
+
+/// Refresh a field's ghost layers according to the iteration's mode.
+fn refresh_ghosts<T: Scalar, D: Device, C: Communicator<T>>(
+    mode: ChebyMode,
+    ctx: &RankCtx<T, D, C>,
+    f: &mut Field<T>,
+) {
+    match mode {
+        ChebyMode::Global => {
+            ctx.halo.exchange(&ctx.comm, f);
+            apply_physical_bcs(&ctx.grid, f, &ctx.recorder, false);
+        }
+        ChebyMode::GlobalNoComm | ChebyMode::BlockJacobi => {
+            apply_physical_bcs(&ctx.grid, f, &ctx.recorder, true);
+        }
+    }
+}
+
+/// A configured Chebyshev iteration with its own rotation buffers.
+pub struct ChebyshevIteration<T> {
+    mode: ChebyMode,
+    iterations: usize,
+    theta: f64,
+    delta: f64,
+    sigma: f64,
+    z: Field<T>,
+    y: Field<T>,
+    w: Field<T>,
+}
+
+impl<T: Scalar> ChebyshevIteration<T> {
+    /// Configure the iteration for `ctx` with the given (already
+    /// rescaled) spectral bounds and sweep count (`iterMax >= 1`).
+    pub fn new<D: Device, C: Communicator<T>>(
+        ctx: &RankCtx<T, D, C>,
+        mode: ChebyMode,
+        bounds: SpectralBounds,
+        iterations: usize,
+    ) -> Self {
+        assert!(iterations >= 1, "Chebyshev needs at least one sweep");
+        assert!(
+            bounds.min > 0.0 && bounds.max > bounds.min,
+            "Chebyshev needs 0 < min < max, got {bounds:?}"
+        );
+        // Eq. 15
+        let theta = 0.5 * (bounds.max + bounds.min);
+        let delta = 0.5 * (bounds.max - bounds.min);
+        let sigma = theta / delta;
+        Self {
+            mode,
+            iterations,
+            theta,
+            delta,
+            sigma,
+            z: ctx.field(),
+            y: ctx.field(),
+            w: ctx.field(),
+        }
+    }
+
+    /// Number of sweeps per application.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// The iteration's communication flavour.
+    pub fn mode(&self) -> ChebyMode {
+        self.mode
+    }
+
+    /// The Chebyshev parameters `(θ, δ, σ)` of Eq. 15.
+    pub fn parameters(&self) -> (f64, f64, f64) {
+        (self.theta, self.delta, self.sigma)
+    }
+
+    /// Run `iterMax` sweeps of Algorithm 4, writing `x ≈ A⁻¹ b`.
+    ///
+    /// `b`'s ghost layers are refreshed (its interior is unchanged);
+    /// returns the number of sweeps performed.
+    pub fn solve<D: Device, C: Communicator<T>>(
+        &mut self,
+        ctx: &RankCtx<T, D, C>,
+        b: &mut Field<T>,
+        x: &mut Field<T>,
+    ) -> usize {
+        let theta = self.theta;
+        let delta = self.delta;
+        let sigma = self.sigma;
+        let mut rho_old = 1.0 / sigma;
+        let mut rho_cur = 1.0 / (2.0 * sigma - rho_old);
+
+        // MPI1 + KernelNeumannBCs on b
+        refresh_ghosts(self.mode, ctx, b);
+
+        // KernelCI1: z = b/θ ; y = 2 ρ/δ (2 b − A b / θ)
+        crate::kernels::scale(&ctx.dev, INFO_SCALE, &ctx.grid, &mut self.z, b, T::from_f64(1.0 / theta));
+        let c1 = T::from_f64(4.0 * rho_cur / delta);
+        let ca = T::from_f64(-2.0 * rho_cur / (delta * theta));
+        ctx.lap
+            .apply_combine(&ctx.dev, INFO_CI1, b, &mut self.y, ca, &[(b, c1)]);
+
+        for _i in 2..=self.iterations {
+            // host-side ρ recurrence (the only CPU work in the CI loop)
+            rho_old = rho_cur;
+            rho_cur = 1.0 / (2.0 * sigma - rho_old);
+            // MPI2 + KernelNeumannBCs on y
+            refresh_ghosts(self.mode, ctx, &mut self.y);
+            // KernelCI2: w = ρ (2σ y + 2/δ (b − A y) − ρ_old z)
+            let ca = T::from_f64(-2.0 * rho_cur / delta);
+            let cy = T::from_f64(2.0 * sigma * rho_cur);
+            let cb = T::from_f64(2.0 * rho_cur / delta);
+            let cz = T::from_f64(-rho_cur * rho_old);
+            // borrow juggling: compute into `w` from (y, b, z)
+            let (y_ref, z_ref, w_mut) = (&self.y, &self.z, &mut self.w);
+            ctx.lap.apply_combine(
+                &ctx.dev,
+                INFO_CI2,
+                y_ref,
+                w_mut,
+                ca,
+                &[(y_ref, cy), (b, cb), (z_ref, cz)],
+            );
+            // pointer rotation: z ← y, y ← w (w's old storage becomes scratch)
+            self.z.swap(&mut self.y);
+            self.y.swap(&mut self.w);
+        }
+        x.copy_from(&self.y);
+        self.iterations
+    }
+}
+
+/// Outcome of using the Chebyshev iteration as the *main* solver.
+#[derive(Clone, Debug)]
+pub struct ChebyOutcome {
+    /// `true` if the residual tolerance was met.
+    pub converged: bool,
+    /// Total Chebyshev sweeps performed (across restarts).
+    pub sweeps: usize,
+    /// Residual 2-norm after each restart cycle, starting with `‖r_0‖`.
+    pub residual_history: Vec<f64>,
+    /// Final residual 2-norm.
+    pub final_residual: f64,
+}
+
+impl<T: Scalar> ChebyshevIteration<T> {
+    /// Use the Chebyshev iteration as the *main solver* (Sec. III-A notes
+    /// this is possible but slower than Krylov methods — asserted in the
+    /// test suite): restarted `iterMax`-sweep cycles with a true-residual
+    /// check between cycles (iterative refinement),
+    ///
+    /// ```text
+    /// r = b − A x;  if ‖r‖ < tol stop;  x += CI(r)
+    /// ```
+    ///
+    /// Convergence requires the iteration to approximate the *global*
+    /// inverse, i.e. [`ChebyMode::Global`] on multi-rank worlds (the
+    /// restricted modes are preconditioners, not solvers, once the domain
+    /// is split). `x` holds the initial guess on entry.
+    pub fn solve_monitored<D: Device, C: Communicator<T>>(
+        &mut self,
+        ctx: &RankCtx<T, D, C>,
+        b: &Field<T>,
+        x: &mut Field<T>,
+        tol: f64,
+        max_sweeps: usize,
+    ) -> ChebyOutcome {
+        use crate::kernels::{axpy_inplace, INFO_BICGS2, INFO_DOT};
+        use comm::ReduceOp;
+
+        let mut residual = ctx.field();
+        let mut correction = ctx.field();
+        let mut sweeps = 0usize;
+        let mut history = Vec::new();
+        loop {
+            // r = b − A x (true residual)
+            match self.mode {
+                ChebyMode::Global => {
+                    ctx.halo.exchange(&ctx.comm, x);
+                    apply_physical_bcs(&ctx.grid, x, &ctx.recorder, false);
+                }
+                _ => apply_physical_bcs(&ctx.grid, x, &ctx.recorder, true),
+            }
+            ctx.lap.apply(&ctx.dev, stencil::INFO_APPLY, x, &mut residual);
+            // residual = b − A x, computed in place
+            {
+                let mut tmp = ctx.field();
+                tmp.copy_from(b);
+                axpy_inplace(&ctx.dev, INFO_BICGS2, &ctx.grid, &mut tmp, &residual, -T::ONE);
+                residual.swap(&mut tmp);
+            }
+            let mut s = [crate::kernels::norm2_local(&ctx.dev, INFO_DOT, &ctx.grid, &residual)];
+            ctx.comm.all_reduce(&mut s, ReduceOp::Sum);
+            let res = s[0].to_f64().max(0.0).sqrt();
+            history.push(res);
+            if res < tol {
+                return ChebyOutcome {
+                    converged: true,
+                    sweeps,
+                    residual_history: history,
+                    final_residual: res,
+                };
+            }
+            if sweeps >= max_sweeps || !res.is_finite() {
+                return ChebyOutcome {
+                    converged: false,
+                    sweeps,
+                    residual_history: history,
+                    final_residual: res,
+                };
+            }
+            // x += CI(r)
+            sweeps += self.solve(ctx, &mut residual, &mut correction);
+            axpy_inplace(&ctx.dev, INFO_BICGS2, &ctx.grid, x, &correction, T::ONE);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::{norm2_local, INFO_DOT};
+    use accel::{Recorder, Serial};
+    use blockgrid::{BcKind, BlockGrid, Decomp, GlobalGrid};
+    use comm::SelfComm;
+    use stencil::matrix::assemble_poisson;
+    use stencil::INFO_APPLY;
+
+    fn ctx_single(n: usize) -> RankCtx<f64, Serial, SelfComm<f64>> {
+        let mut g = GlobalGrid::dirichlet([n, n, n], [0.2; 3], [0.0; 3]);
+        g.bc[0] = [BcKind::Dirichlet, BcKind::Neumann];
+        let grid = BlockGrid::new(g, Decomp::single(), 0);
+        RankCtx::new(Serial::new(Recorder::disabled()), SelfComm::default(), grid)
+    }
+
+    fn rng_values(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parameters_follow_eq15() {
+        let ctx = ctx_single(4);
+        let cheb = ChebyshevIteration::new(
+            &ctx,
+            ChebyMode::Global,
+            SpectralBounds { min: 2.0, max: 10.0 },
+            3,
+        );
+        let (theta, delta, sigma) = cheb.parameters();
+        assert_eq!(theta, 6.0);
+        assert_eq!(delta, 4.0);
+        assert_eq!(sigma, 1.5);
+    }
+
+    #[test]
+    fn error_decreases_with_sweeps() {
+        let ctx = ctx_single(5);
+        let n = ctx.grid.global.unknowns();
+        let x_true = rng_values(n, 9);
+        // b = A x_true via dense reference
+        let m = assemble_poisson(&ctx.lap.global_ops(), ctx.grid.global.h);
+        let b_host = m.matvec(&x_true);
+        let bounds = global_bounds(&ctx);
+        let mut prev_err = f64::INFINITY;
+        for sweeps in [2usize, 6, 16, 40] {
+            let mut b = Field::from_interior(&ctx.dev, &ctx.grid, &b_host);
+            let mut x = ctx.field();
+            let mut cheb = ChebyshevIteration::new(&ctx, ChebyMode::Global, bounds, sweeps);
+            cheb.solve(&ctx, &mut b, &mut x);
+            let got = x.interior_to_host(&ctx.grid);
+            let err: f64 = got
+                .iter()
+                .zip(&x_true)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+                .sqrt();
+            assert!(err < prev_err, "error must shrink: {err} !< {prev_err} at {sweeps}");
+            prev_err = err;
+        }
+        assert!(prev_err < 1e-2, "40 sweeps should be quite accurate: {prev_err}");
+    }
+
+    #[test]
+    fn residual_shrinks_after_preconditioning() {
+        // One CI application must reduce ||b - A x|| vs x = 0 baseline.
+        let ctx = ctx_single(6);
+        let n = ctx.grid.global.unknowns();
+        let b_host = rng_values(n, 21);
+        let mut b = Field::from_interior(&ctx.dev, &ctx.grid, &b_host);
+        let mut x = ctx.field();
+        let bounds = global_bounds(&ctx);
+        let mut cheb = ChebyshevIteration::new(&ctx, ChebyMode::Global, bounds, 24);
+        cheb.solve(&ctx, &mut b, &mut x);
+        // r = b - A x
+        ctx.halo.exchange(&ctx.comm, &mut x);
+        apply_physical_bcs(&ctx.grid, &mut x, &ctx.recorder, false);
+        let mut ax = ctx.field();
+        ctx.lap.apply(&ctx.dev, INFO_APPLY, &x, &mut ax);
+        crate::kernels::axpy_inplace(&ctx.dev, INFO_DOT, &ctx.grid, &mut ax, &b, -1.0);
+        let r2 = norm2_local(&ctx.dev, INFO_DOT, &ctx.grid, &ax);
+        let b2 = norm2_local(&ctx.dev, INFO_DOT, &ctx.grid, &b);
+        assert!(
+            r2 < 0.25 * b2,
+            "24 CI sweeps should cut the residual well below the RHS: {r2} vs {b2}"
+        );
+    }
+
+    #[test]
+    fn application_is_linear() {
+        // Fixed (reduction-free) preconditioner => exactly linear operator.
+        let ctx = ctx_single(4);
+        let n = ctx.grid.global.unknowns();
+        let u = rng_values(n, 1);
+        let v = rng_values(n, 2);
+        let (a, c) = (0.7, -1.3);
+        let combo: Vec<f64> = u.iter().zip(&v).map(|(x, y)| a * x + c * y).collect();
+        let apply = |rhs: &[f64]| -> Vec<f64> {
+            let mut b = Field::from_interior(&ctx.dev, &ctx.grid, rhs);
+            let mut x = ctx.field();
+            let mut cheb = ChebyshevIteration::new(
+                &ctx,
+                ChebyMode::GlobalNoComm,
+                global_bounds(&ctx),
+                8,
+            );
+            cheb.solve(&ctx, &mut b, &mut x);
+            x.interior_to_host(&ctx.grid)
+        };
+        let mu = apply(&u);
+        let mv = apply(&v);
+        let mc = apply(&combo);
+        for i in 0..n {
+            let expect = a * mu[i] + c * mv[i];
+            assert!(
+                (mc[i] - expect).abs() < 1e-10 * expect.abs().max(1.0),
+                "linearity violated at {i}: {} vs {expect}",
+                mc[i]
+            );
+        }
+    }
+
+    #[test]
+    fn single_rank_modes_coincide() {
+        // With one rank there are no interfaces: BJ, GNoComm and Global
+        // restrict identically, so all three must agree bitwise.
+        let ctx = ctx_single(4);
+        let n = ctx.grid.global.unknowns();
+        let rhs = rng_values(n, 77);
+        let run = |mode: ChebyMode, bounds: SpectralBounds| {
+            let mut b = Field::from_interior(&ctx.dev, &ctx.grid, &rhs);
+            let mut x = ctx.field();
+            let mut cheb = ChebyshevIteration::new(&ctx, mode, bounds, 10);
+            cheb.solve(&ctx, &mut b, &mut x);
+            x.interior_to_host(&ctx.grid)
+        };
+        let g = global_bounds(&ctx);
+        let l = local_bounds(&ctx);
+        assert_eq!(g, l, "single rank: local operator == global operator");
+        let a = run(ChebyMode::Global, g);
+        let b = run(ChebyMode::GlobalNoComm, g);
+        let c = run(ChebyMode::BlockJacobi, l);
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sweep")]
+    fn zero_iterations_rejected() {
+        let ctx = ctx_single(3);
+        let _ = ChebyshevIteration::new(
+            &ctx,
+            ChebyMode::Global,
+            SpectralBounds { min: 1.0, max: 2.0 },
+            0,
+        );
+    }
+}
+
+#[cfg(test)]
+mod main_solver_tests {
+    use super::*;
+    use crate::bicgstab::{bicgstab_solve, Scope, SolveParams};
+    use crate::ctx::Workspace;
+    use crate::precond::IdentityPrec;
+    use accel::{Recorder, Serial};
+    use blockgrid::{BlockGrid, Decomp, Field, GlobalGrid};
+    use comm::SelfComm;
+
+    fn ctx() -> RankCtx<f64, Serial, SelfComm<f64>> {
+        let grid = BlockGrid::new(
+            GlobalGrid::dirichlet([8, 8, 8], [0.2; 3], [0.0; 3]),
+            Decomp::single(),
+            0,
+        );
+        RankCtx::new(Serial::new(Recorder::disabled()), SelfComm::default(), grid)
+    }
+
+    fn rhs(n: usize) -> Vec<f64> {
+        (0..n).map(|i| ((i as f64) * 0.37).sin()).collect()
+    }
+
+    #[test]
+    fn chebyshev_main_solver_converges() {
+        let ctx = ctx();
+        let b_host = rhs(512);
+        let bnorm: f64 = b_host.iter().map(|v| v * v).sum::<f64>().sqrt();
+        let b = Field::from_interior(&ctx.dev, &ctx.grid, &b_host);
+        let mut x = ctx.field();
+        let mut ci = ChebyshevIteration::new(&ctx, ChebyMode::Global, global_bounds(&ctx), 16);
+        let out = ci.solve_monitored(&ctx, &b, &mut x, 1e-8 * bnorm, 100_000);
+        assert!(out.converged, "{out:?}");
+        assert!(out.final_residual < 1e-8 * bnorm);
+        // residual history decreases monotonically for a fixed iteration
+        for w in out.residual_history.windows(2) {
+            assert!(w[1] < w[0], "restarted CI must contract: {:?}", out.residual_history);
+        }
+    }
+
+    #[test]
+    fn chebyshev_is_slower_than_bicgstab() {
+        // the paper: "its convergence rate is known to be slower compared
+        // to iterative Krylov methods" — compare matrix applications.
+        let ctx = ctx();
+        let b_host = rhs(512);
+        let bnorm: f64 = b_host.iter().map(|v| v * v).sum::<f64>().sqrt();
+        let tol = 1e-8 * bnorm;
+        let b = Field::from_interior(&ctx.dev, &ctx.grid, &b_host);
+
+        let mut x = ctx.field();
+        let mut ci = ChebyshevIteration::new(&ctx, ChebyMode::Global, global_bounds(&ctx), 16);
+        let ci_out = ci.solve_monitored(&ctx, &b, &mut x, tol, 100_000);
+        assert!(ci_out.converged);
+        // CI matvecs: one per sweep plus one residual check per cycle
+        let ci_matvecs = ci_out.sweeps + ci_out.residual_history.len();
+
+        let mut x2 = ctx.field();
+        let mut ws = Workspace::new(&ctx.dev, &ctx.grid);
+        let bi_out = bicgstab_solve(
+            &ctx,
+            Scope::Global,
+            &b,
+            &mut x2,
+            &mut IdentityPrec,
+            &mut ws,
+            &SolveParams { tol, max_iters: 10_000, record_history: false, ..Default::default() },
+        );
+        assert!(bi_out.converged);
+        let bi_matvecs = 2 * bi_out.iterations;
+        assert!(
+            ci_matvecs > bi_matvecs,
+            "CI should need more operator applications: {ci_matvecs} vs {bi_matvecs}"
+        );
+    }
+
+    #[test]
+    fn main_solver_honours_sweep_budget() {
+        let ctx = ctx();
+        let b = Field::from_interior(&ctx.dev, &ctx.grid, &rhs(512));
+        let mut x = ctx.field();
+        let mut ci = ChebyshevIteration::new(&ctx, ChebyMode::Global, global_bounds(&ctx), 16);
+        let out = ci.solve_monitored(&ctx, &b, &mut x, 1e-300, 32);
+        assert!(!out.converged);
+        assert!(out.sweeps <= 48, "budget roughly honoured: {}", out.sweeps);
+    }
+}

@@ -1,0 +1,333 @@
+//! The fused Bi-CGSTAB vector kernels of Algorithm 3.
+//!
+//! The paper merges the BLAS-1 operations of the textbook algorithm into
+//! six fused kernels (`KernelBiCGS1..6`) to improve temporal locality;
+//! `KernelBiCGS1` and `KernelBiCGS3` additionally fuse the stencil apply
+//! with the local scalar products (those two live on
+//! [`stencil::Laplacian`]). This module provides the remaining vector
+//! kernels, all operating on subdomain interiors.
+
+use accel::{Device, KernelInfo, Scalar};
+use blockgrid::{BlockGrid, Field};
+
+/// `KernelBiCGS2`: `r ← r − α w` (one stream in, one in/out, 2 flops).
+pub const INFO_BICGS2: KernelInfo = KernelInfo::new("KernelBiCGS2", 24, 2);
+/// `KernelBiCGS4`: `x ← x + α p̂ + ω r̂`.
+pub const INFO_BICGS4: KernelInfo = KernelInfo::new("KernelBiCGS4", 32, 4);
+/// `KernelBiCGS5`: `r ← r − ω t` fused with the dots `r̃·r` and `r·r`.
+pub const INFO_BICGS5: KernelInfo = KernelInfo::new("KernelBiCGS5", 32, 6);
+/// `KernelBiCGS6`: `p ← r + β (p − ω w)`.
+pub const INFO_BICGS6: KernelInfo = KernelInfo::new("KernelBiCGS6", 32, 4);
+/// `KernelBiCGS1` (stencil + dot, launched via `Laplacian::apply_fused_dot`).
+pub const INFO_BICGS1: KernelInfo = KernelInfo::new("KernelBiCGS1", 40, 12);
+/// `KernelBiCGS3` (stencil + two dots, via `Laplacian::apply_fused_dot2`).
+pub const INFO_BICGS3: KernelInfo = KernelInfo::new("KernelBiCGS3", 48, 14);
+/// `KernelCI1`: Chebyshev start step `z = b/θ`, `y = c1 b + ca A b`.
+pub const INFO_CI1: KernelInfo = KernelInfo::new("KernelCI1", 40, 12);
+/// `KernelCI2`: Chebyshev sweep `w = ca A y + c1 y + c2 b + c3 z`.
+pub const INFO_CI2: KernelInfo = KernelInfo::new("KernelCI2", 56, 16);
+/// Plain local dot product (initial `ρ_0 = r̃ᵀ r_0` of Alg. 3 line 4).
+pub const INFO_DOT: KernelInfo = KernelInfo::new("KernelDot", 16, 2);
+/// Scaling kernel (`z = b/θ` half of `KernelCI1`; also RHS normalisation).
+pub const INFO_SCALE: KernelInfo = KernelInfo::new("KernelScale", 16, 1);
+
+/// `y ← y + a x` over the interior.
+pub fn axpy_inplace<T: Scalar, D: Device>(
+    dev: &D,
+    info: KernelInfo,
+    grid: &BlockGrid,
+    y: &mut Field<T>,
+    x: &Field<T>,
+    a: T,
+) {
+    let map = grid.interior_map();
+    let xs = x.as_slice();
+    let base0 = map.base;
+    let (sy, sz) = (map.sy, map.sz);
+    dev.launch_rows(info, map, y.as_mut_slice(), |j, k, row| {
+        let b = base0 + j * sy + k * sz;
+        for (i, v) in row.iter_mut().enumerate() {
+            *v += a * xs[b + i];
+        }
+    });
+}
+
+/// `y ← y + a1 x1 + a2 x2` over the interior (`KernelBiCGS4` shape).
+pub fn axpy2_inplace<T: Scalar, D: Device>(
+    dev: &D,
+    info: KernelInfo,
+    grid: &BlockGrid,
+    y: &mut Field<T>,
+    x1: &Field<T>,
+    a1: T,
+    x2: &Field<T>,
+    a2: T,
+) {
+    let map = grid.interior_map();
+    let x1s = x1.as_slice();
+    let x2s = x2.as_slice();
+    let base0 = map.base;
+    let (sy, sz) = (map.sy, map.sz);
+    dev.launch_rows(info, map, y.as_mut_slice(), |j, k, row| {
+        let b = base0 + j * sy + k * sz;
+        for (i, v) in row.iter_mut().enumerate() {
+            *v += a1 * x1s[b + i] + a2 * x2s[b + i];
+        }
+    });
+}
+
+/// `KernelBiCGS5`: `r ← r − ω t`, returning the local partial sums
+/// `(r̃ · r, r · r)` of the updated residual.
+pub fn residual_update_fused<T: Scalar, D: Device>(
+    dev: &D,
+    info: KernelInfo,
+    grid: &BlockGrid,
+    r: &mut Field<T>,
+    t: &Field<T>,
+    omega: T,
+    r0t: &Field<T>,
+) -> (T, T) {
+    let map = grid.interior_map();
+    let ts = t.as_slice();
+    let r0s = r0t.as_slice();
+    let base0 = map.base;
+    let (sy, sz) = (map.sy, map.sz);
+    let [p1, p2] = dev.launch_rows_reduce(info, map, r.as_mut_slice(), |j, k, row| {
+        let b = base0 + j * sy + k * sz;
+        let mut s1 = T::ZERO;
+        let mut s2 = T::ZERO;
+        for (i, v) in row.iter_mut().enumerate() {
+            let rv = *v - omega * ts[b + i];
+            *v = rv;
+            s1 += r0s[b + i] * rv;
+            s2 += rv * rv;
+        }
+        [s1, s2]
+    });
+    (p1, p2)
+}
+
+/// `KernelBiCGS6`: `p ← r + β (p − ω w)`.
+pub fn p_update<T: Scalar, D: Device>(
+    dev: &D,
+    info: KernelInfo,
+    grid: &BlockGrid,
+    p: &mut Field<T>,
+    r: &Field<T>,
+    w: &Field<T>,
+    beta: T,
+    omega: T,
+) {
+    let map = grid.interior_map();
+    let rs = r.as_slice();
+    let ws = w.as_slice();
+    let base0 = map.base;
+    let (sy, sz) = (map.sy, map.sz);
+    dev.launch_rows(info, map, p.as_mut_slice(), |j, k, row| {
+        let b = base0 + j * sy + k * sz;
+        for (i, v) in row.iter_mut().enumerate() {
+            *v = rs[b + i] + beta * (*v - omega * ws[b + i]);
+        }
+    });
+}
+
+/// Local interior dot product `a · b` (reduced per back-end policy).
+pub fn dot<T: Scalar, D: Device>(
+    dev: &D,
+    info: KernelInfo,
+    grid: &BlockGrid,
+    a: &Field<T>,
+    b: &Field<T>,
+) -> T {
+    let map = grid.interior_map();
+    let asl = a.as_slice();
+    let bsl = b.as_slice();
+    let base0 = map.base;
+    let (len, sy, sz) = (map.len, map.sy, map.sz);
+    let [s] = dev.launch_reduce(info, map.ny, map.nz, |j, k| {
+        let off = base0 + j * sy + k * sz;
+        let mut acc = T::ZERO;
+        for i in 0..len {
+            acc += asl[off + i] * bsl[off + i];
+        }
+        [acc]
+    });
+    s
+}
+
+/// Local interior squared difference norm `Σ (a − b)²` (true-residual
+/// evaluation `‖b − A x‖²` without materialising the difference).
+pub fn diff_norm2<T: Scalar, D: Device>(
+    dev: &D,
+    info: KernelInfo,
+    grid: &BlockGrid,
+    a: &Field<T>,
+    b: &Field<T>,
+) -> T {
+    let map = grid.interior_map();
+    let asl = a.as_slice();
+    let bsl = b.as_slice();
+    let base0 = map.base;
+    let (len, sy, sz) = (map.len, map.sy, map.sz);
+    let [s] = dev.launch_reduce(info, map.ny, map.nz, |j, k| {
+        let off = base0 + j * sy + k * sz;
+        let mut acc = T::ZERO;
+        for i in 0..len {
+            let d = asl[off + i] - bsl[off + i];
+            acc += d * d;
+        }
+        [acc]
+    });
+    s
+}
+
+/// Local interior squared norm `a · a`.
+pub fn norm2_local<T: Scalar, D: Device>(
+    dev: &D,
+    info: KernelInfo,
+    grid: &BlockGrid,
+    a: &Field<T>,
+) -> T {
+    dot(dev, info, grid, a, a)
+}
+
+/// `out ← factor * src` over the interior.
+pub fn scale<T: Scalar, D: Device>(
+    dev: &D,
+    info: KernelInfo,
+    grid: &BlockGrid,
+    out: &mut Field<T>,
+    src: &Field<T>,
+    factor: T,
+) {
+    let map = grid.interior_map();
+    let ss = src.as_slice();
+    let base0 = map.base;
+    let (sy, sz) = (map.sy, map.sz);
+    dev.launch_rows(info, map, out.as_mut_slice(), |j, k, row| {
+        let b = base0 + j * sy + k * sz;
+        for (i, v) in row.iter_mut().enumerate() {
+            *v = factor * ss[b + i];
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accel::{Recorder, Serial};
+    use blockgrid::{Decomp, GlobalGrid};
+
+    fn setup() -> (Serial, BlockGrid) {
+        let grid = BlockGrid::new(
+            GlobalGrid::dirichlet([3, 3, 3], [0.1; 3], [0.0; 3]),
+            Decomp::single(),
+            0,
+        );
+        (Serial::new(Recorder::disabled()), grid)
+    }
+
+    fn field_iota(dev: &Serial, grid: &BlockGrid, scale_by: f64) -> Field<f64> {
+        let vals: Vec<f64> = (0..27).map(|i| i as f64 * scale_by).collect();
+        Field::from_interior(dev, grid, &vals)
+    }
+
+    #[test]
+    fn axpy_updates_interior_only() {
+        let (dev, grid) = setup();
+        let mut y = field_iota(&dev, &grid, 1.0);
+        let x = field_iota(&dev, &grid, 2.0);
+        axpy_inplace(&dev, INFO_BICGS2, &grid, &mut y, &x, 0.5);
+        let yi = y.interior_to_host(&grid);
+        for (i, v) in yi.iter().enumerate() {
+            assert_eq!(*v, i as f64 + 0.5 * (2.0 * i as f64));
+        }
+        // halos untouched (still zero)
+        assert_eq!(y.as_slice()[0], 0.0);
+    }
+
+    #[test]
+    fn axpy2_combines_two_fields() {
+        let (dev, grid) = setup();
+        let mut y = field_iota(&dev, &grid, 0.0);
+        let x1 = field_iota(&dev, &grid, 1.0);
+        let x2 = field_iota(&dev, &grid, -1.0);
+        axpy2_inplace(&dev, INFO_BICGS4, &grid, &mut y, &x1, 2.0, &x2, 3.0);
+        let yi = y.interior_to_host(&grid);
+        for (i, v) in yi.iter().enumerate() {
+            assert_eq!(*v, 2.0 * i as f64 - 3.0 * i as f64);
+        }
+    }
+
+    #[test]
+    fn residual_update_matches_manual() {
+        let (dev, grid) = setup();
+        let mut r = field_iota(&dev, &grid, 1.0);
+        let t = field_iota(&dev, &grid, 0.5);
+        let r0t = field_iota(&dev, &grid, 2.0);
+        let omega = 0.25;
+        let (p1, p2) = residual_update_fused(&dev, INFO_BICGS5, &grid, &mut r, &t, omega, &r0t);
+        let mut e1 = 0.0;
+        let mut e2 = 0.0;
+        for i in 0..27 {
+            let rv = i as f64 - omega * 0.5 * i as f64;
+            e1 += 2.0 * i as f64 * rv;
+            e2 += rv * rv;
+        }
+        assert!((p1 - e1).abs() < 1e-12 * e1.abs().max(1.0));
+        assert!((p2 - e2).abs() < 1e-12 * e2.abs().max(1.0));
+        let ri = r.interior_to_host(&grid);
+        assert_eq!(ri[4], 4.0 - 0.25 * 2.0);
+    }
+
+    #[test]
+    fn p_update_formula() {
+        let (dev, grid) = setup();
+        let mut p = field_iota(&dev, &grid, 1.0);
+        let r = field_iota(&dev, &grid, 3.0);
+        let w = field_iota(&dev, &grid, 1.0);
+        p_update(&dev, INFO_BICGS6, &grid, &mut p, &r, &w, 2.0, 0.5);
+        let pi = p.interior_to_host(&grid);
+        for (i, v) in pi.iter().enumerate() {
+            let x = i as f64;
+            assert_eq!(*v, 3.0 * x + 2.0 * (x - 0.5 * x));
+        }
+    }
+
+    #[test]
+    fn dot_and_norm() {
+        let (dev, grid) = setup();
+        let a = field_iota(&dev, &grid, 1.0);
+        let b = field_iota(&dev, &grid, 2.0);
+        let d = dot(&dev, INFO_DOT, &grid, &a, &b);
+        let expect: f64 = (0..27).map(|i| (i * i * 2) as f64).sum();
+        assert_eq!(d, expect);
+        let n2 = norm2_local(&dev, INFO_DOT, &grid, &a);
+        let expect: f64 = (0..27).map(|i| (i * i) as f64).sum();
+        assert_eq!(n2, expect);
+    }
+
+    #[test]
+    fn scale_writes_out_of_place() {
+        let (dev, grid) = setup();
+        let src = field_iota(&dev, &grid, 1.0);
+        let mut out = Field::zeros(&dev, &grid);
+        scale(&dev, INFO_SCALE, &grid, &mut out, &src, -2.0);
+        let oi = out.interior_to_host(&grid);
+        for (i, v) in oi.iter().enumerate() {
+            assert_eq!(*v, -2.0 * i as f64);
+        }
+    }
+
+    #[test]
+    fn dots_ignore_halo_contamination() {
+        let (dev, grid) = setup();
+        let mut a = field_iota(&dev, &grid, 1.0);
+        // poison a ghost cell; interior dot must not see it
+        let gi = grid.idx(0, 0, 0);
+        a.as_mut_slice()[gi] = 1e9;
+        let n2 = norm2_local(&dev, INFO_DOT, &grid, &a);
+        let expect: f64 = (0..27).map(|i| (i * i) as f64).sum();
+        assert_eq!(n2, expect);
+    }
+}

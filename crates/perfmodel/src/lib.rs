@@ -1,0 +1,33 @@
+//! # perfmodel — machine models, cost replay, and tracing
+//!
+//! The paper's evaluation ran on LUMI-G (AMD MI250X), MareNostrum5
+//! (NVIDIA H100) and LUMI-C (EPYC CPUs), profiled with rocProf and
+//! Omnitrace. None of that hardware is available here, so this crate
+//! substitutes the *costing* side of the evaluation while every
+//! *algorithmic* observable (iteration counts, residual histories,
+//! message/byte/kernel counts) is measured for real from the Rust
+//! implementation:
+//!
+//! * [`MachineModel`] — calibrated per-rank hardware models
+//!   (MI250X GCD, H100 with/without working GPU-direct, LUMI-C ranks).
+//! * [`replay`] — replays a measured event stream into a
+//!   [`CostBreakdown`] (compute / communication / transfer seconds), the
+//!   basis of the Table II TTS column and Figs. 6–7.
+//! * [`strong_scaling`] — projects the Fig. 5 strong-scaling curve from
+//!   a measured per-iteration profile.
+//! * [`build_timeline`] / [`render_timeline`] — the Omnitrace-substitute
+//!   Gantt view of one solver cycle (Fig. 8).
+
+#![warn(missing_docs)]
+
+mod cost;
+mod machine;
+mod roofline;
+mod scaling;
+mod trace;
+
+pub use cost::{event_cost_s, replay, scale_events, CostBreakdown};
+pub use machine::MachineModel;
+pub use roofline::{render_roofline, ridge_point, roofline, RooflineBound, RooflinePoint};
+pub use scaling::{strong_scaling, ScalingPoint};
+pub use trace::{build_timeline, render_timeline, totals_by_name, Span};

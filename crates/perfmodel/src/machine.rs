@@ -1,0 +1,288 @@
+//! Calibrated machine models.
+//!
+//! No MI250X, H100 or EPYC hardware exists in this environment, so
+//! time-to-solution results are produced by replaying the solver's
+//! *measured* logical event stream (kernel launches with byte/flop
+//! footprints, halo messages, reductions) through these models.
+//!
+//! The models use **achieved** (effective) bandwidths, not datasheet
+//! peaks: the paper's own measurements imply its alpaka stencil kernels
+//! reach ~200 GB/s on an MI250X GCD (launch overhead and short-kernel
+//! underutilisation included) and single-digit GB/s per CPU rank for its
+//! OpenMP back-end. Constants are calibrated so the paper's headline
+//! ratios are reproduced:
+//!
+//! * single-rank 64³ computation speedups ≈ **50×** (MI250X) and
+//!   **47×** (H100) over the 128-thread CPU node (Fig. 7);
+//! * multi-rank computation speedup ≈ **29×** (MI250X vs CPU ranks,
+//!   Fig. 6) with the CPU ~**20×** slower overall;
+//! * MareNostrum5's broken GPU-direct makes the H100 runs
+//!   communication-dominated and ≈ **42×** slower overall than LUMI-G
+//!   (modelled as a large per-message host-staging latency);
+//! * collective synchronisation ≈ 0.4 ms per reduction/exchange at 64
+//!   ranks (`sync`/`allreduce` stages × log₂ P), which is what makes the
+//!   un-preconditioned solver communication-bound as in Table II.
+//!
+//! EXPERIMENTS.md compares every replayed number against the paper.
+
+use serde::{Deserialize, Serialize};
+
+/// A per-rank hardware model used to cost one rank's event stream.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct MachineModel {
+    /// Model name used in reports.
+    pub name: String,
+    /// Effective (achieved) memory streaming bandwidth per rank (GB/s).
+    pub mem_bw_gbps: f64,
+    /// FP64 throughput per rank (GFLOP/s).
+    pub flops_gflops: f64,
+    /// Kernel launch latency (µs).
+    pub kernel_launch_us: f64,
+    /// Network latency per point-to-point message (µs).
+    pub net_latency_us: f64,
+    /// Network bandwidth per rank (GB/s).
+    pub net_bw_gbps: f64,
+    /// Synchronisation cost per collective tree stage (µs); both halo
+    /// `Waitall`s and allreduces pay `sync_stage_us × log₂(P)` (stragglers
+    /// and device synchronisation — the `MPI_Waitall` cost dominating the
+    /// paper's Fig. 8 trace).
+    pub sync_stage_us: f64,
+    /// Whether MPI can read GPU memory directly (GPU-direct / RDMA).
+    pub gpu_direct: bool,
+    /// Extra per-message latency when staging through the host (µs).
+    pub staged_copy_latency_us: f64,
+    /// Host-staging bandwidth (GB/s) when `gpu_direct` is false.
+    pub staged_copy_bw_gbps: f64,
+    /// Host↔device transfer bandwidth (GB/s).
+    pub h2d_bw_gbps: f64,
+}
+
+impl MachineModel {
+    /// One AMD MI250X Graphics Compute Die on LUMI-G (one MPI rank per
+    /// GCD, as in the paper). Effective stencil bandwidth ≈ 197 GB/s
+    /// (calibrated; HBM2e peak is 1.6 TB/s per GCD).
+    pub fn mi250x() -> Self {
+        Self {
+            name: "LUMI-G (MI250X GCD)".into(),
+            mem_bw_gbps: 197.0,
+            flops_gflops: 23_900.0,
+            kernel_launch_us: 6.0, // HIP launch overhead
+            net_latency_us: 2.0,   // Slingshot-11
+            net_bw_gbps: 25.0,
+            sync_stage_us: 65.0,
+            gpu_direct: true,
+            staged_copy_latency_us: 0.0,
+            staged_copy_bw_gbps: 0.0,
+            h2d_bw_gbps: 36.0, // Infinity Fabric host link
+        }
+    }
+
+    /// One NVIDIA H100 on MareNostrum5 *as the paper found it*: GPU-direct
+    /// MPI broken, every halo message bounces through host memory with a
+    /// large software latency (calibrated so the 256³/64-rank run lands
+    /// ≈ 42× slower than LUMI-G, the paper's observation).
+    pub fn h100_mn5() -> Self {
+        Self {
+            name: "MareNostrum5 (H100, staged copies)".into(),
+            gpu_direct: false,
+            staged_copy_latency_us: 19_000.0, // pathological bounce (calibrated)
+            staged_copy_bw_gbps: 2.0,
+            ..Self::h100_gpudirect()
+        }
+    }
+
+    /// The counterfactual healthy H100 node (working GPU-direct) — used
+    /// by the single-rank experiment and the ablation benches. Effective
+    /// stencil bandwidth ≈ 194 GB/s: the paper measured the H100 runs
+    /// *slightly slower* than the MI250X GCD on these small kernels
+    /// (47× vs 50× over the CPU) despite the larger datasheet HBM3 peak.
+    pub fn h100_gpudirect() -> Self {
+        Self {
+            name: "H100 (GPU-direct)".into(),
+            mem_bw_gbps: 194.0,
+            flops_gflops: 33_500.0,
+            kernel_launch_us: 9.0,
+            net_latency_us: 2.0,
+            net_bw_gbps: 25.0,
+            sync_stage_us: 65.0,
+            gpu_direct: true,
+            staged_copy_latency_us: 0.0,
+            staged_copy_bw_gbps: 0.0,
+            h2d_bw_gbps: 55.0, // PCIe gen5
+        }
+    }
+
+    /// One LUMI-C MPI rank of the paper's multi-node CPU run
+    /// (64 ranks × 16 OpenMP threads across 8 dual-EPYC nodes).
+    /// Effective 6.2 GB/s per rank — calibrated to the paper's 29×
+    /// MI250X-vs-CPU computation ratio.
+    pub fn lumi_c_rank() -> Self {
+        Self {
+            name: "LUMI-C (CPU rank, 16 threads)".into(),
+            mem_bw_gbps: 6.2,
+            flops_gflops: 500.0,
+            kernel_launch_us: 1.0, // parallel-region fork/join
+            net_latency_us: 1.5,
+            net_bw_gbps: 12.5,
+            sync_stage_us: 30.0,
+            gpu_direct: true, // data already in host memory
+            staged_copy_latency_us: 0.0,
+            staged_copy_bw_gbps: 0.0,
+            h2d_bw_gbps: f64::INFINITY,
+        }
+    }
+
+    /// The paper's single-process CPU configuration (one rank, 128
+    /// OpenMP threads spanning all NUMA domains of a LUMI-C node).
+    /// Effective 3.52 GB/s — *worse* than the 16-thread ranks per unit
+    /// of work, as the paper's own 50×-vs-29× ratios imply (a single
+    /// process spanning 8 NUMA domains streams poorly).
+    pub fn lumi_c_node() -> Self {
+        Self {
+            name: "LUMI-C (CPU node, 128 threads)".into(),
+            mem_bw_gbps: 3.52,
+            flops_gflops: 2_000.0,
+            kernel_launch_us: 4.0, // 128-thread fork/join
+            ..Self::lumi_c_rank()
+        }
+    }
+
+    /// Cost of one kernel launch (seconds) under the roofline model.
+    pub fn kernel_cost_s(&self, bytes: u64, flops: u64) -> f64 {
+        let stream = bytes as f64 / (self.mem_bw_gbps * 1e9);
+        let compute = flops as f64 / (self.flops_gflops * 1e9);
+        self.kernel_launch_us * 1e-6 + stream.max(compute)
+    }
+
+    /// Synchronisation cost of one collective over `ranks` ranks.
+    fn sync_cost_s(&self, ranks: usize) -> f64 {
+        if ranks <= 1 {
+            return 0.0;
+        }
+        (ranks as f64).log2().ceil() * self.sync_stage_us * 1e-6
+    }
+
+    /// Cost of one halo exchange posting `msgs` messages totalling
+    /// `bytes`, synchronised with `Waitall` across `ranks` (seconds).
+    pub fn halo_cost_s(&self, msgs: u32, bytes: u64, ranks: usize) -> f64 {
+        if msgs == 0 {
+            return 0.0;
+        }
+        let wire = bytes as f64 / (self.net_bw_gbps * 1e9);
+        let mut cost = msgs as f64 * self.net_latency_us * 1e-6 + wire + self.sync_cost_s(ranks);
+        if !self.gpu_direct {
+            // each message bounces device -> host -> NIC (and mirror on
+            // the receive side, folded into the same per-message penalty)
+            cost += msgs as f64 * self.staged_copy_latency_us * 1e-6
+                + 2.0 * bytes as f64 / (self.staged_copy_bw_gbps * 1e9);
+        }
+        cost
+    }
+
+    /// Cost of one allreduce over `ranks` ranks (seconds).
+    pub fn allreduce_cost_s(&self, elems: u32, ranks: usize) -> f64 {
+        if ranks <= 1 {
+            return 0.0;
+        }
+        let stages = (ranks as f64).log2().ceil();
+        self.sync_cost_s(ranks) + stages * (elems as u64 * 8) as f64 / (self.net_bw_gbps * 1e9)
+    }
+
+    /// Cost of a host↔device transfer (seconds).
+    pub fn transfer_cost_s(&self, bytes: u64) -> f64 {
+        if self.h2d_bw_gbps.is_infinite() {
+            return 0.0;
+        }
+        10e-6 + bytes as f64 / (self.h2d_bw_gbps * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Bytes of one fused Chebyshev sweep on the paper's 64³ mesh.
+    const CI_SWEEP_BYTES: u64 = 64 * 64 * 64 * 56;
+
+    #[test]
+    fn kernel_cost_is_roofline() {
+        let m = MachineModel::mi250x();
+        // bandwidth-bound kernel
+        let c = m.kernel_cost_s(16_000_000, 1_000);
+        let expect = 6e-6 + 16e6 / 197e9;
+        assert!((c - expect).abs() < 1e-12);
+        // flop-bound kernel: 23_900 GFLOP at 23_900 GFLOP/s = 1 s
+        let c = m.kernel_cost_s(8, 23_900 * 1_000_000_000);
+        assert!((c - (6e-6 + 1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn staged_copies_dominate_broken_gpu_direct() {
+        let healthy = MachineModel::h100_gpudirect();
+        let broken = MachineModel::h100_mn5();
+        let (msgs, bytes) = (6, 6 * 64 * 64 * 8);
+        assert!(
+            broken.halo_cost_s(msgs, bytes, 64) > 50.0 * healthy.halo_cost_s(msgs, bytes, 64)
+        );
+    }
+
+    #[test]
+    fn allreduce_scales_logarithmically() {
+        let m = MachineModel::mi250x();
+        let c64 = m.allreduce_cost_s(2, 64);
+        let c8 = m.allreduce_cost_s(2, 8);
+        assert!((c64 / c8 - 2.0).abs() < 1e-6, "log2 64 / log2 8 = 2");
+        assert_eq!(m.allreduce_cost_s(2, 1), 0.0);
+    }
+
+    #[test]
+    fn calibration_single_rank_gpu_speedups() {
+        // Fig. 7: computation speedups of 50x (MI250X) and 47x (H100)
+        // over the 128-thread CPU node on the 64^3 mesh.
+        let cpu = MachineModel::lumi_c_node().kernel_cost_s(CI_SWEEP_BYTES, 0);
+        let amd = MachineModel::mi250x().kernel_cost_s(CI_SWEEP_BYTES, 0);
+        let nv = MachineModel::h100_gpudirect().kernel_cost_s(CI_SWEEP_BYTES, 0);
+        let amd_speedup = cpu / amd;
+        let nv_speedup = cpu / nv;
+        assert!((amd_speedup - 50.0).abs() < 3.0, "AMD speedup {amd_speedup}");
+        assert!((nv_speedup - 47.0).abs() < 3.0, "NVIDIA speedup {nv_speedup}");
+        assert!(amd_speedup > nv_speedup, "paper: AMD edges out H100 on small kernels");
+    }
+
+    #[test]
+    fn calibration_multi_rank_cpu_ratio() {
+        // Fig. 6: MI250X computation 29x faster than a 16-thread CPU rank.
+        let cpu = MachineModel::lumi_c_rank().kernel_cost_s(CI_SWEEP_BYTES, 0);
+        let amd = MachineModel::mi250x().kernel_cost_s(CI_SWEEP_BYTES, 0);
+        let ratio = cpu / amd;
+        assert!((ratio - 29.0).abs() < 3.0, "multi-rank compute ratio {ratio}");
+    }
+
+    #[test]
+    fn sync_cost_at_64_ranks_matches_calibration() {
+        // ~0.4 ms per collective at 64 ranks — what makes plain BiCGSTAB
+        // communication-bound in Table II.
+        let m = MachineModel::mi250x();
+        let c = m.allreduce_cost_s(2, 64);
+        assert!((0.3e-3..0.6e-3).contains(&c), "allreduce at 64 ranks: {c}");
+    }
+
+    #[test]
+    fn zero_message_halo_is_free() {
+        assert_eq!(MachineModel::mi250x().halo_cost_s(0, 0, 64), 0.0);
+    }
+
+    #[test]
+    fn single_rank_collectives_are_free() {
+        let m = MachineModel::mi250x();
+        assert_eq!(m.allreduce_cost_s(2, 1), 0.0);
+        // loopback halo has wire cost only, no sync
+        assert!(m.halo_cost_s(1, 800, 1) < m.halo_cost_s(1, 800, 2));
+    }
+
+    #[test]
+    fn cpu_transfers_are_free() {
+        assert_eq!(MachineModel::lumi_c_node().transfer_cost_s(1 << 30), 0.0);
+        assert!(MachineModel::mi250x().transfer_cost_s(1 << 30) > 0.0);
+    }
+}

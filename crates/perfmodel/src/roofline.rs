@@ -1,0 +1,209 @@
+//! Roofline analysis of the measured kernel stream.
+//!
+//! A standard HPC characterisation the paper's rocProf workflow enables:
+//! for each kernel, its arithmetic intensity (flops per byte) against the
+//! machine's memory and compute ceilings, the achieved throughput under
+//! the model, and which roof binds it. All solver kernels are strongly
+//! memory-bound (AI well below the ridge point), which is why the
+//! cross-architecture speedups in Figs. 6–7 follow effective bandwidth
+//! ratios.
+
+use accel::Event;
+use serde::{Deserialize, Serialize};
+
+use crate::machine::MachineModel;
+
+/// Which ceiling limits a kernel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RooflineBound {
+    /// Below the ridge point: limited by memory bandwidth.
+    Memory,
+    /// Above the ridge point: limited by FP throughput.
+    Compute,
+}
+
+/// One kernel's position on the roofline.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RooflinePoint {
+    /// Kernel name.
+    pub kernel: String,
+    /// Total launches aggregated.
+    pub launches: u64,
+    /// Arithmetic intensity (flop / byte).
+    pub intensity: f64,
+    /// Modeled achieved throughput (GFLOP/s), launch overhead included.
+    pub achieved_gflops: f64,
+    /// The ceiling for this intensity (GFLOP/s).
+    pub ceiling_gflops: f64,
+    /// Which roof binds the kernel.
+    pub bound: RooflineBound,
+    /// `achieved / ceiling` (1.0 = sitting on the roof; launch latency
+    /// and ceiling mismatch push it below).
+    pub roof_fraction: f64,
+}
+
+/// The machine's ridge point: the intensity where the memory roof meets
+/// the compute roof (flop/byte).
+pub fn ridge_point(machine: &MachineModel) -> f64 {
+    machine.flops_gflops / machine.mem_bw_gbps
+}
+
+/// Aggregate the kernel events of `events` into per-kernel roofline
+/// positions on `machine` (sorted by total modeled time, descending).
+pub fn roofline(events: &[Event], machine: &MachineModel) -> Vec<RooflinePoint> {
+    struct Acc {
+        name: &'static str,
+        launches: u64,
+        bytes: u64,
+        flops: u64,
+        time_s: f64,
+    }
+    let mut accs: Vec<Acc> = Vec::new();
+    for ev in events {
+        if let Event::Kernel { name, bytes, flops, .. } = ev {
+            let t = machine.kernel_cost_s(*bytes, *flops);
+            match accs.iter_mut().find(|a| a.name == *name) {
+                Some(a) => {
+                    a.launches += 1;
+                    a.bytes += bytes;
+                    a.flops += flops;
+                    a.time_s += t;
+                }
+                None => accs.push(Acc {
+                    name,
+                    launches: 1,
+                    bytes: *bytes,
+                    flops: *flops,
+                    time_s: t,
+                }),
+            }
+        }
+    }
+    accs.sort_by(|a, b| b.time_s.total_cmp(&a.time_s));
+    let ridge = ridge_point(machine);
+    accs.into_iter()
+        .map(|a| {
+            let intensity = a.flops as f64 / (a.bytes.max(1)) as f64;
+            let bound = if intensity < ridge { RooflineBound::Memory } else { RooflineBound::Compute };
+            let ceiling = match bound {
+                RooflineBound::Memory => intensity * machine.mem_bw_gbps,
+                RooflineBound::Compute => machine.flops_gflops,
+            };
+            let achieved = a.flops as f64 / a.time_s.max(f64::MIN_POSITIVE) / 1e9;
+            RooflinePoint {
+                kernel: a.name.to_owned(),
+                launches: a.launches,
+                intensity,
+                achieved_gflops: achieved,
+                ceiling_gflops: ceiling,
+                bound,
+                roof_fraction: achieved / ceiling.max(f64::MIN_POSITIVE),
+            }
+        })
+        .collect()
+}
+
+/// Render the roofline positions as a fixed-width table.
+pub fn render_roofline(points: &[RooflinePoint], machine: &MachineModel) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "roofline on {} (ridge point {:.2} flop/B, peaks {:.0} GB/s / {:.0} GFLOP/s)\n",
+        machine.name,
+        ridge_point(machine),
+        machine.mem_bw_gbps,
+        machine.flops_gflops
+    ));
+    out.push_str(&format!(
+        "{:<20} {:>9} {:>12} {:>14} {:>14} {:>8} {:>8}\n",
+        "kernel", "launches", "AI [f/B]", "achieved GF/s", "ceiling GF/s", "bound", "of-roof"
+    ));
+    for p in points {
+        out.push_str(&format!(
+            "{:<20} {:>9} {:>12.4} {:>14.2} {:>14.2} {:>8} {:>7.1}%\n",
+            p.kernel,
+            p.launches,
+            p.intensity,
+            p.achieved_gflops,
+            p.ceiling_gflops,
+            match p.bound {
+                RooflineBound::Memory => "memory",
+                RooflineBound::Compute => "compute",
+            },
+            p.roof_fraction * 100.0
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kernel(name: &'static str, elems: u64, bpe: u64, fpe: u64) -> Event {
+        Event::Kernel { name, elems, bytes: elems * bpe, flops: elems * fpe }
+    }
+
+    #[test]
+    fn ridge_point_is_peak_ratio() {
+        let m = MachineModel::mi250x();
+        assert!((ridge_point(&m) - m.flops_gflops / m.mem_bw_gbps).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stencil_kernels_are_memory_bound() {
+        let m = MachineModel::mi250x();
+        let evs = vec![
+            kernel("KernelCI2", 1 << 18, 56, 16),
+            kernel("KernelBiCGS1", 1 << 18, 40, 12),
+        ];
+        let pts = roofline(&evs, &m);
+        assert_eq!(pts.len(), 2);
+        for p in &pts {
+            assert_eq!(p.bound, RooflineBound::Memory, "{}", p.kernel);
+            assert!(p.roof_fraction > 0.0 && p.roof_fraction <= 1.0);
+        }
+        // CI2 moves more bytes => more modeled time => sorted first
+        assert_eq!(pts[0].kernel, "KernelCI2");
+    }
+
+    #[test]
+    fn synthetic_compute_bound_kernel() {
+        let m = MachineModel::mi250x();
+        // absurd flop density: 10_000 flops per byte
+        let evs = vec![kernel("fma_storm", 1 << 20, 1, 10_000)];
+        let pts = roofline(&evs, &m);
+        assert_eq!(pts[0].bound, RooflineBound::Compute);
+        assert!((pts[0].ceiling_gflops - m.flops_gflops).abs() < 1e-9);
+    }
+
+    #[test]
+    fn launches_aggregate_by_name() {
+        let m = MachineModel::mi250x();
+        let evs = vec![
+            kernel("KernelBiCGS2", 100, 24, 2),
+            kernel("KernelBiCGS2", 100, 24, 2),
+            kernel("KernelBiCGS2", 100, 24, 2),
+        ];
+        let pts = roofline(&evs, &m);
+        assert_eq!(pts.len(), 1);
+        assert_eq!(pts[0].launches, 3);
+    }
+
+    #[test]
+    fn render_includes_every_kernel() {
+        let m = MachineModel::h100_gpudirect();
+        let evs = vec![kernel("a", 10, 8, 1), kernel("b", 10, 8, 100_000)];
+        let txt = render_roofline(&roofline(&evs, &m), &m);
+        assert!(txt.contains('a') && txt.contains('b'));
+        assert!(txt.contains("ridge point"));
+    }
+
+    #[test]
+    fn launch_latency_pushes_small_kernels_off_the_roof() {
+        let m = MachineModel::mi250x();
+        let small = roofline(&[kernel("tiny", 64, 24, 4)], &m);
+        let large = roofline(&[kernel("big", 1 << 24, 24, 4)], &m);
+        assert!(small[0].roof_fraction < 0.1, "{}", small[0].roof_fraction);
+        assert!(large[0].roof_fraction > 0.9, "{}", large[0].roof_fraction);
+    }
+}

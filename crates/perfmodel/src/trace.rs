@@ -1,0 +1,210 @@
+//! Trace building and timeline rendering — the Omnitrace substitute.
+//!
+//! The paper's Fig. 8 shows an annotated Omnitrace timeline of one
+//! BiCGS-GNoComm(CI) cycle: which kernels and MPI stages run, in order,
+//! and how long each takes. Here the same picture is reconstructed from
+//! the solver's event stream: every costed event advances a simulated
+//! clock, `Begin`/`End` markers group events into named stages, and the
+//! renderer draws an ASCII Gantt chart.
+
+use accel::Event;
+use serde::{Deserialize, Serialize};
+
+use crate::cost::event_cost_s;
+use crate::machine::MachineModel;
+
+/// One span on the simulated timeline.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct Span {
+    /// Stage or kernel name.
+    pub name: String,
+    /// Nesting depth (stages at 0, kernels inside a stage at 1, ...).
+    pub depth: usize,
+    /// Start time (s) on the simulated clock.
+    pub start_s: f64,
+    /// End time (s).
+    pub end_s: f64,
+    /// `true` for `Begin`/`End` stage spans (containers), `false` for
+    /// costed leaf events.
+    pub is_stage: bool,
+}
+
+impl Span {
+    /// Span duration in seconds.
+    pub fn duration_s(&self) -> f64 {
+        self.end_s - self.start_s
+    }
+}
+
+/// Replay `events` into a simulated timeline of [`Span`]s.
+///
+/// Every costed event becomes a leaf span; `Begin`/`End` pairs become
+/// enclosing spans. Unbalanced `End`s are ignored; unclosed `Begin`s are
+/// closed at the end of the stream.
+pub fn build_timeline(events: &[Event], machine: &MachineModel, ranks: usize) -> Vec<Span> {
+    let mut clock = 0.0f64;
+    let mut spans = Vec::new();
+    let mut stack: Vec<(usize, &'static str, f64)> = Vec::new(); // (span slot, name, start)
+    for ev in events {
+        match ev {
+            Event::Begin { name } => {
+                let slot = spans.len();
+                spans.push(Span {
+                    name: (*name).to_owned(),
+                    depth: stack.len(),
+                    start_s: clock,
+                    end_s: clock,
+                    is_stage: true,
+                });
+                stack.push((slot, name, clock));
+            }
+            Event::End { name } => {
+                if let Some(pos) = stack.iter().rposition(|(_, n, _)| n == name) {
+                    let (slot, _, _) = stack.remove(pos);
+                    spans[slot].end_s = clock;
+                }
+            }
+            other => {
+                let cost = event_cost_s(other, machine, ranks);
+                let name = match other {
+                    Event::Kernel { name, .. } => (*name).to_owned(),
+                    Event::Halo { .. } => "HaloExchange".to_owned(),
+                    Event::AllReduce { .. } => "MPI_Allreduce".to_owned(),
+                    Event::H2D { .. } => "H2D".to_owned(),
+                    Event::D2H { .. } => "D2H".to_owned(),
+                    Event::Begin { .. } | Event::End { .. } => unreachable!(),
+                };
+                spans.push(Span {
+                    name,
+                    depth: stack.len(),
+                    start_s: clock,
+                    end_s: clock + cost,
+                    is_stage: false,
+                });
+                clock += cost;
+            }
+        }
+    }
+    // close unbalanced Begins
+    while let Some((slot, _, _)) = stack.pop() {
+        spans[slot].end_s = clock;
+    }
+    spans
+}
+
+/// Render spans as an ASCII Gantt chart `width` characters wide.
+pub fn render_timeline(spans: &[Span], width: usize) -> String {
+    let total = spans
+        .iter()
+        .map(|s| s.end_s)
+        .fold(0.0f64, f64::max)
+        .max(f64::MIN_POSITIVE);
+    let name_w = spans
+        .iter()
+        .map(|s| s.name.len() + 2 * s.depth)
+        .max()
+        .unwrap_or(8)
+        .max(8);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:name_w$}  {:>10}  timeline ({} = {:.3} µs/char)\n",
+        "span",
+        "µs",
+        "#",
+        total * 1e6 / width as f64,
+    ));
+    for s in spans {
+        let c0 = ((s.start_s / total) * width as f64).floor() as usize;
+        let c1 = ((s.end_s / total) * width as f64).ceil() as usize;
+        let c1 = c1.clamp(c0 + 1, width);
+        let mut bar = String::with_capacity(width);
+        bar.extend(std::iter::repeat(' ').take(c0));
+        bar.extend(std::iter::repeat('#').take(c1 - c0));
+        let label = format!("{}{}", "  ".repeat(s.depth), s.name);
+        out.push_str(&format!(
+            "{label:name_w$}  {:>10.2}  |{bar:<width$}|\n",
+            s.duration_s() * 1e6,
+        ));
+    }
+    out
+}
+
+/// Aggregate total duration per span name (for per-kernel summaries).
+pub fn totals_by_name(spans: &[Span]) -> Vec<(String, f64)> {
+    let mut totals: Vec<(String, f64)> = Vec::new();
+    for s in spans {
+        // only leaves: enclosing stage spans would double count
+        if s.is_stage {
+            continue;
+        }
+        match totals.iter_mut().find(|(n, _)| *n == s.name) {
+            Some((_, t)) => *t += s.duration_s(),
+            None => totals.push((s.name.clone(), s.duration_s())),
+        }
+    }
+    totals.sort_by(|a, b| b.1.total_cmp(&a.1));
+    totals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn events() -> Vec<Event> {
+        vec![
+            Event::Begin { name: "Preconditioner" },
+            Event::Kernel { name: "KernelCI1", elems: 100, bytes: 3200, flops: 1200 },
+            Event::Kernel { name: "KernelCI2", elems: 100, bytes: 4800, flops: 1600 },
+            Event::End { name: "Preconditioner" },
+            Event::Begin { name: "MPI1" },
+            Event::Halo { msgs: 6, bytes: 4800 },
+            Event::End { name: "MPI1" },
+            Event::Kernel { name: "KernelBiCGS1", elems: 100, bytes: 2400, flops: 1200 },
+        ]
+    }
+
+    #[test]
+    fn timeline_is_monotonic_and_nested() {
+        let spans = build_timeline(&events(), &MachineModel::mi250x(), 8);
+        // first span is the Preconditioner stage enclosing two kernels
+        assert_eq!(spans[0].name, "Preconditioner");
+        assert_eq!(spans[0].depth, 0);
+        assert_eq!(spans[1].depth, 1);
+        assert!(spans[0].start_s <= spans[1].start_s);
+        assert!(spans[0].end_s >= spans[2].end_s);
+        // clock advances
+        let last = spans.last().unwrap();
+        assert!(last.end_s > 0.0);
+    }
+
+    #[test]
+    fn unbalanced_begin_is_closed() {
+        let evs = vec![
+            Event::Begin { name: "open" },
+            Event::Kernel { name: "k", elems: 1, bytes: 100, flops: 1 },
+        ];
+        let spans = build_timeline(&evs, &MachineModel::mi250x(), 2);
+        assert_eq!(spans[0].name, "open");
+        assert!((spans[0].end_s - spans[1].end_s).abs() < 1e-18);
+    }
+
+    #[test]
+    fn render_contains_all_names() {
+        let spans = build_timeline(&events(), &MachineModel::mi250x(), 8);
+        let txt = render_timeline(&spans, 60);
+        for name in ["Preconditioner", "KernelCI1", "KernelCI2", "HaloExchange", "KernelBiCGS1"] {
+            assert!(txt.contains(name), "missing {name} in:\n{txt}");
+        }
+    }
+
+    #[test]
+    fn totals_aggregate_leaves_only() {
+        let spans = build_timeline(&events(), &MachineModel::mi250x(), 8);
+        let totals = totals_by_name(&spans);
+        assert!(totals.iter().any(|(n, _)| n == "KernelCI1"));
+        assert!(
+            !totals.iter().any(|(n, _)| n == "Preconditioner"),
+            "stage spans must not double count"
+        );
+    }
+}

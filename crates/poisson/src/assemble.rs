@@ -1,0 +1,193 @@
+//! Right-hand-side assembly with boundary lifting.
+//!
+//! The matrix-free operator (crate `stencil`) realises the homogeneous
+//! matrix rows; all inhomogeneous boundary data enters the right-hand
+//! side once at setup:
+//!
+//! * **Dirichlet** neighbour `g_D` of an unknown one node inside the
+//!   face: `b += g_D / h²` (the eliminated `−1/h²` coupling of Eq. 4).
+//! * **Neumann** boundary unknown with data `g = ∂φ/∂axis` on the face:
+//!   the second-order ghost elimination `φ_ghost = φ_mirror ± 2h·g`
+//!   contributes `b −= 2g/h` on a low face and `b += 2g/h` on a high
+//!   face (the `−2` row of Eq. 5 plus this lift).
+
+use blockgrid::{BcKind, BlockGrid};
+
+use crate::problem::PoissonProblem;
+
+/// Physical coordinates of local unknown `(i, j, k)` (interior indices).
+fn coords(grid: &BlockGrid, i: usize, j: usize, k: usize) -> (f64, f64, f64) {
+    (
+        grid.local_coord(0, i),
+        grid.local_coord(1, j),
+        grid.local_coord(2, k),
+    )
+}
+
+/// Assemble this rank's interior right-hand side (x-fastest order),
+/// sampling `f` at the unknown nodes and applying the boundary lifts.
+pub fn local_rhs(problem: &PoissonProblem, grid: &BlockGrid) -> Vec<f64> {
+    let n = grid.local_n;
+    let h = grid.global.h;
+    let gn = grid.global.n;
+    let mut b = Vec::with_capacity(n[0] * n[1] * n[2]);
+    for k in 0..n[2] {
+        for j in 0..n[1] {
+            for i in 0..n[0] {
+                let (x, y, z) = coords(grid, i, j, k);
+                let mut v = (problem.rhs)(x, y, z);
+                let local = [i, j, k];
+                for a in 0..3 {
+                    let gidx = grid.offset[a] + local[a];
+                    let ha = h[a];
+                    // low face
+                    if gidx == 0 {
+                        match grid.global.bc[a][0] {
+                            BcKind::Dirichlet => {
+                                // boundary node one step below the unknown
+                                let (bx, by, bz) = shifted(x, y, z, a, -ha);
+                                v += (problem.dirichlet)(bx, by, bz) / (ha * ha);
+                            }
+                            BcKind::Neumann => {
+                                v -= 2.0 * (problem.neumann_dx[a])(x, y, z) / ha;
+                            }
+                        }
+                    }
+                    // high face
+                    if gidx == gn[a] - 1 {
+                        match grid.global.bc[a][1] {
+                            BcKind::Dirichlet => {
+                                let (bx, by, bz) = shifted(x, y, z, a, ha);
+                                v += (problem.dirichlet)(bx, by, bz) / (ha * ha);
+                            }
+                            BcKind::Neumann => {
+                                v += 2.0 * (problem.neumann_dx[a])(x, y, z) / ha;
+                            }
+                        }
+                    }
+                }
+                b.push(v);
+            }
+        }
+    }
+    b
+}
+
+fn shifted(x: f64, y: f64, z: f64, axis: usize, d: f64) -> (f64, f64, f64) {
+    match axis {
+        0 => (x + d, y, z),
+        1 => (x, y + d, z),
+        _ => (x, y, z + d),
+    }
+}
+
+/// Sample the problem's exact solution at this rank's unknowns
+/// (x-fastest order). Panics if the problem has no exact solution.
+pub fn local_exact(problem: &PoissonProblem, grid: &BlockGrid) -> Vec<f64> {
+    let exact = problem
+        .exact
+        .as_ref()
+        .expect("problem has no exact solution");
+    let n = grid.local_n;
+    let mut out = Vec::with_capacity(n[0] * n[1] * n[2]);
+    for k in 0..n[2] {
+        for j in 0..n[1] {
+            for i in 0..n[0] {
+                let (x, y, z) = coords(grid, i, j, k);
+                out.push(exact(x, y, z));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{paper_problem, unit_cube_dirichlet};
+    use blockgrid::Decomp;
+
+    #[test]
+    fn interior_points_sample_f_only() {
+        let p = unit_cube_dirichlet(9);
+        let grid = BlockGrid::new(p.discretize(), Decomp::single(), 0);
+        let b = local_rhs(&p, &grid);
+        // centre unknown: index (3,3,3) of 7 per axis
+        let c = 3 + 7 * (3 + 7 * 3);
+        let (x, y, z) = coords(&grid, 3, 3, 3);
+        assert_eq!(b[c], (p.rhs)(x, y, z));
+    }
+
+    #[test]
+    fn dirichlet_lift_applied_on_faces() {
+        let p = unit_cube_dirichlet(9);
+        let grid = BlockGrid::new(p.discretize(), Decomp::single(), 0);
+        let h = grid.global.h[0];
+        let b = local_rhs(&p, &grid);
+        // first unknown touches three low Dirichlet faces
+        let (x, y, z) = coords(&grid, 0, 0, 0);
+        let expect = (p.rhs)(x, y, z)
+            + (p.dirichlet)(x - h, y, z) / (h * h)
+            + (p.dirichlet)(x, y - h, z) / (h * h)
+            + (p.dirichlet)(x, y, z - h) / (h * h);
+        assert!((b[0] - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn neumann_lift_signs() {
+        let p = paper_problem(9);
+        let grid = BlockGrid::new(p.discretize(), Decomp::single(), 0);
+        let n = grid.local_n;
+        let h = grid.global.h;
+        let b = local_rhs(&p, &grid);
+        // unknown on the x+ Neumann face, well inside in y and z
+        let (i, j, k) = (n[0] - 1, 2, 2);
+        let (x, y, z) = coords(&grid, i, j, k);
+        let idx = i + n[0] * (j + n[1] * k);
+        let expect = (p.rhs)(x, y, z) + 2.0 * (p.neumann_dx[0])(x, y, z) / h[0];
+        assert!((b[idx] - expect).abs() < 1e-12);
+        // unknown on the y− Neumann face
+        let (i, j, k) = (2, 0, 2);
+        let (x, y, z) = coords(&grid, i, j, k);
+        let idx = i + n[0] * (j + n[1] * k);
+        let expect = (p.rhs)(x, y, z) - 2.0 * (p.neumann_dx[1])(x, y, z) / h[1];
+        assert!((b[idx] - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decomposed_assembly_tiles_the_single_rank_one() {
+        let p = paper_problem(9);
+        let global = p.discretize();
+        let single = BlockGrid::new(global.clone(), Decomp::single(), 0);
+        let reference = local_rhs(&p, &single);
+        let decomp = Decomp::new([2, 2, 1]);
+        let gn = global.n;
+        for rank in 0..4 {
+            let grid = BlockGrid::new(global.clone(), decomp, rank);
+            let local = local_rhs(&p, &grid);
+            let n = grid.local_n;
+            let mut idx = 0;
+            for k in 0..n[2] {
+                for j in 0..n[1] {
+                    for i in 0..n[0] {
+                        let g = (grid.offset[0] + i)
+                            + gn[0] * ((grid.offset[1] + j) + gn[1] * (grid.offset[2] + k));
+                        assert_eq!(local[idx], reference[g], "rank {rank} ({i},{j},{k})");
+                        idx += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_sampling_matches_function() {
+        let p = paper_problem(9);
+        let grid = BlockGrid::new(p.discretize(), Decomp::single(), 0);
+        let e = local_exact(&p, &grid);
+        let (x, y, z) = coords(&grid, 1, 2, 3);
+        let n = grid.local_n;
+        let exact = p.exact.as_ref().unwrap();
+        assert_eq!(e[1 + n[0] * (2 + n[1] * 3)], exact(x, y, z));
+    }
+}

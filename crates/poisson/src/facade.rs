@@ -1,0 +1,256 @@
+//! High-level per-rank solver facade.
+
+use accel::{Device, Scalar};
+use blockgrid::{BlockGrid, Decomp, Field};
+use comm::{Communicator, ReduceOp};
+use krylov::{bicgstab_solve, RankCtx, Scope, SolveOutcome, SolveParams, SolverKind, SolverOptions, Workspace};
+
+use crate::assemble::{local_exact, local_rhs};
+use crate::problem::PoissonProblem;
+
+/// One rank's fully wired Poisson solver: subdomain, operator, assembled
+/// and normalised right-hand side, and reusable Krylov workspace.
+///
+/// Construction performs the paper's setup phase — assemble `b` on the
+/// host, normalise it globally (all tolerances become relative), offload
+/// to the device once. `solve` then runs any of the six Table I solver
+/// configurations; the solution stays device-resident until
+/// [`PoissonSolver::solution_local`] copies it back (the paper's single
+/// end-of-run D2H transfer).
+pub struct PoissonSolver<T: Scalar, D: Device, C: Communicator<T>> {
+    ctx: RankCtx<T, D, C>,
+    ws: Workspace<T>,
+    b: Field<T>,
+    b_norm: f64,
+    x: Field<T>,
+    problem: PoissonProblem,
+}
+
+impl<T: Scalar, D: Device, C: Communicator<T>> PoissonSolver<T, D, C> {
+    /// Set up the solver for this rank's subdomain of `problem` under
+    /// `decomp`. `comm.size()` must equal `decomp.ranks()`.
+    pub fn new(problem: PoissonProblem, decomp: Decomp, dev: D, comm: C) -> Self {
+        assert_eq!(
+            comm.size(),
+            decomp.ranks(),
+            "decomposition must match the communicator size"
+        );
+        let grid = BlockGrid::new(problem.discretize(), decomp, comm.rank());
+        let ctx: RankCtx<T, D, C> = RankCtx::new(dev, comm, grid);
+
+        // Assemble and globally normalise the RHS (Sec. IV: "we always
+        // normalize the right-hand side").
+        let b_host = local_rhs(&problem, &ctx.grid);
+        let local_sq: f64 = b_host.iter().map(|v| v * v).sum();
+        let mut sums = [T::from_f64(local_sq)];
+        ctx.comm.all_reduce(&mut sums, ReduceOp::Sum);
+        let b_norm = sums[0].to_f64().max(0.0).sqrt();
+        assert!(b_norm > 0.0, "zero right-hand side");
+        let b_scaled: Vec<T> = b_host.iter().map(|&v| T::from_f64(v / b_norm)).collect();
+        let b = Field::from_interior(&ctx.dev, &ctx.grid, &b_scaled);
+
+        let ws = Workspace::new(&ctx.dev, &ctx.grid);
+        let x = Field::zeros(&ctx.dev, &ctx.grid);
+        Self { ctx, ws, b, b_norm, x, problem }
+    }
+
+    /// The rank context (device, communicator, grid, operator).
+    pub fn ctx(&self) -> &RankCtx<T, D, C> {
+        &self.ctx
+    }
+
+    /// The subdomain.
+    pub fn grid(&self) -> &BlockGrid {
+        &self.ctx.grid
+    }
+
+    /// The continuous problem.
+    pub fn problem(&self) -> &PoissonProblem {
+        &self.problem
+    }
+
+    /// Global RHS norm used for the normalisation.
+    pub fn rhs_norm(&self) -> f64 {
+        self.b_norm
+    }
+
+    /// Run one solver configuration from a zero initial guess.
+    ///
+    /// `params.tol` is relative to the RHS (the stored `b` is normalised).
+    pub fn solve(
+        &mut self,
+        kind: SolverKind,
+        opts: &SolverOptions,
+        params: &SolveParams,
+    ) -> SolveOutcome {
+        self.x.fill_zero();
+        let mut prec = kind.build_preconditioner(&self.ctx, opts);
+        bicgstab_solve(
+            &self.ctx,
+            Scope::Global,
+            &self.b,
+            &mut self.x,
+            &mut *prec,
+            &mut self.ws,
+            params,
+        )
+    }
+
+    /// Download this rank's interior solution, un-normalised back to the
+    /// original RHS scale (one D2H transfer).
+    pub fn solution_local(&self) -> Vec<f64> {
+        self.x
+            .interior_to_host(&self.ctx.grid)
+            .into_iter()
+            .map(|v| v.to_f64() * self.b_norm)
+            .collect()
+    }
+
+    /// Global relative L2 error and absolute max error against the
+    /// problem's exact solution (collective call — every rank must enter).
+    pub fn error_vs_exact(&self) -> (f64, f64) {
+        let exact = local_exact(&self.problem, &self.ctx.grid);
+        let got = self.solution_local();
+        let mut err_sq = 0.0;
+        let mut ref_sq = 0.0;
+        let mut linf: f64 = 0.0;
+        for (g, e) in got.iter().zip(&exact) {
+            let d = g - e;
+            err_sq += d * d;
+            ref_sq += e * e;
+            linf = linf.max(d.abs());
+        }
+        let mut sums = [T::from_f64(err_sq), T::from_f64(ref_sq)];
+        self.ctx.comm.all_reduce(&mut sums, ReduceOp::Sum);
+        let mut maxes = [T::from_f64(linf)];
+        self.ctx.comm.all_reduce(&mut maxes, ReduceOp::Max);
+        let l2_rel = (sums[0].to_f64() / sums[1].to_f64().max(f64::MIN_POSITIVE)).sqrt();
+        (l2_rel, maxes[0].to_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{paper_problem, unit_cube_dirichlet};
+    use accel::{Recorder, Serial};
+    use comm::{run_ranks, ReduceOrder, SelfComm, ThreadComm};
+
+    fn solve_single(nodes: usize) -> (f64, f64, SolveOutcome) {
+        let p = paper_problem(nodes);
+        let mut solver: PoissonSolver<f64, _, _> = PoissonSolver::new(
+            p,
+            Decomp::single(),
+            Serial::new(Recorder::disabled()),
+            SelfComm::default(),
+        );
+        let out = solver.solve(
+            SolverKind::BiCgsGNoCommCi,
+            &SolverOptions { eig_min_factor: 10.0, ..Default::default() },
+            &SolveParams { tol: 1e-12, max_iters: 20_000, record_history: false, ..Default::default() },
+        );
+        let (l2, linf) = solver.error_vs_exact();
+        (l2, linf, out)
+    }
+
+    #[test]
+    fn converges_to_manufactured_solution() {
+        let (l2, _linf, out) = solve_single(13);
+        assert!(out.converged, "{out:?}");
+        assert!(l2 < 1e-3, "relative L2 error {l2}");
+    }
+
+    #[test]
+    fn second_order_convergence() {
+        // halving h must cut the discretisation error ~4x
+        let (l2_coarse, _, out1) = solve_single(9);
+        let (l2_fine, _, out2) = solve_single(17);
+        assert!(out1.converged && out2.converged);
+        let rate = l2_coarse / l2_fine;
+        assert!(
+            (3.0..5.5).contains(&rate),
+            "expected ~4x error reduction, got {rate} ({l2_coarse} -> {l2_fine})"
+        );
+    }
+
+    #[test]
+    fn unit_cube_dirichlet_solves() {
+        let p = unit_cube_dirichlet(17);
+        let mut solver: PoissonSolver<f64, _, _> = PoissonSolver::new(
+            p,
+            Decomp::single(),
+            Serial::new(Recorder::disabled()),
+            SelfComm::default(),
+        );
+        let out = solver.solve(
+            SolverKind::BiCgs,
+            &SolverOptions::default(),
+            &SolveParams { tol: 1e-11, max_iters: 10_000, record_history: false, ..Default::default() },
+        );
+        assert!(out.converged);
+        let (l2, _) = solver.error_vs_exact();
+        assert!(l2 < 5e-3, "relative L2 error {l2}");
+    }
+
+    #[test]
+    fn distributed_solution_matches_exact() {
+        run_ranks::<f64, _, _>(8, ReduceOrder::RankOrder, |comm| {
+            let p = paper_problem(13);
+            let mut solver: PoissonSolver<f64, Serial, ThreadComm<f64>> = PoissonSolver::new(
+                p,
+                Decomp::new([2, 2, 2]),
+                Serial::new(Recorder::disabled()),
+                comm,
+            );
+            let out = solver.solve(
+                SolverKind::BiCgsGNoCommCi,
+                &SolverOptions { eig_min_factor: 10.0, ..Default::default() },
+                &SolveParams { tol: 1e-12, max_iters: 20_000, record_history: false, ..Default::default() },
+            );
+            assert!(out.converged);
+            let (l2, _) = solver.error_vs_exact();
+            assert!(l2 < 1e-3, "relative L2 error {l2}");
+        });
+    }
+
+    #[test]
+    fn rhs_norm_restores_scale() {
+        // the normalised internal RHS must reproduce an un-normalised
+        // solution: solving the same problem twice with RHS scaled by c
+        // gives identical `solution_local` output because the problem is
+        // identical — here we just assert the norm is positive and the
+        // solution is not normalised-scale.
+        let p = paper_problem(9);
+        let mut solver: PoissonSolver<f64, _, _> = PoissonSolver::new(
+            p,
+            Decomp::single(),
+            Serial::new(Recorder::disabled()),
+            SelfComm::default(),
+        );
+        assert!(solver.rhs_norm() > 1.0, "paper RHS has a large norm");
+        let out = solver.solve(
+            SolverKind::BiCgsGNoCommCi,
+            &SolverOptions { eig_min_factor: 10.0, ..Default::default() },
+            &SolveParams { tol: 1e-12, max_iters: 20_000, record_history: false, ..Default::default() },
+        );
+        assert!(out.converged);
+        let sol = solver.solution_local();
+        let exact = crate::assemble::local_exact(solver.problem(), solver.grid());
+        // un-normalised magnitudes match the exact solution's scale
+        let max_sol = sol.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        let max_exact = exact.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        assert!((max_sol / max_exact - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "decomposition must match")]
+    fn mismatched_decomposition_rejected() {
+        let p = paper_problem(9);
+        let _: PoissonSolver<f64, _, _> = PoissonSolver::new(
+            p,
+            Decomp::new([2, 1, 1]),
+            Serial::new(Recorder::disabled()),
+            SelfComm::default(),
+        );
+    }
+}

@@ -1,0 +1,562 @@
+//! Matrix-free application of the discrete Poisson operator.
+//!
+//! The solver never stores the matrix: `A x` is a 7-point stencil sweep
+//! over the subdomain interior (Sec. III-B), fused where the algorithm
+//! allows with the local scalar products (`KernelBiCGS1/3` in Alg. 3).
+//! Before any sweep the ghost layers must be current:
+//!
+//! 1. interface ghosts — [`blockgrid::HaloExchange`] (the `MPI*` stages);
+//! 2. physical ghosts — [`apply_physical_bcs`] (the paper's
+//!    `KernelNeumannBCs`): Neumann faces mirror the first interior plane
+//!    across the boundary node (realising the `-2` row of Eq. 5), and
+//!    Dirichlet faces are pinned to zero (the boundary values live in the
+//!    right-hand side).
+
+use accel::{Device, KernelInfo, Recorder, Scalar};
+use blockgrid::{BcKind, BlockGrid, Field, LocalBoundary};
+
+use crate::op1d::{EndKind, Op1d};
+
+/// Cost metadata for the plain stencil sweep: streams u and w once
+/// (2 × 8 B) and does ~10 flops per element.
+pub const INFO_APPLY: KernelInfo = KernelInfo::new("KernelApplyA", 32, 10);
+/// The `KernelNeumannBCs` ghost update (plane traffic folded into a
+/// nominal per-element cost; it touches O(N²) of an O(N³) field).
+pub const INFO_NEUMANN_BCS: KernelInfo = KernelInfo::new("KernelNeumannBCs", 16, 0);
+
+/// The matrix-free 7-point Laplacian on one subdomain.
+#[derive(Clone, Debug)]
+pub struct Laplacian {
+    grid: BlockGrid,
+}
+
+impl Laplacian {
+    /// Build the operator for a subdomain.
+    ///
+    /// Requires at least two local unknowns along any axis whose faces
+    /// include a physical Neumann boundary (the mirrored ghost of a
+    /// 1-cell-thick subdomain would alias the opposite ghost layer).
+    pub fn new(grid: &BlockGrid) -> Self {
+        for a in 0..3 {
+            let neumann = (0..2).any(|s| {
+                matches!(
+                    grid.boundary(a, s),
+                    LocalBoundary::Physical(BcKind::Neumann)
+                )
+            });
+            assert!(
+                !(neumann && grid.local_n[a] < 2),
+                "axis {a}: Neumann face needs at least 2 local unknowns, got {}",
+                grid.local_n[a]
+            );
+        }
+        Self { grid: grid.clone() }
+    }
+
+    /// The subdomain this operator acts on.
+    pub fn grid(&self) -> &BlockGrid {
+        &self.grid
+    }
+
+    /// Per-axis 1-D operators of the *global* matrix (Eq. 6).
+    pub fn global_ops(&self) -> [Op1d; 3] {
+        std::array::from_fn(|a| {
+            Op1d::new(
+                self.grid.global.n[a],
+                EndKind::from_bc(self.grid.global.bc[a][0]),
+                EndKind::from_bc(self.grid.global.bc[a][1]),
+            )
+        })
+    }
+
+    /// Per-axis 1-D operators of the *local* restricted matrix
+    /// `R_s A R_sᵀ` (interfaces truncate to Dirichlet-like ends, Eq. 13).
+    pub fn local_ops(&self) -> [Op1d; 3] {
+        std::array::from_fn(|a| {
+            Op1d::new(
+                self.grid.local_n[a],
+                EndKind::from_local_boundary(self.grid.boundary(a, 0)),
+                EndKind::from_local_boundary(self.grid.boundary(a, 1)),
+            )
+        })
+    }
+
+    #[inline(always)]
+    fn coeffs<T: Scalar>(&self) -> ([T; 3], usize, usize) {
+        let h = self.grid.global.h;
+        let c: [T; 3] = std::array::from_fn(|a| T::from_f64(1.0 / (h[a] * h[a])));
+        let p = self.grid.padded();
+        (c, p[0], p[0] * p[1])
+    }
+
+    /// `w = A u` over the interior. `u`'s ghosts must be current.
+    pub fn apply<T: Scalar, D: Device>(
+        &self,
+        dev: &D,
+        info: KernelInfo,
+        u: &Field<T>,
+        w: &mut Field<T>,
+    ) {
+        let ([cx, cy, cz], sy, sz) = self.coeffs::<T>();
+        let map = self.grid.interior_map();
+        let us = u.as_slice();
+        let base0 = map.base;
+        let two = T::from_f64(2.0);
+        dev.launch_rows(info, map, w.as_mut_slice(), |j, k, row| {
+            let b = base0 + j * sy + k * sz;
+            for (i, out) in row.iter_mut().enumerate() {
+                let c = b + i;
+                let uc = us[c];
+                *out = cx * (two * uc - us[c - 1] - us[c + 1])
+                    + cy * (two * uc - us[c - sy] - us[c + sy])
+                    + cz * (two * uc - us[c - sz] - us[c + sz]);
+            }
+        });
+    }
+
+    /// `w = A u` fused with the local dot `g · w` (the paper's
+    /// `KernelBiCGS1`: `w = A p̂`, `p_sum = r̃ᵀ w`).
+    pub fn apply_fused_dot<T: Scalar, D: Device>(
+        &self,
+        dev: &D,
+        info: KernelInfo,
+        u: &Field<T>,
+        w: &mut Field<T>,
+        g: &Field<T>,
+    ) -> T {
+        let ([cx, cy, cz], sy, sz) = self.coeffs::<T>();
+        let map = self.grid.interior_map();
+        let us = u.as_slice();
+        let gs = g.as_slice();
+        let base0 = map.base;
+        let two = T::from_f64(2.0);
+        let [dot] = dev.launch_rows_reduce(info, map, w.as_mut_slice(), |j, k, row| {
+            let b = base0 + j * sy + k * sz;
+            let mut acc = T::ZERO;
+            for (i, out) in row.iter_mut().enumerate() {
+                let c = b + i;
+                let uc = us[c];
+                let v = cx * (two * uc - us[c - 1] - us[c + 1])
+                    + cy * (two * uc - us[c - sy] - us[c + sy])
+                    + cz * (two * uc - us[c - sz] - us[c + sz]);
+                *out = v;
+                acc += gs[c] * v;
+            }
+            [acc]
+        });
+        dot
+    }
+
+    /// Fused affine stencil sweep: `out = ca * (A u) + sum_i c_i * f_i`
+    /// over the interior, with up to three extra fields.
+    ///
+    /// This is the shape of the Chebyshev kernels of Algorithm 4:
+    /// `KernelCI1` is `y = c1*b + ca*(A b)` and `KernelCI2` is
+    /// `w = c1*y + c2*b + c3*z + ca*(A y)` — one stencil sweep each, no
+    /// reductions (the iteration is reduction-free by construction).
+    pub fn apply_combine<T: Scalar, D: Device>(
+        &self,
+        dev: &D,
+        info: KernelInfo,
+        u: &Field<T>,
+        out: &mut Field<T>,
+        ca: T,
+        terms: &[(&Field<T>, T)],
+    ) {
+        assert!(terms.len() <= 3, "apply_combine supports at most 3 extra terms");
+        let ([cx, cy, cz], sy, sz) = self.coeffs::<T>();
+        let map = self.grid.interior_map();
+        let us = u.as_slice();
+        let term_slices: Vec<(&[T], T)> = terms.iter().map(|(f, c)| (f.as_slice(), *c)).collect();
+        let base0 = map.base;
+        let two = T::from_f64(2.0);
+        dev.launch_rows(info, map, out.as_mut_slice(), |j, k, row| {
+            let b = base0 + j * sy + k * sz;
+            for (i, o) in row.iter_mut().enumerate() {
+                let c = b + i;
+                let uc = us[c];
+                let au = cx * (two * uc - us[c - 1] - us[c + 1])
+                    + cy * (two * uc - us[c - sy] - us[c + sy])
+                    + cz * (two * uc - us[c - sz] - us[c + sz]);
+                let mut v = ca * au;
+                for (f, coeff) in &term_slices {
+                    v += *coeff * f[c];
+                }
+                *o = v;
+            }
+        });
+    }
+
+    /// `t = A u` fused with the two local dots `(t · r, t · t)` (the
+    /// paper's `KernelBiCGS3`).
+    pub fn apply_fused_dot2<T: Scalar, D: Device>(
+        &self,
+        dev: &D,
+        info: KernelInfo,
+        u: &Field<T>,
+        t: &mut Field<T>,
+        r: &Field<T>,
+    ) -> (T, T) {
+        let ([cx, cy, cz], sy, sz) = self.coeffs::<T>();
+        let map = self.grid.interior_map();
+        let us = u.as_slice();
+        let rs = r.as_slice();
+        let base0 = map.base;
+        let two = T::from_f64(2.0);
+        let [tr, tt] = dev.launch_rows_reduce(info, map, t.as_mut_slice(), |j, k, row| {
+            let b = base0 + j * sy + k * sz;
+            let mut acc_tr = T::ZERO;
+            let mut acc_tt = T::ZERO;
+            for (i, out) in row.iter_mut().enumerate() {
+                let c = b + i;
+                let uc = us[c];
+                let v = cx * (two * uc - us[c - 1] - us[c + 1])
+                    + cy * (two * uc - us[c - sy] - us[c + sy])
+                    + cz * (two * uc - us[c - sz] - us[c + sz]);
+                *out = v;
+                acc_tr += v * rs[c];
+                acc_tt += v * v;
+            }
+            [acc_tr, acc_tt]
+        });
+        (tr, tt)
+    }
+}
+
+/// Update the physical-boundary ghost layers of `field` (the paper's
+/// `KernelNeumannBCs` stage): mirror interior planes across Neumann faces,
+/// zero Dirichlet faces. Interface ghosts are untouched — they belong to
+/// the halo exchange.
+///
+/// When `restricted` is `true`, interface ghosts are *also* zeroed: this
+/// turns the sweep into the Block-Jacobi restricted operator `R_s A R_sᵀ`
+/// of Eq. 13 (used by the BJ and GNoComm preconditioners, which skip all
+/// communication).
+pub fn apply_physical_bcs<T: Scalar>(
+    grid: &BlockGrid,
+    field: &mut Field<T>,
+    recorder: &Recorder,
+    restricted: bool,
+) {
+    let n = grid.local_n;
+    let mut ghost_elems = 0usize;
+    for axis in 0..3 {
+        for side in 0..2 {
+            enum Action {
+                Mirror,
+                Zero,
+                Skip,
+            }
+            let action = match (grid.boundary(axis, side), restricted) {
+                (LocalBoundary::Physical(BcKind::Neumann), _) => Action::Mirror,
+                (LocalBoundary::Physical(BcKind::Dirichlet), _) => Action::Zero,
+                (LocalBoundary::Interface { .. }, true) => Action::Zero,
+                (LocalBoundary::Interface { .. }, false) => Action::Skip,
+            };
+            if matches!(action, Action::Skip) {
+                continue;
+            }
+            // ghost plane coordinate and its mirror (one-in from the
+            // boundary node, i.e. two steps from the ghost)
+            let (ghost, mirror) = if side == 0 { (0, 2) } else { (n[axis] + 1, n[axis] - 1) };
+            let (pa, pb) = match axis {
+                0 => (n[1], n[2]),
+                1 => (n[0], n[2]),
+                _ => (n[0], n[1]),
+            };
+            ghost_elems += pa * pb;
+            let data = field.as_mut_slice();
+            for b in 1..=pb {
+                for a in 1..=pa {
+                    let (gi, mi) = match axis {
+                        0 => (field_idx(grid, ghost, a, b), field_idx(grid, mirror, a, b)),
+                        1 => (field_idx(grid, a, ghost, b), field_idx(grid, a, mirror, b)),
+                        _ => (field_idx(grid, a, b, ghost), field_idx(grid, a, b, mirror)),
+                    };
+                    data[gi] = match action {
+                        Action::Mirror => data[mi],
+                        Action::Zero => T::ZERO,
+                        Action::Skip => unreachable!(),
+                    };
+                }
+            }
+        }
+    }
+    recorder.kernel(INFO_NEUMANN_BCS, ghost_elems);
+}
+
+#[inline(always)]
+fn field_idx(grid: &BlockGrid, i: usize, j: usize, k: usize) -> usize {
+    grid.idx(i, j, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::assemble_poisson;
+    use accel::{Serial, SimGpu, GpuSimParams, Threads};
+    use blockgrid::{Decomp, GlobalGrid};
+
+    fn rng_values(n: usize, seed: u64) -> Vec<f64> {
+        // small deterministic LCG; avoids pulling rand into the hot crate
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+            })
+            .collect()
+    }
+
+    fn single_rank_grid(n: [usize; 3], bc: [[BcKind; 2]; 3]) -> BlockGrid {
+        let mut g = GlobalGrid::dirichlet(n, [0.3, 0.5, 0.7], [0.0; 3]);
+        g.bc = bc;
+        BlockGrid::new(g, Decomp::single(), 0)
+    }
+
+    /// Dense reference: y = A x for the global operator.
+    fn dense_apply(grid: &BlockGrid, x: &[f64]) -> Vec<f64> {
+        let lap = Laplacian::new(grid);
+        let m = assemble_poisson(&lap.global_ops(), grid.global.h);
+        m.matvec(x)
+    }
+
+    fn check_apply_matches_dense(bc: [[BcKind; 2]; 3]) {
+        let grid = single_rank_grid([4, 3, 5], bc);
+        let dev = Serial::new(Recorder::disabled());
+        let lap = Laplacian::new(&grid);
+        let x = rng_values(grid.global.unknowns(), 42);
+        let u = Field::from_interior(&dev, &grid, &x);
+        let mut u = u;
+        apply_physical_bcs(&grid, &mut u, &Recorder::disabled(), false);
+        let mut w = Field::zeros(&dev, &grid);
+        lap.apply(&dev, INFO_APPLY, &u, &mut w);
+        let got = w.interior_to_host(&grid);
+        let expect = dense_apply(&grid, &x);
+        for (i, (a, b)) in got.iter().zip(&expect).enumerate() {
+            assert!((a - b).abs() < 1e-12, "entry {i}: {a} vs {b} (bc {bc:?})");
+        }
+    }
+
+    #[test]
+    fn apply_matches_dense_all_dirichlet() {
+        check_apply_matches_dense([[BcKind::Dirichlet; 2]; 3]);
+    }
+
+    #[test]
+    fn apply_matches_dense_paper_bcs() {
+        // paper: Dirichlet on x-, y+, z+; Neumann on x+, y-, z-
+        check_apply_matches_dense([
+            [BcKind::Dirichlet, BcKind::Neumann],
+            [BcKind::Neumann, BcKind::Dirichlet],
+            [BcKind::Neumann, BcKind::Dirichlet],
+        ]);
+    }
+
+    #[test]
+    fn apply_matches_dense_all_neumann_x() {
+        check_apply_matches_dense([
+            [BcKind::Neumann, BcKind::Neumann],
+            [BcKind::Dirichlet, BcKind::Dirichlet],
+            [BcKind::Dirichlet, BcKind::Neumann],
+        ]);
+    }
+
+    #[test]
+    fn fused_dot_matches_separate() {
+        let grid = single_rank_grid([5, 4, 3], [[BcKind::Dirichlet; 2]; 3]);
+        let dev = Serial::new(Recorder::disabled());
+        let lap = Laplacian::new(&grid);
+        let x = rng_values(grid.global.unknowns(), 7);
+        let gv = rng_values(grid.global.unknowns(), 8);
+        let mut u = Field::from_interior(&dev, &grid, &x);
+        apply_physical_bcs(&grid, &mut u, &Recorder::disabled(), false);
+        let g = Field::from_interior(&dev, &grid, &gv);
+        let mut w = Field::zeros(&dev, &grid);
+        let dot = lap.apply_fused_dot(&dev, INFO_APPLY, &u, &mut w, &g);
+        let wi = w.interior_to_host(&grid);
+        let expect: f64 = wi.iter().zip(&gv).map(|(a, b)| a * b).sum();
+        assert!((dot - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fused_dot2_matches_separate() {
+        let grid = single_rank_grid([3, 3, 3], [[BcKind::Dirichlet; 2]; 3]);
+        let dev = Serial::new(Recorder::disabled());
+        let lap = Laplacian::new(&grid);
+        let x = rng_values(27, 3);
+        let rv = rng_values(27, 4);
+        let mut u = Field::from_interior(&dev, &grid, &x);
+        apply_physical_bcs(&grid, &mut u, &Recorder::disabled(), false);
+        let r = Field::from_interior(&dev, &grid, &rv);
+        let mut t = Field::zeros(&dev, &grid);
+        let (tr, tt) = lap.apply_fused_dot2(&dev, INFO_APPLY, &u, &mut t, &r);
+        let ti = t.interior_to_host(&grid);
+        let e_tr: f64 = ti.iter().zip(&rv).map(|(a, b)| a * b).sum();
+        let e_tt: f64 = ti.iter().map(|a| a * a).sum();
+        // fused and separate sums use different groupings; compare relatively
+        assert!((tr - e_tr).abs() < 1e-12 * e_tr.abs().max(1.0));
+        assert!((tt - e_tt).abs() < 1e-12 * e_tt.max(1.0));
+    }
+
+    #[test]
+    fn apply_combine_matches_composition() {
+        let grid = single_rank_grid([4, 4, 4], [[BcKind::Dirichlet; 2]; 3]);
+        let dev = Serial::new(Recorder::disabled());
+        let lap = Laplacian::new(&grid);
+        let n = 64;
+        let uv = rng_values(n, 1);
+        let f1v = rng_values(n, 2);
+        let f2v = rng_values(n, 3);
+        let mut u = Field::from_interior(&dev, &grid, &uv);
+        apply_physical_bcs(&grid, &mut u, &Recorder::disabled(), false);
+        let f1 = Field::from_interior(&dev, &grid, &f1v);
+        let f2 = Field::from_interior(&dev, &grid, &f2v);
+        let mut out = Field::zeros(&dev, &grid);
+        let (ca, c1, c2) = (0.25, -1.5, 2.0);
+        lap.apply_combine(&dev, INFO_APPLY, &u, &mut out, ca, &[(&f1, c1), (&f2, c2)]);
+        // reference: separate apply then axpys
+        let mut au = Field::zeros(&dev, &grid);
+        lap.apply(&dev, INFO_APPLY, &u, &mut au);
+        let aui = au.interior_to_host(&grid);
+        let got = out.interior_to_host(&grid);
+        for i in 0..n {
+            let expect = ca * aui[i] + c1 * f1v[i] + c2 * f2v[i];
+            assert!((got[i] - expect).abs() < 1e-13 * expect.abs().max(1.0), "{i}");
+        }
+    }
+
+    #[test]
+    fn apply_combine_no_terms_is_scaled_apply() {
+        let grid = single_rank_grid([3, 3, 3], [[BcKind::Dirichlet; 2]; 3]);
+        let dev = Serial::new(Recorder::disabled());
+        let lap = Laplacian::new(&grid);
+        let uv = rng_values(27, 5);
+        let mut u = Field::from_interior(&dev, &grid, &uv);
+        apply_physical_bcs(&grid, &mut u, &Recorder::disabled(), false);
+        let mut out = Field::zeros(&dev, &grid);
+        lap.apply_combine(&dev, INFO_APPLY, &u, &mut out, -1.0, &[]);
+        let mut au = Field::zeros(&dev, &grid);
+        lap.apply(&dev, INFO_APPLY, &u, &mut au);
+        let a = out.interior_to_host(&grid);
+        let b = au.interior_to_host(&grid);
+        for i in 0..27 {
+            assert_eq!(a[i], -b[i]);
+        }
+    }
+
+    #[test]
+    fn same_result_across_backends() {
+        let grid = single_rank_grid(
+            [6, 5, 4],
+            [
+                [BcKind::Dirichlet, BcKind::Neumann],
+                [BcKind::Neumann, BcKind::Dirichlet],
+                [BcKind::Dirichlet, BcKind::Dirichlet],
+            ],
+        );
+        let x = rng_values(grid.global.unknowns(), 11);
+        let run = |devname: &str| -> Vec<f64> {
+            let rec = Recorder::disabled();
+            let lap = Laplacian::new(&grid);
+            match devname {
+                "serial" => {
+                    let dev = Serial::new(rec);
+                    let mut u = Field::from_interior(&dev, &grid, &x);
+                    apply_physical_bcs(&grid, &mut u, &Recorder::disabled(), false);
+                    let mut w = Field::zeros(&dev, &grid);
+                    lap.apply(&dev, INFO_APPLY, &u, &mut w);
+                    w.interior_to_host(&grid)
+                }
+                "threads" => {
+                    let dev = Threads::new(3, rec);
+                    let mut u = Field::from_interior(&dev, &grid, &x);
+                    apply_physical_bcs(&grid, &mut u, &Recorder::disabled(), false);
+                    let mut w = Field::zeros(&dev, &grid);
+                    lap.apply(&dev, INFO_APPLY, &u, &mut w);
+                    w.interior_to_host(&grid)
+                }
+                _ => {
+                    let dev = SimGpu::new(GpuSimParams::mi250x(), rec);
+                    let mut u = Field::from_interior(&dev, &grid, &x);
+                    apply_physical_bcs(&grid, &mut u, &Recorder::disabled(), false);
+                    let mut w = Field::zeros(&dev, &grid);
+                    lap.apply(&dev, INFO_APPLY, &u, &mut w);
+                    w.interior_to_host(&grid)
+                }
+            }
+        };
+        let a = run("serial");
+        let b = run("threads");
+        let c = run("gpu");
+        assert_eq!(a, b, "elementwise kernels must agree exactly");
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn restricted_bcs_zero_interface_ghosts() {
+        // two ranks in x; rank 0 high-x face is an interface
+        let mut g = GlobalGrid::dirichlet([8, 4, 4], [0.1; 3], [0.0; 3]);
+        g.bc[0] = [BcKind::Dirichlet, BcKind::Dirichlet];
+        let grid = BlockGrid::new(g, Decomp::new([2, 1, 1]), 0);
+        let dev = Serial::new(Recorder::disabled());
+        let mut f = Field::from_interior(&dev, &grid, &vec![1.0f64; 4 * 4 * 4]);
+        // scribble an "exchanged" value into the interface ghost
+        let gi = grid.idx(5, 2, 2);
+        f.as_mut_slice()[gi] = 7.0;
+        apply_physical_bcs(&grid, &mut f, &Recorder::disabled(), false);
+        assert_eq!(f.as_slice()[gi], 7.0, "unrestricted keeps interface ghosts");
+        apply_physical_bcs(&grid, &mut f, &Recorder::disabled(), true);
+        assert_eq!(f.as_slice()[gi], 0.0, "restricted zeroes interface ghosts");
+    }
+
+    #[test]
+    fn neumann_mirror_values() {
+        let grid = single_rank_grid(
+            [4, 2, 2],
+            [
+                [BcKind::Neumann, BcKind::Dirichlet],
+                [BcKind::Dirichlet, BcKind::Dirichlet],
+                [BcKind::Dirichlet, BcKind::Dirichlet],
+            ],
+        );
+        let dev = Serial::new(Recorder::disabled());
+        let interior: Vec<f64> = (0..16).map(|i| i as f64 + 1.0).collect();
+        let mut f = Field::from_interior(&dev, &grid, &interior);
+        apply_physical_bcs(&grid, &mut f, &Recorder::disabled(), false);
+        // ghost (0, j, k) must equal interior (2, j, k)
+        for k in 1..=2 {
+            for j in 1..=2 {
+                assert_eq!(
+                    f.as_slice()[grid.idx(0, j, k)],
+                    f.as_slice()[grid.idx(2, j, k)]
+                );
+            }
+        }
+        // Dirichlet high-x ghost is zero
+        assert_eq!(f.as_slice()[grid.idx(5, 1, 1)], 0.0);
+    }
+
+    #[test]
+    fn local_ops_classify_interfaces() {
+        let mut g = GlobalGrid::dirichlet([8, 8, 8], [0.1; 3], [0.0; 3]);
+        g.bc[0] = [BcKind::Neumann, BcKind::Dirichlet];
+        let grid = BlockGrid::new(g, Decomp::new([2, 1, 1]), 0);
+        let lap = Laplacian::new(&grid);
+        let local = lap.local_ops();
+        assert_eq!(local[0].lo, EndKind::Neumann);
+        assert_eq!(local[0].hi, EndKind::DirichletLike); // interface
+        let global = lap.global_ops();
+        assert_eq!(global[0].n, 8);
+        assert_eq!(local[0].n, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "Neumann face needs at least 2")]
+    fn thin_neumann_subdomain_rejected() {
+        let mut g = GlobalGrid::dirichlet([1, 4, 4], [0.1; 3], [0.0; 3]);
+        g.bc[0] = [BcKind::Neumann, BcKind::Dirichlet];
+        let grid = BlockGrid::new(g, Decomp::single(), 0);
+        let _ = Laplacian::new(&grid);
+    }
+}

@@ -1,0 +1,184 @@
+//! One-dimensional discrete Laplacian operators (Eqs. 4–5 of the paper).
+//!
+//! The 3-D Poisson matrix is the Kronecker sum of per-axis 1-D operators
+//! (Eq. 6). Each axis operator is the tridiagonal matrix **D** (Dirichlet
+//! on both ends) or **N** (Neumann on one or both ends, with a `-2`
+//! off-diagonal in the boundary row from the second-order ghost
+//! elimination). This module gives those operators an explicit, testable
+//! form; the matrix-free stencil in [`crate::laplacian`] must agree with
+//! it row for row.
+
+use blockgrid::{BcKind, LocalBoundary};
+
+/// What one end of a 1-D axis operator looks like.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EndKind {
+    /// Coupling truncated: physical Dirichlet boundary *or* a subdomain
+    /// interface in the Block-Jacobi restriction (Eq. 13) — both drop the
+    /// off-diagonal term beyond the end.
+    DirichletLike,
+    /// Physical Neumann boundary: boundary node is an unknown and its row
+    /// couples with `-2` toward the interior (mirrored ghost).
+    Neumann,
+}
+
+impl EndKind {
+    /// Classify a subdomain face for the *local* (restricted) operator.
+    pub fn from_local_boundary(lb: LocalBoundary) -> Self {
+        match lb {
+            LocalBoundary::Interface { .. } => Self::DirichletLike,
+            LocalBoundary::Physical(BcKind::Dirichlet) => Self::DirichletLike,
+            LocalBoundary::Physical(BcKind::Neumann) => Self::Neumann,
+        }
+    }
+
+    /// Classify a physical boundary condition for the *global* operator.
+    pub fn from_bc(bc: BcKind) -> Self {
+        match bc {
+            BcKind::Dirichlet => Self::DirichletLike,
+            BcKind::Neumann => Self::Neumann,
+        }
+    }
+}
+
+/// A 1-D axis operator: `n` unknowns with the given end treatments.
+///
+/// Row `i` is `(-sub, 2, -sup)` with `sub = sup = 1` in the interior;
+/// a Neumann low end makes row 0 `(2, -2)` (the paper's `alpha = 2`), a
+/// Neumann high end makes row `n-1` `(-2, 2)` (`beta = 2`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Op1d {
+    /// Number of unknowns along the axis.
+    pub n: usize,
+    /// Treatment of the low end.
+    pub lo: EndKind,
+    /// Treatment of the high end.
+    pub hi: EndKind,
+}
+
+impl Op1d {
+    /// Create an axis operator (`n >= 1`).
+    pub fn new(n: usize, lo: EndKind, hi: EndKind) -> Self {
+        assert!(n >= 1, "1-D operator needs at least one unknown");
+        Self { n, lo, hi }
+    }
+
+    /// Pure Dirichlet operator **D** (Eq. 4).
+    pub fn dirichlet(n: usize) -> Self {
+        Self::new(n, EndKind::DirichletLike, EndKind::DirichletLike)
+    }
+
+    /// Sub-diagonal magnitude of row `i` (`a[i][i-1] = -subdiag(i)`);
+    /// zero for row 0.
+    pub fn subdiag(&self, i: usize) -> f64 {
+        if i == 0 {
+            0.0
+        } else if i == self.n - 1 && self.hi == EndKind::Neumann {
+            2.0
+        } else {
+            1.0
+        }
+    }
+
+    /// Super-diagonal magnitude of row `i` (`a[i][i+1] = -superdiag(i)`);
+    /// zero for the last row.
+    pub fn superdiag(&self, i: usize) -> f64 {
+        if i + 1 == self.n {
+            0.0
+        } else if i == 0 && self.lo == EndKind::Neumann {
+            2.0
+        } else {
+            1.0
+        }
+    }
+
+    /// Diagonal entry (always 2 for the second-order Laplacian).
+    pub fn diag(&self, _i: usize) -> f64 {
+        2.0
+    }
+
+    /// Dense `n × n` matrix (row-major) for testing.
+    pub fn to_dense(&self) -> Vec<f64> {
+        let n = self.n;
+        let mut a = vec![0.0; n * n];
+        for i in 0..n {
+            a[i * n + i] = self.diag(i);
+            if i > 0 {
+                a[i * n + i - 1] = -self.subdiag(i);
+            }
+            if i + 1 < n {
+                a[i * n + i + 1] = -self.superdiag(i);
+            }
+        }
+        a
+    }
+
+    /// `true` if the matrix is symmetric (no Neumann end, or `n == 1`).
+    pub fn is_symmetric(&self) -> bool {
+        self.n == 1 || (self.lo != EndKind::Neumann && self.hi != EndKind::Neumann)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dirichlet_matrix_matches_eq4() {
+        let op = Op1d::dirichlet(4);
+        let a = op.to_dense();
+        let expect = [
+            2.0, -1.0, 0.0, 0.0, //
+            -1.0, 2.0, -1.0, 0.0, //
+            0.0, -1.0, 2.0, -1.0, //
+            0.0, 0.0, -1.0, 2.0,
+        ];
+        assert_eq!(a, expect);
+        assert!(op.is_symmetric());
+    }
+
+    #[test]
+    fn neumann_low_matches_eq5_alpha2() {
+        let op = Op1d::new(3, EndKind::Neumann, EndKind::DirichletLike);
+        let a = op.to_dense();
+        let expect = [
+            2.0, -2.0, 0.0, //
+            -1.0, 2.0, -1.0, //
+            0.0, -1.0, 2.0,
+        ];
+        assert_eq!(a, expect);
+        assert!(!op.is_symmetric());
+    }
+
+    #[test]
+    fn neumann_high_matches_eq5_beta2() {
+        let op = Op1d::new(3, EndKind::DirichletLike, EndKind::Neumann);
+        let a = op.to_dense();
+        let expect = [
+            2.0, -1.0, 0.0, //
+            -1.0, 2.0, -1.0, //
+            0.0, -2.0, 2.0,
+        ];
+        assert_eq!(a, expect);
+    }
+
+    #[test]
+    fn end_kind_classification() {
+        assert_eq!(
+            EndKind::from_local_boundary(LocalBoundary::Interface { neighbor: 1 }),
+            EndKind::DirichletLike
+        );
+        assert_eq!(
+            EndKind::from_local_boundary(LocalBoundary::Physical(BcKind::Neumann)),
+            EndKind::Neumann
+        );
+        assert_eq!(EndKind::from_bc(BcKind::Dirichlet), EndKind::DirichletLike);
+    }
+
+    #[test]
+    fn single_unknown_operator() {
+        let op = Op1d::new(1, EndKind::DirichletLike, EndKind::Neumann);
+        assert_eq!(op.to_dense(), vec![2.0]);
+        assert!(op.is_symmetric());
+    }
+}

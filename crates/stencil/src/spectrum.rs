@@ -1,0 +1,336 @@
+//! Spectral bounds of the discrete Poisson operator (Sec. II-A).
+//!
+//! The Chebyshev preconditioners need `lambda_min` and `lambda_max` of the
+//! operator. By the Kronecker-sum structure (Eq. 8), every 3-D eigenvalue
+//! is a sum of per-axis 1-D eigenvalues scaled by `1/h²`, so the extreme
+//! 3-D eigenvalues follow from per-axis extremes (Eqs. 10–11):
+//!
+//! * Matrix **D** (Dirichlet ends): the analytic spectrum of Eq. 9.
+//! * Matrix **N** (Neumann end): no closed form. The paper cites the
+//!   Gerschgorin estimate `[0, 4]`; we additionally compute *sharp*
+//!   extremes with a Sturm-sequence bisection on the symmetrized
+//!   tridiagonal (N has positive sub·super products, so it is similar to
+//!   a symmetric tridiagonal with the same spectrum).
+
+use crate::op1d::{EndKind, Op1d};
+
+/// Extreme eigenvalues of an operator, `0 < min <= max`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SpectralBounds {
+    /// Smallest eigenvalue.
+    pub min: f64,
+    /// Largest eigenvalue.
+    pub max: f64,
+}
+
+impl SpectralBounds {
+    /// Bergamaschi-style rescaling (Sec. IV): shrink the top of the
+    /// interval slightly and inflate the bottom, which accelerates the
+    /// outer Krylov iteration when the Chebyshev polynomial is used as a
+    /// preconditioner. The paper uses `max_shrink = 1e-4` and
+    /// `min_factor = 100` (multi-rank) or `10` (single-rank).
+    pub fn rescaled(self, max_shrink: f64, min_factor: f64) -> Self {
+        let min = self.min * min_factor;
+        let max = self.max * (1.0 - max_shrink);
+        assert!(
+            min < max,
+            "rescaling collapsed the spectral interval: [{min}, {max}]"
+        );
+        Self { min, max }
+    }
+}
+
+/// Analytic spectrum extremes of matrix **D** of size `n` (Eq. 9):
+/// `mu_i = 4 sin²(i π / (2(n+1)))`, `i = 1..=n`.
+pub fn dirichlet_extremes(n: usize) -> (f64, f64) {
+    assert!(n >= 1);
+    let arg = |i: usize| {
+        let s = (i as f64 * std::f64::consts::PI / (2.0 * (n as f64 + 1.0))).sin();
+        4.0 * s * s
+    };
+    (arg(1), arg(n))
+}
+
+/// The `i`-th (1-based) analytic Dirichlet eigenvalue of Eq. 9.
+pub fn dirichlet_eigenvalue(n: usize, i: usize) -> f64 {
+    assert!(i >= 1 && i <= n);
+    let s = (i as f64 * std::f64::consts::PI / (2.0 * (n as f64 + 1.0))).sin();
+    4.0 * s * s
+}
+
+/// Gerschgorin estimate for any axis operator: all rows have centre 2 and
+/// radius at most 2, so the spectrum lies in `[0, 4]` (the paper's cited
+/// bound for matrix **N**).
+pub fn gerschgorin(op: &Op1d) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for i in 0..op.n {
+        let r = op.subdiag(i) + op.superdiag(i);
+        lo = lo.min(op.diag(i) - r);
+        hi = hi.max(op.diag(i) + r);
+    }
+    (lo.max(0.0), hi)
+}
+
+/// Number of eigenvalues of the symmetric tridiagonal `(d, e)` that are
+/// strictly below `x` (Sturm sequence count).
+///
+/// `e2[i]` is the *squared* off-diagonal between rows `i` and `i + 1`.
+fn sturm_count(d: &[f64], e2: &[f64], x: f64) -> usize {
+    // Count negative pivots of the LDL^T factorisation of (A - xI); a zero
+    // pivot is perturbed to a tiny negative (standard bisection convention),
+    // so exact eigenvalue hits count as "below".
+    let tiny = 1e-300;
+    let mut count = 0;
+    let mut q = 1.0;
+    for i in 0..d.len() {
+        q = d[i] - x - if i > 0 { e2[i - 1] / q } else { 0.0 };
+        if q.abs() < tiny {
+            q = -tiny;
+        }
+        if q < 0.0 {
+            count += 1;
+        }
+    }
+    count
+}
+
+/// Bisect for the infimum of `{ x : sturm_count(x) >= k }` within
+/// `[lo, hi]` — i.e. the `k`-th smallest eigenvalue (1-based `k`).
+fn bisect_kth(d: &[f64], e2: &[f64], k: usize, mut lo: f64, mut hi: f64) -> f64 {
+    debug_assert!(sturm_count(d, e2, hi) >= k);
+    for _ in 0..80 {
+        let mid = 0.5 * (lo + hi);
+        if sturm_count(d, e2, mid) >= k {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Sharp extreme eigenvalues of an axis operator.
+///
+/// Uses the analytic formula for symmetric (pure-Dirichlet) operators and
+/// Sturm bisection on the symmetrized form otherwise. The symmetrization
+/// is valid because `sub(i+1) * super(i) > 0` for every `i`, making the
+/// operator diagonally similar to the symmetric tridiagonal with
+/// off-diagonals `sqrt(sub * super)`.
+pub fn extreme_eigenvalues(op: &Op1d) -> (f64, f64) {
+    if op.is_symmetric() && op.lo == EndKind::DirichletLike && op.hi == EndKind::DirichletLike {
+        return dirichlet_extremes(op.n);
+    }
+    if op.n == 1 {
+        return (2.0, 2.0);
+    }
+    let d: Vec<f64> = (0..op.n).map(|i| op.diag(i)).collect();
+    let e2: Vec<f64> = (0..op.n - 1)
+        .map(|i| op.subdiag(i + 1) * op.superdiag(i))
+        .collect();
+    let (glo, ghi) = gerschgorin(op);
+    // widen a touch so bisection brackets even boundary eigenvalues
+    let lo = glo - 1e-6;
+    let hi = ghi + 1e-6;
+    let min = bisect_kth(&d, &e2, 1, lo, hi);
+    let max = bisect_kth(&d, &e2, op.n, lo, hi);
+    (min, max)
+}
+
+/// Kronecker-sum extreme eigenvalues of the 3-D operator (Eqs. 10–11):
+/// `lambda_min = sum_a min(mu^a) / h_a²`, likewise for the max.
+pub fn kronecker_bounds(ops: &[Op1d; 3], h: [f64; 3]) -> SpectralBounds {
+    let mut min = 0.0;
+    let mut max = 0.0;
+    for a in 0..3 {
+        let (lo, hi) = extreme_eigenvalues(&ops[a]);
+        let inv_h2 = 1.0 / (h[a] * h[a]);
+        min += lo * inv_h2;
+        max += hi * inv_h2;
+    }
+    SpectralBounds { min, max }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::{power_iteration_extremes, DenseMatrix};
+
+    #[test]
+    fn dirichlet_extremes_match_formula_endpoints() {
+        let (lo, hi) = dirichlet_extremes(5);
+        assert!((lo - dirichlet_eigenvalue(5, 1)).abs() < 1e-15);
+        assert!((hi - dirichlet_eigenvalue(5, 5)).abs() < 1e-15);
+        assert!(lo > 0.0 && hi < 4.0);
+    }
+
+    #[test]
+    fn sturm_matches_analytic_for_dirichlet() {
+        for n in [2usize, 3, 7, 33, 128] {
+            let op = Op1d::dirichlet(n);
+            let d: Vec<f64> = (0..n).map(|i| op.diag(i)).collect();
+            let e2: Vec<f64> = (0..n - 1)
+                .map(|i| op.subdiag(i + 1) * op.superdiag(i))
+                .collect();
+            let min = bisect_kth(&d, &e2, 1, -1.0, 5.0);
+            let max = bisect_kth(&d, &e2, n, -1.0, 5.0);
+            let (alo, ahi) = dirichlet_extremes(n);
+            assert!((min - alo).abs() < 1e-10, "n={n} min {min} vs {alo}");
+            assert!((max - ahi).abs() < 1e-10, "n={n} max {max} vs {ahi}");
+        }
+    }
+
+    #[test]
+    fn neumann_extremes_agree_with_power_iteration() {
+        for (lo, hi) in [
+            (EndKind::Neumann, EndKind::DirichletLike),
+            (EndKind::DirichletLike, EndKind::Neumann),
+            (EndKind::Neumann, EndKind::Neumann),
+        ] {
+            for n in [3usize, 8, 21] {
+                let op = Op1d::new(n, lo, hi);
+                let (emin, emax) = extreme_eigenvalues(&op);
+                let dense = DenseMatrix::from_row_major(n, op.to_dense());
+                let (pmin, pmax) = power_iteration_extremes(&dense, 20_000, 1e-12);
+                assert!(
+                    (emax - pmax).abs() < 1e-6,
+                    "{lo:?}/{hi:?} n={n}: max {emax} vs power {pmax}"
+                );
+                assert!(
+                    (emin - pmin).abs() < 1e-6,
+                    "{lo:?}/{hi:?} n={n}: min {emin} vs power {pmin}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gerschgorin_is_zero_four_for_paper_operators() {
+        let op = Op1d::new(16, EndKind::Neumann, EndKind::DirichletLike);
+        assert_eq!(gerschgorin(&op), (0.0, 4.0));
+        let op = Op1d::dirichlet(16);
+        assert_eq!(gerschgorin(&op), (0.0, 4.0));
+    }
+
+    #[test]
+    fn gerschgorin_contains_sharp_bounds() {
+        for n in [2usize, 5, 64] {
+            for lo in [EndKind::DirichletLike, EndKind::Neumann] {
+                for hi in [EndKind::DirichletLike, EndKind::Neumann] {
+                    let op = Op1d::new(n, lo, hi);
+                    let (gl, gh) = gerschgorin(&op);
+                    let (el, eh) = extreme_eigenvalues(&op);
+                    assert!(gl <= el + 1e-9 && eh <= gh + 1e-9);
+                    assert!(el <= eh);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kronecker_bounds_scale_with_spacing() {
+        let ops = [Op1d::dirichlet(8), Op1d::dirichlet(8), Op1d::dirichlet(8)];
+        let b1 = kronecker_bounds(&ops, [1.0; 3]);
+        let b2 = kronecker_bounds(&ops, [0.5; 3]);
+        assert!((b2.min / b1.min - 4.0).abs() < 1e-12);
+        assert!((b2.max / b1.max - 4.0).abs() < 1e-12);
+        let (lo, hi) = dirichlet_extremes(8);
+        assert!((b1.min - 3.0 * lo).abs() < 1e-12);
+        assert!((b1.max - 3.0 * hi).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rescaling_shrinks_from_both_ends() {
+        let b = SpectralBounds { min: 0.001, max: 10.0 }.rescaled(1e-4, 100.0);
+        assert!((b.min - 0.1).abs() < 1e-12);
+        assert!((b.max - 10.0 * (1.0 - 1e-4)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "collapsed")]
+    fn rescaling_guards_inverted_interval() {
+        let _ = SpectralBounds { min: 1.0, max: 2.0 }.rescaled(0.0, 10.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn end_strategy() -> impl Strategy<Value = EndKind> {
+        prop_oneof![Just(EndKind::DirichletLike), Just(EndKind::Neumann)]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn bounds_are_ordered_and_inside_gerschgorin(
+            n in 1usize..200,
+            lo in end_strategy(),
+            hi in end_strategy(),
+        ) {
+            let op = Op1d::new(n, lo, hi);
+            let (emin, emax) = extreme_eigenvalues(&op);
+            prop_assert!(emin <= emax + 1e-12);
+            let (glo, ghi) = gerschgorin(&op);
+            prop_assert!(emin >= glo - 1e-6, "{emin} vs Gerschgorin {glo}");
+            prop_assert!(emax <= ghi + 1e-6, "{emax} vs Gerschgorin {ghi}");
+        }
+
+        #[test]
+        fn dirichlet_spectrum_is_monotone_in_index(n in 2usize..100, i in 1usize..99) {
+            prop_assume!(i < n);
+            let a = dirichlet_eigenvalue(n, i);
+            let b = dirichlet_eigenvalue(n, i + 1);
+            prop_assert!(a < b, "eigenvalues must increase with index");
+            prop_assert!(a > 0.0 && b < 4.0);
+        }
+
+        #[test]
+        fn rayleigh_quotients_respect_symmetric_bounds(
+            n in 2usize..40,
+            seed in 1u64..u64::MAX,
+        ) {
+            // symmetric (pure-Dirichlet) operator: the Rayleigh quotient of
+            // any vector lies within the spectral bounds
+            let op = Op1d::dirichlet(n);
+            let dense = op.to_dense();
+            let mut state = seed;
+            let v: Vec<f64> = (0..n).map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+            }).collect();
+            let norm2: f64 = v.iter().map(|x| x * x).sum();
+            prop_assume!(norm2 > 1e-12);
+            let av: Vec<f64> = (0..n)
+                .map(|r| (0..n).map(|c| dense[r * n + c] * v[c]).sum())
+                .collect();
+            let rq: f64 = av.iter().zip(&v).map(|(a, b)| a * b).sum::<f64>() / norm2;
+            let (emin, emax) = extreme_eigenvalues(&op);
+            prop_assert!(rq >= emin - 1e-9, "RQ {rq} below lambda_min {emin}");
+            prop_assert!(rq <= emax + 1e-9, "RQ {rq} above lambda_max {emax}");
+        }
+
+        #[test]
+        fn kronecker_bounds_are_axis_sums(
+            na in 1usize..20, nb in 1usize..20, nc in 1usize..20,
+            ha in 0.05f64..2.0, hb in 0.05f64..2.0, hc in 0.05f64..2.0,
+        ) {
+            let ops = [Op1d::dirichlet(na), Op1d::dirichlet(nb), Op1d::dirichlet(nc)];
+            let b = kronecker_bounds(&ops, [ha, hb, hc]);
+            prop_assert!(b.min > 0.0 && b.min <= b.max);
+            // per-axis reconstruction
+            let mut min = 0.0;
+            let mut max = 0.0;
+            for (op, h) in ops.iter().zip([ha, hb, hc]) {
+                let (lo, hi) = extreme_eigenvalues(op);
+                min += lo / (h * h);
+                max += hi / (h * h);
+            }
+            prop_assert!((b.min - min).abs() < 1e-12 * min.max(1.0));
+            prop_assert!((b.max - max).abs() < 1e-12 * max.max(1.0));
+        }
+    }
+}

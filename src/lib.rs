@@ -1,0 +1,24 @@
+//! Umbrella crate for the reproduction of *"A Parallel and
+//! Highly-Portable HPC Poisson Solver: Preconditioned Bi-CGSTAB with
+//! alpaka"*.
+//!
+//! Re-exports every layer of the system; see the individual crates for
+//! the full documentation:
+//!
+//! * [`accel`] — the alpaka-style performance-portability layer
+//! * [`comm`] — the MPI-style in-process message-passing runtime
+//! * [`blockgrid`] — domain decomposition, fields and halo exchange
+//! * [`stencil`] — the matrix-free Poisson operator and spectral bounds
+//! * [`krylov`] — preconditioned Bi-CGSTAB + the Table I preconditioners
+//! * [`poisson`] — the paper's test problem and the high-level facade
+//! * [`perfmodel`] — machine models, cost replay and tracing
+//!
+//! Start with [`poisson::PoissonSolver`] and the `examples/` directory.
+
+pub use accel;
+pub use blockgrid;
+pub use comm;
+pub use krylov;
+pub use perfmodel;
+pub use poisson;
+pub use stencil;

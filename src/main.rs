@@ -1,0 +1,152 @@
+//! `poisson-bicgstab-repro` — CLI driver for the reproduced solver.
+//!
+//! Runs the paper's test problem (Sec. IV) at any mesh size, rank count,
+//! solver configuration and back-end, and optionally reports the modeled
+//! cross-architecture times, a one-iteration trace (Fig. 8 style) and a
+//! roofline table.
+//!
+//! ```text
+//! cargo run --release -- --nodes 64 --ranks 2x2x2 --solver gnocomm-ci \
+//!     --device mi250x --machines --trace --roofline
+//! ```
+
+use bench::{first_iteration_profile, Args, RunConfig, run_once};
+use comm::ReduceOrder;
+use krylov::SolverKind;
+use perfmodel::{build_timeline, render_roofline, render_timeline, replay, roofline, MachineModel};
+
+fn usage() -> ! {
+    eprintln!(
+        "poisson-bicgstab-repro: preconditioned Bi-CGSTAB Poisson solver
+
+USAGE: poisson-bicgstab-repro [OPTIONS]
+  --nodes N        mesh nodes per axis                       [48]
+  --ranks AxBxC    process-grid decomposition                [1x1x1]
+  --solver NAME    bicgs | g-bicgs | bj-bicgs | bj-ci | g-ci | gnocomm-ci
+                                                             [gnocomm-ci]
+  --device SPEC    serial | threads[:N] | mi250x | h100 | simgpu[:B]
+                                                             [serial]
+  --tol X          relative residual tolerance               [1e-10]
+  --max-iters N    outer iteration cap                       [50000]
+  --ci-iters N     Chebyshev sweeps per application          [24]
+  --min-factor X   lambda_min rescaling (Bergamaschi)        [10]
+  --arrival        arrival-order (nondeterministic) reductions
+  --early-exit     enable the Alg. 1 mid-loop convergence check
+  --true-res K     recompute the true residual every K iterations
+  --restarts N     shadow-residual restarts on breakdown     [0]
+  --history        print the residual history
+  --machines       print modeled TTS on every machine model
+  --trace          print a one-iteration timeline (MI250X model)
+  --roofline       print the per-kernel roofline table (MI250X model)
+  --help           this text"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let args = Args::parse();
+    if args.flag("help") {
+        usage();
+    }
+    let solver: SolverKind = args
+        .get_str("solver", "gnocomm-ci")
+        .parse()
+        .unwrap_or_else(|e| {
+            eprintln!("{e}");
+            usage()
+        });
+    let mut cfg = RunConfig::small(solver);
+    cfg.nodes = args.get("nodes", 48);
+    cfg.decomp = args.decomp("ranks", [1, 1, 1]);
+    cfg.device = args.get_str("device", "serial");
+    cfg.tol = args.get("tol", 1e-10);
+    cfg.max_iters = args.get("max-iters", 50_000);
+    cfg.opts.ci_iterations = args.get("ci-iters", 24);
+    cfg.opts.eig_min_factor = args.get("min-factor", 10.0);
+    cfg.order = if args.flag("arrival") { ReduceOrder::Arrival } else { ReduceOrder::RankOrder };
+    cfg.params_extra.early_exit_check = args.flag("early-exit");
+    cfg.params_extra.true_residual_every = args.get("true-res", 0);
+    cfg.params_extra.max_restarts = args.get("restarts", 0);
+    let need_events = args.flag("machines") || args.flag("trace") || args.flag("roofline");
+    cfg.record_events = need_events;
+
+    let ranks = cfg.ranks();
+    println!(
+        "solving: {} mesh {}^3, ranks {:?} ({} total), device {}, tol {:.1e}",
+        solver.label(),
+        cfg.nodes,
+        cfg.decomp,
+        ranks,
+        cfg.device,
+        cfg.tol
+    );
+
+    let res = run_once(&cfg);
+    let out = &res.outcome;
+    println!(
+        "\nresult: {} in {} outer iterations ({} prec sweeps, {:.1}/outer), residual {:.3e}",
+        if out.converged { "converged" } else { "FAILED" },
+        out.iterations,
+        out.prec_iterations,
+        out.prec_per_outer(),
+        out.final_residual
+    );
+    if let Some(b) = out.breakdown {
+        println!("breakdown: {b:?} after {} restarts", out.restarts);
+    }
+    println!(
+        "accuracy: relative L2 error vs the manufactured solution {:.3e}",
+        res.l2_error
+    );
+    println!(
+        "this box: {:.3} s wall; rank 0 sent {} msgs / {} bytes, {} allreduces",
+        res.wall_s, res.comm_stats.msgs_sent, res.comm_stats.bytes_sent, res.comm_stats.allreduces
+    );
+    if !out.true_residuals.is_empty() {
+        println!("\ntrue-residual samples:");
+        for (i, t) in &out.true_residuals {
+            println!("  iter {i:>6}  |b - A x| = {t:.6e}");
+        }
+    }
+    if args.flag("history") {
+        println!("\nresidual history:");
+        for (i, r) in out.residual_history.iter().enumerate() {
+            println!("  iter {i:>6}  residual {r:.6e}");
+        }
+    }
+
+    if args.flag("machines") {
+        println!("\nmodeled time to solution (measured event stream replayed):");
+        for m in [
+            MachineModel::lumi_c_rank(),
+            MachineModel::lumi_c_node(),
+            MachineModel::mi250x(),
+            MachineModel::h100_gpudirect(),
+            MachineModel::h100_mn5(),
+        ] {
+            let c = replay(&res.events[0], &m, ranks);
+            println!(
+                "  {:<40} compute {:>9.4} s  comm {:>9.4} s  total {:>9.4} s",
+                m.name,
+                c.compute_s,
+                c.comm_s,
+                c.total_s()
+            );
+        }
+    }
+    if args.flag("trace") {
+        let m = MachineModel::mi250x();
+        let profile = first_iteration_profile(&res.events[0]);
+        let spans = build_timeline(&profile, &m, ranks);
+        println!("\none-iteration trace on the {} model:", m.name);
+        println!("{}", render_timeline(&spans, 72));
+    }
+    if args.flag("roofline") {
+        let m = MachineModel::mi250x();
+        let pts = roofline(&res.events[0], &m);
+        println!("\n{}", render_roofline(&pts, &m));
+    }
+    if !out.converged {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,135 @@
+//! Integration: discretisation accuracy of the full distributed pipeline.
+//!
+//! These tests exercise problem setup → decomposition → halo exchange →
+//! preconditioned solve → error evaluation end to end and check the
+//! mathematical contract: second-order convergence to the manufactured
+//! solution, independent of solver configuration, decomposition and
+//! boundary-condition mix.
+
+use accel::{Recorder, Serial};
+use blockgrid::{BcKind, Decomp};
+use comm::{run_ranks, ReduceOrder, SelfComm};
+use krylov::{SolveParams, SolverKind, SolverOptions};
+use poisson::{paper_problem, unit_cube_dirichlet, PoissonSolver};
+
+fn opts() -> SolverOptions {
+    SolverOptions { eig_min_factor: 10.0, ..Default::default() }
+}
+
+fn params(tol: f64) -> SolveParams {
+    SolveParams { tol, max_iters: 30_000, record_history: false, ..Default::default() }
+}
+
+/// Solve the paper problem on one rank; return the relative L2 error.
+fn single_rank_error(nodes: usize, kind: SolverKind) -> f64 {
+    let mut solver: PoissonSolver<f64, _, _> = PoissonSolver::new(
+        paper_problem(nodes),
+        Decomp::single(),
+        Serial::new(Recorder::disabled()),
+        SelfComm::default(),
+    );
+    let out = solver.solve(kind, &opts(), &params(1e-12));
+    assert!(out.converged, "{kind} at {nodes}^3: {out:?}");
+    solver.error_vs_exact().0
+}
+
+#[test]
+fn every_solver_reaches_discretisation_accuracy() {
+    let reference = single_rank_error(11, SolverKind::BiCgs);
+    for kind in SolverKind::all() {
+        let err = single_rank_error(11, kind);
+        // all solvers solve the same linear system: errors agree closely
+        assert!(
+            (err - reference).abs() < 0.02 * reference,
+            "{kind}: error {err} vs reference {reference}"
+        );
+    }
+}
+
+#[test]
+fn second_order_convergence_under_refinement() {
+    let e1 = single_rank_error(9, SolverKind::BiCgsGNoCommCi);
+    let e2 = single_rank_error(17, SolverKind::BiCgsGNoCommCi);
+    let e3 = single_rank_error(33, SolverKind::BiCgsGNoCommCi);
+    let r12 = e1 / e2;
+    let r23 = e2 / e3;
+    assert!((3.0..5.5).contains(&r12), "halving h: {e1} -> {e2} (rate {r12})");
+    assert!((3.0..5.5).contains(&r23), "halving h: {e2} -> {e3} (rate {r23})");
+}
+
+#[test]
+fn distributed_matches_single_rank_accuracy() {
+    let single = single_rank_error(17, SolverKind::BiCgsGNoCommCi);
+    for decomp in [[2, 1, 1], [1, 2, 2], [2, 2, 2], [4, 1, 2]] {
+        let d = Decomp::new(decomp);
+        let errs = run_ranks::<f64, _, _>(d.ranks(), ReduceOrder::RankOrder, move |comm| {
+            let mut solver: PoissonSolver<f64, _, _> = PoissonSolver::new(
+                paper_problem(17),
+                d,
+                Serial::new(Recorder::disabled()),
+                comm,
+            );
+            let out = solver.solve(SolverKind::BiCgsGNoCommCi, &opts(), &params(1e-12));
+            assert!(out.converged);
+            solver.error_vs_exact().0
+        });
+        for err in &errs {
+            assert!(
+                (err - single).abs() < 0.05 * single,
+                "decomp {decomp:?}: {err} vs single-rank {single}"
+            );
+        }
+    }
+}
+
+#[test]
+fn all_dirichlet_problem_converges_everywhere() {
+    run_ranks::<f64, _, _>(8, ReduceOrder::RankOrder, |comm| {
+        let mut solver: PoissonSolver<f64, _, _> = PoissonSolver::new(
+            unit_cube_dirichlet(17),
+            Decomp::new([2, 2, 2]),
+            Serial::new(Recorder::disabled()),
+            comm,
+        );
+        let out = solver.solve(SolverKind::BiCgsBjCi, &opts(), &params(1e-11));
+        assert!(out.converged);
+        let (l2, _) = solver.error_vs_exact();
+        assert!(l2 < 5e-3, "relative L2 {l2}");
+    });
+}
+
+#[test]
+fn mixed_bc_variants_all_solve() {
+    // sweep several BC mixes of the same manufactured solution
+    let mixes: [[[BcKind; 2]; 3]; 3] = [
+        [
+            [BcKind::Neumann, BcKind::Dirichlet],
+            [BcKind::Dirichlet, BcKind::Neumann],
+            [BcKind::Dirichlet, BcKind::Dirichlet],
+        ],
+        [
+            [BcKind::Dirichlet, BcKind::Dirichlet],
+            [BcKind::Neumann, BcKind::Dirichlet],
+            [BcKind::Neumann, BcKind::Dirichlet],
+        ],
+        [
+            [BcKind::Neumann, BcKind::Neumann],
+            [BcKind::Dirichlet, BcKind::Dirichlet],
+            [BcKind::Dirichlet, BcKind::Neumann],
+        ],
+    ];
+    for bc in mixes {
+        let mut problem = paper_problem(13);
+        problem.bc = bc;
+        let mut solver: PoissonSolver<f64, _, _> = PoissonSolver::new(
+            problem,
+            Decomp::single(),
+            Serial::new(Recorder::disabled()),
+            SelfComm::default(),
+        );
+        let out = solver.solve(SolverKind::BiCgsGNoCommCi, &opts(), &params(1e-11));
+        assert!(out.converged, "bc {bc:?}: {out:?}");
+        let (l2, _) = solver.error_vs_exact();
+        assert!(l2 < 2e-3, "bc {bc:?}: relative L2 {l2}");
+    }
+}

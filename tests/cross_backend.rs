@@ -1,0 +1,107 @@
+//! Integration: performance portability across back-ends.
+//!
+//! The paper's claim — one solver source, every back-end — tested end to
+//! end: element-wise identical kernels, convergent solves, bounded
+//! reduction-order divergence, and single-precision operation.
+
+use accel::{AnyDevice, Recorder};
+use blockgrid::Decomp;
+use comm::{run_ranks, Communicator, ReduceOrder, SelfComm};
+use krylov::{SolveParams, SolverKind, SolverOptions};
+use poisson::{paper_problem, PoissonSolver};
+
+const BACKENDS: [&str; 4] = ["serial", "threads:3", "mi250x", "h100"];
+
+fn solve_on(device: &str, nodes: usize) -> (usize, f64, Vec<f64>) {
+    let dev = AnyDevice::from_spec(device, Recorder::disabled()).unwrap();
+    let mut solver: PoissonSolver<f64, _, _> =
+        PoissonSolver::new(paper_problem(nodes), Decomp::single(), dev, SelfComm::default());
+    let out = solver.solve(
+        SolverKind::BiCgsGNoCommCi,
+        &SolverOptions { eig_min_factor: 10.0, ..Default::default() },
+        &SolveParams { tol: 1e-11, max_iters: 20_000, record_history: true, ..Default::default() },
+    );
+    assert!(out.converged, "{device}: {out:?}");
+    (out.iterations, solver.error_vs_exact().0, out.residual_history)
+}
+
+#[test]
+fn all_backends_converge_with_comparable_iterations() {
+    let runs: Vec<_> = BACKENDS.iter().map(|b| solve_on(b, 17)).collect();
+    let iters: Vec<usize> = runs.iter().map(|r| r.0).collect();
+    let min = *iters.iter().min().unwrap();
+    let max = *iters.iter().max().unwrap();
+    // reduction order may shift iteration counts slightly (the paper's
+    // Fig. 4 effect) but never the convergence itself
+    assert!(max <= min * 2, "iteration spread too large: {iters:?}");
+    for (b, (_, l2, _)) in BACKENDS.iter().zip(&runs) {
+        assert!(*l2 < 1e-2, "{b}: L2 {l2}");
+    }
+}
+
+#[test]
+fn residual_histories_diverge_only_in_rounding() {
+    let runs: Vec<_> = BACKENDS.iter().map(|b| solve_on(b, 17)).collect();
+    let reference = &runs[0].2;
+    for (b, (_, _, hist)) in BACKENDS.iter().zip(&runs).skip(1) {
+        let common = hist.len().min(reference.len());
+        // early iterations must track each other tightly; rounding noise
+        // may amplify late in the solve
+        for i in 0..common.min(5) {
+            let rel = (hist[i] - reference[i]).abs() / reference[i].max(f64::MIN_POSITIVE);
+            assert!(rel < 1e-6, "{b} iter {i}: divergence {rel}");
+        }
+    }
+}
+
+#[test]
+fn distributed_solve_on_simulated_gpus() {
+    run_ranks::<f64, _, _>(8, ReduceOrder::RankOrder, |comm| {
+        let dev = AnyDevice::from_spec("mi250x", Recorder::disabled()).unwrap();
+        let mut solver: PoissonSolver<f64, _, _> =
+            PoissonSolver::new(paper_problem(17), Decomp::new([2, 2, 2]), dev, comm);
+        let out = solver.solve(
+            SolverKind::BiCgsGNoCommCi,
+            &SolverOptions { eig_min_factor: 10.0, ..Default::default() },
+            &SolveParams { tol: 1e-11, max_iters: 20_000, record_history: false, ..Default::default() },
+        );
+        assert!(out.converged);
+    });
+}
+
+#[test]
+fn f32_pipeline_works_on_every_backend() {
+    for device in BACKENDS {
+        let dev = AnyDevice::from_spec(device, Recorder::disabled()).unwrap();
+        let mut solver: PoissonSolver<f32, _, _> = PoissonSolver::new(
+            paper_problem(13),
+            Decomp::single(),
+            dev,
+            SelfComm::default(),
+        );
+        let out = solver.solve(
+            SolverKind::BiCgsGNoCommCi,
+            &SolverOptions { eig_min_factor: 10.0, ..Default::default() },
+            &SolveParams { tol: 5e-5, max_iters: 10_000, record_history: false, ..Default::default() },
+        );
+        assert!(out.converged, "{device} (f32): {out:?}");
+    }
+}
+
+#[test]
+fn mixed_backends_across_ranks_interoperate() {
+    // heterogeneous worlds are unusual but nothing in the design forbids
+    // them: each rank picks its own back-end (e.g. CPU + GPU nodes)
+    run_ranks::<f64, _, _>(4, ReduceOrder::RankOrder, |comm| {
+        let spec = BACKENDS[comm.rank() % BACKENDS.len()];
+        let dev = AnyDevice::from_spec(spec, Recorder::disabled()).unwrap();
+        let mut solver: PoissonSolver<f64, _, _> =
+            PoissonSolver::new(paper_problem(13), Decomp::new([2, 2, 1]), dev, comm);
+        let out = solver.solve(
+            SolverKind::BiCgsBjCi,
+            &SolverOptions { eig_min_factor: 10.0, ..Default::default() },
+            &SolveParams { tol: 1e-10, max_iters: 20_000, record_history: false, ..Default::default() },
+        );
+        assert!(out.converged, "rank with {spec}: {out:?}");
+    });
+}
