@@ -25,20 +25,29 @@ impl<T: Scalar> DeviceBuffer<T> {
     /// Zero-fill happens device-side (like `hipMemset`), so no transfer is
     /// recorded.
     pub fn zeros<D: Device>(dev: &D, n: usize) -> Self {
-        Self { data: vec![T::ZERO; n], recorder: dev.recorder().clone() }
+        Self {
+            data: vec![T::ZERO; n],
+            recorder: dev.recorder().clone(),
+        }
     }
 
     /// Upload `host` to the device (records an H2D transfer).
     pub fn from_host<D: Device>(dev: &D, host: &[T]) -> Self {
         let recorder = dev.recorder().clone();
-        recorder.record(Event::H2D { bytes: (host.len() * T::BYTES) as u64 });
-        Self { data: host.to_vec(), recorder }
+        recorder.record(Event::H2D {
+            bytes: (host.len() * T::BYTES) as u64,
+        });
+        Self {
+            data: host.to_vec(),
+            recorder,
+        }
     }
 
     /// Download the buffer contents (records a D2H transfer).
     pub fn copy_to_host(&self) -> Vec<T> {
-        self.recorder
-            .record(Event::D2H { bytes: (self.data.len() * T::BYTES) as u64 });
+        self.recorder.record(Event::D2H {
+            bytes: (self.data.len() * T::BYTES) as u64,
+        });
         self.data.clone()
     }
 
@@ -65,8 +74,9 @@ impl<T: Scalar> DeviceBuffer<T> {
     /// Overwrite the buffer from host memory (records an H2D transfer).
     pub fn upload(&mut self, host: &[T]) {
         assert_eq!(host.len(), self.data.len(), "upload size mismatch");
-        self.recorder
-            .record(Event::H2D { bytes: (host.len() * T::BYTES) as u64 });
+        self.recorder.record(Event::H2D {
+            bytes: (host.len() * T::BYTES) as u64,
+        });
         self.data.copy_from_slice(host);
     }
 
@@ -106,7 +116,10 @@ mod tests {
         let b = DeviceBuffer::from_host(&dev, &host);
         assert_eq!(b.copy_to_host(), host);
         let evs = rec.drain();
-        assert_eq!(evs, vec![Event::H2D { bytes: 24 }, Event::D2H { bytes: 24 }]);
+        assert_eq!(
+            evs,
+            vec![Event::H2D { bytes: 24 }, Event::D2H { bytes: 24 }]
+        );
     }
 
     #[test]

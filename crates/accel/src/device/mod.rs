@@ -219,11 +219,26 @@ mod tests {
     #[test]
     fn spec_parsing() {
         let r = Recorder::disabled;
-        assert!(matches!(AnyDevice::from_spec("serial", r()), Ok(AnyDevice::Serial(_))));
-        assert!(matches!(AnyDevice::from_spec("threads:3", r()), Ok(AnyDevice::Threads(_))));
-        assert!(matches!(AnyDevice::from_spec("mi250x", r()), Ok(AnyDevice::SimGpu(_))));
-        assert!(matches!(AnyDevice::from_spec("h100", r()), Ok(AnyDevice::SimGpu(_))));
-        assert!(matches!(AnyDevice::from_spec("simgpu:8", r()), Ok(AnyDevice::SimGpu(_))));
+        assert!(matches!(
+            AnyDevice::from_spec("serial", r()),
+            Ok(AnyDevice::Serial(_))
+        ));
+        assert!(matches!(
+            AnyDevice::from_spec("threads:3", r()),
+            Ok(AnyDevice::Threads(_))
+        ));
+        assert!(matches!(
+            AnyDevice::from_spec("mi250x", r()),
+            Ok(AnyDevice::SimGpu(_))
+        ));
+        assert!(matches!(
+            AnyDevice::from_spec("h100", r()),
+            Ok(AnyDevice::SimGpu(_))
+        ));
+        assert!(matches!(
+            AnyDevice::from_spec("simgpu:8", r()),
+            Ok(AnyDevice::SimGpu(_))
+        ));
         assert!(AnyDevice::from_spec("cuda", r()).is_err());
         assert!(AnyDevice::from_spec("threads:x", r()).is_err());
     }

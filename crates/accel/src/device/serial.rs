@@ -127,7 +127,9 @@ mod tests {
     fn pure_reduce_over_rows() {
         let dev = Serial::new(Recorder::disabled());
         let [s] = dev.launch_reduce(INFO, 4, 5, |j, k| [(j + k) as f64]);
-        let expect: f64 = (0..5).flat_map(|k| (0..4).map(move |j| (j + k) as f64)).sum();
+        let expect: f64 = (0..5)
+            .flat_map(|k| (0..4).map(move |j| (j + k) as f64))
+            .sum();
         assert_eq!(s, expect);
     }
 

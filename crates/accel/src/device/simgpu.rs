@@ -39,12 +39,18 @@ pub struct GpuSimParams {
 impl GpuSimParams {
     /// AMD MI250X GCD preset (LUMI-G node device).
     pub const fn mi250x() -> Self {
-        Self { name: "mi250x", block_rows: 4 }
+        Self {
+            name: "mi250x",
+            block_rows: 4,
+        }
     }
 
     /// NVIDIA H100 preset (MareNostrum5 accelerated partition device).
     pub const fn h100() -> Self {
-        Self { name: "h100", block_rows: 8 }
+        Self {
+            name: "h100",
+            block_rows: 8,
+        }
     }
 }
 
@@ -94,7 +100,9 @@ impl Device for SimGpu {
     }
 
     fn kind(&self) -> DeviceKind {
-        DeviceKind::SimGpu { block_rows: self.params.block_rows }
+        DeviceKind::SimGpu {
+            block_rows: self.params.block_rows,
+        }
     }
 
     fn recorder(&self) -> &Recorder {
@@ -189,7 +197,8 @@ mod tests {
             }
         };
         Serial::new(Recorder::disabled()).launch_rows(INFO, map, &mut a, kernel);
-        SimGpu::new(GpuSimParams::mi250x(), Recorder::disabled()).launch_rows(INFO, map, &mut b, kernel);
+        SimGpu::new(GpuSimParams::mi250x(), Recorder::disabled())
+            .launch_rows(INFO, map, &mut b, kernel);
         assert_eq!(a, b);
     }
 
@@ -197,7 +206,9 @@ mod tests {
     fn reduction_exact_on_integers() {
         let dev = SimGpu::new(GpuSimParams::h100(), Recorder::disabled());
         let [s] = dev.launch_reduce(INFO, 37, 11, |j, k| [(j + k) as f64]);
-        let expect: f64 = (0..11).flat_map(|k| (0..37).map(move |j| (j + k) as f64)).sum();
+        let expect: f64 = (0..11)
+            .flat_map(|k| (0..37).map(move |j| (j + k) as f64))
+            .sum();
         assert_eq!(s, expect);
     }
 
@@ -218,6 +229,9 @@ mod tests {
 
     #[test]
     fn presets_have_distinct_geometry() {
-        assert_ne!(GpuSimParams::mi250x().block_rows, GpuSimParams::h100().block_rows);
+        assert_ne!(
+            GpuSimParams::mi250x().block_rows,
+            GpuSimParams::h100().block_rows
+        );
     }
 }

@@ -2,8 +2,6 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
-
 use crate::events::{KernelInfo, Recorder};
 use crate::index::{chunk_range, row_slice_mut, RowMap, SendPtr};
 use crate::pool::ThreadPool;
@@ -29,7 +27,10 @@ pub struct Threads {
 impl Threads {
     /// Create a device with `threads >= 1` pool workers.
     pub fn new(threads: usize, recorder: Recorder) -> Self {
-        Self { pool: Arc::new(ThreadPool::new(threads)), recorder }
+        Self {
+            pool: Arc::new(ThreadPool::new(threads)),
+            recorder,
+        }
     }
 
     /// Number of worker threads.
@@ -49,7 +50,9 @@ impl Device for Threads {
     }
 
     fn kind(&self) -> DeviceKind {
-        DeviceKind::CpuThreads { threads: self.pool.size() }
+        DeviceKind::CpuThreads {
+            threads: self.pool.size(),
+        }
     }
 
     fn recorder(&self) -> &Recorder {
@@ -70,7 +73,10 @@ impl Device for Threads {
         self.recorder.kernel(info, map.elems());
         let rows = map.rows();
         let chunks = self.chunks_for(rows);
-        let partials: Mutex<Vec<[T; NR]>> = Mutex::new(vec![[T::ZERO; NR]; chunks]);
+        // Lock-free partial collection: each chunk writes only its own slot,
+        // so no synchronization beyond the pool's completion latch is needed.
+        let mut partials: Vec<[T; NR]> = vec![[T::ZERO; NR]; chunks];
+        let partials_ptr = SendPtr(partials.as_mut_ptr());
         let ptr = SendPtr(out.as_mut_ptr());
         self.pool.run_chunks(chunks, &|c| {
             let mut acc = [T::ZERO; NR];
@@ -81,13 +87,14 @@ impl Device for Threads {
                 let row = unsafe { row_slice_mut(ptr, &map, j, k) };
                 acc = add_partials(acc, f(j, k, row));
             }
-            partials.lock()[c] = acc;
+            // SAFETY: `c < chunks == partials.len()` and each chunk index is
+            // dispatched exactly once, so the writes are disjoint; the Vec
+            // outlives `run_chunks`, which joins all workers before returning.
+            let slots = partials_ptr;
+            unsafe { *slots.0.add(c) = acc };
         });
         // Merge chunk partials in chunk order (deterministic per thread count).
-        partials
-            .into_inner()
-            .into_iter()
-            .fold([T::ZERO; NR], add_partials)
+        partials.into_iter().fold([T::ZERO; NR], add_partials)
     }
 
     fn launch_reduce<T: Scalar, F, const NR: usize>(
@@ -106,19 +113,19 @@ impl Device for Threads {
             return [T::ZERO; NR];
         }
         let chunks = self.chunks_for(rows);
-        let partials: Mutex<Vec<[T; NR]>> = Mutex::new(vec![[T::ZERO; NR]; chunks]);
+        let mut partials: Vec<[T; NR]> = vec![[T::ZERO; NR]; chunks];
+        let partials_ptr = SendPtr(partials.as_mut_ptr());
         self.pool.run_chunks(chunks, &|c| {
             let mut acc = [T::ZERO; NR];
             for r in chunk_range(rows, chunks, c) {
                 let (j, k) = (r % ny, r / ny);
                 acc = add_partials(acc, f(j, k));
             }
-            partials.lock()[c] = acc;
+            // SAFETY: disjoint per-chunk slot writes (see launch_rows_reduce).
+            let slots = partials_ptr;
+            unsafe { *slots.0.add(c) = acc };
         });
-        partials
-            .into_inner()
-            .into_iter()
-            .fold([T::ZERO; NR], add_partials)
+        partials.into_iter().fold([T::ZERO; NR], add_partials)
     }
 }
 
@@ -205,7 +212,7 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use crate::device::{Serial, SimGpu, GpuSimParams};
+    use crate::device::{GpuSimParams, Serial, SimGpu};
     use crate::index::Extent3;
     use proptest::prelude::*;
 

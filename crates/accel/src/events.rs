@@ -14,6 +14,12 @@
 use parking_lot::Mutex;
 use std::sync::Arc;
 
+/// Stage name bracketing a communication/compute overlap window: the
+/// halo exchange is in flight from `Begin` to `End`, so events recorded
+/// inside the window model work that hides the communication (replayed
+/// as `max(comm, compute)` by the performance model).
+pub const HALO_OVERLAP_STAGE: &str = "HaloOverlap";
+
 /// Static cost metadata for one kernel, per element of the launch.
 ///
 /// `bytes_per_elem` counts distinct reads + writes per interior element
@@ -32,7 +38,11 @@ pub struct KernelInfo {
 impl KernelInfo {
     /// Construct kernel metadata.
     pub const fn new(name: &'static str, bytes_per_elem: u32, flops_per_elem: u32) -> Self {
-        Self { name, bytes_per_elem, flops_per_elem }
+        Self {
+            name,
+            bytes_per_elem,
+            flops_per_elem,
+        }
     }
 }
 
@@ -106,7 +116,9 @@ impl Recorder {
 
     /// A recorder that appends events to a fresh shared stream.
     pub fn enabled() -> Self {
-        Self { sink: Some(Arc::new(Sink::default())) }
+        Self {
+            sink: Some(Arc::new(Sink::default())),
+        }
     }
 
     /// `true` if events are being captured.
@@ -199,14 +211,20 @@ mod tests {
     fn enabled_recorder_captures_in_order() {
         let r = Recorder::enabled();
         r.begin("MPI1");
-        r.record(Event::Halo { msgs: 6, bytes: 4096 });
+        r.record(Event::Halo {
+            msgs: 6,
+            bytes: 4096,
+        });
         r.end("MPI1");
         let evs = r.drain();
         assert_eq!(
             evs,
             vec![
                 Event::Begin { name: "MPI1" },
-                Event::Halo { msgs: 6, bytes: 4096 },
+                Event::Halo {
+                    msgs: 6,
+                    bytes: 4096
+                },
                 Event::End { name: "MPI1" },
             ]
         );
@@ -219,7 +237,12 @@ mod tests {
         let info = KernelInfo::new("KernelBiCGS1", 24, 10);
         r.kernel(info, 1000);
         match &r.snapshot()[0] {
-            Event::Kernel { name, elems, bytes, flops } => {
+            Event::Kernel {
+                name,
+                elems,
+                bytes,
+                flops,
+            } => {
                 assert_eq!(*name, "KernelBiCGS1");
                 assert_eq!(*elems, 1000);
                 assert_eq!(*bytes, 24_000);
@@ -244,7 +267,17 @@ mod tests {
         let v = r.stage("Preconditioner", || 42);
         assert_eq!(v, 42);
         let evs = r.drain();
-        assert_eq!(evs.first(), Some(&Event::Begin { name: "Preconditioner" }));
-        assert_eq!(evs.last(), Some(&Event::End { name: "Preconditioner" }));
+        assert_eq!(
+            evs.first(),
+            Some(&Event::Begin {
+                name: "Preconditioner"
+            })
+        );
+        assert_eq!(
+            evs.last(),
+            Some(&Event::End {
+                name: "Preconditioner"
+            })
+        );
     }
 }

@@ -64,7 +64,14 @@ pub struct RowMap {
 impl RowMap {
     /// Row map for a plain contiguous slice of `n` elements (a single row).
     pub const fn contiguous(n: usize) -> Self {
-        Self { base: 0, len: n, ny: 1, nz: 1, sy: n, sz: n }
+        Self {
+            base: 0,
+            len: n,
+            ny: 1,
+            nz: 1,
+            sy: n,
+            sz: n,
+        }
     }
 
     /// Row map for the interior of a halo-padded field.
@@ -82,6 +89,105 @@ impl RowMap {
             sy: pnx,
             sz: pnx * pny,
         }
+    }
+
+    /// Row map for the *deep interior* of a halo-padded field: interior
+    /// cells at distance >= 1 from every subdomain face, i.e. cells whose
+    /// 7-point stencil reads no ghost value. `None` when any interior
+    /// dimension is < 3 (every interior cell then touches a face).
+    ///
+    /// Splitting the interior into deep + [`RowMap::halo_shell`] lets a
+    /// stencil overlap the deep-interior compute with halo communication:
+    /// the deep part is safe to evaluate before ghost values arrive.
+    pub const fn halo_deep_interior(interior: Extent3) -> Option<Self> {
+        if interior.nx < 3 || interior.ny < 3 || interior.nz < 3 {
+            return None;
+        }
+        let pnx = interior.nx + 2;
+        let pny = interior.ny + 2;
+        // padded coordinate (2, 2, 2): one cell in from every face
+        Some(Self {
+            base: 2 + 2 * pnx + 2 * pnx * pny,
+            len: interior.nx - 2,
+            ny: interior.ny - 2,
+            nz: interior.nz - 2,
+            sy: pnx,
+            sz: pnx * pny,
+        })
+    }
+
+    /// Row maps for the *shell*: the interior cells NOT in
+    /// [`RowMap::halo_deep_interior`] (those whose stencil reads at least
+    /// one ghost value). Together the deep interior and the shell tile the
+    /// interior exactly, each cell covered once.
+    ///
+    /// When the deep interior is empty the shell is the whole interior
+    /// (a single map). Otherwise up to six maps: two full xy-planes
+    /// (z faces), two x-strips per remaining plane (y faces) and two
+    /// single-cell columns per remaining row (x faces).
+    pub fn halo_shell(interior: Extent3) -> Vec<Self> {
+        if Self::halo_deep_interior(interior).is_none() {
+            return vec![Self::halo_interior(interior)];
+        }
+        let (nx, ny, nz) = (interior.nx, interior.ny, interior.nz);
+        let pnx = nx + 2;
+        let pny = ny + 2;
+        let (sy, sz) = (pnx, pnx * pny);
+        // padded-coordinate index of cell (i, j, k)
+        let idx = |i: usize, j: usize, k: usize| i + j * sy + k * sz;
+        vec![
+            // z-low / z-high planes: full interior cross-section
+            Self {
+                base: idx(1, 1, 1),
+                len: nx,
+                ny,
+                nz: 1,
+                sy,
+                sz,
+            },
+            Self {
+                base: idx(1, 1, nz),
+                len: nx,
+                ny,
+                nz: 1,
+                sy,
+                sz,
+            },
+            // y-low / y-high strips on the middle z planes
+            Self {
+                base: idx(1, 1, 2),
+                len: nx,
+                ny: 1,
+                nz: nz - 2,
+                sy,
+                sz,
+            },
+            Self {
+                base: idx(1, ny, 2),
+                len: nx,
+                ny: 1,
+                nz: nz - 2,
+                sy,
+                sz,
+            },
+            // x-low / x-high single-cell columns on the middle rows
+            Self {
+                base: idx(1, 2, 2),
+                len: 1,
+                ny: ny - 2,
+                nz: nz - 2,
+                sy,
+                sz,
+            },
+            Self {
+                base: idx(nx, 2, 2),
+                len: 1,
+                ny: ny - 2,
+                nz: nz - 2,
+                sy,
+                sz,
+            },
+        ]
     }
 
     /// Total number of mapped elements.
@@ -106,7 +212,10 @@ impl RowMap {
     /// message if violated; back-ends call this before any unsafe row
     /// splitting.
     pub fn validate(&self, out_len: usize) {
-        assert!(self.len > 0 && self.ny > 0 && self.nz > 0, "RowMap with empty extent: {self:?}");
+        assert!(
+            self.len > 0 && self.ny > 0 && self.nz > 0,
+            "RowMap with empty extent: {self:?}"
+        );
         assert!(
             self.sy >= self.len,
             "RowMap rows overlap in y: sy={} < len={}",
@@ -156,7 +265,12 @@ unsafe impl<T> Sync for SendPtr<T> {}
 /// - No two live slices for the same `(j, k)` may exist at once; callers
 ///   ensure each row is processed by exactly one worker per launch.
 #[inline(always)]
-pub(crate) unsafe fn row_slice_mut<'a, T>(ptr: SendPtr<T>, map: &RowMap, j: usize, k: usize) -> &'a mut [T] {
+pub(crate) unsafe fn row_slice_mut<'a, T>(
+    ptr: SendPtr<T>,
+    map: &RowMap,
+    j: usize,
+    k: usize,
+) -> &'a mut [T] {
     debug_assert!(j < map.ny && k < map.nz);
     std::slice::from_raw_parts_mut(ptr.0.add(map.row_offset(j, k)), map.len)
 }
@@ -218,7 +332,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "overlap")]
     fn validate_rejects_overlapping_rows() {
-        let m = RowMap { base: 0, len: 5, ny: 2, nz: 1, sy: 3, sz: 100 };
+        let m = RowMap {
+            base: 0,
+            len: 5,
+            ny: 2,
+            nz: 1,
+            sy: 3,
+            sz: 100,
+        };
         m.validate(1000);
     }
 
@@ -229,6 +350,49 @@ mod tests {
             let (j, k) = m.row_jk(r);
             assert_eq!(k * m.ny + j, r);
         }
+    }
+
+    #[test]
+    fn deep_interior_empty_for_thin_extents() {
+        assert!(RowMap::halo_deep_interior(Extent3::new(2, 8, 8)).is_none());
+        assert!(RowMap::halo_deep_interior(Extent3::new(8, 8, 2)).is_none());
+        let shell = RowMap::halo_shell(Extent3::new(2, 8, 8));
+        assert_eq!(shell.len(), 1);
+        assert_eq!(shell[0], RowMap::halo_interior(Extent3::new(2, 8, 8)));
+    }
+
+    #[test]
+    fn deep_plus_shell_tile_interior() {
+        let e = Extent3::new(4, 5, 6);
+        let padded = (e.nx + 2) * (e.ny + 2) * (e.nz + 2);
+        let mut hits = vec![0u8; padded];
+        let mut cover = |m: &RowMap| {
+            m.validate(padded);
+            for r in 0..m.rows() {
+                let (j, k) = m.row_jk(r);
+                let off = m.row_offset(j, k);
+                for i in 0..m.len {
+                    hits[off + i] += 1;
+                }
+            }
+        };
+        cover(&RowMap::halo_deep_interior(e).unwrap());
+        for m in RowMap::halo_shell(e) {
+            cover(&m);
+        }
+        let interior = RowMap::halo_interior(e);
+        let mut expect = vec![0u8; padded];
+        for r in 0..interior.rows() {
+            let (j, k) = interior.row_jk(r);
+            let off = interior.row_offset(j, k);
+            for i in 0..interior.len {
+                expect[off + i] = 1;
+            }
+        }
+        assert_eq!(
+            hits, expect,
+            "deep + shell must cover each interior cell exactly once"
+        );
     }
 
     #[test]
@@ -292,6 +456,47 @@ mod proptests {
             let max = *sizes.iter().max().unwrap();
             prop_assert!(max - min <= 1, "chunks must differ by at most one element");
             prop_assert_eq!(sizes.iter().sum::<usize>(), n);
+        }
+
+        #[test]
+        fn deep_shell_partition_any_extent(
+            nx in 1usize..12, ny in 1usize..12, nz in 1usize..12,
+        ) {
+            let e = Extent3::new(nx, ny, nz);
+            let padded = (nx + 2) * (ny + 2) * (nz + 2);
+            let mut hits = vec![0u8; padded];
+            let mut cover = |m: &RowMap| {
+                m.validate(padded);
+                for r in 0..m.rows() {
+                    let (j, k) = m.row_jk(r);
+                    let off = m.row_offset(j, k);
+                    for i in 0..m.len {
+                        hits[off + i] += 1;
+                    }
+                }
+            };
+            if let Some(deep) = RowMap::halo_deep_interior(e) {
+                cover(&deep);
+            }
+            for m in RowMap::halo_shell(e) {
+                cover(&m);
+            }
+            let interior = RowMap::halo_interior(e);
+            let mut covered = 0usize;
+            for r in 0..interior.rows() {
+                let (j, k) = interior.row_jk(r);
+                let off = interior.row_offset(j, k);
+                for i in 0..interior.len {
+                    prop_assert_eq!(hits[off + i], 1, "interior cell covered != once");
+                    covered += 1;
+                }
+            }
+            prop_assert_eq!(covered, e.len());
+            prop_assert_eq!(
+                hits.iter().map(|&h| h as usize).sum::<usize>(),
+                e.len(),
+                "shell/deep touched halo cells"
+            );
         }
 
         #[test]

@@ -64,7 +64,7 @@ mod scalar;
 
 pub use buffer::DeviceBuffer;
 pub use device::{AnyDevice, Device, DeviceKind, GpuSimParams, Serial, SimGpu, Threads};
-pub use events::{Event, KernelInfo, Recorder};
+pub use events::{Event, KernelInfo, Recorder, HALO_OVERLAP_STAGE};
 pub use index::{chunk_range, Extent3, RowMap};
 pub use pool::ThreadPool;
 pub use scalar::{add_partials, Scalar};

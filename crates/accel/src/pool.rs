@@ -88,7 +88,11 @@ impl ThreadPool {
                     .expect("failed to spawn pool worker")
             })
             .collect();
-        Self { tx: Some(tx), workers, size }
+        Self {
+            tx: Some(tx),
+            workers,
+            size,
+        }
     }
 
     /// Number of workers.
@@ -116,8 +120,12 @@ impl ThreadPool {
         };
         let tx = self.tx.as_ref().expect("pool already shut down");
         for index in 1..chunks {
-            tx.send(Job { func, index, latch: Arc::clone(&latch) })
-                .expect("pool workers disappeared");
+            tx.send(Job {
+                func,
+                index,
+                latch: Arc::clone(&latch),
+            })
+            .expect("pool workers disappeared");
         }
         // Run chunk 0 inline on the submitting thread.
         f(0);

@@ -21,7 +21,12 @@ fn solve_time(kind: SolverKind, opts: &SolverOptions) -> usize {
     let out = solver.solve(
         kind,
         opts,
-        &SolveParams { tol: 1e-10, max_iters: 20_000, record_history: false, ..Default::default() },
+        &SolveParams {
+            tol: 1e-10,
+            max_iters: 20_000,
+            record_history: false,
+            ..Default::default()
+        },
     );
     assert!(out.converged);
     out.iterations
@@ -31,8 +36,15 @@ fn solve_time(kind: SolverKind, opts: &SolverOptions) -> usize {
 fn ablation_comm(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_comm");
     group.sample_size(10);
-    let opts = SolverOptions { eig_min_factor: 10.0, ..Default::default() };
-    for kind in [SolverKind::BiCgsGCi, SolverKind::BiCgsGNoCommCi, SolverKind::BiCgsBjCi] {
+    let opts = SolverOptions {
+        eig_min_factor: 10.0,
+        ..Default::default()
+    };
+    for kind in [
+        SolverKind::BiCgsGCi,
+        SolverKind::BiCgsGNoCommCi,
+        SolverKind::BiCgsBjCi,
+    ] {
         group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &k| {
             b.iter(|| solve_time(k, &opts));
         });
@@ -62,7 +74,10 @@ fn ablation_rescale(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_rescale");
     group.sample_size(10);
     for (label, min_factor) in [("raw_bounds", 1.0), ("rescaled_x10", 10.0)] {
-        let opts = SolverOptions { eig_min_factor: min_factor, ..Default::default() };
+        let opts = SolverOptions {
+            eig_min_factor: min_factor,
+            ..Default::default()
+        };
         group.bench_with_input(BenchmarkId::from_parameter(label), &label, |b, _| {
             b.iter(|| solve_time(SolverKind::BiCgsGNoCommCi, &opts));
         });
@@ -112,14 +127,22 @@ fn ablation_polynomial(c: &mut Criterion) {
     group.sample_size(10);
     let problem = paper_problem(17);
     let grid = blockgrid::BlockGrid::new(problem.discretize(), Decomp::single(), 0);
-    let ctx: RankCtx<f64, _, comm::SelfComm<f64>> =
-        RankCtx::new(Serial::new(Recorder::disabled()), comm::SelfComm::default(), grid);
+    let ctx: RankCtx<f64, _, comm::SelfComm<f64>> = RankCtx::new(
+        Serial::new(Recorder::disabled()),
+        comm::SelfComm::default(),
+        grid,
+    );
     let bounds = global_bounds(&ctx).rescaled(1e-4, 10.0);
     let b_host = poisson::assemble::local_rhs(&problem, &ctx.grid);
     let bnorm: f64 = b_host.iter().map(|v| v * v).sum::<f64>().sqrt();
     let b_scaled: Vec<f64> = b_host.iter().map(|v| v / bnorm).collect();
     let b = Field::from_interior(&ctx.dev, &ctx.grid, &b_scaled);
-    let params = SolveParams { tol: 1e-10, max_iters: 20_000, record_history: false, ..Default::default() };
+    let params = SolveParams {
+        tol: 1e-10,
+        max_iters: 20_000,
+        record_history: false,
+        ..Default::default()
+    };
 
     group.bench_function("chebyshev_24", |bch| {
         bch.iter(|| {
@@ -159,13 +182,21 @@ fn ablation_overlap(c: &mut Criterion) {
     // only; multi-rank comparisons live in the krylov test suite.
     let problem = paper_problem(17);
     let grid = blockgrid::BlockGrid::new(problem.discretize(), Decomp::single(), 0);
-    let ctx: RankCtx<f64, _, comm::SelfComm<f64>> =
-        RankCtx::new(Serial::new(Recorder::disabled()), comm::SelfComm::default(), grid);
+    let ctx: RankCtx<f64, _, comm::SelfComm<f64>> = RankCtx::new(
+        Serial::new(Recorder::disabled()),
+        comm::SelfComm::default(),
+        grid,
+    );
     let b_host = poisson::assemble::local_rhs(&problem, &ctx.grid);
     let bnorm: f64 = b_host.iter().map(|v| v * v).sum::<f64>().sqrt();
     let b_scaled: Vec<f64> = b_host.iter().map(|v| v / bnorm).collect();
     let b = Field::from_interior(&ctx.dev, &ctx.grid, &b_scaled);
-    let params = SolveParams { tol: 1e-10, max_iters: 20_000, record_history: false, ..Default::default() };
+    let params = SolveParams {
+        tol: 1e-10,
+        max_iters: 20_000,
+        record_history: false,
+        ..Default::default()
+    };
 
     group.bench_function("bj_no_overlap", |bch| {
         bch.iter(|| {
@@ -187,13 +218,115 @@ fn ablation_overlap(c: &mut Criterion) {
     group.finish();
 }
 
+/// Split-phase overlapped halo exchange vs the synchronous exchange, per
+/// operator application, on the Threads back-end at 8 ranks (2×2×2).
+///
+/// The in-process communicator delivers messages in nanoseconds, and on a
+/// shared CI host the OS scheduler interleaves all eight rank threads on
+/// the same cores, so raw wall time cannot expose what overlap buys on a
+/// real interconnect (even sleep-based latency emulation is void: while
+/// one rank sleeps on a "wire", the scheduler runs the other ranks'
+/// compute, hiding the latency in *both* arms). This bench therefore
+/// follows the repo's standing methodology (DESIGN.md, EXPERIMENTS.md):
+/// run the real 8-rank Threads world, record each rank's logical event
+/// stream — kernel launches with measured byte/flop footprints, halo
+/// message counts and bytes, overlap windows — and report that stream's
+/// modeled time on the paper's LUMI-G machine model, where a split-phase
+/// window costs `max(comm, in-window compute)`. The reported duration is
+/// the slowest rank's modeled per-application time; the event streams it
+/// prices are measured, not synthesized.
+fn ablation_halo_overlap(c: &mut Criterion) {
+    use accel::{Event, Threads};
+    use blockgrid::{BlockGrid, GlobalGrid, HaloExchange};
+    use comm::run_ranks_recorded;
+    use perfmodel::{replay, MachineModel};
+    use std::time::Duration;
+
+    const RANKS: usize = 8;
+
+    // One operator application's event stream per rank, measured live.
+    let record_world = |overlap: bool| -> Vec<Vec<Event>> {
+        let decomp = Decomp::new([2, 2, 2]);
+        // Local 96³ per rank: the regime where one face-wave of halo
+        // latency rivals the interior sweep (the paper's Fig. 6 balance
+        // at 64 ranks), i.e. where split-phase overlap pays off most.
+        let global = GlobalGrid::dirichlet([192, 192, 192], [0.05; 3], [0.0; 3]);
+        // Size the worker pool like an MPI+OpenMP job: cores / ranks,
+        // at least one; oversubscription would only slow the recording.
+        let workers = std::thread::available_parallelism()
+            .map_or(1, |p| p.get() / RANKS)
+            .max(1);
+        let recorders: Vec<Recorder> = (0..RANKS).map(|_| Recorder::enabled()).collect();
+        run_ranks_recorded::<f64, _, _>(RANKS, ReduceOrder::RankOrder, recorders, move |comm| {
+            let rec = comm.recorder().clone();
+            let dev = Threads::new(workers, rec.clone());
+            let grid = BlockGrid::new(global.clone(), decomp, comm.rank());
+            let vals: Vec<f64> = (0..grid.local_n.iter().product())
+                .map(|i| (i % 97) as f64 / 97.0)
+                .collect();
+            let mut u = Field::from_interior(&dev, &grid, &vals);
+            let lap = Laplacian::new(&grid);
+            let mut w = Field::zeros(&dev, &grid);
+            let halo = HaloExchange::new(&grid);
+            // warm the buffer pool and the per-(peer, tag) message
+            // queues, then discard the warm-up's events
+            halo.exchange(&dev, &comm, &mut u);
+            rec.drain();
+            if overlap {
+                let pending = halo.begin(&dev, &comm, &u);
+                apply_physical_bcs(&grid, &mut u, &rec, false);
+                lap.apply_interior(&dev, INFO_APPLY, &u, &mut w);
+                halo.finish(&dev, &comm, pending, &mut u);
+                lap.apply_shell(&dev, INFO_APPLY, &u, &mut w);
+            } else {
+                halo.exchange(&dev, &comm, &mut u);
+                apply_physical_bcs(&grid, &mut u, &rec, false);
+                lap.apply(&dev, INFO_APPLY, &u, &mut w);
+            }
+            rec.drain()
+        })
+    };
+
+    let machine = MachineModel::mi250x();
+    let modeled = |streams: &[Vec<Event>]| -> Duration {
+        let worst = streams
+            .iter()
+            .map(|evs| replay(evs, &machine, RANKS).total_s())
+            .fold(0.0, f64::max);
+        Duration::from_secs_f64(worst)
+    };
+
+    let mut group = c.benchmark_group("ablation_halo_overlap");
+    group.sample_size(10);
+    group.bench_function("synchronous", |b| {
+        b.iter_custom(|_| modeled(&record_world(false)))
+    });
+    group.bench_function("overlapped", |b| {
+        b.iter_custom(|_| modeled(&record_world(true)))
+    });
+    group.finish();
+
+    // The headline claim this ablation exists for: overlapping must be
+    // worth >= 1.2x per operator application in this regime.
+    let sync_s = modeled(&record_world(false)).as_secs_f64();
+    let over_s = modeled(&record_world(true)).as_secs_f64();
+    assert!(
+        sync_s >= 1.2 * over_s,
+        "split-phase overlap models below the 1.2x bar: \
+         synchronous {sync_s:.3e}s vs overlapped {over_s:.3e}s"
+    );
+}
+
 /// Algorithm 1's mid-loop convergence check vs Algorithm 3 (the paper's
 /// implementation) — one extra reduction per iteration vs a potentially
 /// saved half-iteration.
 fn ablation_early_exit(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_early_exit");
     group.sample_size(10);
-    let opts = SolverOptions { eig_min_factor: 10.0, ..Default::default() };
+    let opts = SolverOptions {
+        eig_min_factor: 10.0,
+        ..Default::default()
+    };
     for (label, early) in [("alg3_no_check", false), ("alg1_mid_loop_check", true)] {
         group.bench_with_input(BenchmarkId::from_parameter(label), &early, |b, &early| {
             b.iter(|| {
@@ -226,7 +359,10 @@ fn ablation_early_exit(c: &mut Criterion) {
 fn ablation_reduction(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_reduction");
     group.sample_size(10);
-    for (label, order) in [("rank_order", ReduceOrder::RankOrder), ("arrival", ReduceOrder::Arrival)] {
+    for (label, order) in [
+        ("rank_order", ReduceOrder::RankOrder),
+        ("arrival", ReduceOrder::Arrival),
+    ] {
         group.bench_with_input(BenchmarkId::from_parameter(label), &order, |b, &order| {
             b.iter(|| {
                 run_ranks::<f64, _, _>(4, order, |comm_handle| {
@@ -247,6 +383,6 @@ fn ablation_reduction(c: &mut Criterion) {
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(300));
-    targets = ablation_comm, ablation_ci_iters, ablation_rescale, ablation_fusion, ablation_reduction, ablation_polynomial, ablation_early_exit, ablation_overlap
+    targets = ablation_comm, ablation_ci_iters, ablation_rescale, ablation_fusion, ablation_reduction, ablation_polynomial, ablation_early_exit, ablation_overlap, ablation_halo_overlap
 );
 criterion_main!(benches);

@@ -22,7 +22,9 @@ fn grid(n: usize) -> BlockGrid {
 
 fn filled(dev: &Serial, g: &BlockGrid, seed: usize) -> Field<f64> {
     let n = g.local_n.iter().product();
-    let vals: Vec<f64> = (0..n).map(|i| ((i * 31 + seed) % 97) as f64 / 97.0).collect();
+    let vals: Vec<f64> = (0..n)
+        .map(|i| ((i * 31 + seed) % 97) as f64 / 97.0)
+        .collect();
     Field::from_interior(dev, g, &vals)
 }
 
@@ -40,12 +42,20 @@ fn bench_stencil(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("plain", n), &n, |b, _| {
             b.iter(|| lap.apply(&dev, INFO_APPLY, &u, &mut w));
         });
-        group.bench_with_input(BenchmarkId::new("fused_dot(KernelBiCGS1)", n), &n, |b, _| {
-            b.iter(|| lap.apply_fused_dot(&dev, INFO_APPLY, &u, &mut w, &r0t));
-        });
-        group.bench_with_input(BenchmarkId::new("fused_dot2(KernelBiCGS3)", n), &n, |b, _| {
-            b.iter(|| lap.apply_fused_dot2(&dev, INFO_APPLY, &u, &mut w, &r0t));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("fused_dot(KernelBiCGS1)", n),
+            &n,
+            |b, _| {
+                b.iter(|| lap.apply_fused_dot(&dev, INFO_APPLY, &u, &mut w, &r0t));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("fused_dot2(KernelBiCGS3)", n),
+            &n,
+            |b, _| {
+                b.iter(|| lap.apply_fused_dot2(&dev, INFO_APPLY, &u, &mut w, &r0t));
+            },
+        );
     }
     group.finish();
 }
@@ -110,8 +120,11 @@ fn bench_cheby_sweeps(c: &mut Criterion) {
     let mut group = c.benchmark_group("chebyshev_preconditioner");
     let n = 32;
     let g = grid(n);
-    let ctx: RankCtx<f64, _, comm::SelfComm<f64>> =
-        RankCtx::new(Serial::new(Recorder::disabled()), comm::SelfComm::default(), g);
+    let ctx: RankCtx<f64, _, comm::SelfComm<f64>> = RankCtx::new(
+        Serial::new(Recorder::disabled()),
+        comm::SelfComm::default(),
+        g,
+    );
     let bounds = global_bounds(&ctx);
     group.throughput(Throughput::Elements((n * n * n) as u64));
     for sweeps in [6usize, 24] {
@@ -143,7 +156,7 @@ fn bench_halo_exchange(c: &mut Criterion) {
                     let mut f = filled(&dev, &grid, 7);
                     let halo = blockgrid::HaloExchange::new(&grid);
                     for _ in 0..100 {
-                        halo.exchange(&comm_handle, &mut f);
+                        halo.exchange(&dev, &comm_handle, &mut f);
                     }
                 });
             });

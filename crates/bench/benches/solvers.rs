@@ -12,23 +12,35 @@ fn bench_solvers(c: &mut Criterion) {
     let mut group = c.benchmark_group("table2_solve_17cubed");
     group.sample_size(10);
     for kind in SolverKind::all() {
-        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &kind| {
-            b.iter(|| {
-                let mut solver: PoissonSolver<f64, _, _> = PoissonSolver::new(
-                    paper_problem(17),
-                    Decomp::single(),
-                    Serial::new(Recorder::disabled()),
-                    SelfComm::default(),
-                );
-                let out = solver.solve(
-                    kind,
-                    &SolverOptions { eig_min_factor: 10.0, ..Default::default() },
-                    &SolveParams { tol: 1e-10, max_iters: 20_000, record_history: false, ..Default::default() },
-                );
-                assert!(out.converged);
-                out.iterations
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let mut solver: PoissonSolver<f64, _, _> = PoissonSolver::new(
+                        paper_problem(17),
+                        Decomp::single(),
+                        Serial::new(Recorder::disabled()),
+                        SelfComm::default(),
+                    );
+                    let out = solver.solve(
+                        kind,
+                        &SolverOptions {
+                            eig_min_factor: 10.0,
+                            ..Default::default()
+                        },
+                        &SolveParams {
+                            tol: 1e-10,
+                            max_iters: 20_000,
+                            record_history: false,
+                            ..Default::default()
+                        },
+                    );
+                    assert!(out.converged);
+                    out.iterations
+                });
+            },
+        );
     }
     group.finish();
 }

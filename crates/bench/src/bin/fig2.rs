@@ -54,7 +54,13 @@ fn main() {
         });
     }
 
-    println!("\niter  {}", series.iter().map(|s| format!("{:>22}", s.solver)).collect::<String>());
+    println!(
+        "\niter  {}",
+        series
+            .iter()
+            .map(|s| format!("{:>22}", s.solver))
+            .collect::<String>()
+    );
     let longest = series.iter().map(|s| s.residuals.len()).max().unwrap_or(0);
     let stride = (longest / 40).max(1);
     for i in (0..longest).step_by(stride) {
@@ -76,7 +82,13 @@ fn main() {
     println!("\n{}", ascii_semilogy(&plot_series, 76, 20));
 
     // paper-shape checks
-    let iters = |k: &str| series.iter().find(|s| s.solver == k).map(|s| s.iterations).unwrap();
+    let iters = |k: &str| {
+        series
+            .iter()
+            .find(|s| s.solver == k)
+            .map(|s| s.iterations)
+            .unwrap()
+    };
     let plain = iters("BiCGS");
     println!("\nShape vs paper:");
     println!("  plain BiCGS iterations: {plain} (paper @256^3: ~1543)");
@@ -88,7 +100,10 @@ fn main() {
         );
     }
     let g = iters("FBiCGS-G(BiCGS)");
-    assert!(g < iters("BiCGS-GNoComm(CI)"), "global preconditioner needs fewest outer iterations");
+    assert!(
+        g < iters("BiCGS-GNoComm(CI)"),
+        "global preconditioner needs fewest outer iterations"
+    );
 
     let record = ExperimentRecord {
         experiment: "fig2".to_owned(),

@@ -54,7 +54,13 @@ fn main() {
     }
 
     let longest = series.iter().map(|s| s.residuals.len()).max().unwrap_or(0);
-    println!("\niter  {}", series.iter().map(|s| format!("{:>16}", s.backend)).collect::<String>());
+    println!(
+        "\niter  {}",
+        series
+            .iter()
+            .map(|s| format!("{:>16}", s.backend))
+            .collect::<String>()
+    );
     for i in (0..longest).step_by((longest / 40).max(1)) {
         let mut row = format!("{i:>5} ");
         for s in &series {

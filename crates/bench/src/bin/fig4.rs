@@ -49,7 +49,13 @@ fn main() {
     }
 
     let longest = series.iter().map(|s| s.residuals.len()).max().unwrap_or(0);
-    println!("\niter  {}", series.iter().map(|s| format!("{:>16}", s.backend)).collect::<String>());
+    println!(
+        "\niter  {}",
+        series
+            .iter()
+            .map(|s| format!("{:>16}", s.backend))
+            .collect::<String>()
+    );
     for i in 0..longest {
         let mut row = format!("{i:>5} ");
         for s in &series {
@@ -70,7 +76,10 @@ fn main() {
     println!("\nShape vs paper: every back-end converges to 1e-10; iteration counts");
     println!("differ only through floating-point reduction order (paper: GPUs 14,");
     println!("CPU 27 on this mesh).");
-    assert!(series.iter().all(|s| s.converged), "all back-ends must converge");
+    assert!(
+        series.iter().all(|s| s.converged),
+        "all back-ends must converge"
+    );
     // quantify the reduction-order divergence between back-ends
     let reference = &series[0].residuals;
     for s in &series[1..] {
@@ -82,9 +91,7 @@ fn main() {
             .fold(0.0f64, f64::max);
         println!(
             "  residual-history divergence vs {}: max rel {:.2e} ({})",
-            series[0].backend,
-            div,
-            s.backend
+            series[0].backend, div, s.backend
         );
     }
 

@@ -47,7 +47,10 @@ fn main() {
         (256, [8, 8, 4]),
     ];
 
-    println!("Fig. 5: strong scaling, 1024^3 mesh, {} model", machine.name);
+    println!(
+        "Fig. 5: strong scaling, 1024^3 mesh, {} model",
+        machine.name
+    );
     println!(
         "iteration counts measured on a {nodes}^3 mesh; per-iteration costs from a\nmeasured event profile rescaled to the 1024^3 local meshes\n"
     );
@@ -74,7 +77,11 @@ fn main() {
         cfg.decomp = decomp;
         let res = run_once(&cfg);
         assert!(res.outcome.converged, "{ranks} ranks: {:?}", res.outcome);
-        let iterations = if fixed_iters { pres.outcome.iterations } else { res.outcome.iterations };
+        let iterations = if fixed_iters {
+            pres.outcome.iterations
+        } else {
+            res.outcome.iterations
+        };
 
         // rescale the measured per-iteration profile to the 1024^3 local mesh
         let local: [f64; 3] = std::array::from_fn(|a| 1024.0 / decomp[a] as f64);
@@ -121,7 +128,10 @@ fn main() {
     println!("measured block-count-driven iteration growth provides the same shape).");
     let eff = |r: usize| points.iter().find(|p| p.ranks == r).unwrap().efficiency;
     assert!(eff(16) > 0.80, "16 GCDs: {}", eff(16));
-    assert!(eff(256) < eff(64), "efficiency must decay from 64 to 256 GCDs");
+    assert!(
+        eff(256) < eff(64),
+        "efficiency must decay from 64 to 256 GCDs"
+    );
     assert!(eff(256) < 0.95, "256 GCDs must show real degradation");
 
     let record = ExperimentRecord {

@@ -63,7 +63,11 @@ fn main() {
             b.transfer_s,
             b.total_s()
         );
-        bars.push(Bar { machine: m.name.clone(), breakdown: b, total_s: b.total_s() });
+        bars.push(Bar {
+            machine: m.name.clone(),
+            breakdown: b,
+            total_s: b.total_s(),
+        });
     }
 
     let cpu = &bars[0];
@@ -83,13 +87,21 @@ fn main() {
         nv.total_s / amd.total_s
     );
     assert!(amd.total_s < cpu.total_s, "AMD must beat the CPU back-end");
-    assert!(amd.total_s < nv.total_s, "AMD must beat the staged-copy NVIDIA run");
+    assert!(
+        amd.total_s < nv.total_s,
+        "AMD must beat the staged-copy NVIDIA run"
+    );
     assert!(
         nv.breakdown.comm_s > nv.breakdown.compute_s,
         "the broken-GPU-direct NVIDIA run must be communication-dominated"
     );
 
-    let record = ExperimentRecord { experiment: "fig6".to_owned(), nodes, ranks, data: bars };
+    let record = ExperimentRecord {
+        experiment: "fig6".to_owned(),
+        nodes,
+        ranks,
+        data: bars,
+    };
     match write_json(&record) {
         Ok(path) => println!("\nwrote {path}"),
         Err(e) => eprintln!("could not write results: {e}"),

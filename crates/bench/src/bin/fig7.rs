@@ -32,7 +32,10 @@ fn main() {
     assert!(res.outcome.converged);
 
     println!("Fig. 7: BiCGS-GNoComm(CI) TTS across architectures (single rank)");
-    println!("mesh {nodes}^3, 1 rank, {} iterations (measured)\n", res.outcome.iterations);
+    println!(
+        "mesh {nodes}^3, 1 rank, {} iterations (measured)\n",
+        res.outcome.iterations
+    );
 
     let machines = [
         MachineModel::lumi_c_node(),
@@ -66,9 +69,17 @@ fn main() {
     let nv = bars[2].compute_speedup_vs_cpu;
     assert!((amd - 50.0).abs() < 15.0, "AMD speedup {amd}");
     assert!((nv - 47.0).abs() < 15.0, "NVIDIA speedup {nv}");
-    assert!(bars.iter().all(|b| b.breakdown.comm_s == 0.0), "single rank => no comm");
+    assert!(
+        bars.iter().all(|b| b.breakdown.comm_s == 0.0),
+        "single rank => no comm"
+    );
 
-    let record = ExperimentRecord { experiment: "fig7".to_owned(), nodes, ranks: 1, data: bars };
+    let record = ExperimentRecord {
+        experiment: "fig7".to_owned(),
+        nodes,
+        ranks: 1,
+        data: bars,
+    };
     match write_json(&record) {
         Ok(path) => println!("\nwrote {path}"),
         Err(e) => eprintln!("could not write results: {e}"),

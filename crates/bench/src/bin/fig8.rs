@@ -32,7 +32,10 @@ fn main() {
     let machine = MachineModel::mi250x();
     let spans = build_timeline(&profile, &machine, ranks);
 
-    println!("Fig. 8: one BiCGS-GNoComm(CI) cycle on the {} model", machine.name);
+    println!(
+        "Fig. 8: one BiCGS-GNoComm(CI) cycle on the {} model",
+        machine.name
+    );
     println!("mesh {nodes}^3, {ranks} ranks — measured event stream, modeled durations\n");
     println!("{}", render_timeline(&spans, width));
 
@@ -53,7 +56,13 @@ fn main() {
     println!("(with KernelBiCGS1 next), while the MPI synchronisation stages are the");
     println!("largest single cost of the cycle — exactly the paper's reading of its");
     println!("Omnitrace capture.");
-    let time_of = |n: &str| totals.iter().find(|(name, _)| name == n).map(|(_, t)| *t).unwrap_or(0.0);
+    let time_of = |n: &str| {
+        totals
+            .iter()
+            .find(|(name, _)| name == n)
+            .map(|(_, t)| *t)
+            .unwrap_or(0.0)
+    };
     let ci = time_of("KernelCI2") + time_of("KernelCI1") + time_of("KernelScale");
     let device: f64 = totals
         .iter()

@@ -51,7 +51,10 @@ fn main() {
     let ranks: usize = decomp.iter().product();
 
     println!("TABLE II: results per solver, {nodes}^3 mesh, {ranks} ranks, {runs} runs");
-    println!("TTS = measured event stream replayed on the {} model\n", machine.name);
+    println!(
+        "TTS = measured event stream replayed on the {} model\n",
+        machine.name
+    );
 
     let mut rows = Vec::new();
     for kind in SolverKind::all() {
@@ -110,7 +113,12 @@ fn main() {
     }
 
     // headline shape checks from the paper's Observation I
-    let tts_of = |k: &str| rows.iter().find(|r| r.solver == k).unwrap().tts_model_mean_s;
+    let tts_of = |k: &str| {
+        rows.iter()
+            .find(|r| r.solver == k)
+            .unwrap()
+            .tts_model_mean_s
+    };
     let plain = tts_of("BiCGS");
     let gnocomm = tts_of("BiCGS-GNoComm(CI)");
     let gbicgs = tts_of("FBiCGS-G(BiCGS)");
@@ -134,9 +142,15 @@ fn main() {
         println!("   grows much slower — rerun with --full to reproduce it)");
     }
     assert!(gnocomm < gbicgs, "GNoComm(CI) must beat G(BiCGS)");
-    assert!(gnocomm < gci, "comm-free must beat the communicating CI preconditioner");
+    assert!(
+        gnocomm < gci,
+        "comm-free must beat the communicating CI preconditioner"
+    );
     if full {
-        assert!(gnocomm < plain, "GNoComm(CI) must beat plain BiCGS at paper scale");
+        assert!(
+            gnocomm < plain,
+            "GNoComm(CI) must beat plain BiCGS at paper scale"
+        );
         assert!(
             rows.iter().all(|r| r.tts_model_mean_s >= gnocomm * 0.95),
             "GNoComm(CI) must be the fastest configuration at paper scale"

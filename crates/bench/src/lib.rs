@@ -61,7 +61,10 @@ impl Args {
 
     /// String lookup with default.
     pub fn get_str(&self, key: &str, default: &str) -> String {
-        self.map.get(key).cloned().unwrap_or_else(|| default.to_owned())
+        self.map
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_owned())
     }
 
     /// Presence of `--flag`.
@@ -76,7 +79,10 @@ impl Args {
             Some(spec) => {
                 let parts: Vec<usize> = spec
                     .split('x')
-                    .map(|p| p.parse().unwrap_or_else(|e| panic!("--{key} {spec:?}: {e}")))
+                    .map(|p| {
+                        p.parse()
+                            .unwrap_or_else(|e| panic!("--{key} {spec:?}: {e}"))
+                    })
                     .collect();
                 assert_eq!(parts.len(), 3, "--{key} must be AxBxC");
                 [parts[0], parts[1], parts[2]]
@@ -132,7 +138,10 @@ impl RunConfig {
             nodes: 64,
             decomp: [2, 2, 2],
             kind,
-            opts: SolverOptions { eig_min_factor: 10.0, ..Default::default() },
+            opts: SolverOptions {
+                eig_min_factor: 10.0,
+                ..Default::default()
+            },
             tol: 1e-10,
             max_iters: 50_000,
             device: "serial".into(),
@@ -170,7 +179,13 @@ pub struct RunResult {
 pub fn run_once(cfg: &RunConfig) -> RunResult {
     let ranks = cfg.ranks();
     let recorders: Vec<Recorder> = (0..ranks)
-        .map(|_| if cfg.record_events { Recorder::enabled() } else { Recorder::disabled() })
+        .map(|_| {
+            if cfg.record_events {
+                Recorder::enabled()
+            } else {
+                Recorder::disabled()
+            }
+        })
         .collect();
     let handles = recorders.clone();
     let decomp = Decomp::new(cfg.decomp);
@@ -179,8 +194,7 @@ pub fn run_once(cfg: &RunConfig) -> RunResult {
         let rec = comm.recorder().clone();
         let dev = AnyDevice::from_spec(&cfg2.device, rec).expect("bad device spec");
         let problem = paper_problem(cfg2.nodes);
-        let mut solver: PoissonSolver<f64, _, _> =
-            PoissonSolver::new(problem, decomp, dev, comm);
+        let mut solver: PoissonSolver<f64, _, _> = PoissonSolver::new(problem, decomp, dev, comm);
         let params = SolveParams {
             tol: cfg2.tol,
             max_iters: cfg2.max_iters,
@@ -188,6 +202,7 @@ pub fn run_once(cfg: &RunConfig) -> RunResult {
             early_exit_check: cfg2.params_extra.early_exit_check,
             true_residual_every: cfg2.params_extra.true_residual_every,
             max_restarts: cfg2.params_extra.max_restarts,
+            overlap_halo: cfg2.opts.overlap_halo,
         };
         let t0 = Instant::now();
         let outcome = solver.solve(cfg2.kind, &cfg2.opts, &params);
@@ -199,7 +214,11 @@ pub fn run_once(cfg: &RunConfig) -> RunResult {
     let events: Vec<Vec<Event>> = handles.iter().map(|r| r.drain()).collect();
     let outcome = per_rank[0].0.clone();
     RunResult {
-        prec_iterations_max: per_rank.iter().map(|r| r.0.prec_iterations).max().unwrap_or(0),
+        prec_iterations_max: per_rank
+            .iter()
+            .map(|r| r.0.prec_iterations)
+            .max()
+            .unwrap_or(0),
         wall_s: per_rank.iter().map(|r| r.1).fold(0.0, f64::max),
         comm_stats: per_rank[0].2,
         l2_error: per_rank[0].3,
@@ -254,7 +273,10 @@ pub struct ExperimentRecord<T: Serialize> {
 pub fn write_json<T: Serialize>(record: &ExperimentRecord<T>) -> std::io::Result<String> {
     std::fs::create_dir_all("results")?;
     let path = format!("results/{}.json", record.experiment);
-    std::fs::write(&path, serde_json::to_string_pretty(record).expect("serialise"))?;
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(record).expect("serialise"),
+    )?;
     Ok(path)
 }
 
@@ -299,7 +321,10 @@ mod tests {
             .iter()
             .filter(|e| matches!(e, Event::Kernel { .. }))
             .count();
-        assert!(kernels > 40, "expected a full iteration, got {kernels} kernels");
+        assert!(
+            kernels > 40,
+            "expected a full iteration, got {kernels} kernels"
+        );
         let allreduces = profile
             .iter()
             .filter(|e| matches!(e, Event::AllReduce { .. }))
@@ -349,7 +374,11 @@ pub fn ascii_semilogy(series: &[(String, Vec<f64>)], width: usize, height: usize
             if !(v > 0.0 && v.is_finite()) {
                 continue;
             }
-            let x = if max_len == 1 { 0 } else { i * (width - 1) / (max_len - 1) };
+            let x = if max_len == 1 {
+                0
+            } else {
+                i * (width - 1) / (max_len - 1)
+            };
             let fy = (v.log10() - lo) / (hi - lo);
             let y = ((1.0 - fy) * (height - 1) as f64).round() as usize;
             canvas[y.min(height - 1)][x.min(width - 1)] = glyph;
@@ -403,7 +432,10 @@ mod plot_tests {
 
     #[test]
     fn monotone_series_descends_across_rows() {
-        let s = vec![("d".to_owned(), (0..20).map(|i| 10f64.powi(-i)).collect::<Vec<_>>())];
+        let s = vec![(
+            "d".to_owned(),
+            (0..20).map(|i| 10f64.powi(-i)).collect::<Vec<_>>(),
+        )];
         let txt = ascii_semilogy(&s, 40, 10);
         // first data row (top) holds the early iterations, bottom the late
         let rows: Vec<&str> = txt.lines().take(10).collect();

@@ -20,7 +20,10 @@ pub struct Field<T> {
 impl<T: Scalar> Field<T> {
     /// Zero-filled field (interior and halo).
     pub fn zeros<D: Device>(dev: &D, grid: &BlockGrid) -> Self {
-        Self { buf: DeviceBuffer::zeros(dev, grid.padded_len()), padded: grid.padded() }
+        Self {
+            buf: DeviceBuffer::zeros(dev, grid.padded_len()),
+            padded: grid.padded(),
+        }
     }
 
     /// Field with the given interior values (x-fastest order over
@@ -37,7 +40,10 @@ impl<T: Scalar> Field<T> {
                 src += n[0];
             }
         }
-        Self { buf: DeviceBuffer::from_host(dev, &host), padded: grid.padded() }
+        Self {
+            buf: DeviceBuffer::from_host(dev, &host),
+            padded: grid.padded(),
+        }
     }
 
     /// Padded dims of the field.

@@ -26,7 +26,12 @@ pub struct GlobalGrid {
 impl GlobalGrid {
     /// Uniform grid with Dirichlet conditions on all faces.
     pub fn dirichlet(n: [usize; 3], h: [f64; 3], origin: [f64; 3]) -> Self {
-        Self { n, h, origin, bc: [[BcKind::Dirichlet; 2]; 3] }
+        Self {
+            n,
+            h,
+            origin,
+            bc: [[BcKind::Dirichlet; 2]; 3],
+        }
     }
 
     /// Total number of unknowns.
@@ -52,7 +57,10 @@ pub struct Decomp {
 impl Decomp {
     /// Create a decomposition; every axis must have at least one block.
     pub fn new(ns: [usize; 3]) -> Self {
-        assert!(ns.iter().all(|&s| s >= 1), "decomposition needs >= 1 block per axis");
+        assert!(
+            ns.iter().all(|&s| s >= 1),
+            "decomposition needs >= 1 block per axis"
+        );
         Self { ns }
     }
 
@@ -138,7 +146,14 @@ impl BlockGrid {
             offset[a] = r.start;
             local_n[a] = r.len();
         }
-        Self { global, decomp, rank, coords, local_n, offset }
+        Self {
+            global,
+            decomp,
+            rank,
+            coords,
+            local_n,
+            offset,
+        }
     }
 
     /// Local interior extent.
@@ -148,7 +163,11 @@ impl BlockGrid {
 
     /// Padded (halo-included) dims: `local_n + 2` per axis.
     pub fn padded(&self) -> [usize; 3] {
-        [self.local_n[0] + 2, self.local_n[1] + 2, self.local_n[2] + 2]
+        [
+            self.local_n[0] + 2,
+            self.local_n[1] + 2,
+            self.local_n[2] + 2,
+        ]
     }
 
     /// Total padded elements.
@@ -251,10 +270,22 @@ mod tests {
         let d = Decomp::new([2, 1, 1]);
         let left = BlockGrid::new(g.clone(), d, 0);
         let right = BlockGrid::new(g, d, 1);
-        assert_eq!(left.boundary(0, 0), LocalBoundary::Physical(BcKind::Dirichlet));
-        assert_eq!(left.boundary(0, 1), LocalBoundary::Interface { neighbor: 1 });
-        assert_eq!(right.boundary(0, 0), LocalBoundary::Interface { neighbor: 0 });
-        assert_eq!(right.boundary(0, 1), LocalBoundary::Physical(BcKind::Neumann));
+        assert_eq!(
+            left.boundary(0, 0),
+            LocalBoundary::Physical(BcKind::Dirichlet)
+        );
+        assert_eq!(
+            left.boundary(0, 1),
+            LocalBoundary::Interface { neighbor: 1 }
+        );
+        assert_eq!(
+            right.boundary(0, 0),
+            LocalBoundary::Interface { neighbor: 0 }
+        );
+        assert_eq!(
+            right.boundary(0, 1),
+            LocalBoundary::Physical(BcKind::Neumann)
+        );
         assert!(left.at_physical_boundary(1, 0));
     }
 

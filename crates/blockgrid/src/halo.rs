@@ -1,10 +1,17 @@
 //! Halo (ghost-point) exchange between neighbouring subdomains.
 
-use accel::{Event, Scalar};
-use comm::{Communicator, Tag};
+use std::sync::Mutex;
+
+use accel::{Device, Event, KernelInfo, RowMap, Scalar, HALO_OVERLAP_STAGE};
+use comm::{Communicator, RecvRequest, Tag};
 
 use crate::field::Field;
 use crate::grid::BlockGrid;
+
+/// Face pack: one read + one write per face element, no flops.
+pub const INFO_HALO_PACK: KernelInfo = KernelInfo::new("KernelHaloPack", 16, 0);
+/// Ghost unpack: one read + one write per face element, no flops.
+pub const INFO_HALO_UNPACK: KernelInfo = KernelInfo::new("KernelHaloUnpack", 16, 0);
 
 /// Face-plane halo exchange for one subdomain (Fig. 1 of the paper).
 ///
@@ -13,9 +20,48 @@ use crate::grid::BlockGrid;
 /// sends are posted first, then all ghost planes are received and
 /// unpacked — the buffered-`Isend`/`Irecv`/`Waitall` pattern, which is
 /// deadlock-free by construction.
-#[derive(Clone, Debug)]
-pub struct HaloExchange {
+///
+/// Two modes are offered:
+///
+/// * [`HaloExchange::exchange`] — the classic synchronous exchange.
+/// * [`HaloExchange::begin`] / [`HaloExchange::finish`] — a split-phase
+///   exchange that lets the caller overlap interior compute with the
+///   in-flight messages (the paper's Sec. V communication-hiding
+///   discussion). `begin` packs and posts everything; the caller then
+///   runs kernels that do not read ghost values (e.g. the
+///   deep-interior stencil via [`accel::RowMap::halo_deep_interior`]);
+///   `finish` completes the receives and fills the ghost layers.
+///
+/// Pack and unpack run as device kernels through the [`Device`] launch
+/// path, so they parallelize on the threaded back-end and are accounted
+/// as `KernelHaloPack` / `KernelHaloUnpack` launches by the recorder.
+/// Message payloads are recycled through a per-axis buffer pool:
+/// neighbouring ranks along an axis share face dimensions, so every
+/// received buffer is reusable for the next send and the steady-state
+/// exchange performs no heap allocation.
+#[derive(Debug)]
+pub struct HaloExchange<T: Scalar> {
     grid: BlockGrid,
+    /// Per-axis free lists of face-sized message buffers.
+    pool: Mutex<[Vec<Vec<T>>; 3]>,
+}
+
+impl<T: Scalar> Clone for HaloExchange<T> {
+    fn clone(&self) -> Self {
+        // The pool is a warm-up cache, not state: clones start cold.
+        Self::new(&self.grid)
+    }
+}
+
+/// Token for a split-phase exchange in flight: the posted receives plus
+/// the traffic bookkeeping `finish` will record.
+#[must_use = "a begun halo exchange must be completed with finish()"]
+#[derive(Debug)]
+pub struct PendingExchange {
+    recvs: [[Option<RecvRequest>; 2]; 3],
+    msgs: u32,
+    bytes: u64,
+    overlap: bool,
 }
 
 /// Message tag for a face moving from side `1 - side` toward `side` along
@@ -25,10 +71,13 @@ fn face_tag(axis: usize, side: usize) -> Tag {
     (axis * 2 + side) as Tag
 }
 
-impl HaloExchange {
+impl<T: Scalar> HaloExchange<T> {
     /// Build the exchange plan for `grid`'s subdomain.
     pub fn new(grid: &BlockGrid) -> Self {
-        Self { grid: grid.clone() }
+        Self {
+            grid: grid.clone(),
+            pool: Mutex::new([Vec::new(), Vec::new(), Vec::new()]),
+        }
     }
 
     /// Number of interface faces this rank exchanges.
@@ -49,107 +98,257 @@ impl HaloExchange {
         }
     }
 
-    /// Pack the interior plane adjacent to (`axis`, `side`).
-    fn pack<T: Scalar>(&self, field: &Field<T>, axis: usize, side: usize) -> Vec<T> {
-        let n = self.grid.local_n;
-        let fixed = if side == 0 { 1 } else { n[axis] };
-        let data = field.as_slice();
-        let mut out = Vec::with_capacity(self.face_len(axis));
-        match axis {
-            0 => {
-                for k in 1..=n[2] {
-                    for j in 1..=n[1] {
-                        out.push(data[field.idx(fixed, j, k)]);
-                    }
-                }
-            }
-            1 => {
-                for k in 1..=n[2] {
-                    for i in 1..=n[0] {
-                        out.push(data[field.idx(i, fixed, k)]);
-                    }
-                }
-            }
-            _ => {
-                for j in 1..=n[1] {
-                    for i in 1..=n[0] {
-                        out.push(data[field.idx(i, j, fixed)]);
-                    }
-                }
-            }
-        }
-        out
+    /// Take a face buffer for `axis` from the pool (or allocate one).
+    fn acquire(&self, axis: usize) -> Vec<T> {
+        let len = self.face_len(axis);
+        let mut buf = self.pool.lock().unwrap_or_else(|p| p.into_inner())[axis]
+            .pop()
+            .unwrap_or_default();
+        buf.resize(len, T::ZERO);
+        buf
     }
 
-    /// Unpack a received plane into the ghost layer at (`axis`, `side`).
-    fn unpack<T: Scalar>(&self, field: &mut Field<T>, axis: usize, side: usize, plane: &[T]) {
+    /// Return a face buffer to the `axis` free list for reuse.
+    fn recycle(&self, axis: usize, buf: Vec<T>) {
+        self.pool.lock().unwrap_or_else(|p| p.into_inner())[axis].push(buf);
+    }
+
+    /// Pack the interior plane adjacent to (`axis`, `side`) into `buf`
+    /// as a device kernel over the buffer's rows.
+    fn pack_face<D: Device>(
+        &self,
+        dev: &D,
+        field: &Field<T>,
+        axis: usize,
+        side: usize,
+        buf: &mut [T],
+    ) {
         let n = self.grid.local_n;
+        let [pnx, pny, _] = self.grid.padded();
+        let fixed = if side == 0 { 1 } else { n[axis] };
+        let idx = move |i: usize, j: usize, k: usize| i + pnx * (j + pny * k);
+        let us = field.as_slice();
+        debug_assert_eq!(buf.len(), self.face_len(axis));
+        // Buffer rows are its natural contiguous runs: j-runs for the x
+        // faces, i-runs for the y and z faces.
+        match axis {
+            0 => {
+                let map = RowMap {
+                    base: 0,
+                    len: n[1],
+                    ny: n[2],
+                    nz: 1,
+                    sy: n[1],
+                    sz: n[1] * n[2],
+                };
+                dev.launch_rows(INFO_HALO_PACK, map, buf, |kk, _, row| {
+                    for (jj, v) in row.iter_mut().enumerate() {
+                        *v = us[idx(fixed, jj + 1, kk + 1)];
+                    }
+                });
+            }
+            1 => {
+                let map = RowMap {
+                    base: 0,
+                    len: n[0],
+                    ny: n[2],
+                    nz: 1,
+                    sy: n[0],
+                    sz: n[0] * n[2],
+                };
+                dev.launch_rows(INFO_HALO_PACK, map, buf, |kk, _, row| {
+                    for (ii, v) in row.iter_mut().enumerate() {
+                        *v = us[idx(ii + 1, fixed, kk + 1)];
+                    }
+                });
+            }
+            _ => {
+                let map = RowMap {
+                    base: 0,
+                    len: n[0],
+                    ny: n[1],
+                    nz: 1,
+                    sy: n[0],
+                    sz: n[0] * n[1],
+                };
+                dev.launch_rows(INFO_HALO_PACK, map, buf, |jj, _, row| {
+                    for (ii, v) in row.iter_mut().enumerate() {
+                        *v = us[idx(ii + 1, jj + 1, fixed)];
+                    }
+                });
+            }
+        }
+    }
+
+    /// Unpack a received plane into the ghost layer at (`axis`, `side`)
+    /// as a device kernel over the ghost layer's rows.
+    fn unpack_face<D: Device>(
+        &self,
+        dev: &D,
+        field: &mut Field<T>,
+        axis: usize,
+        side: usize,
+        plane: &[T],
+    ) {
+        let n = self.grid.local_n;
+        let [pnx, pny, _] = self.grid.padded();
         assert_eq!(plane.len(), self.face_len(axis), "halo plane size mismatch");
         let ghost = if side == 0 { 0 } else { n[axis] + 1 };
-        let mut it = plane.iter();
+        let idx = move |i: usize, j: usize, k: usize| i + pnx * (j + pny * k);
+        let (sy, sz) = (pnx, pnx * pny);
         match axis {
             0 => {
-                for k in 1..=n[2] {
-                    for j in 1..=n[1] {
-                        let at = field.idx(ghost, j, k);
-                        field.as_mut_slice()[at] = *it.next().expect("plane exhausted");
-                    }
-                }
+                // x ghost plane: single-cell rows with field strides
+                let map = RowMap {
+                    base: idx(ghost, 1, 1),
+                    len: 1,
+                    ny: n[1],
+                    nz: n[2],
+                    sy,
+                    sz,
+                };
+                dev.launch_rows(INFO_HALO_UNPACK, map, field.as_mut_slice(), |j, k, row| {
+                    row[0] = plane[k * n[1] + j];
+                });
             }
             1 => {
-                for k in 1..=n[2] {
-                    for i in 1..=n[0] {
-                        let at = field.idx(i, ghost, k);
-                        field.as_mut_slice()[at] = *it.next().expect("plane exhausted");
+                let map = RowMap {
+                    base: idx(1, ghost, 1),
+                    len: n[0],
+                    ny: 1,
+                    nz: n[2],
+                    sy,
+                    sz,
+                };
+                dev.launch_rows(INFO_HALO_UNPACK, map, field.as_mut_slice(), |_, k, row| {
+                    for (ii, v) in row.iter_mut().enumerate() {
+                        *v = plane[k * n[0] + ii];
                     }
-                }
+                });
             }
             _ => {
-                for j in 1..=n[1] {
-                    for i in 1..=n[0] {
-                        let at = field.idx(i, j, ghost);
-                        field.as_mut_slice()[at] = *it.next().expect("plane exhausted");
+                let map = RowMap {
+                    base: idx(1, 1, ghost),
+                    len: n[0],
+                    ny: n[1],
+                    nz: 1,
+                    sy,
+                    sz,
+                };
+                dev.launch_rows(INFO_HALO_UNPACK, map, field.as_mut_slice(), |j, _, row| {
+                    for (ii, v) in row.iter_mut().enumerate() {
+                        *v = plane[j * n[0] + ii];
                     }
-                }
+                });
             }
         }
     }
 
-    /// Exchange all interface ghost layers of `field` with the neighbours.
-    ///
-    /// Physical-boundary ghosts are left untouched (the boundary-condition
-    /// kernel owns them). One [`Event::Halo`] with the total message count
-    /// and bytes is recorded on the communicator's recorder.
-    pub fn exchange<T: Scalar, C: Communicator<T>>(&self, comm: &C, field: &mut Field<T>) {
-        let mut msgs = 0u32;
-        let mut bytes = 0u64;
+    fn begin_impl<D: Device, C: Communicator<T>>(
+        &self,
+        dev: &D,
+        comm: &C,
+        field: &Field<T>,
+        overlap: bool,
+    ) -> PendingExchange {
         // Post all receives first (`MPI_Irecv`), as the paper's
         // implementation does...
-        let mut pending = Vec::with_capacity(6);
-        for axis in 0..3 {
-            for side in 0..2 {
+        let mut recvs: [[Option<RecvRequest>; 2]; 3] = [[None; 2]; 3];
+        for (axis, slots) in recvs.iter_mut().enumerate() {
+            for (side, slot) in slots.iter_mut().enumerate() {
                 if let Some(neighbor) = self.grid.boundary(axis, side).neighbor() {
-                    pending.push((axis, side, comm.irecv(neighbor, face_tag(axis, 1 - side))));
+                    *slot = Some(comm.irecv(neighbor, face_tag(axis, 1 - side)));
                 }
             }
         }
-        // ...then all sends (`MPI_Isend`, buffered)...
+        // ...then all sends (`MPI_Isend`, buffered).
+        let mut msgs = 0u32;
+        let mut bytes = 0u64;
         for axis in 0..3 {
             for side in 0..2 {
                 if let Some(neighbor) = self.grid.boundary(axis, side).neighbor() {
-                    let face = self.pack(field, axis, side);
+                    let mut face = self.acquire(axis);
+                    self.pack_face(dev, field, axis, side, &mut face);
                     bytes += (face.len() * T::BYTES) as u64;
                     msgs += 1;
                     comm.send(neighbor, face_tag(axis, side), face);
                 }
             }
         }
-        // ...then complete and unpack every ghost plane (`MPI_Waitall`).
-        for (axis, side, req) in pending {
-            let plane = comm.wait(req);
-            self.unpack(field, axis, side, &plane);
+        if overlap {
+            // Open the overlap window: the halo traffic is in flight from
+            // here until `finish`, so kernels recorded inside the window
+            // are modeled as hiding it (perfmodel's overlap-aware replay).
+            comm.recorder().record(Event::Begin {
+                name: HALO_OVERLAP_STAGE,
+            });
+            comm.recorder().record(Event::Halo { msgs, bytes });
         }
-        comm.recorder().record(Event::Halo { msgs, bytes });
+        PendingExchange {
+            recvs,
+            msgs,
+            bytes,
+            overlap,
+        }
+    }
+
+    /// Start a split-phase exchange: pack every interface face of `field`
+    /// and post all sends and receives, returning without waiting.
+    ///
+    /// The caller may now run any kernel that does not read `field`'s
+    /// ghost values, then must call [`HaloExchange::finish`] to complete
+    /// the exchange before the ghosts are consumed.
+    pub fn begin<D: Device, C: Communicator<T>>(
+        &self,
+        dev: &D,
+        comm: &C,
+        field: &Field<T>,
+    ) -> PendingExchange {
+        self.begin_impl(dev, comm, field, true)
+    }
+
+    /// Complete a split-phase exchange: wait for every posted receive
+    /// (`MPI_Waitall`) and unpack the ghost planes into `field`.
+    ///
+    /// Received buffers are recycled into the pool, so the next `begin`
+    /// allocates nothing.
+    pub fn finish<D: Device, C: Communicator<T>>(
+        &self,
+        dev: &D,
+        comm: &C,
+        pending: PendingExchange,
+        field: &mut Field<T>,
+    ) {
+        for (axis, slots) in pending.recvs.iter().enumerate() {
+            for (side, slot) in slots.iter().enumerate() {
+                if let Some(req) = slot {
+                    let plane = comm.wait(*req);
+                    self.unpack_face(dev, field, axis, side, &plane);
+                    self.recycle(axis, plane);
+                }
+            }
+        }
+        if pending.overlap {
+            comm.recorder().record(Event::End {
+                name: HALO_OVERLAP_STAGE,
+            });
+        } else {
+            comm.recorder().record(Event::Halo {
+                msgs: pending.msgs,
+                bytes: pending.bytes,
+            });
+        }
+    }
+
+    /// Exchange all interface ghost layers of `field` with the neighbours
+    /// (synchronous: begin + finish back to back).
+    ///
+    /// Physical-boundary ghosts are left untouched (the boundary-condition
+    /// kernel owns them). One [`Event::Halo`] with the total message count
+    /// and bytes is recorded on the communicator's recorder.
+    pub fn exchange<D: Device, C: Communicator<T>>(&self, dev: &D, comm: &C, field: &mut Field<T>) {
+        let pending = self.begin_impl(dev, comm, field, false);
+        self.finish(dev, comm, pending, field);
     }
 }
 
@@ -196,7 +395,9 @@ mod tests {
                 }
                 // global coordinate just outside the subdomain
                 let ghost_axis_global = if side == 0 {
-                    grid.offset[axis].checked_sub(1).expect("interface at global edge")
+                    grid.offset[axis]
+                        .checked_sub(1)
+                        .expect("interface at global edge")
                 } else {
                     grid.offset[axis] + n[axis]
                 };
@@ -212,27 +413,42 @@ mod tests {
                         let (i, j, k, gc) = match axis {
                             0 => {
                                 let i = if side == 0 { 0 } else { n[0] + 1 };
-                                (i, a, b, [
-                                    ghost_axis_global,
-                                    grid.offset[1] + a - 1,
-                                    grid.offset[2] + b - 1,
-                                ])
+                                (
+                                    i,
+                                    a,
+                                    b,
+                                    [
+                                        ghost_axis_global,
+                                        grid.offset[1] + a - 1,
+                                        grid.offset[2] + b - 1,
+                                    ],
+                                )
                             }
                             1 => {
                                 let j = if side == 0 { 0 } else { n[1] + 1 };
-                                (a, j, b, [
-                                    grid.offset[0] + a - 1,
-                                    ghost_axis_global,
-                                    grid.offset[2] + b - 1,
-                                ])
+                                (
+                                    a,
+                                    j,
+                                    b,
+                                    [
+                                        grid.offset[0] + a - 1,
+                                        ghost_axis_global,
+                                        grid.offset[2] + b - 1,
+                                    ],
+                                )
                             }
                             _ => {
                                 let k = if side == 0 { 0 } else { n[2] + 1 };
-                                (a, b, k, [
-                                    grid.offset[0] + a - 1,
-                                    grid.offset[1] + b - 1,
-                                    ghost_axis_global,
-                                ])
+                                (
+                                    a,
+                                    b,
+                                    k,
+                                    [
+                                        grid.offset[0] + a - 1,
+                                        grid.offset[1] + b - 1,
+                                        ghost_axis_global,
+                                    ],
+                                )
                             }
                         };
                         assert_eq!(
@@ -254,7 +470,21 @@ mod tests {
             let grid = BlockGrid::new(global, decomp, comm.rank());
             let mut field = make_field(&dev, &grid);
             let halo = HaloExchange::new(&grid);
-            halo.exchange(&comm, &mut field);
+            halo.exchange(&dev, &comm, &mut field);
+            check_ghosts(&grid, &field);
+        });
+    }
+
+    fn split_exchange_world(global_n: [usize; 3], ns: [usize; 3]) {
+        let decomp = Decomp::new(ns);
+        run_ranks::<f64, _, _>(decomp.ranks(), ReduceOrder::RankOrder, |comm| {
+            let dev = Serial::new(Recorder::disabled());
+            let global = GlobalGrid::dirichlet(global_n, [0.1; 3], [0.0; 3]);
+            let grid = BlockGrid::new(global, decomp, comm.rank());
+            let mut field = make_field(&dev, &grid);
+            let halo = HaloExchange::new(&grid);
+            let pending = halo.begin(&dev, &comm, &field);
+            halo.finish(&dev, &comm, pending, &mut field);
             check_ghosts(&grid, &field);
         });
     }
@@ -280,6 +510,21 @@ mod tests {
     }
 
     #[test]
+    fn split_phase_two_ranks() {
+        split_exchange_world([8, 4, 4], [2, 1, 1]);
+    }
+
+    #[test]
+    fn split_phase_eight_ranks() {
+        split_exchange_world([8, 8, 8], [2, 2, 2]);
+    }
+
+    #[test]
+    fn split_phase_uneven() {
+        split_exchange_world([7, 5, 6], [3, 2, 2]);
+    }
+
+    #[test]
     fn repeated_exchanges_stay_consistent() {
         let decomp = Decomp::new([2, 1, 1]);
         run_ranks::<f64, _, _>(2, ReduceOrder::RankOrder, |comm| {
@@ -289,7 +534,7 @@ mod tests {
             let mut field = make_field(&dev, &grid);
             let halo = HaloExchange::new(&grid);
             for _ in 0..5 {
-                halo.exchange(&comm, &mut field);
+                halo.exchange(&dev, &comm, &mut field);
                 check_ghosts(&grid, &field);
             }
         });
@@ -305,7 +550,7 @@ mod tests {
             let global = GlobalGrid::dirichlet([4, 3, 3], [0.1; 3], [0.0; 3]);
             let grid = BlockGrid::new(global, decomp, comm.rank());
             let mut field = make_field(&dev, &grid);
-            HaloExchange::new(&grid).exchange(&comm, &mut field);
+            HaloExchange::new(&grid).exchange(&dev, &comm, &mut field);
         });
         for rec in &handles {
             let evs = rec.snapshot();
@@ -320,6 +565,99 @@ mod tests {
     }
 
     #[test]
+    fn split_phase_records_overlap_window() {
+        let decomp = Decomp::new([2, 1, 1]);
+        let recorders: Vec<Recorder> = (0..2).map(|_| Recorder::enabled()).collect();
+        let handles = recorders.clone();
+        comm::run_ranks_recorded::<f64, _, _>(2, ReduceOrder::RankOrder, recorders, |comm| {
+            let dev = Serial::new(Recorder::disabled());
+            let global = GlobalGrid::dirichlet([4, 3, 3], [0.1; 3], [0.0; 3]);
+            let grid = BlockGrid::new(global, decomp, comm.rank());
+            let mut field = make_field(&dev, &grid);
+            let halo = HaloExchange::new(&grid);
+            let pending = halo.begin(&dev, &comm, &field);
+            halo.finish(&dev, &comm, pending, &mut field);
+        });
+        for rec in &handles {
+            let evs = rec.snapshot();
+            let begin = evs
+                .iter()
+                .position(|e| matches!(e, Event::Begin { name } if *name == HALO_OVERLAP_STAGE))
+                .expect("missing overlap Begin");
+            let halo = evs
+                .iter()
+                .position(|e| matches!(e, Event::Halo { msgs: 1, .. }))
+                .expect("missing halo event");
+            let end = evs
+                .iter()
+                .position(|e| matches!(e, Event::End { name } if *name == HALO_OVERLAP_STAGE))
+                .expect("missing overlap End");
+            assert!(begin < halo && halo < end, "window out of order: {evs:?}");
+        }
+    }
+
+    #[test]
+    fn pack_unpack_run_as_device_kernels() {
+        let decomp = Decomp::new([2, 1, 1]);
+        run_ranks::<f64, _, _>(2, ReduceOrder::RankOrder, |comm| {
+            let rec = Recorder::enabled();
+            let dev = Serial::new(rec.clone());
+            let global = GlobalGrid::dirichlet([4, 3, 3], [0.1; 3], [0.0; 3]);
+            let grid = BlockGrid::new(global, decomp, comm.rank());
+            let mut field = make_field(&dev, &grid);
+            rec.drain(); // discard the H2D upload
+            HaloExchange::new(&grid).exchange(&dev, &comm, &mut field);
+            let evs = rec.drain();
+            assert!(
+                evs.iter().any(|e| matches!(
+                    e,
+                    Event::Kernel {
+                        name: "KernelHaloPack",
+                        elems: 9,
+                        ..
+                    }
+                )),
+                "missing pack kernel: {evs:?}"
+            );
+            assert!(
+                evs.iter().any(|e| matches!(
+                    e,
+                    Event::Kernel {
+                        name: "KernelHaloUnpack",
+                        elems: 9,
+                        ..
+                    }
+                )),
+                "missing unpack kernel: {evs:?}"
+            );
+        });
+    }
+
+    #[test]
+    fn buffers_recycle_through_the_pool() {
+        let decomp = Decomp::new([2, 1, 1]);
+        run_ranks::<f64, _, _>(2, ReduceOrder::RankOrder, |comm| {
+            let dev = Serial::new(Recorder::disabled());
+            let global = GlobalGrid::dirichlet([6, 3, 3], [0.1; 3], [0.0; 3]);
+            let grid = BlockGrid::new(global, decomp, comm.rank());
+            let mut field = make_field(&dev, &grid);
+            let halo = HaloExchange::new(&grid);
+            for _ in 0..4 {
+                halo.exchange(&dev, &comm, &mut field);
+            }
+            // one interface face along x: steady state keeps exactly one
+            // recycled buffer in the axis-0 free list
+            let pool = halo.pool.lock().unwrap();
+            assert_eq!(
+                pool[0].len(),
+                1,
+                "axis-0 pool should hold one recycled buffer"
+            );
+            assert!(pool[1].is_empty() && pool[2].is_empty());
+        });
+    }
+
+    #[test]
     fn single_rank_exchange_is_a_noop() {
         let dev = Serial::new(Recorder::disabled());
         let global = GlobalGrid::dirichlet([4, 4, 4], [0.1; 3], [0.0; 3]);
@@ -327,7 +665,7 @@ mod tests {
         let mut field = make_field(&dev, &grid);
         let before = field.as_slice().to_vec();
         let comm = comm::SelfComm::<f64>::default();
-        HaloExchange::new(&grid).exchange(&comm, &mut field);
+        HaloExchange::new(&grid).exchange(&dev, &comm, &mut field);
         assert_eq!(field.as_slice(), &before[..]);
     }
 }

@@ -77,13 +77,8 @@ mod tests {
         let recorders: Vec<Recorder> = (0..3).map(|_| Recorder::enabled()).collect();
         let handles = recorders.clone();
         run_ranks_recorded::<f64, _, _>(3, ReduceOrder::RankOrder, recorders, |comm| {
-            if comm.rank() == 1 {
-                let mut v = [1.0];
-                comm.all_reduce(&mut v, crate::ReduceOp::Sum);
-            } else {
-                let mut v = [1.0];
-                comm.all_reduce(&mut v, crate::ReduceOp::Sum);
-            }
+            let mut v = [1.0];
+            comm.all_reduce(&mut v, crate::ReduceOp::Sum);
         });
         assert_eq!(handles[0].len(), 1);
         assert_eq!(handles[1].len(), 1);

@@ -48,10 +48,13 @@ impl<T: Scalar> Communicator<T> for SelfComm<T> {
 
     fn send(&self, dest: usize, tag: Tag, data: Vec<T>) {
         assert_eq!(dest, 0, "SelfComm only has rank 0");
-        self.stats.msgs_sent.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         self.stats
-            .bytes_sent
-            .fetch_add((data.len() * T::BYTES) as u64, std::sync::atomic::Ordering::Relaxed);
+            .msgs_sent
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.stats.bytes_sent.fetch_add(
+            (data.len() * T::BYTES) as u64,
+            std::sync::atomic::Ordering::Relaxed,
+        );
         self.loopback.lock().entry(tag).or_default().push_back(data);
     }
 
@@ -65,8 +68,12 @@ impl<T: Scalar> Communicator<T> for SelfComm<T> {
     }
 
     fn all_reduce(&self, vals: &mut [T], _op: ReduceOp) {
-        self.stats.allreduces.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        self.recorder.record(Event::AllReduce { elems: vals.len() as u32 });
+        self.stats
+            .allreduces
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.recorder.record(Event::AllReduce {
+            elems: vals.len() as u32,
+        });
     }
 
     fn barrier(&self) {}

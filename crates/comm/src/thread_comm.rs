@@ -8,15 +8,21 @@ use std::sync::Arc;
 
 use crate::types::{CommStats, Communicator, ReduceOp, ReduceOrder, StatsCell, Tag};
 
-/// Per-destination mailbox: messages keyed by (source, tag), FIFO per key.
+/// Messages keyed by (source, tag), FIFO per key.
+type QueueMap<T> = HashMap<(usize, Tag), VecDeque<Vec<T>>>;
+
+/// Per-destination mailbox.
 struct Mailbox<T> {
-    queues: Mutex<HashMap<(usize, Tag), VecDeque<Vec<T>>>>,
+    queues: Mutex<QueueMap<T>>,
     arrived: Condvar,
 }
 
 impl<T> Default for Mailbox<T> {
     fn default() -> Self {
-        Self { queues: Mutex::new(HashMap::new()), arrived: Condvar::new() }
+        Self {
+            queues: Mutex::new(HashMap::new()),
+            arrived: Condvar::new(),
+        }
     }
 }
 
@@ -104,7 +110,11 @@ impl<T: Scalar> ThreadComm<T> {
 
     /// Create a world with deterministic reductions and no recording.
     pub fn world_default(size: usize) -> Vec<Self> {
-        Self::world(size, ReduceOrder::RankOrder, vec![Recorder::disabled(); size])
+        Self::world(
+            size,
+            ReduceOrder::RankOrder,
+            vec![Recorder::disabled(); size],
+        )
     }
 
     /// The reduction-order policy of this world.
@@ -193,7 +203,9 @@ impl<T: Scalar> Communicator<T> for ThreadComm<T> {
 
     fn all_reduce(&self, vals: &mut [T], op: ReduceOp) {
         self.stats.allreduces.fetch_add(1, Ordering::Relaxed);
-        self.recorder.record(Event::AllReduce { elems: vals.len() as u32 });
+        self.recorder.record(Event::AllReduce {
+            elems: vals.len() as u32,
+        });
         self.collective_exchange(vals, op);
     }
 

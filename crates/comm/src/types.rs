@@ -143,7 +143,14 @@ pub trait Communicator<T: Scalar>: Send + Sync + 'static {
     }
 
     /// Combined send + blocking receive (`MPI_Sendrecv`).
-    fn sendrecv(&self, dest: usize, send_tag: Tag, data: Vec<T>, src: usize, recv_tag: Tag) -> Vec<T> {
+    fn sendrecv(
+        &self,
+        dest: usize,
+        send_tag: Tag,
+        data: Vec<T>,
+        src: usize,
+        recv_tag: Tag,
+    ) -> Vec<T> {
         self.send(dest, send_tag, data);
         self.recv(src, recv_tag)
     }

@@ -15,16 +15,16 @@
 //! local scope skips every exchange and reduction and restricts the
 //! operator to the subdomain block (Eq. 13).
 
-use accel::Scalar;
 use accel::Device;
+use accel::Scalar;
 use blockgrid::Field;
 use comm::{Communicator, ReduceOp};
 use stencil::apply_physical_bcs;
 
 use crate::ctx::{RankCtx, Workspace};
 use crate::kernels::{
-    axpy2_inplace, axpy_inplace, diff_norm2, dot, p_update, residual_update_fused, INFO_BICGS1,
-    INFO_BICGS2, INFO_BICGS3, INFO_BICGS4, INFO_BICGS5, INFO_BICGS6, INFO_DOT,
+    axpy2_inplace, axpy_inplace, diff_norm2, dot, dot2, p_update, residual_update_fused,
+    INFO_BICGS1, INFO_BICGS2, INFO_BICGS3, INFO_BICGS4, INFO_BICGS5, INFO_BICGS6, INFO_DOT,
 };
 use crate::precond::Preconditioner;
 
@@ -63,6 +63,13 @@ pub struct SolveParams {
     /// (`r̃ = r`, recomputed true residual) up to this many times before
     /// reporting the breakdown.
     pub max_restarts: usize,
+    /// Overlap halo exchanges with the deep-interior stencil sweep
+    /// (split-phase `begin → apply_interior → finish → apply_shell`).
+    /// The iterate sequence is bitwise-identical either way (the split
+    /// sweep covers each cell once with the same arithmetic, and the
+    /// replacement reductions keep the fused kernels' fold order); the
+    /// flag exists as the ablation switch for the overlap cost model.
+    pub overlap_halo: bool,
 }
 
 impl Default for SolveParams {
@@ -74,6 +81,7 @@ impl Default for SolveParams {
             early_exit_check: false,
             true_residual_every: 0,
             max_restarts: 0,
+            overlap_halo: true,
         }
     }
 }
@@ -134,12 +142,44 @@ fn refresh_ghosts<T: Scalar, D: Device, C: Communicator<T>>(
 ) {
     match scope {
         Scope::Global => {
-            ctx.recorder.stage(stage, || ctx.halo.exchange(&ctx.comm, f));
+            ctx.recorder
+                .stage(stage, || ctx.halo.exchange(&ctx.dev, &ctx.comm, f));
             apply_physical_bcs(&ctx.grid, f, &ctx.recorder, false);
         }
         Scope::Local => {
             apply_physical_bcs(&ctx.grid, f, &ctx.recorder, true);
         }
+    }
+}
+
+/// `w = A u` with ghosts refreshed in `scope`.
+///
+/// When `overlap` is set (Global scope only) the halo exchange is
+/// split-phase and hidden behind the ghost-independent work:
+/// `begin → KernelNeumannBCs → apply_interior → finish → apply_shell`.
+/// The boundary-condition kernel and the deep-interior sweep touch no
+/// interface ghost, so they run while the messages are in flight; the
+/// shell sweep completes the cover afterwards. Each interior cell is
+/// written exactly once with the same arithmetic as the monolithic
+/// sweep, so `w` is bitwise-identical to the synchronous path.
+fn refresh_and_apply<T: Scalar, D: Device, C: Communicator<T>>(
+    ctx: &RankCtx<T, D, C>,
+    scope: Scope,
+    stage: &'static str,
+    overlap: bool,
+    info: accel::KernelInfo,
+    u: &mut Field<T>,
+    w: &mut Field<T>,
+) {
+    if overlap && scope == Scope::Global {
+        let pending = ctx.halo.begin(&ctx.dev, &ctx.comm, u);
+        apply_physical_bcs(&ctx.grid, u, &ctx.recorder, false);
+        ctx.lap.apply_interior(&ctx.dev, info, u, w);
+        ctx.halo.finish(&ctx.dev, &ctx.comm, pending, u);
+        ctx.lap.apply_shell(&ctx.dev, info, u, w);
+    } else {
+        refresh_ghosts(ctx, scope, stage, u);
+        ctx.lap.apply(&ctx.dev, info, u, w);
     }
 }
 
@@ -179,9 +219,18 @@ where
     let mut history = Vec::new();
     let mut prec_iterations = 0u64;
 
+    let overlap = params.overlap_halo && scope == Scope::Global;
+
     // r_0 = b − A x_0
-    refresh_ghosts(ctx, scope, "MPI0", x);
-    ctx.lap.apply(&ctx.dev, stencil::INFO_APPLY, x, &mut ws.w);
+    refresh_and_apply(
+        ctx,
+        scope,
+        "MPI0",
+        overlap,
+        stencil::INFO_APPLY,
+        x,
+        &mut ws.w,
+    );
     ws.r.copy_from(b);
     axpy_inplace(&ctx.dev, INFO_BICGS2, &ctx.grid, &mut ws.r, &ws.w, -T::ONE);
 
@@ -226,8 +275,15 @@ where
                 let kind = $kind;
                 if restarts < params.max_restarts && kind != Breakdown::NonFinite {
                     restarts += 1;
-                    refresh_ghosts(ctx, scope, "MPI0", x);
-                    ctx.lap.apply(&ctx.dev, stencil::INFO_APPLY, x, &mut ws.w);
+                    refresh_and_apply(
+                        ctx,
+                        scope,
+                        "MPI0",
+                        overlap,
+                        stencil::INFO_APPLY,
+                        x,
+                        &mut ws.w,
+                    );
                     ws.r.copy_from(b);
                     axpy_inplace(&ctx.dev, INFO_BICGS2, &ctx.grid, &mut ws.r, &ws.w, -T::ONE);
                     ws.r0t.copy_from(&ws.r);
@@ -250,15 +306,29 @@ where
         }
 
         // Solve M p̂ = p
-        prec_iterations += ctx
-            .recorder
-            .stage("Preconditioner", || prec.apply(ctx, &mut ws.p, &mut ws.p_hat))
-            as u64;
-        // MPI1 + KernelNeumannBCs, then KernelBiCGS1: w = A p̂, p_sum = r̃ᵀ w
-        refresh_ghosts(ctx, scope, "MPI1", &mut ws.p_hat);
-        let psum_local =
+        prec_iterations += ctx.recorder.stage("Preconditioner", || {
+            prec.apply(ctx, &mut ws.p, &mut ws.p_hat)
+        }) as u64;
+        // MPI1 + KernelNeumannBCs, then KernelBiCGS1: w = A p̂, p_sum = r̃ᵀ w.
+        // Overlapped, the fused kernel splits into interior/shell sweeps
+        // plus a separate dot that keeps the fused fold order (same rows,
+        // same per-row accumulation, same partial merge → bitwise equal).
+        let psum_local = if overlap {
+            refresh_and_apply(
+                ctx,
+                scope,
+                "MPI1",
+                true,
+                stencil::INFO_APPLY,
+                &mut ws.p_hat,
+                &mut ws.w,
+            );
+            dot(&ctx.dev, INFO_DOT, &ctx.grid, &ws.r0t, &ws.w)
+        } else {
+            refresh_ghosts(ctx, scope, "MPI1", &mut ws.p_hat);
             ctx.lap
-                .apply_fused_dot(&ctx.dev, INFO_BICGS1, &ws.p_hat, &mut ws.w, &ws.r0t);
+                .apply_fused_dot(&ctx.dev, INFO_BICGS1, &ws.p_hat, &mut ws.w, &ws.r0t)
+        };
         let mut sums = [psum_local];
         global_sum(ctx, scope, "MPI2", &mut sums);
         let psum = sums[0];
@@ -293,15 +363,26 @@ where
         }
 
         // Solve M r̂ = r
-        prec_iterations += ctx
-            .recorder
-            .stage("Preconditioner", || prec.apply(ctx, &mut ws.r, &mut ws.r_hat))
-            as u64;
+        prec_iterations += ctx.recorder.stage("Preconditioner", || {
+            prec.apply(ctx, &mut ws.r, &mut ws.r_hat)
+        }) as u64;
         // MPI3 + BCs, then KernelBiCGS3: t = A r̂, p1 = tᵀ r, p2 = tᵀ t
-        refresh_ghosts(ctx, scope, "MPI3", &mut ws.r_hat);
-        let (p1l, p2l) =
+        let (p1l, p2l) = if overlap {
+            refresh_and_apply(
+                ctx,
+                scope,
+                "MPI3",
+                true,
+                stencil::INFO_APPLY,
+                &mut ws.r_hat,
+                &mut ws.t,
+            );
+            dot2(&ctx.dev, INFO_DOT, &ctx.grid, &ws.t, &ws.r)
+        } else {
+            refresh_ghosts(ctx, scope, "MPI3", &mut ws.r_hat);
             ctx.lap
-                .apply_fused_dot2(&ctx.dev, INFO_BICGS3, &ws.r_hat, &mut ws.t, &ws.r);
+                .apply_fused_dot2(&ctx.dev, INFO_BICGS3, &ws.r_hat, &mut ws.t, &ws.r)
+        };
         let mut sums = [p1l, p2l];
         global_sum(ctx, scope, "MPI4", &mut sums);
         let [p1, p2] = sums;
@@ -354,8 +435,15 @@ where
         // (the recursive residual can decouple from it in long stagnating
         // solves) and let it decide convergence too.
         if params.true_residual_every > 0 && i % params.true_residual_every == 0 {
-            refresh_ghosts(ctx, scope, "MPI6", x);
-            ctx.lap.apply(&ctx.dev, stencil::INFO_APPLY, x, &mut ws.t);
+            refresh_and_apply(
+                ctx,
+                scope,
+                "MPI6",
+                overlap,
+                stencil::INFO_APPLY,
+                x,
+                &mut ws.t,
+            );
             let mut s = [diff_norm2(&ctx.dev, INFO_DOT, &ctx.grid, b, &ws.t)];
             global_sum(ctx, scope, "MPI6", &mut s);
             let tres = s[0].to_f64().max(0.0).sqrt();
@@ -377,7 +465,16 @@ where
         rho = rho_new;
 
         // KernelBiCGS6: p ← r + β (p − ω w)
-        p_update(&ctx.dev, INFO_BICGS6, &ctx.grid, &mut ws.p, &ws.r, &ws.w, beta, omega);
+        p_update(
+            &ctx.dev,
+            INFO_BICGS6,
+            &ctx.grid,
+            &mut ws.p,
+            &ws.r,
+            &ws.w,
+            beta,
+            omega,
+        );
     }
 
     SolveOutcome {
@@ -406,7 +503,9 @@ mod tests {
         let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
         (0..n)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
             })
             .collect()
@@ -436,9 +535,17 @@ mod tests {
         let b = Field::from_interior(&ctx.dev, &ctx.grid, b_host);
         let mut x = ctx.field();
         let mut ws = Workspace::new(&ctx.dev, &ctx.grid);
-        let opts = SolverOptions { eig_min_factor: 10.0, ..SolverOptions::default() };
+        let opts = SolverOptions {
+            eig_min_factor: 10.0,
+            ..SolverOptions::default()
+        };
         let mut prec = kind.build_preconditioner(ctx, &opts);
-        let params = SolveParams { tol, max_iters: 20_000, record_history: true, ..Default::default() };
+        let params = SolveParams {
+            tol,
+            max_iters: 20_000,
+            record_history: true,
+            ..Default::default()
+        };
         let out = bicgstab_solve(ctx, Scope::Global, &b, &mut x, &mut *prec, &mut ws, &params);
         (x.interior_to_host(&ctx.grid), out)
     }
@@ -540,7 +647,12 @@ mod tests {
             &mut x,
             &mut IdentityPrec,
             &mut ws,
-            &SolveParams { tol: 1e-8, max_iters: 100, record_history: false, ..Default::default() },
+            &SolveParams {
+                tol: 1e-8,
+                max_iters: 100,
+                record_history: false,
+                ..Default::default()
+            },
         );
         assert!(out.converged);
         assert_eq!(out.iterations, 0);
@@ -586,18 +698,44 @@ mod tests {
             let b = Field::from_interior(&ctx.dev, &ctx.grid, &local);
             let mut x = ctx.field();
             let mut ws = Workspace::new(&ctx.dev, &ctx.grid);
-            let opts = SolverOptions { eig_min_factor: 10.0, ..SolverOptions::default() };
+            let opts = SolverOptions {
+                eig_min_factor: 10.0,
+                ..SolverOptions::default()
+            };
             let mut prec = SolverKind::BiCgsGNoCommCi.build_preconditioner(&ctx, &opts);
-            let params = SolveParams { tol, max_iters: 20_000, record_history: false, ..Default::default() };
-            let out =
-                bicgstab_solve(&ctx, Scope::Global, &b, &mut x, &mut *prec, &mut ws, &params);
-            (out, x.interior_to_host(&ctx.grid), ctx.grid.offset, ctx.grid.local_n)
+            let params = SolveParams {
+                tol,
+                max_iters: 20_000,
+                record_history: false,
+                ..Default::default()
+            };
+            let out = bicgstab_solve(
+                &ctx,
+                Scope::Global,
+                &b,
+                &mut x,
+                &mut *prec,
+                &mut ws,
+                &params,
+            );
+            (
+                out,
+                x.interior_to_host(&ctx.grid),
+                ctx.grid.offset,
+                ctx.grid.local_n,
+            )
         });
 
         // all ranks converged with identical outcome
         let iters: Vec<usize> = results.iter().map(|(o, _, _, _)| o.iterations).collect();
-        assert!(results.iter().all(|(o, _, _, _)| o.converged), "iters {iters:?}");
-        assert!(iters.iter().all(|&i| i == iters[0]), "ranks disagree: {iters:?}");
+        assert!(
+            results.iter().all(|(o, _, _, _)| o.converged),
+            "iters {iters:?}"
+        );
+        assert!(
+            iters.iter().all(|&i| i == iters[0]),
+            "ranks disagree: {iters:?}"
+        );
 
         // gather and compare to the single-rank solution
         let mut x_gather = vec![0.0; n];
@@ -624,6 +762,85 @@ mod tests {
     }
 
     #[test]
+    fn overlap_halo_is_bitwise_identical_to_synchronous() {
+        // The tentpole determinism guarantee: the split-phase overlapped
+        // halo exchange must not perturb a single bit of the iteration —
+        // residual histories and solutions agree exactly with the
+        // synchronous path, on a communicating configuration (G(CI)
+        // preconditioner, so overlap runs inside the preconditioner too).
+        let mut g = GlobalGrid::dirichlet([8, 8, 8], [0.15; 3], [0.0; 3]);
+        g.bc = paper_bcs();
+        let n = g.unknowns();
+        let b_host = rng_values(n, 47);
+        let bnorm: f64 = b_host.iter().map(|v| v * v).sum::<f64>().sqrt();
+        let tol = 1e-10 * bnorm;
+
+        let solve = |overlap: bool| {
+            let decomp = Decomp::new([2, 2, 2]);
+            let g2 = g.clone();
+            let b_ref = b_host.clone();
+            run_ranks::<f64, _, _>(8, ReduceOrder::RankOrder, move |comm| {
+                let grid = BlockGrid::new(g2.clone(), decomp, comm.rank());
+                let ln = grid.local_n;
+                let mut local = Vec::with_capacity(ln[0] * ln[1] * ln[2]);
+                for k in 0..ln[2] {
+                    for j in 0..ln[1] {
+                        for i in 0..ln[0] {
+                            let gidx = (grid.offset[0] + i)
+                                + 8 * ((grid.offset[1] + j) + 8 * (grid.offset[2] + k));
+                            local.push(b_ref[gidx]);
+                        }
+                    }
+                }
+                let dev = Serial::new(Recorder::disabled());
+                let ctx: RankCtx<f64, _, ThreadComm<f64>> = RankCtx::new(dev, comm, grid);
+                let b = Field::from_interior(&ctx.dev, &ctx.grid, &local);
+                let mut x = ctx.field();
+                let mut ws = Workspace::new(&ctx.dev, &ctx.grid);
+                let opts = SolverOptions {
+                    eig_min_factor: 10.0,
+                    overlap_halo: overlap,
+                    ..SolverOptions::default()
+                };
+                let mut prec = SolverKind::BiCgsGCi.build_preconditioner(&ctx, &opts);
+                let params = SolveParams {
+                    tol,
+                    max_iters: 20_000,
+                    record_history: true,
+                    overlap_halo: overlap,
+                    ..Default::default()
+                };
+                let out = bicgstab_solve(
+                    &ctx,
+                    Scope::Global,
+                    &b,
+                    &mut x,
+                    &mut *prec,
+                    &mut ws,
+                    &params,
+                );
+                (out, x.interior_to_host(&ctx.grid))
+            })
+        };
+
+        let sync = solve(false);
+        let over = solve(true);
+        for (rank, ((os, xs), (oo, xo))) in sync.iter().zip(&over).enumerate() {
+            assert!(
+                os.converged && oo.converged,
+                "rank {rank}: {os:?} vs {oo:?}"
+            );
+            assert_eq!(os.iterations, oo.iterations, "rank {rank}");
+            let hs: Vec<u64> = os.residual_history.iter().map(|v| v.to_bits()).collect();
+            let ho: Vec<u64> = oo.residual_history.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(hs, ho, "rank {rank}: residual histories diverge");
+            let bs: Vec<u64> = xs.iter().map(|v| v.to_bits()).collect();
+            let bo: Vec<u64> = xo.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(bs, bo, "rank {rank}: solutions diverge");
+        }
+    }
+
+    #[test]
     fn f32_solver_reaches_single_precision_tolerance() {
         let mut g = GlobalGrid::dirichlet([6, 6, 6], [0.15; 3], [0.0; 3]);
         g.bc = paper_bcs();
@@ -631,7 +848,11 @@ mod tests {
         let ctx: RankCtx<f32, _, _> =
             RankCtx::new(Serial::new(Recorder::disabled()), SelfComm::default(), grid);
         let b_host: Vec<f32> = rng_values(216, 2).iter().map(|&v| v as f32).collect();
-        let bnorm: f64 = b_host.iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>().sqrt();
+        let bnorm: f64 = b_host
+            .iter()
+            .map(|&v| (v as f64) * (v as f64))
+            .sum::<f64>()
+            .sqrt();
         let b = Field::from_interior(&ctx.dev, &ctx.grid, &b_host);
         let mut x = ctx.field();
         let mut ws = Workspace::new(&ctx.dev, &ctx.grid);
@@ -642,7 +863,12 @@ mod tests {
             &mut x,
             &mut IdentityPrec,
             &mut ws,
-            &SolveParams { tol: 1e-4 * bnorm, max_iters: 5_000, record_history: false, ..Default::default() },
+            &SolveParams {
+                tol: 1e-4 * bnorm,
+                max_iters: 5_000,
+                record_history: false,
+                ..Default::default()
+            },
         );
         assert!(out.converged, "{out:?}");
     }
@@ -672,7 +898,12 @@ mod tests {
                 &mut x,
                 &mut IdentityPrec,
                 &mut ws,
-                &SolveParams { tol: 1e-12, max_iters: 5_000, record_history: false, ..Default::default() },
+                &SolveParams {
+                    tol: 1e-12,
+                    max_iters: 5_000,
+                    record_history: false,
+                    ..Default::default()
+                },
             );
             assert!(out.converged);
             let m = assemble_poisson(&ctx.lap.local_ops(), ctx.grid.global.h);
@@ -701,7 +932,9 @@ mod feature_tests {
         let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
         (0..n)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
             })
             .collect()
@@ -719,12 +952,23 @@ mod feature_tests {
         let b = Field::from_interior(&ctx.dev, &ctx.grid, &rng_values(216, 7));
         let mut x = ctx.field();
         let mut ws = Workspace::new(&ctx.dev, &ctx.grid);
-        bicgstab_solve(&ctx, Scope::Global, &b, &mut x, &mut IdentityPrec, &mut ws, params)
+        bicgstab_solve(
+            &ctx,
+            Scope::Global,
+            &b,
+            &mut x,
+            &mut IdentityPrec,
+            &mut ws,
+            params,
+        )
     }
 
     #[test]
     fn early_exit_check_still_converges() {
-        let plain = solve_with(&SolveParams { tol: 1e-10, ..Default::default() });
+        let plain = solve_with(&SolveParams {
+            tol: 1e-10,
+            ..Default::default()
+        });
         let early = solve_with(&SolveParams {
             tol: 1e-10,
             early_exit_check: true,
@@ -761,7 +1005,11 @@ mod feature_tests {
 
     #[test]
     fn clean_solves_take_no_restarts() {
-        let out = solve_with(&SolveParams { tol: 1e-10, max_restarts: 3, ..Default::default() });
+        let out = solve_with(&SolveParams {
+            tol: 1e-10,
+            max_restarts: 3,
+            ..Default::default()
+        });
         assert!(out.converged);
         assert_eq!(out.restarts, 0);
     }
@@ -781,7 +1029,11 @@ mod feature_tests {
             0
         }
         fn traits(&self) -> PrecTraits {
-            PrecTraits { fixed: true, comm_free: true, reduction_free: true }
+            PrecTraits {
+                fixed: true,
+                comm_free: true,
+                reduction_free: true,
+            }
         }
         fn name(&self) -> &'static str {
             "Zero"
@@ -801,7 +1053,12 @@ mod feature_tests {
             &mut x,
             &mut ZeroPrec,
             &mut ws,
-            &SolveParams { tol: 1e-10, max_iters: 50, max_restarts: 2, ..Default::default() },
+            &SolveParams {
+                tol: 1e-10,
+                max_iters: 50,
+                max_restarts: 2,
+                ..Default::default()
+            },
         );
         assert!(!out.converged);
         assert_eq!(out.restarts, 2, "both restarts must be attempted");
@@ -817,7 +1074,10 @@ mod feature_tests {
         let b = Field::from_interior(&ctx.dev, &ctx.grid, &b_host);
         let mut x = ctx.field();
         let mut ws = Workspace::new(&ctx.dev, &ctx.grid);
-        let opts = SolverOptions { eig_min_factor: 10.0, ..Default::default() };
+        let opts = SolverOptions {
+            eig_min_factor: 10.0,
+            ..Default::default()
+        };
         let mut prec = SolverKind::BiCgsGNoCommCi.build_preconditioner(&ctx, &opts);
         let out = bicgstab_solve(
             &ctx,
@@ -826,13 +1086,22 @@ mod feature_tests {
             &mut x,
             &mut *prec,
             &mut ws,
-            &SolveParams { tol: 1e-9, early_exit_check: true, ..Default::default() },
+            &SolveParams {
+                tol: 1e-9,
+                early_exit_check: true,
+                ..Default::default()
+            },
         );
         assert!(out.converged);
         let dense = stencil::matrix::assemble_poisson(&ctx.lap.global_ops(), ctx.grid.global.h);
         let got = x.interior_to_host(&ctx.grid);
         let ax = dense.matvec(&got);
-        let res: f64 = ax.iter().zip(&b_host).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
+        let res: f64 = ax
+            .iter()
+            .zip(&b_host)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
         assert!(res < 1e-7, "true residual {res}");
     }
 }

@@ -64,7 +64,7 @@ fn refresh_ghosts<T: Scalar, D: Device, C: Communicator<T>>(
 ) {
     match mode {
         ChebyMode::Global => {
-            ctx.halo.exchange(&ctx.comm, f);
+            ctx.halo.exchange(&ctx.dev, &ctx.comm, f);
             apply_physical_bcs(&ctx.grid, f, &ctx.recorder, false);
         }
         ChebyMode::GlobalNoComm | ChebyMode::BlockJacobi => {
@@ -77,6 +77,7 @@ fn refresh_ghosts<T: Scalar, D: Device, C: Communicator<T>>(
 pub struct ChebyshevIteration<T> {
     mode: ChebyMode,
     iterations: usize,
+    overlap: bool,
     theta: f64,
     delta: f64,
     sigma: f64,
@@ -106,6 +107,7 @@ impl<T: Scalar> ChebyshevIteration<T> {
         Self {
             mode,
             iterations,
+            overlap: true,
             theta,
             delta,
             sigma,
@@ -113,6 +115,14 @@ impl<T: Scalar> ChebyshevIteration<T> {
             y: ctx.field(),
             w: ctx.field(),
         }
+    }
+
+    /// Enable or disable split-phase halo overlap in [`ChebyMode::Global`]
+    /// (on by default; no effect in the communication-free modes). The
+    /// sweeps are bitwise-identical either way — the flag only changes
+    /// how the exchange is scheduled and modeled.
+    pub fn set_overlap(&mut self, on: bool) {
+        self.overlap = on;
     }
 
     /// Number of sweeps per application.
@@ -146,37 +156,78 @@ impl<T: Scalar> ChebyshevIteration<T> {
         let mut rho_old = 1.0 / sigma;
         let mut rho_cur = 1.0 / (2.0 * sigma - rho_old);
 
-        // MPI1 + KernelNeumannBCs on b
-        refresh_ghosts(self.mode, ctx, b);
+        // Split-phase overlap only makes sense when the mode communicates.
+        let overlap = self.overlap && self.mode == ChebyMode::Global;
 
-        // KernelCI1: z = b/θ ; y = 2 ρ/δ (2 b − A b / θ)
-        crate::kernels::scale(&ctx.dev, INFO_SCALE, &ctx.grid, &mut self.z, b, T::from_f64(1.0 / theta));
+        // KernelCI1: z = b/θ ; y = 2 ρ/δ (2 b − A b / θ). Overlapped, the
+        // exchange of b's halos hides behind the ghost-independent scale
+        // kernel and the deep-interior part of the sweep.
         let c1 = T::from_f64(4.0 * rho_cur / delta);
         let ca = T::from_f64(-2.0 * rho_cur / (delta * theta));
-        ctx.lap
-            .apply_combine(&ctx.dev, INFO_CI1, b, &mut self.y, ca, &[(b, c1)]);
+        let inv_theta = T::from_f64(1.0 / theta);
+        if overlap {
+            let pending = ctx.halo.begin(&ctx.dev, &ctx.comm, b);
+            apply_physical_bcs(&ctx.grid, b, &ctx.recorder, false);
+            crate::kernels::scale(&ctx.dev, INFO_SCALE, &ctx.grid, &mut self.z, b, inv_theta);
+            ctx.lap
+                .apply_combine_interior(&ctx.dev, INFO_CI1, b, &mut self.y, ca, &[(b, c1)]);
+            ctx.halo.finish(&ctx.dev, &ctx.comm, pending, b);
+            ctx.lap
+                .apply_combine_shell(&ctx.dev, INFO_CI1, b, &mut self.y, ca, &[(b, c1)]);
+        } else {
+            // MPI1 + KernelNeumannBCs on b
+            refresh_ghosts(self.mode, ctx, b);
+            crate::kernels::scale(&ctx.dev, INFO_SCALE, &ctx.grid, &mut self.z, b, inv_theta);
+            ctx.lap
+                .apply_combine(&ctx.dev, INFO_CI1, b, &mut self.y, ca, &[(b, c1)]);
+        }
 
         for _i in 2..=self.iterations {
             // host-side ρ recurrence (the only CPU work in the CI loop)
             rho_old = rho_cur;
             rho_cur = 1.0 / (2.0 * sigma - rho_old);
-            // MPI2 + KernelNeumannBCs on y
-            refresh_ghosts(self.mode, ctx, &mut self.y);
             // KernelCI2: w = ρ (2σ y + 2/δ (b − A y) − ρ_old z)
             let ca = T::from_f64(-2.0 * rho_cur / delta);
             let cy = T::from_f64(2.0 * sigma * rho_cur);
             let cb = T::from_f64(2.0 * rho_cur / delta);
             let cz = T::from_f64(-rho_cur * rho_old);
-            // borrow juggling: compute into `w` from (y, b, z)
-            let (y_ref, z_ref, w_mut) = (&self.y, &self.z, &mut self.w);
-            ctx.lap.apply_combine(
-                &ctx.dev,
-                INFO_CI2,
-                y_ref,
-                w_mut,
-                ca,
-                &[(y_ref, cy), (b, cb), (z_ref, cz)],
-            );
+            if overlap {
+                // MPI2 in flight behind BCs + the deep-interior sweep
+                let pending = ctx.halo.begin(&ctx.dev, &ctx.comm, &self.y);
+                apply_physical_bcs(&ctx.grid, &mut self.y, &ctx.recorder, false);
+                let (y_ref, z_ref, w_mut) = (&self.y, &self.z, &mut self.w);
+                ctx.lap.apply_combine_interior(
+                    &ctx.dev,
+                    INFO_CI2,
+                    y_ref,
+                    w_mut,
+                    ca,
+                    &[(y_ref, cy), (b, cb), (z_ref, cz)],
+                );
+                ctx.halo.finish(&ctx.dev, &ctx.comm, pending, &mut self.y);
+                let (y_ref, z_ref, w_mut) = (&self.y, &self.z, &mut self.w);
+                ctx.lap.apply_combine_shell(
+                    &ctx.dev,
+                    INFO_CI2,
+                    y_ref,
+                    w_mut,
+                    ca,
+                    &[(y_ref, cy), (b, cb), (z_ref, cz)],
+                );
+            } else {
+                // MPI2 + KernelNeumannBCs on y
+                refresh_ghosts(self.mode, ctx, &mut self.y);
+                // borrow juggling: compute into `w` from (y, b, z)
+                let (y_ref, z_ref, w_mut) = (&self.y, &self.z, &mut self.w);
+                ctx.lap.apply_combine(
+                    &ctx.dev,
+                    INFO_CI2,
+                    y_ref,
+                    w_mut,
+                    ca,
+                    &[(y_ref, cy), (b, cb), (z_ref, cz)],
+                );
+            }
             // pointer rotation: z ← y, y ← w (w's old storage becomes scratch)
             self.z.swap(&mut self.y);
             self.y.swap(&mut self.w);
@@ -231,21 +282,44 @@ impl<T: Scalar> ChebyshevIteration<T> {
         loop {
             // r = b − A x (true residual)
             match self.mode {
-                ChebyMode::Global => {
-                    ctx.halo.exchange(&ctx.comm, x);
+                ChebyMode::Global if self.overlap => {
+                    let pending = ctx.halo.begin(&ctx.dev, &ctx.comm, x);
                     apply_physical_bcs(&ctx.grid, x, &ctx.recorder, false);
+                    ctx.lap
+                        .apply_interior(&ctx.dev, stencil::INFO_APPLY, x, &mut residual);
+                    ctx.halo.finish(&ctx.dev, &ctx.comm, pending, x);
+                    ctx.lap
+                        .apply_shell(&ctx.dev, stencil::INFO_APPLY, x, &mut residual);
                 }
-                _ => apply_physical_bcs(&ctx.grid, x, &ctx.recorder, true),
+                ChebyMode::Global => {
+                    ctx.halo.exchange(&ctx.dev, &ctx.comm, x);
+                    apply_physical_bcs(&ctx.grid, x, &ctx.recorder, false);
+                    ctx.lap
+                        .apply(&ctx.dev, stencil::INFO_APPLY, x, &mut residual);
+                }
+                _ => {
+                    apply_physical_bcs(&ctx.grid, x, &ctx.recorder, true);
+                    ctx.lap
+                        .apply(&ctx.dev, stencil::INFO_APPLY, x, &mut residual);
+                }
             }
-            ctx.lap.apply(&ctx.dev, stencil::INFO_APPLY, x, &mut residual);
             // residual = b − A x, computed in place
             {
                 let mut tmp = ctx.field();
                 tmp.copy_from(b);
-                axpy_inplace(&ctx.dev, INFO_BICGS2, &ctx.grid, &mut tmp, &residual, -T::ONE);
+                axpy_inplace(
+                    &ctx.dev,
+                    INFO_BICGS2,
+                    &ctx.grid,
+                    &mut tmp,
+                    &residual,
+                    -T::ONE,
+                );
                 residual.swap(&mut tmp);
             }
-            let mut s = [crate::kernels::norm2_local(&ctx.dev, INFO_DOT, &ctx.grid, &residual)];
+            let mut s = [crate::kernels::norm2_local(
+                &ctx.dev, INFO_DOT, &ctx.grid, &residual,
+            )];
             ctx.comm.all_reduce(&mut s, ReduceOp::Sum);
             let res = s[0].to_f64().max(0.0).sqrt();
             history.push(res);
@@ -293,7 +367,9 @@ mod tests {
         let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
         (0..n)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
             })
             .collect()
@@ -305,7 +381,10 @@ mod tests {
         let cheb = ChebyshevIteration::new(
             &ctx,
             ChebyMode::Global,
-            SpectralBounds { min: 2.0, max: 10.0 },
+            SpectralBounds {
+                min: 2.0,
+                max: 10.0,
+            },
             3,
         );
         let (theta, delta, sigma) = cheb.parameters();
@@ -336,10 +415,16 @@ mod tests {
                 .map(|(a, b)| (a - b) * (a - b))
                 .sum::<f64>()
                 .sqrt();
-            assert!(err < prev_err, "error must shrink: {err} !< {prev_err} at {sweeps}");
+            assert!(
+                err < prev_err,
+                "error must shrink: {err} !< {prev_err} at {sweeps}"
+            );
             prev_err = err;
         }
-        assert!(prev_err < 1e-2, "40 sweeps should be quite accurate: {prev_err}");
+        assert!(
+            prev_err < 1e-2,
+            "40 sweeps should be quite accurate: {prev_err}"
+        );
     }
 
     #[test]
@@ -354,7 +439,7 @@ mod tests {
         let mut cheb = ChebyshevIteration::new(&ctx, ChebyMode::Global, bounds, 24);
         cheb.solve(&ctx, &mut b, &mut x);
         // r = b - A x
-        ctx.halo.exchange(&ctx.comm, &mut x);
+        ctx.halo.exchange(&ctx.dev, &ctx.comm, &mut x);
         apply_physical_bcs(&ctx.grid, &mut x, &ctx.recorder, false);
         let mut ax = ctx.field();
         ctx.lap.apply(&ctx.dev, INFO_APPLY, &x, &mut ax);
@@ -379,12 +464,8 @@ mod tests {
         let apply = |rhs: &[f64]| -> Vec<f64> {
             let mut b = Field::from_interior(&ctx.dev, &ctx.grid, rhs);
             let mut x = ctx.field();
-            let mut cheb = ChebyshevIteration::new(
-                &ctx,
-                ChebyMode::GlobalNoComm,
-                global_bounds(&ctx),
-                8,
-            );
+            let mut cheb =
+                ChebyshevIteration::new(&ctx, ChebyMode::GlobalNoComm, global_bounds(&ctx), 8);
             cheb.solve(&ctx, &mut b, &mut x);
             x.interior_to_host(&ctx.grid)
         };
@@ -474,7 +555,11 @@ mod main_solver_tests {
         assert!(out.final_residual < 1e-8 * bnorm);
         // residual history decreases monotonically for a fixed iteration
         for w in out.residual_history.windows(2) {
-            assert!(w[1] < w[0], "restarted CI must contract: {:?}", out.residual_history);
+            assert!(
+                w[1] < w[0],
+                "restarted CI must contract: {:?}",
+                out.residual_history
+            );
         }
     }
 
@@ -504,7 +589,12 @@ mod main_solver_tests {
             &mut x2,
             &mut IdentityPrec,
             &mut ws,
-            &SolveParams { tol, max_iters: 10_000, record_history: false, ..Default::default() },
+            &SolveParams {
+                tol,
+                max_iters: 10_000,
+                record_history: false,
+                ..Default::default()
+            },
         );
         assert!(bi_out.converged);
         let bi_matvecs = 2 * bi_out.iterations;

@@ -43,6 +43,10 @@ pub struct SolverOptions {
     /// Bergamaschi rescaling: inflation of `λ_min` (paper: 100 for the
     /// multi-rank runs, 10 for the single-rank 64³ run).
     pub eig_min_factor: f64,
+    /// Overlap the preconditioner's halo exchanges with its deep-interior
+    /// sweeps (only the communicating `G(CI)` / `G(BiCGS)` flavours have
+    /// exchanges to hide). Mirrors `SolveParams::overlap_halo`.
+    pub overlap_halo: bool,
 }
 
 impl Default for SolverOptions {
@@ -54,6 +58,7 @@ impl Default for SolverOptions {
             ci_iterations: 24,
             eig_max_shrink: 1e-4,
             eig_min_factor: 100.0,
+            overlap_halo: true,
         }
     }
 }
@@ -88,21 +93,31 @@ impl SolverKind {
     pub fn prec_traits(&self) -> Option<PrecTraits> {
         match self {
             Self::BiCgs => None,
-            Self::FBiCgsGBiCgs => {
-                Some(PrecTraits { fixed: false, comm_free: false, reduction_free: false })
-            }
-            Self::FBiCgsBjBiCgs => {
-                Some(PrecTraits { fixed: false, comm_free: true, reduction_free: false })
-            }
-            Self::BiCgsBjCi => {
-                Some(PrecTraits { fixed: true, comm_free: true, reduction_free: true })
-            }
-            Self::BiCgsGCi => {
-                Some(PrecTraits { fixed: true, comm_free: false, reduction_free: true })
-            }
-            Self::BiCgsGNoCommCi => {
-                Some(PrecTraits { fixed: true, comm_free: true, reduction_free: true })
-            }
+            Self::FBiCgsGBiCgs => Some(PrecTraits {
+                fixed: false,
+                comm_free: false,
+                reduction_free: false,
+            }),
+            Self::FBiCgsBjBiCgs => Some(PrecTraits {
+                fixed: false,
+                comm_free: true,
+                reduction_free: false,
+            }),
+            Self::BiCgsBjCi => Some(PrecTraits {
+                fixed: true,
+                comm_free: true,
+                reduction_free: true,
+            }),
+            Self::BiCgsGCi => Some(PrecTraits {
+                fixed: true,
+                comm_free: false,
+                reduction_free: true,
+            }),
+            Self::BiCgsGNoCommCi => Some(PrecTraits {
+                fixed: true,
+                comm_free: true,
+                reduction_free: true,
+            }),
         }
     }
 
@@ -119,37 +134,37 @@ impl SolverKind {
     {
         match self {
             Self::BiCgs => Box::new(IdentityPrec),
-            Self::FBiCgsGBiCgs => Box::new(InnerBiCgsPrec::new(
-                ctx,
-                Scope::Global,
-                opts.inner_tol_g,
-                opts.inner_max_iters,
-            )),
-            Self::FBiCgsBjBiCgs => Box::new(InnerBiCgsPrec::new(
-                ctx,
-                Scope::Local,
-                opts.inner_tol_bj,
-                opts.inner_max_iters,
-            )),
+            Self::FBiCgsGBiCgs => {
+                let mut p =
+                    InnerBiCgsPrec::new(ctx, Scope::Global, opts.inner_tol_g, opts.inner_max_iters);
+                p.set_overlap(opts.overlap_halo);
+                Box::new(p)
+            }
+            Self::FBiCgsBjBiCgs => {
+                let mut p =
+                    InnerBiCgsPrec::new(ctx, Scope::Local, opts.inner_tol_bj, opts.inner_max_iters);
+                p.set_overlap(opts.overlap_halo);
+                Box::new(p)
+            }
             Self::BiCgsBjCi => {
-                let bounds =
-                    local_bounds(ctx).rescaled(opts.eig_max_shrink, opts.eig_min_factor);
-                Box::new(ChebyPrecond::new(ctx, ChebyMode::BlockJacobi, bounds, opts.ci_iterations))
+                let bounds = local_bounds(ctx).rescaled(opts.eig_max_shrink, opts.eig_min_factor);
+                let mut p =
+                    ChebyPrecond::new(ctx, ChebyMode::BlockJacobi, bounds, opts.ci_iterations);
+                p.set_overlap(opts.overlap_halo);
+                Box::new(p)
             }
             Self::BiCgsGCi => {
-                let bounds =
-                    global_bounds(ctx).rescaled(opts.eig_max_shrink, opts.eig_min_factor);
-                Box::new(ChebyPrecond::new(ctx, ChebyMode::Global, bounds, opts.ci_iterations))
+                let bounds = global_bounds(ctx).rescaled(opts.eig_max_shrink, opts.eig_min_factor);
+                let mut p = ChebyPrecond::new(ctx, ChebyMode::Global, bounds, opts.ci_iterations);
+                p.set_overlap(opts.overlap_halo);
+                Box::new(p)
             }
             Self::BiCgsGNoCommCi => {
-                let bounds =
-                    global_bounds(ctx).rescaled(opts.eig_max_shrink, opts.eig_min_factor);
-                Box::new(ChebyPrecond::new(
-                    ctx,
-                    ChebyMode::GlobalNoComm,
-                    bounds,
-                    opts.ci_iterations,
-                ))
+                let bounds = global_bounds(ctx).rescaled(opts.eig_max_shrink, opts.eig_min_factor);
+                let mut p =
+                    ChebyPrecond::new(ctx, ChebyMode::GlobalNoComm, bounds, opts.ci_iterations);
+                p.set_overlap(opts.overlap_halo);
+                Box::new(p)
             }
         }
     }

@@ -20,7 +20,7 @@ pub struct RankCtx<T: Scalar, D: Device, C: Communicator<T>> {
     /// Matrix-free operator on the subdomain.
     pub lap: Laplacian,
     /// Halo-exchange plan.
-    pub halo: HaloExchange,
+    pub halo: HaloExchange<T>,
     /// Event stream (shared with `dev`).
     pub recorder: Recorder,
     _marker: std::marker::PhantomData<T>,
@@ -32,7 +32,15 @@ impl<T: Scalar, D: Device, C: Communicator<T>> RankCtx<T, D, C> {
         let lap = Laplacian::new(&grid);
         let halo = HaloExchange::new(&grid);
         let recorder = dev.recorder().clone();
-        Self { dev, comm, grid, lap, halo, recorder, _marker: std::marker::PhantomData }
+        Self {
+            dev,
+            comm,
+            grid,
+            lap,
+            halo,
+            recorder,
+            _marker: std::marker::PhantomData,
+        }
     }
 
     /// Allocate a zeroed field on this rank's device.

@@ -53,6 +53,7 @@ pub fn axpy_inplace<T: Scalar, D: Device>(
 }
 
 /// `y ← y + a1 x1 + a2 x2` over the interior (`KernelBiCGS4` shape).
+#[allow(clippy::too_many_arguments)]
 pub fn axpy2_inplace<T: Scalar, D: Device>(
     dev: &D,
     info: KernelInfo,
@@ -108,6 +109,7 @@ pub fn residual_update_fused<T: Scalar, D: Device>(
 }
 
 /// `KernelBiCGS6`: `p ← r + β (p − ω w)`.
+#[allow(clippy::too_many_arguments)]
 pub fn p_update<T: Scalar, D: Device>(
     dev: &D,
     info: KernelInfo,
@@ -153,6 +155,38 @@ pub fn dot<T: Scalar, D: Device>(
         [acc]
     });
     s
+}
+
+/// Local interior dot pair `(a · b, a · a)` in one reduction — the
+/// standalone form of the dots fused into `KernelBiCGS3`, used by the
+/// overlapped operator path. The per-row accumulation order (`a·b` then
+/// `a·a`, rows in `(j, k)` order, back-end partial merge) matches
+/// [`stencil::Laplacian::apply_fused_dot2`] exactly, so given the same
+/// `a` the results are bitwise identical.
+pub fn dot2<T: Scalar, D: Device>(
+    dev: &D,
+    info: KernelInfo,
+    grid: &BlockGrid,
+    a: &Field<T>,
+    b: &Field<T>,
+) -> (T, T) {
+    let map = grid.interior_map();
+    let asl = a.as_slice();
+    let bsl = b.as_slice();
+    let base0 = map.base;
+    let (len, sy, sz) = (map.len, map.sy, map.sz);
+    let [ab, aa] = dev.launch_reduce(info, map.ny, map.nz, |j, k| {
+        let off = base0 + j * sy + k * sz;
+        let mut acc_ab = T::ZERO;
+        let mut acc_aa = T::ZERO;
+        for i in 0..len {
+            let av = asl[off + i];
+            acc_ab += av * bsl[off + i];
+            acc_aa += av * av;
+        }
+        [acc_ab, acc_aa]
+    });
+    (ab, aa)
 }
 
 /// Local interior squared difference norm `Σ (a − b)²` (true-residual

@@ -62,7 +62,11 @@ impl<T: Scalar, D: Device, C: Communicator<T>> Preconditioner<T, D, C> for Ident
     }
 
     fn traits(&self) -> PrecTraits {
-        PrecTraits { fixed: true, comm_free: true, reduction_free: true }
+        PrecTraits {
+            fixed: true,
+            comm_free: true,
+            reduction_free: true,
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -90,12 +94,21 @@ impl<T: Scalar> ChebyPrecond<T> {
             ChebyMode::GlobalNoComm => "GNoComm(CI)",
             ChebyMode::BlockJacobi => "BJ(CI)",
         };
-        Self { cheby: ChebyshevIteration::new(ctx, mode, bounds, iterations), name }
+        Self {
+            cheby: ChebyshevIteration::new(ctx, mode, bounds, iterations),
+            name,
+        }
     }
 
     /// The underlying iteration.
     pub fn iteration(&self) -> &ChebyshevIteration<T> {
         &self.cheby
+    }
+
+    /// Enable or disable split-phase halo overlap (forwards to
+    /// [`ChebyshevIteration::set_overlap`]; only `G(CI)` communicates).
+    pub fn set_overlap(&mut self, on: bool) {
+        self.cheby.set_overlap(on);
     }
 }
 
@@ -125,6 +138,7 @@ pub struct InnerBiCgsPrec<T> {
     /// Relative tolerance on the inner residual.
     tol_rel: f64,
     max_iters: usize,
+    overlap: bool,
     ws: Workspace<T>,
     name: &'static str,
 }
@@ -144,7 +158,20 @@ impl<T: Scalar> InnerBiCgsPrec<T> {
             Scope::Global => "G(BiCGS)",
             Scope::Local => "BJ(BiCGS)",
         };
-        Self { scope, tol_rel, max_iters, ws: Workspace::new(&ctx.dev, &ctx.grid), name }
+        Self {
+            scope,
+            tol_rel,
+            max_iters,
+            overlap: true,
+            ws: Workspace::new(&ctx.dev, &ctx.grid),
+            name,
+        }
+    }
+
+    /// Enable or disable split-phase halo overlap in the inner solve
+    /// (on by default; only the global scope communicates).
+    pub fn set_overlap(&mut self, on: bool) {
+        self.overlap = on;
     }
 }
 
@@ -165,7 +192,10 @@ impl<T: Scalar, D: Device, C: Communicator<T>> Preconditioner<T, D, C> for Inner
         let params = SolveParams {
             tol: self.tol_rel * rhs_norm,
             max_iters: self.max_iters,
-            record_history: false, ..Default::default() };
+            record_history: false,
+            overlap_halo: self.overlap,
+            ..Default::default()
+        };
         let outcome = bicgstab_solve(
             ctx,
             self.scope,

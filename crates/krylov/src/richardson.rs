@@ -46,7 +46,10 @@ impl<T: Scalar> RichardsonPrec<T> {
         iterations: usize,
     ) -> Self {
         assert!(iterations >= 1, "Richardson needs at least one sweep");
-        assert!(bounds.min > 0.0 && bounds.max > bounds.min, "bad bounds {bounds:?}");
+        assert!(
+            bounds.min > 0.0 && bounds.max > bounds.min,
+            "bad bounds {bounds:?}"
+        );
         Self {
             mode,
             iterations,
@@ -71,12 +74,19 @@ impl<T: Scalar, D: Device, C: Communicator<T>> Preconditioner<T, D, C> for Richa
     fn apply(&mut self, ctx: &RankCtx<T, D, C>, rhs: &mut Field<T>, out: &mut Field<T>) -> usize {
         let tau = T::from_f64(self.tau);
         // z_1 = τ b (zero initial guess)
-        crate::kernels::scale(&ctx.dev, crate::kernels::INFO_SCALE, &ctx.grid, &mut self.z, rhs, tau);
+        crate::kernels::scale(
+            &ctx.dev,
+            crate::kernels::INFO_SCALE,
+            &ctx.grid,
+            &mut self.z,
+            rhs,
+            tau,
+        );
         for _ in 1..self.iterations {
             // ghosts of the running iterate
             match self.mode {
                 ChebyMode::Global => {
-                    ctx.halo.exchange(&ctx.comm, &mut self.z);
+                    ctx.halo.exchange(&ctx.dev, &ctx.comm, &mut self.z);
                     apply_physical_bcs(&ctx.grid, &mut self.z, &ctx.recorder, false);
                 }
                 _ => apply_physical_bcs(&ctx.grid, &mut self.z, &ctx.recorder, true),
@@ -144,7 +154,12 @@ mod tests {
         let b = Field::from_interior(&ctx.dev, &ctx.grid, &rhs(1000));
         let mut x = ctx.field();
         let mut ws = Workspace::new(&ctx.dev, &ctx.grid);
-        let params = SolveParams { tol: 1e-9, max_iters: 5_000, record_history: false, ..Default::default() };
+        let params = SolveParams {
+            tol: 1e-9,
+            max_iters: 5_000,
+            record_history: false,
+            ..Default::default()
+        };
         let out = match prec_kind {
             "richardson" => {
                 let mut p = RichardsonPrec::new(&ctx, ChebyMode::GlobalNoComm, bounds, sweeps);

@@ -66,13 +66,13 @@ impl<T: Scalar> RasPrec<T> {
         // out), physical ends keep their condition.
         let mut ext_grid = ctx.grid.clone();
         let mut lo_overlap = [0usize; 3];
-        for a in 0..3 {
+        for (a, lo_a) in lo_overlap.iter_mut().enumerate() {
             let lo = usize::from(ctx.grid.boundary(a, 0).is_interface());
             let hi = usize::from(ctx.grid.boundary(a, 1).is_interface());
             ext_grid.local_n[a] += lo + hi;
             // interfaces never sit at the global edge, so offset >= 1 here
             ext_grid.offset[a] -= lo;
-            lo_overlap[a] = lo;
+            *lo_a = lo;
         }
         let ext_lap = Laplacian::new(&ext_grid);
         let bounds = spectrum::kronecker_bounds(&ext_lap.local_ops(), ext_grid.global.h)
@@ -194,7 +194,7 @@ impl<T: Scalar, D: Device, C: Communicator<T>> Preconditioner<T, D, C> for RasPr
     fn apply(&mut self, ctx: &RankCtx<T, D, C>, rhs: &mut Field<T>, out: &mut Field<T>) -> usize {
         // one halo exchange ships the neighbours' overlap rows
         ctx.recorder
-            .stage("MPI-RAS", || ctx.halo.exchange(&ctx.comm, rhs));
+            .stage("MPI-RAS", || ctx.halo.exchange(&ctx.dev, &ctx.comm, rhs));
         self.gather_extended(rhs);
         self.local_chebyshev(ctx);
         out.fill_zero();
@@ -203,7 +203,11 @@ impl<T: Scalar, D: Device, C: Communicator<T>> Preconditioner<T, D, C> for RasPr
     }
 
     fn traits(&self) -> PrecTraits {
-        PrecTraits { fixed: true, comm_free: false, reduction_free: true }
+        PrecTraits {
+            fixed: true,
+            comm_free: false,
+            reduction_free: true,
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -226,7 +230,9 @@ mod tests {
         let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
         (0..n)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
             })
             .collect()
@@ -289,7 +295,12 @@ mod tests {
             let b = Field::from_interior(&ctx.dev, &ctx.grid, &b_host);
             let mut x = ctx.field();
             let mut ws = Workspace::new(&ctx.dev, &ctx.grid);
-            let params = SolveParams { tol: 1e-9, max_iters: 5_000, record_history: false, ..Default::default() };
+            let params = SolveParams {
+                tol: 1e-9,
+                max_iters: 5_000,
+                record_history: false,
+                ..Default::default()
+            };
             let out = if use_ras {
                 let mut prec = RasPrec::new(&ctx, 10, 1e-4, 10.0);
                 bicgstab_solve(&ctx, Scope::Global, &b, &mut x, &mut prec, &mut ws, &params)
@@ -330,6 +341,9 @@ mod tests {
         let ras = RasPrec::<f64>::new(&ctx, 2, 1e-4, 1.0);
         let t = Preconditioner::<f64, Serial, SelfComm<f64>>::traits(&ras);
         assert!(t.fixed && t.reduction_free);
-        assert!(!t.comm_free, "overlap costs communication — the paper's point");
+        assert!(
+            !t.comm_free,
+            "overlap costs communication — the paper's point"
+        );
     }
 }

@@ -52,16 +52,46 @@ pub fn event_cost_s(ev: &Event, machine: &MachineModel, ranks: usize) -> f64 {
 }
 
 /// Replay one rank's event stream through a machine model.
+///
+/// Communication posted inside a [`accel::HALO_OVERLAP_STAGE`] window
+/// (the split-phase halo exchange of `HaloExchange::begin`/`finish`)
+/// proceeds concurrently with the kernels launched inside the window, so
+/// the window contributes `max(comm, compute)` to the modeled wall time:
+/// kernel time is booked as compute and only the *excess* of the halo
+/// time over it is booked as communication.
 pub fn replay(events: &[Event], machine: &MachineModel, ranks: usize) -> CostBreakdown {
     let mut out = CostBreakdown::default();
+    // Pending overlap window state: Some((halo_s, compute_s)) while open.
+    let mut window: Option<(f64, f64)> = None;
     for ev in events {
         let c = event_cost_s(ev, machine, ranks);
         match ev {
-            Event::Kernel { .. } => out.compute_s += c,
-            Event::Halo { .. } | Event::AllReduce { .. } => out.comm_s += c,
+            Event::Begin { name } if *name == accel::HALO_OVERLAP_STAGE => {
+                window = Some((0.0, 0.0));
+            }
+            Event::End { name } if *name == accel::HALO_OVERLAP_STAGE => {
+                if let Some((halo, compute)) = window.take() {
+                    out.compute_s += compute;
+                    out.comm_s += (halo - compute).max(0.0);
+                }
+            }
+            Event::Kernel { .. } => match &mut window {
+                Some((_, compute)) => *compute += c,
+                None => out.compute_s += c,
+            },
+            Event::Halo { .. } => match &mut window {
+                Some((halo, _)) => *halo += c,
+                None => out.comm_s += c,
+            },
+            Event::AllReduce { .. } => out.comm_s += c,
             Event::H2D { .. } | Event::D2H { .. } => out.transfer_s += c,
             Event::Begin { .. } | Event::End { .. } => {}
         }
+    }
+    // An unterminated window degrades gracefully to the synchronous model.
+    if let Some((halo, compute)) = window {
+        out.compute_s += compute;
+        out.comm_s += halo;
     }
     out
 }
@@ -77,13 +107,21 @@ pub fn scale_events(events: &[Event], volume_ratio: f64, face_ratio: f64) -> Vec
     events
         .iter()
         .map(|ev| match ev {
-            Event::Kernel { name, elems, bytes, flops } => Event::Kernel {
+            Event::Kernel {
+                name,
+                elems,
+                bytes,
+                flops,
+            } => Event::Kernel {
                 name,
                 elems: sv(*elems),
                 bytes: sv(*bytes),
                 flops: sv(*flops),
             },
-            Event::Halo { msgs, bytes } => Event::Halo { msgs: *msgs, bytes: sf(*bytes) },
+            Event::Halo { msgs, bytes } => Event::Halo {
+                msgs: *msgs,
+                bytes: sf(*bytes),
+            },
             Event::H2D { bytes } => Event::H2D { bytes: sv(*bytes) },
             Event::D2H { bytes } => Event::D2H { bytes: sv(*bytes) },
             other => other.clone(),
@@ -98,8 +136,16 @@ mod tests {
     fn sample_events() -> Vec<Event> {
         vec![
             Event::Begin { name: "iter" },
-            Event::Kernel { name: "KernelBiCGS1", elems: 1000, bytes: 24_000, flops: 12_000 },
-            Event::Halo { msgs: 6, bytes: 4800 },
+            Event::Kernel {
+                name: "KernelBiCGS1",
+                elems: 1000,
+                bytes: 24_000,
+                flops: 12_000,
+            },
+            Event::Halo {
+                msgs: 6,
+                bytes: 4800,
+            },
             Event::AllReduce { elems: 2 },
             Event::D2H { bytes: 8000 },
             Event::End { name: "iter" },
@@ -126,8 +172,74 @@ mod tests {
     }
 
     #[test]
+    fn overlap_window_models_max_of_comm_and_compute() {
+        let m = MachineModel::mi250x();
+        let kernel = Event::Kernel {
+            name: "KernelApplyA",
+            elems: 1000,
+            bytes: 32_000,
+            flops: 10_000,
+        };
+        let halo = Event::Halo {
+            msgs: 6,
+            bytes: 4800,
+        };
+        let sync = vec![kernel.clone(), halo.clone()];
+        let overlapped = vec![
+            Event::Begin {
+                name: accel::HALO_OVERLAP_STAGE,
+            },
+            halo.clone(),
+            kernel.clone(),
+            Event::End {
+                name: accel::HALO_OVERLAP_STAGE,
+            },
+        ];
+        let bs = replay(&sync, &m, 64);
+        let bo = replay(&overlapped, &m, 64);
+        let k = m.kernel_cost_s(32_000, 10_000);
+        let h = m.halo_cost_s(6, 4800, 64);
+        assert!((bs.total_s() - (k + h)).abs() < 1e-15, "sync adds");
+        assert!(
+            (bo.total_s() - k.max(h)).abs() < 1e-15,
+            "overlap takes the max"
+        );
+        assert!(bo.total_s() <= bs.total_s());
+        // compute is always fully booked; only comm shrinks
+        assert!((bo.compute_s - k).abs() < 1e-15);
+        assert!((bo.comm_s - (h - k).max(0.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn unterminated_overlap_window_falls_back_to_sync() {
+        let m = MachineModel::mi250x();
+        let evs = vec![
+            Event::Begin {
+                name: accel::HALO_OVERLAP_STAGE,
+            },
+            Event::Halo {
+                msgs: 2,
+                bytes: 1000,
+            },
+            Event::Kernel {
+                name: "k",
+                elems: 10,
+                bytes: 320,
+                flops: 100,
+            },
+        ];
+        let b = replay(&evs, &m, 8);
+        let expect = m.halo_cost_s(2, 1000, 8) + m.kernel_cost_s(320, 100);
+        assert!((b.total_s() - expect).abs() < 1e-15);
+    }
+
+    #[test]
     fn scaled_breakdown() {
-        let b = CostBreakdown { compute_s: 1.0, comm_s: 2.0, transfer_s: 3.0 };
+        let b = CostBreakdown {
+            compute_s: 1.0,
+            comm_s: 2.0,
+            transfer_s: 3.0,
+        };
         let s = b.scaled(2.0);
         assert_eq!(s.total_s(), 12.0);
     }

@@ -221,9 +221,7 @@ mod tests {
         let healthy = MachineModel::h100_gpudirect();
         let broken = MachineModel::h100_mn5();
         let (msgs, bytes) = (6, 6 * 64 * 64 * 8);
-        assert!(
-            broken.halo_cost_s(msgs, bytes, 64) > 50.0 * healthy.halo_cost_s(msgs, bytes, 64)
-        );
+        assert!(broken.halo_cost_s(msgs, bytes, 64) > 50.0 * healthy.halo_cost_s(msgs, bytes, 64));
     }
 
     #[test]
@@ -244,9 +242,18 @@ mod tests {
         let nv = MachineModel::h100_gpudirect().kernel_cost_s(CI_SWEEP_BYTES, 0);
         let amd_speedup = cpu / amd;
         let nv_speedup = cpu / nv;
-        assert!((amd_speedup - 50.0).abs() < 3.0, "AMD speedup {amd_speedup}");
-        assert!((nv_speedup - 47.0).abs() < 3.0, "NVIDIA speedup {nv_speedup}");
-        assert!(amd_speedup > nv_speedup, "paper: AMD edges out H100 on small kernels");
+        assert!(
+            (amd_speedup - 50.0).abs() < 3.0,
+            "AMD speedup {amd_speedup}"
+        );
+        assert!(
+            (nv_speedup - 47.0).abs() < 3.0,
+            "NVIDIA speedup {nv_speedup}"
+        );
+        assert!(
+            amd_speedup > nv_speedup,
+            "paper: AMD edges out H100 on small kernels"
+        );
     }
 
     #[test]
@@ -255,7 +262,10 @@ mod tests {
         let cpu = MachineModel::lumi_c_rank().kernel_cost_s(CI_SWEEP_BYTES, 0);
         let amd = MachineModel::mi250x().kernel_cost_s(CI_SWEEP_BYTES, 0);
         let ratio = cpu / amd;
-        assert!((ratio - 29.0).abs() < 3.0, "multi-rank compute ratio {ratio}");
+        assert!(
+            (ratio - 29.0).abs() < 3.0,
+            "multi-rank compute ratio {ratio}"
+        );
     }
 
     #[test]

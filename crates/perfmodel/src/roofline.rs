@@ -60,7 +60,10 @@ pub fn roofline(events: &[Event], machine: &MachineModel) -> Vec<RooflinePoint> 
     }
     let mut accs: Vec<Acc> = Vec::new();
     for ev in events {
-        if let Event::Kernel { name, bytes, flops, .. } = ev {
+        if let Event::Kernel {
+            name, bytes, flops, ..
+        } = ev
+        {
             let t = machine.kernel_cost_s(*bytes, *flops);
             match accs.iter_mut().find(|a| a.name == *name) {
                 Some(a) => {
@@ -84,7 +87,11 @@ pub fn roofline(events: &[Event], machine: &MachineModel) -> Vec<RooflinePoint> 
     accs.into_iter()
         .map(|a| {
             let intensity = a.flops as f64 / (a.bytes.max(1)) as f64;
-            let bound = if intensity < ridge { RooflineBound::Memory } else { RooflineBound::Compute };
+            let bound = if intensity < ridge {
+                RooflineBound::Memory
+            } else {
+                RooflineBound::Compute
+            };
             let ceiling = match bound {
                 RooflineBound::Memory => intensity * machine.mem_bw_gbps,
                 RooflineBound::Compute => machine.flops_gflops,
@@ -140,7 +147,12 @@ mod tests {
     use super::*;
 
     fn kernel(name: &'static str, elems: u64, bpe: u64, fpe: u64) -> Event {
-        Event::Kernel { name, elems, bytes: elems * bpe, flops: elems * fpe }
+        Event::Kernel {
+            name,
+            elems,
+            bytes: elems * bpe,
+            flops: elems * fpe,
+        }
     }
 
     #[test]

@@ -70,7 +70,12 @@ pub fn strong_scaling(
         let scaled = scale_events(profile, vol / measured_vol, face / measured_face);
         let per_iter = replay(&scaled, machine, ranks);
         let tts = per_iter.total_s() * iterations as f64;
-        points.push(ScalingPoint { ranks, tts_s: tts, per_iter, efficiency: 1.0 });
+        points.push(ScalingPoint {
+            ranks,
+            tts_s: tts,
+            per_iter,
+            efficiency: 1.0,
+        });
     }
     let (r0, t0) = (points[0].ranks as f64, points[0].tts_s);
     for p in &mut points {
@@ -96,11 +101,29 @@ mod tests {
                 flops: elems * 16,
             });
         }
-        for name in ["KernelBiCGS1", "KernelBiCGS2", "KernelBiCGS3", "KernelBiCGS4", "KernelBiCGS5", "KernelBiCGS6"] {
-            evs.push(Event::Kernel { name, elems, bytes: elems * 24, flops: elems * 8 });
+        for name in [
+            "KernelBiCGS1",
+            "KernelBiCGS2",
+            "KernelBiCGS3",
+            "KernelBiCGS4",
+            "KernelBiCGS5",
+            "KernelBiCGS6",
+        ] {
+            evs.push(Event::Kernel {
+                name,
+                elems,
+                bytes: elems * 24,
+                flops: elems * 8,
+            });
         }
-        evs.push(Event::Halo { msgs: 6, bytes: 6 * 32 * 32 * 8 });
-        evs.push(Event::Halo { msgs: 6, bytes: 6 * 32 * 32 * 8 });
+        evs.push(Event::Halo {
+            msgs: 6,
+            bytes: 6 * 32 * 32 * 8,
+        });
+        evs.push(Event::Halo {
+            msgs: 6,
+            bytes: 6 * 32 * 32 * 8,
+        });
         evs.push(Event::AllReduce { elems: 1 });
         evs.push(Event::AllReduce { elems: 2 });
         evs.push(Event::AllReduce { elems: 2 });
@@ -171,7 +194,10 @@ mod tests {
         let eff: Vec<f64> = pts.iter().map(|p| p.efficiency).collect();
         assert!(eff[1] > 0.90, "16 GCDs: {eff:?}");
         assert!(eff[3] > 0.80, "64 GCDs: {eff:?}");
-        assert!(eff[5] < eff[3], "efficiency collapses toward 256 GCDs: {eff:?}");
+        assert!(
+            eff[5] < eff[3],
+            "efficiency collapses toward 256 GCDs: {eff:?}"
+        );
     }
 }
 

@@ -118,8 +118,8 @@ pub fn render_timeline(spans: &[Span], width: usize) -> String {
         let c1 = ((s.end_s / total) * width as f64).ceil() as usize;
         let c1 = c1.clamp(c0 + 1, width);
         let mut bar = String::with_capacity(width);
-        bar.extend(std::iter::repeat(' ').take(c0));
-        bar.extend(std::iter::repeat('#').take(c1 - c0));
+        bar.extend(std::iter::repeat_n(' ', c0));
+        bar.extend(std::iter::repeat_n('#', c1 - c0));
         let label = format!("{}{}", "  ".repeat(s.depth), s.name);
         out.push_str(&format!(
             "{label:name_w$}  {:>10.2}  |{bar:<width$}|\n",
@@ -152,14 +152,36 @@ mod tests {
 
     fn events() -> Vec<Event> {
         vec![
-            Event::Begin { name: "Preconditioner" },
-            Event::Kernel { name: "KernelCI1", elems: 100, bytes: 3200, flops: 1200 },
-            Event::Kernel { name: "KernelCI2", elems: 100, bytes: 4800, flops: 1600 },
-            Event::End { name: "Preconditioner" },
+            Event::Begin {
+                name: "Preconditioner",
+            },
+            Event::Kernel {
+                name: "KernelCI1",
+                elems: 100,
+                bytes: 3200,
+                flops: 1200,
+            },
+            Event::Kernel {
+                name: "KernelCI2",
+                elems: 100,
+                bytes: 4800,
+                flops: 1600,
+            },
+            Event::End {
+                name: "Preconditioner",
+            },
             Event::Begin { name: "MPI1" },
-            Event::Halo { msgs: 6, bytes: 4800 },
+            Event::Halo {
+                msgs: 6,
+                bytes: 4800,
+            },
             Event::End { name: "MPI1" },
-            Event::Kernel { name: "KernelBiCGS1", elems: 100, bytes: 2400, flops: 1200 },
+            Event::Kernel {
+                name: "KernelBiCGS1",
+                elems: 100,
+                bytes: 2400,
+                flops: 1200,
+            },
         ]
     }
 
@@ -181,7 +203,12 @@ mod tests {
     fn unbalanced_begin_is_closed() {
         let evs = vec![
             Event::Begin { name: "open" },
-            Event::Kernel { name: "k", elems: 1, bytes: 100, flops: 1 },
+            Event::Kernel {
+                name: "k",
+                elems: 1,
+                bytes: 100,
+                flops: 1,
+            },
         ];
         let spans = build_timeline(&evs, &MachineModel::mi250x(), 2);
         assert_eq!(spans[0].name, "open");
@@ -192,7 +219,13 @@ mod tests {
     fn render_contains_all_names() {
         let spans = build_timeline(&events(), &MachineModel::mi250x(), 8);
         let txt = render_timeline(&spans, 60);
-        for name in ["Preconditioner", "KernelCI1", "KernelCI2", "HaloExchange", "KernelBiCGS1"] {
+        for name in [
+            "Preconditioner",
+            "KernelCI1",
+            "KernelCI2",
+            "HaloExchange",
+            "KernelBiCGS1",
+        ] {
             assert!(txt.contains(name), "missing {name} in:\n{txt}");
         }
     }

@@ -3,7 +3,9 @@
 use accel::{Device, Scalar};
 use blockgrid::{BlockGrid, Decomp, Field};
 use comm::{Communicator, ReduceOp};
-use krylov::{bicgstab_solve, RankCtx, Scope, SolveOutcome, SolveParams, SolverKind, SolverOptions, Workspace};
+use krylov::{
+    bicgstab_solve, RankCtx, Scope, SolveOutcome, SolveParams, SolverKind, SolverOptions, Workspace,
+};
 
 use crate::assemble::{local_exact, local_rhs};
 use crate::problem::PoissonProblem;
@@ -51,7 +53,14 @@ impl<T: Scalar, D: Device, C: Communicator<T>> PoissonSolver<T, D, C> {
 
         let ws = Workspace::new(&ctx.dev, &ctx.grid);
         let x = Field::zeros(&ctx.dev, &ctx.grid);
-        Self { ctx, ws, b, b_norm, x, problem }
+        Self {
+            ctx,
+            ws,
+            b,
+            b_norm,
+            x,
+            problem,
+        }
     }
 
     /// The rank context (device, communicator, grid, operator).
@@ -146,8 +155,16 @@ mod tests {
         );
         let out = solver.solve(
             SolverKind::BiCgsGNoCommCi,
-            &SolverOptions { eig_min_factor: 10.0, ..Default::default() },
-            &SolveParams { tol: 1e-12, max_iters: 20_000, record_history: false, ..Default::default() },
+            &SolverOptions {
+                eig_min_factor: 10.0,
+                ..Default::default()
+            },
+            &SolveParams {
+                tol: 1e-12,
+                max_iters: 20_000,
+                record_history: false,
+                ..Default::default()
+            },
         );
         let (l2, linf) = solver.error_vs_exact();
         (l2, linf, out)
@@ -185,7 +202,12 @@ mod tests {
         let out = solver.solve(
             SolverKind::BiCgs,
             &SolverOptions::default(),
-            &SolveParams { tol: 1e-11, max_iters: 10_000, record_history: false, ..Default::default() },
+            &SolveParams {
+                tol: 1e-11,
+                max_iters: 10_000,
+                record_history: false,
+                ..Default::default()
+            },
         );
         assert!(out.converged);
         let (l2, _) = solver.error_vs_exact();
@@ -204,8 +226,16 @@ mod tests {
             );
             let out = solver.solve(
                 SolverKind::BiCgsGNoCommCi,
-                &SolverOptions { eig_min_factor: 10.0, ..Default::default() },
-                &SolveParams { tol: 1e-12, max_iters: 20_000, record_history: false, ..Default::default() },
+                &SolverOptions {
+                    eig_min_factor: 10.0,
+                    ..Default::default()
+                },
+                &SolveParams {
+                    tol: 1e-12,
+                    max_iters: 20_000,
+                    record_history: false,
+                    ..Default::default()
+                },
             );
             assert!(out.converged);
             let (l2, _) = solver.error_vs_exact();
@@ -230,8 +260,16 @@ mod tests {
         assert!(solver.rhs_norm() > 1.0, "paper RHS has a large norm");
         let out = solver.solve(
             SolverKind::BiCgsGNoCommCi,
-            &SolverOptions { eig_min_factor: 10.0, ..Default::default() },
-            &SolveParams { tol: 1e-12, max_iters: 20_000, record_history: false, ..Default::default() },
+            &SolverOptions {
+                eig_min_factor: 10.0,
+                ..Default::default()
+            },
+            &SolveParams {
+                tol: 1e-12,
+                max_iters: 20_000,
+                record_history: false,
+                ..Default::default()
+            },
         );
         assert!(out.converged);
         let sol = solver.solution_local();

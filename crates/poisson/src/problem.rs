@@ -67,7 +67,12 @@ impl PoissonProblem {
             n[a] = self.nodes[a] - lo_excluded - hi_excluded;
             origin[a] = self.lo[a] + h[a] * lo_excluded as f64;
         }
-        GlobalGrid { n, h, origin, bc: self.bc }
+        GlobalGrid {
+            n,
+            h,
+            origin,
+            bc: self.bc,
+        }
     }
 }
 
@@ -135,8 +140,8 @@ mod tests {
     fn paper_problem_matches_section_iv() {
         let p = paper_problem(256);
         let h = p.spacing();
-        for a in 0..3 {
-            assert!((h[a] - 0.1).abs() < 1e-12, "axis {a}: {}", h[a]);
+        for (a, ha) in h.iter().enumerate() {
+            assert!((ha - 0.1).abs() < 1e-12, "axis {a}: {ha}");
         }
         assert_eq!(p.bc[0], [BcKind::Dirichlet, BcKind::Neumann]);
         assert_eq!(p.bc[1], [BcKind::Neumann, BcKind::Dirichlet]);
@@ -150,7 +155,9 @@ mod tests {
         let exact = p.exact.clone().unwrap();
         let h = 1e-4;
         for &(x, y, z) in &[(5.0, 5.0, 15.0), (10.3, 20.7, 30.1), (27.0, 3.1, 11.9)] {
-            let lap = (exact(x + h, y, z) + exact(x - h, y, z) + exact(x, y + h, z)
+            let lap = (exact(x + h, y, z)
+                + exact(x - h, y, z)
+                + exact(x, y + h, z)
                 + exact(x, y - h, z)
                 + exact(x, y, z + h)
                 + exact(x, y, z - h)
@@ -159,7 +166,11 @@ mod tests {
             let f = (p.rhs)(x, y, z);
             // FD of a ~1e4-magnitude field: allow cancellation noise
             let tol = 1e-4 * f.abs().max(1.0);
-            assert!((-lap - f).abs() < tol, "PDE violated at ({x},{y},{z}): {} vs {f}", -lap);
+            assert!(
+                (-lap - f).abs() < tol,
+                "PDE violated at ({x},{y},{z}): {} vs {f}",
+                -lap
+            );
         }
     }
 
@@ -174,10 +185,10 @@ mod tests {
             (exact(x, y + h, z) - exact(x, y - h, z)) / (2.0 * h),
             (exact(x, y, z + h) - exact(x, y, z - h)) / (2.0 * h),
         ];
-        for a in 0..3 {
+        for (a, fda) in fd.iter().enumerate() {
             let g = (p.neumann_dx[a])(x, y, z);
             let tol = 1e-7 * g.abs().max(1.0);
-            assert!((g - fd[a]).abs() < tol, "axis {a}: {g} vs {}", fd[a]);
+            assert!((g - fda).abs() < tol, "axis {a}: {g} vs {fda}");
         }
     }
 

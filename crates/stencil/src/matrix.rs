@@ -24,7 +24,10 @@ impl DenseMatrix {
 
     /// Zero matrix of size `n`.
     pub fn zeros(n: usize) -> Self {
-        Self { n, a: vec![0.0; n * n] }
+        Self {
+            n,
+            a: vec![0.0; n * n],
+        }
     }
 
     /// Matrix dimension.
@@ -46,9 +49,9 @@ impl DenseMatrix {
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.n);
         let mut y = vec![0.0; self.n];
-        for r in 0..self.n {
+        for (r, yr) in y.iter_mut().enumerate() {
             let row = &self.a[r * self.n..(r + 1) * self.n];
-            y[r] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+            *yr = row.iter().zip(x).map(|(a, b)| a * b).sum();
         }
         y
     }
@@ -109,7 +112,11 @@ pub fn assemble_poisson(ops: &[Op1d; 3], h: [f64; 3]) -> DenseMatrix {
     let (nx, ny, nz) = (ops[0].n, ops[1].n, ops[2].n);
     let n = nx * ny * nz;
     let mut m = DenseMatrix::zeros(n);
-    let inv_h2 = [1.0 / (h[0] * h[0]), 1.0 / (h[1] * h[1]), 1.0 / (h[2] * h[2])];
+    let inv_h2 = [
+        1.0 / (h[0] * h[0]),
+        1.0 / (h[1] * h[1]),
+        1.0 / (h[2] * h[2]),
+    ];
     let stride = [1usize, nx, nx * ny];
     for k in 0..nz {
         for j in 0..ny {
@@ -151,7 +158,9 @@ fn power_dominant(m: &DenseMatrix, shift: Option<f64>, max_iters: usize, tol: f6
     let mut state = 0x9E3779B97F4A7C15u64;
     let mut v: Vec<f64> = (0..n)
         .map(|_| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             0.5 + (state >> 33) as f64 / (1u64 << 32) as f64
         })
         .collect();

@@ -241,7 +241,11 @@ mod tests {
 
     #[test]
     fn rescaling_shrinks_from_both_ends() {
-        let b = SpectralBounds { min: 0.001, max: 10.0 }.rescaled(1e-4, 100.0);
+        let b = SpectralBounds {
+            min: 0.001,
+            max: 10.0,
+        }
+        .rescaled(1e-4, 100.0);
         assert!((b.min - 0.1).abs() < 1e-12);
         assert!((b.max - 10.0 * (1.0 - 1e-4)).abs() < 1e-9);
     }

@@ -29,7 +29,14 @@ use poisson::{paper_problem, PoissonSolver};
 fn fused_axpy_norm<T: Scalar, D: Device>(dev: &D, a: T, x: &[T], y: &mut [T], row_len: usize) -> T {
     assert_eq!(y.len() % row_len, 0);
     let rows = y.len() / row_len;
-    let map = RowMap { base: 0, len: row_len, ny: rows, nz: 1, sy: row_len, sz: y.len() };
+    let map = RowMap {
+        base: 0,
+        len: row_len,
+        ny: rows,
+        nz: 1,
+        sy: row_len,
+        sz: y.len(),
+    };
     let info = KernelInfo::new("user_axpy_norm", 24, 3);
     let [norm2] = dev.launch_rows_reduce(info, map, y, |j, _, row| {
         let xs = &x[j * row_len..(j + 1) * row_len];
@@ -68,7 +75,10 @@ fn main() {
     }
     // element-wise results are bitwise identical...
     for other in &elementwise[1..] {
-        assert_eq!(&elementwise[0], other, "element-wise results must match exactly");
+        assert_eq!(
+            &elementwise[0], other,
+            "element-wise results must match exactly"
+        );
     }
     println!("   element-wise outputs: bitwise identical on all back-ends");
     // ...but the fused reduction is grouped differently per back-end
@@ -83,7 +93,10 @@ fn main() {
         norms.iter().cloned().fold(f64::MIN, f64::max)
             - norms.iter().cloned().fold(f64::MAX, f64::min)
     );
-    assert!(distinct > 1, "back-ends must exhibit distinct reduction orders");
+    assert!(
+        distinct > 1,
+        "back-ends must exhibit distinct reduction orders"
+    );
 
     // --- 2. the full solver, unchanged, per back-end ------------------
     println!("\n2) full Poisson solve on every back-end (33^3 mesh, 1 rank)");
@@ -97,7 +110,10 @@ fn main() {
         );
         let out = solver.solve(
             SolverKind::BiCgsGNoCommCi,
-            &SolverOptions { eig_min_factor: 10.0, ..Default::default() },
+            &SolverOptions {
+                eig_min_factor: 10.0,
+                ..Default::default()
+            },
             &SolveParams::default(),
         );
         let (l2, _) = solver.error_vs_exact();
@@ -119,12 +135,23 @@ fn main() {
     );
     let out = solver.solve(
         SolverKind::BiCgsGNoCommCi,
-        &SolverOptions { eig_min_factor: 10.0, ..Default::default() },
-        &SolveParams { tol: 5e-5, max_iters: 10_000, record_history: false, ..Default::default() },
+        &SolverOptions {
+            eig_min_factor: 10.0,
+            ..Default::default()
+        },
+        &SolveParams {
+            tol: 5e-5,
+            max_iters: 10_000,
+            record_history: false,
+            ..Default::default()
+        },
     );
     println!(
         "   f32 on simgpu-mi250x: {} iterations, residual {:.2e}",
         out.iterations, out.final_residual
     );
-    assert!(out.converged, "f32 solve must reach single-precision tolerance");
+    assert!(
+        out.converged,
+        "f32 solve must reach single-precision tolerance"
+    );
 }

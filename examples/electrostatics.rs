@@ -39,14 +39,28 @@ impl Charge {
 }
 
 fn main() {
-    let nodes: usize = std::env::args().nth(1).map_or(33, |a| a.parse().expect("nodes"));
+    let nodes: usize = std::env::args()
+        .nth(1)
+        .map_or(33, |a| a.parse().expect("nodes"));
 
     // a dipole-like pair, mirror-symmetric about the x = 0.5 plane,
     // plus a weaker off-centre blob
     let charges = vec![
-        Charge { q: 1.0, center: [0.3, 0.5, 0.5], sigma: 0.06 },
-        Charge { q: 1.0, center: [0.7, 0.5, 0.5], sigma: 0.06 },
-        Charge { q: -0.5, center: [0.5, 0.25, 0.75], sigma: 0.08 },
+        Charge {
+            q: 1.0,
+            center: [0.3, 0.5, 0.5],
+            sigma: 0.06,
+        },
+        Charge {
+            q: 1.0,
+            center: [0.7, 0.5, 0.5],
+            sigma: 0.06,
+        },
+        Charge {
+            q: -0.5,
+            center: [0.5, 0.25, 0.75],
+            sigma: 0.08,
+        },
     ];
     let rho = {
         let charges = charges.clone();
@@ -70,7 +84,10 @@ fn main() {
         exact: None,
     };
 
-    println!("electrostatics: {} charge blobs in a grounded unit box, {nodes}^3 nodes, 8 ranks", charges.len());
+    println!(
+        "electrostatics: {} charge blobs in a grounded unit box, {nodes}^3 nodes, 8 ranks",
+        charges.len()
+    );
 
     let decomp = Decomp::new([2, 2, 2]);
     let results = run_ranks::<f64, _, _>(8, ReduceOrder::RankOrder, move |comm| {
@@ -80,13 +97,27 @@ fn main() {
             PoissonSolver::new(problem.clone(), decomp, dev, comm);
         let outcome = solver.solve(
             SolverKind::BiCgsGNoCommCi,
-            &SolverOptions { eig_min_factor: 10.0, ..Default::default() },
-            &SolveParams { tol: 1e-10, max_iters: 10_000, record_history: false, ..Default::default() },
+            &SolverOptions {
+                eig_min_factor: 10.0,
+                ..Default::default()
+            },
+            &SolveParams {
+                tol: 1e-10,
+                max_iters: 10_000,
+                record_history: false,
+                ..Default::default()
+            },
         );
         assert!(outcome.converged, "rank {rank}: {outcome:?}");
         // each rank returns its subdomain solution plus placement metadata
         let grid = solver.grid().clone();
-        (outcome.iterations, solver.solution_local(), grid.offset, grid.local_n, grid.global.clone())
+        (
+            outcome.iterations,
+            solver.solution_local(),
+            grid.offset,
+            grid.local_n,
+            grid.global.clone(),
+        )
     });
 
     let (iterations, _, _, _, global) = &results[0];
@@ -125,12 +156,18 @@ fn main() {
     let right = at(0.7, 0.5, 0.5);
     let asym = (left - right).abs() / left.abs().max(right.abs());
     println!("\nmirror-symmetry check at the blob centres: relative asymmetry {asym:.2e}");
-    assert!(asym < 1e-6, "symmetric charges must give a symmetric potential");
+    assert!(
+        asym < 1e-6,
+        "symmetric charges must give a symmetric potential"
+    );
 
     // both blob centres sit in a positive potential well
     assert!(left > 0.0 && right > 0.0);
     // far corner is near ground
     let corner = at(0.06, 0.06, 0.06);
     println!("potential near a grounded corner: {corner:+.3e}");
-    assert!(corner.abs() < left.abs() * 0.2, "walls must pull the potential to ground");
+    assert!(
+        corner.abs() < left.abs() * 0.2,
+        "walls must pull the potential to ground"
+    );
 }

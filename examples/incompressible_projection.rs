@@ -39,7 +39,9 @@ fn grad_psi(x: f64, y: f64, z: f64) -> [f64; 3] {
 }
 
 fn main() {
-    let nodes: usize = std::env::args().nth(1).map_or(33, |a| a.parse().expect("nodes"));
+    let nodes: usize = std::env::args()
+        .nth(1)
+        .map_or(33, |a| a.parse().expect("nodes"));
 
     // -Laplacian(psi) = 3 pi^2 psi and psi = 0 on the walls, so the
     // pressure Poisson problem for u* = u_sol + grad(psi) is exactly the
@@ -54,14 +56,31 @@ fn main() {
             PoissonSolver::new(problem.clone(), decomp, dev, comm);
         let outcome = solver.solve(
             SolverKind::BiCgsBjCi, // Block-Jacobi Chebyshev this time
-            &SolverOptions { eig_min_factor: 10.0, ..Default::default() },
-            &SolveParams { tol: 1e-11, max_iters: 10_000, record_history: false, ..Default::default() },
+            &SolverOptions {
+                eig_min_factor: 10.0,
+                ..Default::default()
+            },
+            &SolveParams {
+                tol: 1e-11,
+                max_iters: 10_000,
+                record_history: false,
+                ..Default::default()
+            },
         );
         assert!(outcome.converged, "{outcome:?}");
         let grid = solver.grid().clone();
-        (outcome.iterations, solver.solution_local(), grid.offset, grid.local_n, grid.global.clone())
+        (
+            outcome.iterations,
+            solver.solution_local(),
+            grid.offset,
+            grid.local_n,
+            grid.global.clone(),
+        )
     });
-    println!("pressure solve converged in {} outer iterations", results[0].0);
+    println!(
+        "pressure solve converged in {} outer iterations",
+        results[0].0
+    );
 
     // gather p onto the global unknown grid
     let global = &results[0].4;
@@ -155,6 +174,12 @@ fn main() {
 
     let improvement = rms(err_star / 3.0) / rms(err_corr / 3.0);
     println!("\nprojection reduced the velocity error {improvement:.0}x");
-    assert!(improvement > 20.0, "projection must remove most of grad(psi)");
-    assert!(rms(div_after) < 0.05 * rms(div_before), "divergence must collapse");
+    assert!(
+        improvement > 20.0,
+        "projection must remove most of grad(psi)"
+    );
+    assert!(
+        rms(div_after) < 0.05 * rms(div_before),
+        "divergence must collapse"
+    );
 }

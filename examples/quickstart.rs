@@ -38,8 +38,16 @@ fn main() {
     // 4. solve with the paper's fastest configuration
     let outcome = solver.solve(
         SolverKind::BiCgsGNoCommCi,
-        &SolverOptions { eig_min_factor: 10.0, ..Default::default() },
-        &SolveParams { tol: 1e-10, max_iters: 10_000, record_history: true, ..Default::default() },
+        &SolverOptions {
+            eig_min_factor: 10.0,
+            ..Default::default()
+        },
+        &SolveParams {
+            tol: 1e-10,
+            max_iters: 10_000,
+            record_history: true,
+            ..Default::default()
+        },
     );
     println!(
         "solver: {} -> {} outer iterations, relative residual {:.2e}",

@@ -1,0 +1,298 @@
+//! Minimal `criterion` stand-in for offline builds.
+//!
+//! Keeps the harness API (`criterion_group!` / `criterion_main!`,
+//! benchmark groups, `Bencher::iter`) so the bench sources compile
+//! unchanged, but replaces the statistical machinery with a simple
+//! wall-clock loop: one warm-up call, then `sample_size` timed samples,
+//! reporting mean and minimum per benchmark. Honest timings, no outlier
+//! analysis, no plots. `CRITERION_SAMPLES` overrides the per-group sample
+//! count (handy for quick smoke runs).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness state (sample-count default carrier).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Set the default number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 1, "sample_size must be >= 1");
+        self.sample_size = n;
+        self
+    }
+
+    /// Accepted for API compatibility; the shim times a fixed sample
+    /// count instead of a target duration.
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim warms up with one call.
+    pub fn warm_up_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+
+    /// Run a stand-alone benchmark (reported as its own group).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let sample_size = self.sample_size;
+        run_benchmark(id, sample_size, f);
+        self
+    }
+}
+
+/// Identifier of one benchmark within a group.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter, rendered `name/param`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            text: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// Just the parameter (for single-function groups).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+/// Accepted by `bench_function`-style entry points: a `BenchmarkId` or a
+/// plain string.
+pub trait IntoBenchmarkId {
+    /// Rendered identifier text.
+    fn into_text(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_text(self) -> String {
+        self.text
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_text(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_text(self) -> String {
+        self
+    }
+}
+
+/// Throughput annotation (recorded to compute per-element rates).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A named collection of benchmarks sharing sample settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 1, "sample_size must be >= 1");
+        self.sample_size = n;
+        self
+    }
+
+    /// Record the per-iteration throughput (reported alongside times).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility (see [`Criterion::measurement_time`]).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmark a closure under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_text());
+        run_benchmark(&full, self.sample_size, f);
+        self
+    }
+
+    /// Benchmark a closure that receives `input` under `id`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Close the group (reports are printed as benchmarks run).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; `iter` does the timing.
+pub struct Bencher {
+    samples_ns: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `f`: one warm-up call, then `sample_size` timed samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(f());
+            self.samples_ns.push(t0.elapsed().as_nanos() as f64);
+        }
+    }
+
+    /// Caller-measured timing (the real crate's `iter_custom`): `f` is
+    /// handed an iteration count and returns the elapsed wall time it
+    /// measured itself. Use when the benchmarked region excludes setup
+    /// that `iter` would otherwise time (e.g. spawning an SPMD world).
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        black_box(f(1)); // warm-up
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            self.samples_ns.push(f(1).as_nanos() as f64);
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, mut f: F) {
+    let sample_size = std::env::var("CRITERION_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(sample_size);
+    let mut b = Bencher {
+        samples_ns: Vec::new(),
+        sample_size,
+    };
+    f(&mut b);
+    if b.samples_ns.is_empty() {
+        println!("bench {id:<50} (no samples)");
+        return;
+    }
+    let mean = b.samples_ns.iter().sum::<f64>() / b.samples_ns.len() as f64;
+    let min = b.samples_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+    println!(
+        "bench {id:<50} mean {:>12}  min {:>12}  ({} samples)",
+        fmt_ns(mean),
+        fmt_ns(min),
+        b.samples_ns.len()
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.0} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Define a benchmark group function from target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` executes harness-less bench targets with
+            // `--test`; keep that mode fast and side-effect free.
+            if std::env::args().any(|a| a == "--test") {
+                std::env::set_var("CRITERION_SAMPLES", "1");
+            }
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_times_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2).throughput(Throughput::Elements(10));
+        let mut runs = 0usize;
+        group.bench_function("work", |b| {
+            b.iter(|| {
+                runs += 1;
+                std::hint::black_box(3u64.pow(7))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("param", 4), &4usize, |b, &n| {
+            b.iter(|| n * 2);
+        });
+        group.finish();
+        // warm-up + 2 samples
+        assert_eq!(runs, 3);
+    }
+
+    #[test]
+    fn benchmark_id_rendering() {
+        assert_eq!(BenchmarkId::new("f", 8).text, "f/8");
+        assert_eq!(BenchmarkId::from_parameter("x").text, "x");
+    }
+}

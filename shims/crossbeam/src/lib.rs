@@ -1,0 +1,202 @@
+//! Minimal `crossbeam` stand-in for offline builds.
+//!
+//! Only [`channel`] is provided, and of it only what the workspace uses:
+//! an unbounded MPMC channel with clonable [`channel::Sender`] and
+//! [`channel::Receiver`] whose `recv` fails once the channel is both
+//! empty and sender-less (the disconnect protocol the thread-pool worker
+//! loop relies on to terminate).
+
+pub mod channel {
+    //! Unbounded MPMC channel on `std::sync` primitives.
+
+    use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Shared<T> {
+        queue: Mutex<VecDeque<T>>,
+        ready: Condvar,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+    }
+
+    /// Error returned by [`Sender::send`] when every receiver is gone.
+    /// Carries the unsent message like crossbeam's.
+    #[derive(PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    // Like the real crate: Debug without requiring `T: Debug`, so
+    // `send(..).expect(..)` works for any payload.
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// every sender is gone.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Sending half; clonable (MPMC).
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Receiving half; clonable (MPMC).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueue `value`, failing only if all receivers dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            if self.shared.receivers.load(Ordering::Acquire) == 0 {
+                return Err(SendError(value));
+            }
+            let mut q = self.shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+            q.push_back(value);
+            drop(q);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.senders.fetch_add(1, Ordering::AcqRel);
+            Self {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.shared.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Last sender: wake all blocked receivers so they observe
+                // the disconnect.
+                let _guard = self.shared.queue.lock();
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives or the channel disconnects.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut q = self.shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+            loop {
+                if let Some(v) = q.pop_front() {
+                    return Ok(v);
+                }
+                if self.shared.senders.load(Ordering::Acquire) == 0 {
+                    return Err(RecvError);
+                }
+                q = self.shared.ready.wait(q).unwrap_or_else(|p| p.into_inner());
+            }
+        }
+
+        /// Dequeue without blocking; `None` when empty (including after
+        /// disconnect).
+        pub fn try_recv(&self) -> Option<T> {
+            self.shared
+                .queue
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .pop_front()
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.receivers.fetch_add(1, Ordering::AcqRel);
+            Self {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.shared.receivers.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fifo_within_single_consumer() {
+            let (tx, rx) = unbounded();
+            for i in 0..10 {
+                tx.send(i).unwrap();
+            }
+            for i in 0..10 {
+                assert_eq!(rx.recv(), Ok(i));
+            }
+        }
+
+        #[test]
+        fn disconnect_terminates_receivers() {
+            let (tx, rx) = unbounded::<u32>();
+            tx.send(1).unwrap();
+            drop(tx);
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn mpmc_consumes_each_message_once() {
+            let (tx, rx) = unbounded::<usize>();
+            let n = 1000;
+            let workers: Vec<_> = (0..4)
+                .map(|_| {
+                    let rx = rx.clone();
+                    std::thread::spawn(move || {
+                        let mut got = Vec::new();
+                        while let Ok(v) = rx.recv() {
+                            got.push(v);
+                        }
+                        got
+                    })
+                })
+                .collect();
+            for i in 0..n {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            drop(rx);
+            let mut all: Vec<usize> = workers
+                .into_iter()
+                .flat_map(|w| w.join().unwrap())
+                .collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..n).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn send_fails_without_receivers() {
+            let (tx, rx) = unbounded::<u8>();
+            drop(rx);
+            assert_eq!(tx.send(9), Err(SendError(9)));
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Minimal `serde` stand-in for offline builds.
+//!
+//! The workspace only ever *serialises* plain records to JSON (via
+//! `serde_json::to_string_pretty`), so the whole data-model machinery of
+//! real serde collapses to one method: [`Serialize::to_value`] producing a
+//! JSON-like [`Value`] tree. `#[derive(Serialize)]` / `#[derive(Deserialize)]`
+//! are provided by the companion `serde_derive` shim and re-exported here
+//! so `use serde::{Serialize, Deserialize}` call sites compile unchanged.
+
+// Let the derive macro's generated `serde::...` paths resolve when the
+// derive is used inside this crate (e.g. in its own tests).
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-like value tree — the shim's entire data model.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+/// Types convertible to a [`Value`] tree (the shim's `serde::Serialize`).
+pub trait Serialize {
+    /// Convert `self` to a JSON-like value.
+    fn to_value(&self) -> Value;
+}
+
+/// Marker for deserialisable types. The workspace derives it but never
+/// exercises deserialisation, so no methods are required.
+pub trait Deserialize {}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! impl_ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+    )*};
+}
+impl_ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+    )*};
+}
+impl_ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+macro_rules! impl_ser_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+    };
+}
+impl_ser_tuple!(A: 0);
+impl_ser_tuple!(A: 0, B: 1);
+impl_ser_tuple!(A: 0, B: 1, C: 2);
+impl_ser_tuple!(A: 0, B: 1, C: 2, D: 3);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_map_to_expected_variants() {
+        assert_eq!(3usize.to_value(), Value::U64(3));
+        assert_eq!((-7i32).to_value(), Value::I64(-7));
+        assert_eq!(1.5f64.to_value(), Value::F64(1.5));
+        assert_eq!(true.to_value(), Value::Bool(true));
+        assert_eq!("x".to_value(), Value::Str("x".into()));
+        assert_eq!(None::<u8>.to_value(), Value::Null);
+    }
+
+    #[test]
+    fn containers_nest() {
+        let v = vec![(1usize, 2.0f64)];
+        assert_eq!(
+            v.to_value(),
+            Value::Array(vec![Value::Array(vec![Value::U64(1), Value::F64(2.0)])])
+        );
+    }
+
+    #[test]
+    fn derive_struct_and_enum() {
+        #[derive(Serialize)]
+        struct Rec {
+            name: String,
+            count: usize,
+            tag: Kind,
+        }
+        #[derive(Serialize)]
+        enum Kind {
+            Fast,
+            #[allow(dead_code)]
+            Slow,
+        }
+        let r = Rec {
+            name: "a".into(),
+            count: 2,
+            tag: Kind::Fast,
+        };
+        assert_eq!(
+            r.to_value(),
+            Value::Object(vec![
+                ("name".into(), Value::Str("a".into())),
+                ("count".into(), Value::U64(2)),
+                ("tag".into(), Value::Str("Fast".into())),
+            ])
+        );
+    }
+
+    #[test]
+    fn derive_generic_struct() {
+        #[derive(Serialize)]
+        struct Wrap<T: Serialize> {
+            data: T,
+        }
+        let w = Wrap {
+            data: vec![1u32, 2],
+        };
+        assert_eq!(
+            w.to_value(),
+            Value::Object(vec![(
+                "data".into(),
+                Value::Array(vec![Value::U64(1), Value::U64(2)])
+            )])
+        );
+    }
+}

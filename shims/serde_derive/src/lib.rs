@@ -1,0 +1,251 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the serde shim.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no syn/quote — the
+//! build environment is offline). Supports exactly what the workspace
+//! derives on: structs with named fields (optionally generic, bounds
+//! re-emitted verbatim) and enums with unit variants. Anything else is a
+//! compile error pointing here.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of a `derive` input.
+struct Input {
+    name: String,
+    /// Generic parameter declarations, e.g. `T: Serialize` (without `<>`).
+    generics_decl: String,
+    /// Bare generic arguments, e.g. `T` (without `<>`).
+    generics_args: String,
+    body: Body,
+}
+
+enum Body {
+    /// Named struct fields in declaration order.
+    Struct(Vec<String>),
+    /// Unit enum variants in declaration order.
+    Enum(Vec<String>),
+}
+
+/// Derive `serde::Serialize` (the shim's `to_value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse(input);
+    let header = impl_header(&parsed, "serde::Serialize");
+    let body = match &parsed.body {
+        Body::Struct(fields) => {
+            let entries: String = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), serde::Serialize::to_value(&self.{f})),"))
+                .collect();
+            format!("serde::Value::Object(vec![{entries}])")
+        }
+        Body::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("Self::{v} => serde::Value::Str(\"{v}\".to_string()),"))
+                .collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!("{header} {{ fn to_value(&self) -> serde::Value {{ {body} }} }}")
+        .parse()
+        .expect("serde_derive: generated Serialize impl must parse")
+}
+
+/// Derive the (marker) `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse(input);
+    format!("{} {{ }}", impl_header(&parsed, "serde::Deserialize"))
+        .parse()
+        .expect("serde_derive: generated Deserialize impl must parse")
+}
+
+fn impl_header(input: &Input, trait_path: &str) -> String {
+    if input.generics_decl.is_empty() {
+        format!("impl {trait_path} for {}", input.name)
+    } else {
+        format!(
+            "impl<{}> {trait_path} for {}<{}>",
+            input.generics_decl, input.name, input.generics_args
+        )
+    }
+}
+
+fn parse(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other}"),
+    };
+    i += 1;
+    let (generics_decl, generics_args) = parse_generics(&tokens, &mut i);
+    // Skip a `where` clause if present (none in this workspace, but cheap).
+    while i < tokens.len()
+        && !matches!(&tokens[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Brace)
+    {
+        i += 1;
+    }
+    let body_group = match &tokens[i] {
+        TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => g,
+        _ => panic!("serde_derive: only brace-bodied structs/enums are supported"),
+    };
+    let body_tokens: Vec<TokenTree> = body_group.stream().into_iter().collect();
+    let body = match kind.as_str() {
+        "struct" => Body::Struct(parse_named_fields(&body_tokens)),
+        "enum" => Body::Enum(parse_unit_variants(&body_tokens)),
+        other => panic!("serde_derive: unsupported item kind `{other}`"),
+    };
+    Input {
+        name,
+        generics_decl,
+        generics_args,
+        body,
+    }
+}
+
+/// Advance past outer attributes (`#[...]`) and a visibility modifier.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` + bracketed group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // `pub(crate)` etc.
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parse `<...>` generics if present; returns (decl text, bare args text).
+fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> (String, String) {
+    match tokens.get(*i) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {}
+        _ => return (String::new(), String::new()),
+    }
+    *i += 1; // consume `<`
+    let mut depth = 1usize;
+    let mut decl = String::new();
+    let mut args: Vec<String> = Vec::new();
+    let mut expect_param = true;
+    while *i < tokens.len() {
+        match &tokens[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                decl.push('<');
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                if depth == 0 {
+                    *i += 1;
+                    return (decl, args.join(", "));
+                }
+                decl.push('>');
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                decl.push(',');
+                expect_param = true;
+            }
+            tt => {
+                if expect_param && depth == 1 {
+                    if let TokenTree::Ident(id) = tt {
+                        let s = id.to_string();
+                        if s != "const" {
+                            args.push(s);
+                            expect_param = false;
+                        }
+                    }
+                    // lifetimes (leading `'`) are passed through in `decl`
+                    // and re-emitted; none are used in this workspace.
+                }
+                decl.push_str(&tt.to_string());
+                decl.push(' ');
+            }
+        }
+        *i += 1;
+    }
+    panic!("serde_derive: unbalanced generics on derive input");
+}
+
+/// Field names of a named-field struct body.
+fn parse_named_fields(tokens: &[TokenTree]) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected field name, got {other}"),
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            _ => panic!("serde_derive: tuple structs are not supported (field `{name}`)"),
+        }
+        fields.push(name);
+        // Skip the type: consume until a top-level `,` (angle-bracket aware;
+        // nested (), [], {} arrive as single Group tokens).
+        let mut angle = 0usize;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' && angle > 0 => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Variant names of a unit-variant enum body.
+fn parse_unit_variants(tokens: &[TokenTree]) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected variant name, got {other}"),
+        };
+        i += 1;
+        if let Some(TokenTree::Group(_)) = tokens.get(i) {
+            panic!("serde_derive: only unit enum variants are supported (variant `{name}`)");
+        }
+        variants.push(name);
+        // Skip an optional discriminant and the trailing comma.
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+    }
+    variants
+}

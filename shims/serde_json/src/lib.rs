@@ -1,0 +1,168 @@
+//! Minimal `serde_json` stand-in: render the serde shim's [`serde::Value`]
+//! tree as JSON text. Only the writer half exists — the workspace never
+//! parses JSON back.
+
+use std::fmt;
+
+/// Serialisation error. The shim's writer is total over finite values;
+/// only non-finite floats are rejected (matching real serde_json, which
+/// has no representation for them either).
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json serialisation error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialise `value` as compact JSON.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), None, 0, &mut out)?;
+    Ok(out)
+}
+
+/// Serialise `value` as human-readable JSON (2-space indent).
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), Some(2), 0, &mut out)?;
+    Ok(out)
+}
+
+fn write_value(
+    v: &serde::Value,
+    indent: Option<usize>,
+    depth: usize,
+    out: &mut String,
+) -> Result<(), Error> {
+    use serde::Value::*;
+    match v {
+        Null => out.push_str("null"),
+        Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        U64(n) => out.push_str(&n.to_string()),
+        I64(n) => out.push_str(&n.to_string()),
+        F64(x) => {
+            if !x.is_finite() {
+                return Err(Error(format!("non-finite float {x}")));
+            }
+            // Match serde_json's convention of keeping floats recognisable
+            // as floats: integral values render with a trailing `.0`.
+            if x.fract() == 0.0 && x.abs() < 1e15 {
+                out.push_str(&format!("{x:.1}"));
+            } else {
+                out.push_str(&format!("{x}"));
+            }
+        }
+        Str(s) => write_string(s, out),
+        Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return Ok(());
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(indent, depth + 1, out);
+                write_value(item, indent, depth + 1, out)?;
+            }
+            newline_indent(indent, depth, out);
+            out.push(']');
+        }
+        Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return Ok(());
+            }
+            out.push('{');
+            for (i, (key, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(indent, depth + 1, out);
+                write_string(key, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(val, indent, depth + 1, out)?;
+            }
+            newline_indent(indent, depth, out);
+            out.push('}');
+        }
+    }
+    Ok(())
+}
+
+fn newline_indent(indent: Option<usize>, depth: usize, out: &mut String) {
+    if let Some(width) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', width * depth));
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Serialize;
+
+    #[derive(Serialize)]
+    struct Rec {
+        name: String,
+        ranks: usize,
+        time_s: f64,
+        series: Vec<f64>,
+    }
+
+    #[test]
+    fn pretty_output_shape() {
+        let r = Rec {
+            name: "fig6".into(),
+            ranks: 8,
+            time_s: 0.25,
+            series: vec![1.0, 0.5],
+        };
+        let txt = to_string_pretty(&r).unwrap();
+        assert!(txt.contains("\"name\": \"fig6\""));
+        assert!(txt.contains("\"ranks\": 8"));
+        assert!(txt.contains("\"time_s\": 0.25"));
+        assert!(txt.contains("1.0"), "integral floats keep a .0: {txt}");
+        assert!(txt.starts_with("{\n"));
+        assert!(txt.ends_with('}'));
+    }
+
+    #[test]
+    fn compact_output_and_escaping() {
+        assert_eq!(to_string(&"a\"b\n").unwrap(), r#""a\"b\n""#);
+        assert_eq!(
+            to_string(&vec![1u32, 2]).unwrap(),
+            "[\n1,\n2\n]".replace('\n', "")
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_error() {
+        assert!(to_string(&f64::NAN).is_err());
+        assert!(to_string(&f64::INFINITY).is_err());
+    }
+}

@@ -10,7 +10,7 @@
 //!     --device mi250x --machines --trace --roofline
 //! ```
 
-use bench::{first_iteration_profile, Args, RunConfig, run_once};
+use bench::{first_iteration_profile, run_once, Args, RunConfig};
 use comm::ReduceOrder;
 use krylov::SolverKind;
 use perfmodel::{build_timeline, render_roofline, render_timeline, replay, roofline, MachineModel};
@@ -30,6 +30,7 @@ USAGE: poisson-bicgstab-repro [OPTIONS]
   --max-iters N    outer iteration cap                       [50000]
   --ci-iters N     Chebyshev sweeps per application          [24]
   --min-factor X   lambda_min rescaling (Bergamaschi)        [10]
+  --no-overlap     synchronous halo exchanges (overlap is on by default)
   --arrival        arrival-order (nondeterministic) reductions
   --early-exit     enable the Alg. 1 mid-loop convergence check
   --true-res K     recompute the true residual every K iterations
@@ -63,12 +64,24 @@ fn main() {
     cfg.max_iters = args.get("max-iters", 50_000);
     cfg.opts.ci_iterations = args.get("ci-iters", 24);
     cfg.opts.eig_min_factor = args.get("min-factor", 10.0);
-    cfg.order = if args.flag("arrival") { ReduceOrder::Arrival } else { ReduceOrder::RankOrder };
+    cfg.opts.overlap_halo = !args.flag("no-overlap");
+    cfg.order = if args.flag("arrival") {
+        ReduceOrder::Arrival
+    } else {
+        ReduceOrder::RankOrder
+    };
     cfg.params_extra.early_exit_check = args.flag("early-exit");
     cfg.params_extra.true_residual_every = args.get("true-res", 0);
     cfg.params_extra.max_restarts = args.get("restarts", 0);
     let need_events = args.flag("machines") || args.flag("trace") || args.flag("roofline");
     cfg.record_events = need_events;
+
+    // Reject a bad spec here with a usage hint rather than panicking
+    // inside a rank thread mid-run.
+    if let Err(e) = accel::AnyDevice::from_spec(&cfg.device, accel::Recorder::disabled()) {
+        eprintln!("{e}");
+        usage();
+    }
 
     let ranks = cfg.ranks();
     println!(

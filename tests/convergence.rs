@@ -13,11 +13,19 @@ use krylov::{SolveParams, SolverKind, SolverOptions};
 use poisson::{paper_problem, unit_cube_dirichlet, PoissonSolver};
 
 fn opts() -> SolverOptions {
-    SolverOptions { eig_min_factor: 10.0, ..Default::default() }
+    SolverOptions {
+        eig_min_factor: 10.0,
+        ..Default::default()
+    }
 }
 
 fn params(tol: f64) -> SolveParams {
-    SolveParams { tol, max_iters: 30_000, record_history: false, ..Default::default() }
+    SolveParams {
+        tol,
+        max_iters: 30_000,
+        record_history: false,
+        ..Default::default()
+    }
 }
 
 /// Solve the paper problem on one rank; return the relative L2 error.
@@ -53,8 +61,14 @@ fn second_order_convergence_under_refinement() {
     let e3 = single_rank_error(33, SolverKind::BiCgsGNoCommCi);
     let r12 = e1 / e2;
     let r23 = e2 / e3;
-    assert!((3.0..5.5).contains(&r12), "halving h: {e1} -> {e2} (rate {r12})");
-    assert!((3.0..5.5).contains(&r23), "halving h: {e2} -> {e3} (rate {r23})");
+    assert!(
+        (3.0..5.5).contains(&r12),
+        "halving h: {e1} -> {e2} (rate {r12})"
+    );
+    assert!(
+        (3.0..5.5).contains(&r23),
+        "halving h: {e2} -> {e3} (rate {r23})"
+    );
 }
 
 #[test]

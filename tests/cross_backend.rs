@@ -14,15 +14,31 @@ const BACKENDS: [&str; 4] = ["serial", "threads:3", "mi250x", "h100"];
 
 fn solve_on(device: &str, nodes: usize) -> (usize, f64, Vec<f64>) {
     let dev = AnyDevice::from_spec(device, Recorder::disabled()).unwrap();
-    let mut solver: PoissonSolver<f64, _, _> =
-        PoissonSolver::new(paper_problem(nodes), Decomp::single(), dev, SelfComm::default());
+    let mut solver: PoissonSolver<f64, _, _> = PoissonSolver::new(
+        paper_problem(nodes),
+        Decomp::single(),
+        dev,
+        SelfComm::default(),
+    );
     let out = solver.solve(
         SolverKind::BiCgsGNoCommCi,
-        &SolverOptions { eig_min_factor: 10.0, ..Default::default() },
-        &SolveParams { tol: 1e-11, max_iters: 20_000, record_history: true, ..Default::default() },
+        &SolverOptions {
+            eig_min_factor: 10.0,
+            ..Default::default()
+        },
+        &SolveParams {
+            tol: 1e-11,
+            max_iters: 20_000,
+            record_history: true,
+            ..Default::default()
+        },
     );
     assert!(out.converged, "{device}: {out:?}");
-    (out.iterations, solver.error_vs_exact().0, out.residual_history)
+    (
+        out.iterations,
+        solver.error_vs_exact().0,
+        out.residual_history,
+    )
 }
 
 #[test]
@@ -62,8 +78,16 @@ fn distributed_solve_on_simulated_gpus() {
             PoissonSolver::new(paper_problem(17), Decomp::new([2, 2, 2]), dev, comm);
         let out = solver.solve(
             SolverKind::BiCgsGNoCommCi,
-            &SolverOptions { eig_min_factor: 10.0, ..Default::default() },
-            &SolveParams { tol: 1e-11, max_iters: 20_000, record_history: false, ..Default::default() },
+            &SolverOptions {
+                eig_min_factor: 10.0,
+                ..Default::default()
+            },
+            &SolveParams {
+                tol: 1e-11,
+                max_iters: 20_000,
+                record_history: false,
+                ..Default::default()
+            },
         );
         assert!(out.converged);
     });
@@ -81,8 +105,16 @@ fn f32_pipeline_works_on_every_backend() {
         );
         let out = solver.solve(
             SolverKind::BiCgsGNoCommCi,
-            &SolverOptions { eig_min_factor: 10.0, ..Default::default() },
-            &SolveParams { tol: 5e-5, max_iters: 10_000, record_history: false, ..Default::default() },
+            &SolverOptions {
+                eig_min_factor: 10.0,
+                ..Default::default()
+            },
+            &SolveParams {
+                tol: 5e-5,
+                max_iters: 10_000,
+                record_history: false,
+                ..Default::default()
+            },
         );
         assert!(out.converged, "{device} (f32): {out:?}");
     }
@@ -99,8 +131,16 @@ fn mixed_backends_across_ranks_interoperate() {
             PoissonSolver::new(paper_problem(13), Decomp::new([2, 2, 1]), dev, comm);
         let out = solver.solve(
             SolverKind::BiCgsBjCi,
-            &SolverOptions { eig_min_factor: 10.0, ..Default::default() },
-            &SolveParams { tol: 1e-10, max_iters: 20_000, record_history: false, ..Default::default() },
+            &SolverOptions {
+                eig_min_factor: 10.0,
+                ..Default::default()
+            },
+            &SolveParams {
+                tol: 1e-10,
+                max_iters: 20_000,
+                record_history: false,
+                ..Default::default()
+            },
         );
         assert!(out.converged, "rank with {spec}: {out:?}");
     });

@@ -107,8 +107,8 @@ proptest! {
         decomp in decomp_strategy(),
     ) {
         // skip decompositions finer than the grid
-        for a in 0..3 {
-            prop_assume!(decomp[a] <= global.n[a]);
+        for (d, n) in decomp.iter().zip(&global.n) {
+            prop_assume!(d <= n);
         }
         // thin Neumann subdomains are rejected by design; skip them
         let d = Decomp::new(decomp);
@@ -139,7 +139,7 @@ proptest! {
             let dev = Serial::new(Recorder::disabled());
             let local = scatter(&g2, &grid, &inp);
             let mut u = Field::from_interior(&dev, &grid, &local);
-            HaloExchange::new(&grid).exchange(&comm, &mut u);
+            HaloExchange::new(&grid).exchange(&dev, &comm, &mut u);
             apply_physical_bcs(&grid, &mut u, &Recorder::disabled(), false);
             let lap = Laplacian::new(&grid);
             let mut w = Field::zeros(&dev, &grid);
@@ -178,7 +178,7 @@ proptest! {
             mine
         });
         // serial reference with the same fold order (rank 0, 1, 2, ...)
-        let mut expect: Vec<f64> = vals.iter().map(|x| *x).collect();
+        let mut expect: Vec<f64> = vals.to_vec();
         for r in 1..ranks {
             for (e, x) in expect.iter_mut().zip(&vals) {
                 *e += x + r as f64;
@@ -258,6 +258,73 @@ proptest! {
         let mu2 = apply(&u);
         for i in 0..n {
             prop_assert_eq!(mu[i].to_bits(), mu2[i].to_bits());
+        }
+    }
+
+    /// Tentpole invariant of the split-phase halo exchange: on every
+    /// back-end, `begin → BCs → apply_interior → finish → apply_shell`
+    /// leaves the field (ghosts included) and the operator output
+    /// bitwise-identical to the synchronous
+    /// `exchange → BCs → apply` path, for random shapes, decompositions
+    /// and boundary conditions.
+    #[test]
+    fn split_phase_apply_is_bitwise_identical(
+        (global, input) in grid_strategy(),
+        decomp in decomp_strategy(),
+        dev_spec in prop_oneof![Just("serial"), Just("threads:3"), Just("simgpu:4")],
+    ) {
+        for (d, n) in decomp.iter().zip(&global.n) {
+            prop_assume!(d <= n);
+        }
+        let d = Decomp::new(decomp);
+        let mut feasible = true;
+        for rank in 0..d.ranks() {
+            let bg = BlockGrid::new(global.clone(), d, rank);
+            for a in 0..3 {
+                let neumann = (0..2).any(|s| {
+                    matches!(bg.boundary(a, s), blockgrid::LocalBoundary::Physical(BcKind::Neumann))
+                });
+                if neumann && bg.local_n[a] < 2 {
+                    feasible = false;
+                }
+            }
+        }
+        prop_assume!(feasible);
+
+        // (field bits, A·field bits) per rank, sync and split flavours
+        let run = |split: bool| {
+            let g2 = global.clone();
+            let inp = input.clone();
+            run_ranks::<f64, _, _>(d.ranks(), ReduceOrder::RankOrder, move |comm| {
+                let grid = BlockGrid::new(g2.clone(), d, comm.rank());
+                let dev = accel::AnyDevice::from_spec(dev_spec, Recorder::disabled()).unwrap();
+                let local = scatter(&g2, &grid, &inp);
+                let mut u = Field::from_interior(&dev, &grid, &local);
+                let lap = Laplacian::new(&grid);
+                let mut w = Field::zeros(&dev, &grid);
+                let halo = HaloExchange::new(&grid);
+                if split {
+                    let pending = halo.begin(&dev, &comm, &u);
+                    apply_physical_bcs(&grid, &mut u, &Recorder::disabled(), false);
+                    lap.apply_interior(&dev, INFO_APPLY, &u, &mut w);
+                    halo.finish(&dev, &comm, pending, &mut u);
+                    lap.apply_shell(&dev, INFO_APPLY, &u, &mut w);
+                } else {
+                    halo.exchange(&dev, &comm, &mut u);
+                    apply_physical_bcs(&grid, &mut u, &Recorder::disabled(), false);
+                    lap.apply(&dev, INFO_APPLY, &u, &mut w);
+                }
+                let bits = |f: &Field<f64>| -> Vec<u64> {
+                    f.as_slice().iter().map(|v| v.to_bits()).collect()
+                };
+                (bits(&u), bits(&w))
+            })
+        };
+        let sync = run(false);
+        let split = run(true);
+        for (rank, ((us, ws), (uo, wo))) in sync.iter().zip(&split).enumerate() {
+            prop_assert_eq!(us, uo, "ghost-refreshed field differs on rank {}", rank);
+            prop_assert_eq!(ws, wo, "operator output differs on rank {}", rank);
         }
     }
 }
