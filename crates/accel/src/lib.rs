@@ -63,7 +63,9 @@ mod pool;
 mod scalar;
 
 pub use buffer::DeviceBuffer;
-pub use device::{AnyDevice, Device, DeviceKind, GpuSimParams, Serial, SimGpu, Threads};
+pub use device::{
+    AnyDevice, Device, DeviceKind, ExchangeHazard, GpuSimParams, Serial, SimGpu, Threads,
+};
 pub use events::{Event, KernelInfo, Recorder, HALO_OVERLAP_STAGE};
 pub use index::{chunk_range, Extent3, RowMap};
 pub use pool::ThreadPool;

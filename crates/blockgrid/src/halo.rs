@@ -2,7 +2,7 @@
 
 use std::sync::Mutex;
 
-use accel::{Device, Event, KernelInfo, RowMap, Scalar, HALO_OVERLAP_STAGE};
+use accel::{Device, Event, ExchangeHazard, KernelInfo, RowMap, Scalar, HALO_OVERLAP_STAGE};
 use comm::{Communicator, RecvRequest, Tag};
 
 use crate::field::Field;
@@ -244,6 +244,25 @@ impl<T: Scalar> HaloExchange<T> {
         }
     }
 
+    /// The sanitizer-hook description of `field`'s in-flight ghost planes:
+    /// every interface face, identified by the buffer's base address.
+    fn hazard(&self, field: &Field<T>) -> ExchangeHazard {
+        let mut faces = 0u8;
+        for axis in 0..3 {
+            for side in 0..2 {
+                if self.grid.boundary(axis, side).is_interface() {
+                    faces |= 1 << (axis * 2 + side);
+                }
+            }
+        }
+        ExchangeHazard {
+            base: field.as_slice().as_ptr() as usize,
+            elem_bytes: T::BYTES,
+            padded: field.padded(),
+            faces,
+        }
+    }
+
     fn begin_impl<D: Device, C: Communicator<T>>(
         &self,
         dev: &D,
@@ -284,6 +303,9 @@ impl<T: Scalar> HaloExchange<T> {
             });
             comm.recorder().record(Event::Halo { msgs, bytes });
         }
+        // From here until `finish`, the interface ghost planes belong to
+        // the exchange; tell any sanitizing device wrapper.
+        dev.on_exchange_begin(self.hazard(field));
         PendingExchange {
             recvs,
             msgs,
@@ -319,6 +341,9 @@ impl<T: Scalar> HaloExchange<T> {
         pending: PendingExchange,
         field: &mut Field<T>,
     ) {
+        // The exchange is being completed: the ghost planes return to the
+        // caller before any unpack kernel writes them.
+        dev.on_exchange_finish(self.hazard(field));
         for (axis, slots) in pending.recvs.iter().enumerate() {
             for (side, slot) in slots.iter().enumerate() {
                 if let Some(req) = slot {

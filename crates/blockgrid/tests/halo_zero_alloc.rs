@@ -27,20 +27,25 @@ thread_local! {
 /// is fine; taking it is what the steady state forbids).
 struct CountingAlloc;
 
+// SAFETY: pure passthrough to `System`; the only extra work is a TLS
+// counter bump, which never allocates and never panics (`try_with`).
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         // try_with: TLS may be gone during thread teardown; never panic
         // inside the allocator.
         let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+        // SAFETY: caller upholds `GlobalAlloc::alloc`'s contract.
         unsafe { System.alloc(layout) }
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+        // SAFETY: `ptr`/`layout` come from this allocator (same `System`).
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr`/`layout` come from this allocator (same `System`).
         unsafe { System.dealloc(ptr, layout) }
     }
 }

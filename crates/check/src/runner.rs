@@ -1,0 +1,173 @@
+//! Checked SPMD launcher: verified ranks plus a deadlock watchdog.
+
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use accel::{Recorder, Scalar};
+use comm::{Communicator, ReduceOrder, ThreadComm};
+
+use crate::verifier::{teardown_report, VerifiedComm, VerifierShared};
+
+/// Configuration of a checked world.
+#[derive(Clone, Debug)]
+pub struct CheckConfig {
+    /// Reduction-order policy of the underlying world.
+    pub order: ReduceOrder,
+    /// Opt-in watchdog: when the whole world makes no progress for this
+    /// long, it is poisoned and the run fails with the wait-for graph —
+    /// covering hangs the polling detector cannot see (e.g. every rank
+    /// stuck inside the collective engine).
+    pub timeout: Option<Duration>,
+    /// How long a polling receive must observe a fully-blocked world with
+    /// frozen progress before declaring deadlock.
+    pub deadlock_window: Duration,
+    /// One event recorder per rank (empty = recording disabled).
+    pub recorders: Vec<Recorder>,
+}
+
+impl Default for CheckConfig {
+    fn default() -> Self {
+        Self {
+            order: ReduceOrder::RankOrder,
+            timeout: None,
+            deadlock_window: Duration::from_millis(250),
+            recorders: Vec::new(),
+        }
+    }
+}
+
+/// Why a checked run failed.
+#[derive(Debug)]
+pub struct CheckFailure {
+    /// Per-rank panic messages (rank, message), in rank order.
+    pub panics: Vec<(usize, String)>,
+    /// Teardown findings: unmatched sends, dropped requests, size and
+    /// collective mismatches, recorded deadlock reports.
+    pub findings: Vec<String>,
+}
+
+impl fmt::Display for CheckFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "comm-verifier report:")?;
+        for (rank, msg) in &self.panics {
+            writeln!(f, "  rank {rank} panicked: {msg}")?;
+        }
+        for finding in &self.findings {
+            writeln!(f, "  {finding}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for CheckFailure {}
+
+/// Run `f` as an SPMD program on `size` verified ranks; collect per-rank
+/// results or a [`CheckFailure`] describing every protocol violation.
+///
+/// This is [`comm::run_ranks`] under verification: each rank receives a
+/// [`VerifiedComm`] wrapping its [`ThreadComm`] handle, the main thread
+/// runs the opt-in watchdog, and after all ranks return the world is
+/// audited for unmatched sends, never-waited receives and collective
+/// mismatches.
+pub fn try_run_ranks_checked<T, R, F>(
+    size: usize,
+    config: CheckConfig,
+    f: F,
+) -> Result<Vec<R>, CheckFailure>
+where
+    T: Scalar,
+    R: Send,
+    F: Fn(VerifiedComm<T>) -> R + Sync,
+{
+    let recorders = if config.recorders.is_empty() {
+        vec![Recorder::disabled(); size]
+    } else {
+        assert_eq!(config.recorders.len(), size, "one recorder per rank");
+        config.recorders.clone()
+    };
+    let comms = ThreadComm::<T>::world(size, config.order, recorders);
+    let poisoner = comms[0].poisoner();
+    let shared = VerifierShared::new(size, config.deadlock_window);
+    let finished = AtomicUsize::new(0);
+    let f = &f;
+    let outcomes: Vec<Result<R, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|comm| {
+                let shared = &shared;
+                let finished = &finished;
+                std::thread::Builder::new()
+                    .name(format!("rank-{}", comm.rank()))
+                    .spawn_scoped(scope, move || {
+                        let rank = comm.rank();
+                        let verified = VerifiedComm::new(comm, shared.clone());
+                        let out = catch_unwind(AssertUnwindSafe(|| f(verified)));
+                        shared.set_done(rank);
+                        finished.fetch_add(1, Ordering::Release);
+                        out.map_err(|payload| panic_message(&payload))
+                    })
+                    .expect("failed to spawn rank thread")
+            })
+            .collect();
+        // Watchdog: abort the world if it outlives the opt-in timeout.
+        if let Some(timeout) = config.timeout {
+            let start = Instant::now();
+            while finished.load(Ordering::Acquire) < size {
+                if start.elapsed() >= timeout && !poisoner.is_poisoned() {
+                    let graph = shared.wait_for_graph();
+                    shared
+                        .violations
+                        .lock()
+                        .expect("violations lock")
+                        .push(format!(
+                            "watchdog: world still blocked after {timeout:?}\n{graph}"
+                        ));
+                    poisoner.poison();
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank thread died outside catch_unwind"))
+            .collect()
+    });
+    let panics: Vec<(usize, String)> = outcomes
+        .iter()
+        .enumerate()
+        .filter_map(|(rank, r)| r.as_ref().err().map(|m| (rank, m.clone())))
+        .collect();
+    let findings = teardown_report(&shared);
+    if panics.is_empty() && findings.is_empty() {
+        Ok(outcomes.into_iter().map(|r| r.expect("no panic")).collect())
+    } else {
+        Err(CheckFailure { panics, findings })
+    }
+}
+
+/// Like [`try_run_ranks_checked`] but panics with the full report on any
+/// violation — the drop-in strict replacement for [`comm::run_ranks`].
+pub fn run_ranks_checked<T, R, F>(size: usize, config: CheckConfig, f: F) -> Vec<R>
+where
+    T: Scalar,
+    R: Send,
+    F: Fn(VerifiedComm<T>) -> R + Sync,
+{
+    match try_run_ranks_checked(size, config, f) {
+        Ok(results) => results,
+        Err(failure) => panic!("{failure}"),
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}

@@ -1,0 +1,120 @@
+//! Property tests: `Checked<D>` is a bitwise-identical passthrough on
+//! every back-end, so the whole solve suite can run under it.
+
+use accel::{Device, GpuSimParams, KernelInfo, Recorder, RowMap, Serial, SimGpu, Threads};
+use check::Checked;
+use proptest::prelude::*;
+
+/// Deterministic pseudo-random fill (no rand dependency).
+fn lcg_values(n: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+    (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        })
+        .collect()
+}
+
+/// A representative fused kernel: stencil-flavoured row update plus a
+/// two-way reduction, launched over the interior of a padded box.
+fn run_fused<D: Device>(dev: &D, interior: accel::Extent3, seed: u64) -> (Vec<f64>, [f64; 2]) {
+    let padded = (interior.nx + 2) * (interior.ny + 2) * (interior.nz + 2);
+    let mut out = lcg_values(padded, seed);
+    let other = lcg_values(padded, seed ^ 0xdead_beef);
+    let map = RowMap::halo_interior(interior);
+    let info = KernelInfo::new("KernelFusedProp", 32, 6);
+    let partials = dev.launch_rows_reduce(info, map, &mut out, |j, k, row| {
+        let mut dot = 0.0;
+        let mut nrm = 0.0;
+        let off = map.row_offset(j, k);
+        for (i, v) in row.iter_mut().enumerate() {
+            let o = other[off + i];
+            *v = v.mul_add(1.5, o);
+            dot += *v * o;
+            nrm += *v * *v;
+        }
+        [dot, nrm]
+    });
+    (out, partials)
+}
+
+fn assert_bitwise_equal(plain: (Vec<f64>, [f64; 2]), checked: (Vec<f64>, [f64; 2])) {
+    assert_eq!(plain.0.len(), checked.0.len());
+    for (i, (a, b)) in plain.0.iter().zip(&checked.0).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "element {i} diverged");
+    }
+    for (a, b) in plain.1.iter().zip(&checked.1) {
+        assert_eq!(a.to_bits(), b.to_bits(), "reduction partial diverged");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn checked_serial_is_bitwise_identical(
+        nx in 1usize..7, ny in 1usize..7, nz in 1usize..7, seed in 1u64..5000,
+    ) {
+        let e = accel::Extent3::new(nx, ny, nz);
+        let plain = run_fused(&Serial::new(Recorder::disabled()), e, seed);
+        let checked = run_fused(&Checked::new(Serial::new(Recorder::disabled())), e, seed);
+        assert_bitwise_equal(plain, checked);
+    }
+
+    #[test]
+    fn checked_threads_is_bitwise_identical(
+        nx in 1usize..7, ny in 1usize..7, nz in 1usize..7, seed in 1u64..5000,
+        workers in 1usize..5,
+    ) {
+        let e = accel::Extent3::new(nx, ny, nz);
+        let plain = run_fused(&Threads::new(workers, Recorder::disabled()), e, seed);
+        let checked =
+            run_fused(&Checked::new(Threads::new(workers, Recorder::disabled())), e, seed);
+        assert_bitwise_equal(plain, checked);
+    }
+
+    #[test]
+    fn checked_simgpu_is_bitwise_identical(
+        nx in 1usize..7, ny in 1usize..7, nz in 1usize..7, seed in 1u64..5000,
+        block_rows in 1usize..9,
+    ) {
+        let e = accel::Extent3::new(nx, ny, nz);
+        let params = GpuSimParams { name: "proptest", block_rows };
+        let plain = run_fused(&SimGpu::new(params, Recorder::disabled()), e, seed);
+        let checked =
+            run_fused(&Checked::new(SimGpu::new(params, Recorder::disabled())), e, seed);
+        assert_bitwise_equal(plain, checked);
+    }
+}
+
+/// The recorded event stream must also be unchanged: the sanitizer's
+/// shadow work never touches the recorder.
+#[test]
+fn checked_records_the_same_events() {
+    let e = accel::Extent3::new(4, 3, 2);
+    let plain_rec = Recorder::enabled();
+    let checked_rec = Recorder::enabled();
+    let _ = run_fused(
+        &SimGpu::new(GpuSimParams::mi250x(), plain_rec.clone()),
+        e,
+        7,
+    );
+    let _ = run_fused(
+        &Checked::new(SimGpu::new(GpuSimParams::mi250x(), checked_rec.clone())),
+        e,
+        7,
+    );
+    assert_eq!(plain_rec.drain(), checked_rec.drain());
+}
+
+/// Forwarded metadata: kind is the inner back-end's, the name marks the
+/// wrapper so reports show the sanitizer was on.
+#[test]
+fn checked_forwards_kind_and_marks_name() {
+    let dev = Checked::new(Threads::new(3, Recorder::disabled()));
+    assert_eq!(dev.kind(), accel::DeviceKind::CpuThreads { threads: 3 });
+    assert_eq!(dev.name(), format!("checked({})", dev.inner().name()));
+}

@@ -37,5 +37,5 @@ mod types;
 
 pub use runner::{run_ranks, run_ranks_recorded};
 pub use self_comm::SelfComm;
-pub use thread_comm::ThreadComm;
+pub use thread_comm::{Poisoner, ThreadComm};
 pub use types::{CommStats, Communicator, RecvRequest, ReduceOp, ReduceOrder, Tag};

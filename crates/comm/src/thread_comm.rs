@@ -3,7 +3,7 @@
 use accel::{Event, Recorder, Scalar};
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use crate::types::{CommStats, Communicator, ReduceOp, ReduceOrder, StatsCell, Tag};
@@ -63,6 +63,62 @@ struct Shared<T> {
     mailboxes: Vec<Mailbox<T>>,
     collective: Mutex<Collective<T>>,
     collective_cvar: Condvar,
+    /// Set by [`ThreadComm::poison`]: every blocked or future blocking call
+    /// panics instead of waiting, so a detected deadlock (or a watchdog
+    /// timeout) unwinds the whole world instead of hanging it.
+    poisoned: AtomicBool,
+}
+
+impl<T> Shared<T> {
+    fn check_poison(&self) {
+        assert!(
+            !self.poisoned.load(Ordering::Acquire),
+            "ThreadComm world poisoned (deadlock or watchdog abort); \
+             see the comm-verifier report for the wait-for graph"
+        );
+    }
+
+    fn poison(&self) {
+        self.poisoned.store(true, Ordering::Release);
+        for mailbox in &self.mailboxes {
+            // Acquire the lock so no waiter can miss the wake-up between
+            // its poison check and its condvar wait.
+            let _guard = mailbox.queues.lock();
+            mailbox.arrived.notify_all();
+        }
+        let _guard = self.collective.lock();
+        self.collective_cvar.notify_all();
+    }
+}
+
+/// Detached watchdog handle onto one world's poison flag.
+///
+/// Unlike a [`ThreadComm`] rank handle, a poisoner is cloneable and holds
+/// no rank identity, so a supervising thread (the `check` crate's
+/// watchdog) can keep one aside while every rank handle is moved onto its
+/// thread, and still abort the world on a timeout.
+pub struct Poisoner<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Clone for Poisoner<T> {
+    fn clone(&self) -> Self {
+        Self {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Poisoner<T> {
+    /// Poison the world (see [`ThreadComm::poison`]). Idempotent.
+    pub fn poison(&self) {
+        self.shared.poison();
+    }
+
+    /// `true` once the world has been poisoned.
+    pub fn is_poisoned(&self) -> bool {
+        self.shared.poisoned.load(Ordering::Acquire)
+    }
 }
 
 /// One rank's handle onto an N-rank world.
@@ -95,6 +151,7 @@ impl<T: Scalar> ThreadComm<T> {
             mailboxes: (0..size).map(|_| Mailbox::default()).collect(),
             collective: Mutex::new(Collective::default()),
             collective_cvar: Condvar::new(),
+            poisoned: AtomicBool::new(false),
         });
         recorders
             .into_iter()
@@ -122,12 +179,52 @@ impl<T: Scalar> ThreadComm<T> {
         self.shared.order
     }
 
+    /// Non-blocking receive: pop a matching `(src, tag)` message if one has
+    /// already arrived (`MPI_Iprobe` + receive). Used by the `check`
+    /// crate's verified communicator to poll instead of blocking, which is
+    /// what lets it run deadlock detection while "blocked".
+    pub fn try_recv(&self, src: usize, tag: Tag) -> Option<Vec<T>> {
+        assert!(src < self.shared.size, "recv from rank {src} outside world");
+        self.shared.check_poison();
+        self.shared.mailboxes[self.rank]
+            .queues
+            .lock()
+            .get_mut(&(src, tag))
+            .and_then(VecDeque::pop_front)
+    }
+
+    /// Poison the world: every rank blocked in `recv` or a collective (and
+    /// every later call) panics instead of waiting forever. Idempotent.
+    ///
+    /// This is the escape hatch for deadlock diagnosis: a verifier or
+    /// watchdog that has *proved* no progress is possible poisons the
+    /// world so all rank threads unwind and the test harness can report,
+    /// instead of hanging CI.
+    pub fn poison(&self) {
+        self.shared.poison();
+    }
+
+    /// A detached, cloneable handle that can poison this world without
+    /// occupying a rank (for watchdog threads).
+    pub fn poisoner(&self) -> Poisoner<T> {
+        Poisoner {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// `true` once [`ThreadComm::poison`] has been called on any handle.
+    pub fn is_poisoned(&self) -> bool {
+        self.shared.poisoned.load(Ordering::Acquire)
+    }
+
     fn collective_exchange(&self, vals: &mut [T], op: ReduceOp) {
         let shared = &self.shared;
+        shared.check_poison();
         let mut st = shared.collective.lock();
         // Entry gate: the previous round must fully drain first.
         while st.phase == Phase::Distribute {
             shared.collective_cvar.wait(&mut st);
+            shared.check_poison();
         }
         let my_generation = st.generation;
         st.contributions.push((self.rank, vals.to_vec()));
@@ -151,6 +248,7 @@ impl<T: Scalar> ThreadComm<T> {
         } else {
             while !(st.phase == Phase::Distribute && st.generation == my_generation) {
                 shared.collective_cvar.wait(&mut st);
+                shared.check_poison();
             }
         }
         vals.copy_from_slice(&st.result);
@@ -191,6 +289,7 @@ impl<T: Scalar> Communicator<T> for ThreadComm<T> {
 
     fn recv(&self, src: usize, tag: Tag) -> Vec<T> {
         assert!(src < self.shared.size, "recv from rank {src} outside world");
+        self.shared.check_poison();
         let mailbox = &self.shared.mailboxes[self.rank];
         let mut queues = mailbox.queues.lock();
         loop {
@@ -198,6 +297,7 @@ impl<T: Scalar> Communicator<T> for ThreadComm<T> {
                 return msg;
             }
             mailbox.arrived.wait(&mut queues);
+            self.shared.check_poison();
         }
     }
 
@@ -428,6 +528,102 @@ mod stress_tests {
             assert_eq!(v[0], 0.5 + 1.5 + 2.5);
             assert_eq!(comm.stats().allreduces, 1);
         });
+    }
+
+    /// Reusing the same tag across collective generations must never pair
+    /// a message with the wrong round: the per-(src, tag) FIFO plus the
+    /// generation-stamped collective engine keep rounds ordered even when
+    /// every round uses tag 0.
+    #[test]
+    fn tag_reuse_across_generations_stays_fifo() {
+        run_ranks::<f64, _, _>(4, ReduceOrder::RankOrder, |comm| {
+            let me = comm.rank();
+            let right = (me + 1) % comm.size();
+            let left = (me + comm.size() - 1) % comm.size();
+            for round in 0..100u32 {
+                comm.send(right, 0, vec![(me * 1000) as f64 + round as f64]);
+                // Interleave a collective so the generation counter advances
+                // between reuses of tag 0.
+                let mut v = [1.0f64];
+                comm.all_reduce(&mut v, ReduceOp::Sum);
+                assert_eq!(v[0], 4.0);
+                let got = comm.recv(left, 0);
+                assert_eq!(got, vec![(left * 1000) as f64 + round as f64]);
+            }
+        });
+    }
+
+    /// Zero-length messages are legal (a face message of an empty plane):
+    /// they match by (src, tag) like any other message and count zero
+    /// payload bytes.
+    #[test]
+    fn zero_length_messages_round_trip() {
+        run_ranks::<f64, _, _>(2, ReduceOrder::RankOrder, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 7, vec![]);
+                comm.send(1, 7, vec![1.0]);
+                let st = comm.stats();
+                assert_eq!(st.msgs_sent, 2);
+                assert_eq!(st.bytes_sent, 8, "empty message adds no bytes");
+            } else {
+                assert_eq!(comm.recv(0, 7), Vec::<f64>::new());
+                assert_eq!(comm.recv(0, 7), vec![1.0]);
+            }
+        });
+    }
+
+    /// A world may tear down with buffered sends still in flight: the
+    /// sender's `send` completed (buffered semantics), nothing blocks, and
+    /// dropping the world frees the undelivered payloads. The comm layer
+    /// itself is silent here — flagging the lost message is the job of the
+    /// `check` crate's verified communicator.
+    #[test]
+    fn teardown_with_in_flight_sends_does_not_hang() {
+        let counts = run_ranks::<f64, _, _>(3, ReduceOrder::RankOrder, |comm| {
+            comm.send((comm.rank() + 1) % 3, 42, vec![comm.rank() as f64; 5]);
+            comm.stats().msgs_sent
+        });
+        assert_eq!(counts, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn try_recv_polls_without_blocking() {
+        run_ranks::<f64, _, _>(2, ReduceOrder::RankOrder, |comm| {
+            if comm.rank() == 0 {
+                comm.barrier();
+                comm.send(1, 3, vec![9.0]);
+            } else {
+                assert_eq!(comm.try_recv(0, 3), None, "nothing sent yet");
+                comm.barrier();
+                loop {
+                    if let Some(msg) = comm.try_recv(0, 3) {
+                        assert_eq!(msg, vec![9.0]);
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn poison_unblocks_a_stuck_receiver() {
+        let mut comms = ThreadComm::<f64>::world_default(2);
+        let c1 = comms.pop().expect("rank 1");
+        let c0 = comms.pop().expect("rank 0");
+        let joined = std::thread::scope(|s| {
+            let blocked = s.spawn(move || {
+                // Blocks forever: rank 0 never sends.
+                let _ = c1.recv(0, 0);
+            });
+            // Give rank 1 a moment to block, then poison the world.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            assert!(!c0.is_poisoned());
+            c0.poison();
+            assert!(c0.is_poisoned());
+            blocked.join()
+        });
+        assert!(joined.is_err(), "rank 1 panics out of the dead recv");
     }
 
     /// Min/Max reductions across many ranks.

@@ -43,6 +43,7 @@ pub enum ReduceOrder {
 }
 
 /// Monotonic communication counters for one rank.
+#[must_use = "a stats snapshot is pure bookkeeping; dropping it does nothing"]
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CommStats {
     /// Point-to-point messages sent.
@@ -127,17 +128,20 @@ pub trait Communicator<T: Scalar>: Send + Sync + 'static {
     }
 
     /// Post a non-blocking receive (`MPI_Irecv`).
+    #[must_use = "a posted receive must be completed with wait/wait_all"]
     fn irecv(&self, src: usize, tag: Tag) -> RecvRequest {
         RecvRequest { src, tag }
     }
 
     /// Complete one posted receive (`MPI_Wait`).
+    #[must_use = "dropping a completed receive silently discards its payload"]
     fn wait(&self, req: RecvRequest) -> Vec<T> {
         self.recv(req.src, req.tag)
     }
 
     /// Complete a batch of posted receives (`MPI_Waitall`); payloads are
     /// returned in request order.
+    #[must_use = "dropping completed receives silently discards their payloads"]
     fn wait_all(&self, reqs: Vec<RecvRequest>) -> Vec<Vec<T>> {
         reqs.into_iter().map(|r| self.wait(r)).collect()
     }
