@@ -66,7 +66,7 @@ pub use buffer::DeviceBuffer;
 pub use device::{
     AnyDevice, Device, DeviceKind, ExchangeHazard, GpuSimParams, Serial, SimGpu, Threads,
 };
-pub use events::{Event, KernelInfo, Recorder, HALO_OVERLAP_STAGE};
+pub use events::{Event, KernelInfo, Recorder, HALO_OVERLAP_STAGE, REDUCE_OVERLAP_STAGE};
 pub use index::{chunk_range, Extent3, RowMap};
 pub use pool::ThreadPool;
 pub use scalar::{add_partials, Scalar};

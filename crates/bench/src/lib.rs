@@ -74,18 +74,24 @@ impl Args {
 
     /// Parse a decomposition spec like `2x2x2`.
     pub fn decomp(&self, key: &str, default: [usize; 3]) -> [usize; 3] {
+        self.try_decomp(key, default)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`Args::decomp`], for CLI front-ends that want to
+    /// reject a malformed spec with a usage hint instead of panicking.
+    pub fn try_decomp(&self, key: &str, default: [usize; 3]) -> Result<[usize; 3], String> {
         match self.map.get(key) {
-            None => default,
+            None => Ok(default),
             Some(spec) => {
                 let parts: Vec<usize> = spec
                     .split('x')
-                    .map(|p| {
-                        p.parse()
-                            .unwrap_or_else(|e| panic!("--{key} {spec:?}: {e}"))
-                    })
-                    .collect();
-                assert_eq!(parts.len(), 3, "--{key} must be AxBxC");
-                [parts[0], parts[1], parts[2]]
+                    .map(|p| p.parse().map_err(|e| format!("--{key} {spec:?}: {e}")))
+                    .collect::<Result<_, _>>()?;
+                if parts.len() != 3 {
+                    return Err(format!("--{key} {spec:?}: must be AxBxC"));
+                }
+                Ok([parts[0], parts[1], parts[2]])
             }
         }
     }
@@ -203,6 +209,7 @@ pub fn run_once(cfg: &RunConfig) -> RunResult {
             true_residual_every: cfg2.params_extra.true_residual_every,
             max_restarts: cfg2.params_extra.max_restarts,
             overlap_halo: cfg2.opts.overlap_halo,
+            overlap_reduce: cfg2.opts.overlap_reduce,
         };
         let t0 = Instant::now();
         let outcome = solver.solve(cfg2.kind, &cfg2.opts, &params);
@@ -230,7 +237,9 @@ pub fn run_once(cfg: &RunConfig) -> RunResult {
 /// Extract the events of the solve's *first outer iteration* from a
 /// recorded stream: everything from the first `Begin("Preconditioner")`
 /// to just before the second one... more precisely, one full cycle —
-/// two preconditioner stages, the kernels and the three reductions.
+/// two preconditioner stages, the kernels and the reduction messages
+/// (two batched ones under the overlapped schedule, three blocking ones
+/// otherwise).
 pub fn first_iteration_profile(events: &[Event]) -> Vec<Event> {
     let starts: Vec<usize> = events
         .iter()
@@ -278,6 +287,23 @@ pub fn write_json<T: Serialize>(record: &ExperimentRecord<T>) -> std::io::Result
         serde_json::to_string_pretty(record).expect("serialise"),
     )?;
     Ok(path)
+}
+
+/// Write a machine-readable ablation record as `BENCH_<name>.json` at the
+/// repository root, where CI picks the files up as artifacts. The shared
+/// emitter keeps every ablation's output at a predictable path regardless
+/// of the working directory cargo launches the bench binary with.
+pub fn write_bench_json<T: Serialize>(name: &str, payload: &T) -> std::io::Result<String> {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("bench crate sits two levels below the repository root");
+    let path = root.join(format!("BENCH_{name}.json"));
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(payload).expect("serialise"),
+    )?;
+    Ok(path.display().to_string())
 }
 
 #[cfg(test)]
@@ -329,7 +355,22 @@ mod tests {
             .iter()
             .filter(|e| matches!(e, Event::AllReduce { .. }))
             .count();
-        assert_eq!(allreduces, 3, "MPI2, MPI4, MPI5");
+        // reduction overlap is on by default on >1 rank: the iteration's
+        // dots travel as the two batched messages M1 and M2
+        assert_eq!(allreduces, 2, "M1 [σ, ‖r‖²_prev] and M2 [σ₁..σ₄]");
+    }
+
+    #[test]
+    fn bench_json_lands_at_repo_root() {
+        #[derive(Serialize)]
+        struct Payload {
+            ok: bool,
+        }
+        let path = write_bench_json("selftest", &Payload { ok: true }).unwrap();
+        assert!(path.ends_with("BENCH_selftest.json"), "{path}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"ok\": true"), "{text}");
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

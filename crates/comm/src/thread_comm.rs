@@ -6,7 +6,7 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use crate::types::{CommStats, Communicator, ReduceOp, ReduceOrder, StatsCell, Tag};
+use crate::types::{CommStats, Communicator, ReduceOp, ReduceOrder, ReduceRequest, StatsCell, Tag};
 
 /// Messages keyed by (source, tag), FIFO per key.
 type QueueMap<T> = HashMap<(usize, Tag), VecDeque<Vec<T>>>;
@@ -217,7 +217,14 @@ impl<T: Scalar> ThreadComm<T> {
         self.shared.poisoned.load(Ordering::Acquire)
     }
 
-    fn collective_exchange(&self, vals: &mut [T], op: ReduceOp) {
+    /// Begin phase of the collective engine: pass the entry gate (the
+    /// previous round must fully drain first), contribute, and — if this
+    /// rank is the last arriver — fold and publish. Returns the generation
+    /// the contribution entered; the caller completes it with
+    /// [`Self::collective_finish`]. Never blocks on *other ranks'
+    /// contributions*, only on the previous round draining, which is what
+    /// makes the split-phase reduction overlap-capable.
+    fn collective_begin(&self, vals: Vec<T>, op: ReduceOp) -> u64 {
         let shared = &self.shared;
         shared.check_poison();
         let mut st = shared.collective.lock();
@@ -226,8 +233,14 @@ impl<T: Scalar> ThreadComm<T> {
             shared.collective_cvar.wait(&mut st);
             shared.check_poison();
         }
+        assert!(
+            st.contributions.iter().all(|(rank, _)| *rank != self.rank),
+            "rank {} began a second collective while one is outstanding \
+             (only one split-phase reduction may be in flight per rank)",
+            self.rank
+        );
         let my_generation = st.generation;
-        st.contributions.push((self.rank, vals.to_vec()));
+        st.contributions.push((self.rank, vals));
         if st.contributions.len() == shared.size {
             // Last arriver folds and publishes.
             let mut items = std::mem::take(&mut st.contributions);
@@ -245,13 +258,22 @@ impl<T: Scalar> ThreadComm<T> {
             st.phase = Phase::Distribute;
             st.departed = 0;
             shared.collective_cvar.notify_all();
-        } else {
-            while !(st.phase == Phase::Distribute && st.generation == my_generation) {
-                shared.collective_cvar.wait(&mut st);
-                shared.check_poison();
-            }
         }
-        vals.copy_from_slice(&st.result);
+        my_generation
+    }
+
+    /// Finish phase: wait for `generation`'s result to be published, copy
+    /// it out and depart (the last departer resets the engine for the next
+    /// round).
+    fn collective_finish(&self, generation: u64) -> Vec<T> {
+        let shared = &self.shared;
+        shared.check_poison();
+        let mut st = shared.collective.lock();
+        while !(st.phase == Phase::Distribute && st.generation == generation) {
+            shared.collective_cvar.wait(&mut st);
+            shared.check_poison();
+        }
+        let out = st.result.clone();
         st.departed += 1;
         if st.departed == shared.size {
             st.phase = Phase::Collect;
@@ -259,6 +281,13 @@ impl<T: Scalar> ThreadComm<T> {
             st.result.clear();
             shared.collective_cvar.notify_all();
         }
+        out
+    }
+
+    fn collective_exchange(&self, vals: &mut [T], op: ReduceOp) {
+        let generation = self.collective_begin(vals.to_vec(), op);
+        let result = self.collective_finish(generation);
+        vals.copy_from_slice(&result);
     }
 }
 
@@ -319,6 +348,28 @@ impl<T: Scalar> Communicator<T> for ThreadComm<T> {
 
     fn recorder(&self) -> &Recorder {
         &self.recorder
+    }
+
+    fn iall_reduce(&self, vals: Vec<T>, op: ReduceOp) -> ReduceRequest<T> {
+        self.stats.allreduces.fetch_add(1, Ordering::Relaxed);
+        self.recorder.record(Event::AllReduce {
+            elems: vals.len() as u32,
+        });
+        let len = vals.len();
+        let generation = self.collective_begin(vals, op);
+        ReduceRequest {
+            len,
+            op,
+            generation,
+            resolved: None,
+        }
+    }
+
+    fn reduce_finish(&self, req: ReduceRequest<T>) -> Vec<T> {
+        match req.resolved {
+            Some(resolved) => resolved,
+            None => self.collective_finish(req.generation),
+        }
     }
 }
 
@@ -624,6 +675,88 @@ mod stress_tests {
             blocked.join()
         });
         assert!(joined.is_err(), "rank 1 panics out of the dead recv");
+    }
+
+    /// Split-phase reduction: the result after `reduce_finish` is bitwise
+    /// identical to the blocking `all_reduce` of the same values, under
+    /// both fold topologies.
+    #[test]
+    fn iall_reduce_matches_blocking_all_reduce() {
+        for order in [ReduceOrder::RankOrder, ReduceOrder::Arrival] {
+            run_ranks::<f64, _, _>(5, order, |comm| {
+                let mine = vec![1.0 / (comm.rank() as f64 + 3.0), comm.rank() as f64];
+                let req = comm.iall_reduce(mine.clone(), ReduceOp::Sum);
+                // Overlap window: the rank is free to compute here.
+                let busywork: f64 = (0..100).map(|i| i as f64).sum();
+                assert_eq!(busywork, 4950.0);
+                let split = comm.reduce_finish(req);
+                let mut blocking = mine;
+                comm.all_reduce(&mut blocking, ReduceOp::Sum);
+                assert_eq!(
+                    split.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    blocking.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+                );
+            });
+        }
+    }
+
+    /// Split-phase rounds keep their generation stamps straight when the
+    /// begin/finish pairs of consecutive rounds interleave across ranks.
+    #[test]
+    fn repeated_iall_reduce_rounds_do_not_cross() {
+        run_ranks::<f64, _, _>(4, ReduceOrder::RankOrder, |comm| {
+            for round in 0..200 {
+                let req = comm.iall_reduce(vec![comm.rank() as f64 + round as f64], ReduceOp::Sum);
+                let got = comm.reduce_finish(req);
+                assert_eq!(got, vec![6.0 + 4.0 * round as f64]);
+            }
+        });
+    }
+
+    /// A batched request ships N scalars in ONE collective round and the
+    /// message counter reflects that.
+    #[test]
+    fn iall_reduce_batch_is_one_message() {
+        run_ranks::<f64, _, _>(3, ReduceOrder::RankOrder, |comm| {
+            let a = [comm.rank() as f64];
+            let b = [1.0, 2.0];
+            let req = comm.iall_reduce_batch(&[&a, &b], ReduceOp::Sum);
+            assert_eq!(req.len, 3);
+            let out = comm.reduce_finish(req);
+            assert_eq!(out, vec![3.0, 3.0, 6.0]);
+            assert_eq!(comm.stats().allreduces, 1);
+        });
+    }
+
+    /// `reduce_batch` (the blocking batched form) unpacks each group in
+    /// place and also costs a single message.
+    #[test]
+    fn reduce_batch_unpacks_groups_in_place() {
+        run_ranks::<f64, _, _>(4, ReduceOrder::RankOrder, |comm| {
+            let mut a = [comm.rank() as f64];
+            let mut b = [10.0, 20.0];
+            comm.reduce_batch(&mut [&mut a, &mut b], ReduceOp::Sum);
+            assert_eq!(a, [6.0]);
+            assert_eq!(b, [40.0, 80.0]);
+            assert_eq!(comm.stats().allreduces, 1);
+        });
+    }
+
+    /// Beginning a second split-phase reduction while one is outstanding
+    /// is a protocol violation and must fail loudly, not corrupt the fold.
+    #[test]
+    fn double_begin_without_finish_panics() {
+        let comms = ThreadComm::<f64>::world_default(2);
+        let c0 = &comms[0];
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _r1 = c0.iall_reduce(vec![1.0], ReduceOp::Sum);
+            let _r2 = c0.iall_reduce(vec![2.0], ReduceOp::Sum);
+        }));
+        let msg = *result
+            .expect_err("second begin must panic")
+            .downcast::<String>()
+            .expect("string panic payload");
+        assert!(msg.contains("second collective"), "{msg}");
     }
 
     /// Min/Max reductions across many ranks.

@@ -87,6 +87,30 @@ pub struct RecvRequest {
     pub tag: Tag,
 }
 
+/// A begun split-phase reduction (the `MPI_Iallreduce` request object).
+///
+/// The contribution is made at begin time ([`Communicator::iall_reduce`]);
+/// the reduced vector is only available after
+/// [`Communicator::reduce_finish`]. Between the two calls the caller is
+/// free to compute — that window is what hides the reduction latency.
+/// Exactly one split-phase reduction may be outstanding per rank (the
+/// collective engine is a single shared slot, like a communicator-wide
+/// `MPI_Iallreduce` without multiplexing).
+#[derive(Clone, Debug)]
+#[must_use = "a begun reduction must be completed with reduce_finish"]
+pub struct ReduceRequest<T: Scalar> {
+    /// Number of reduced elements.
+    pub len: usize,
+    /// Reduction operator applied element-wise.
+    pub op: ReduceOp,
+    /// Collective-engine generation the contribution entered
+    /// (`ThreadComm` bookkeeping; 0 for resolve-at-begin communicators).
+    pub(crate) generation: u64,
+    /// Pre-resolved result for communicators that complete the reduction
+    /// at begin time (`SelfComm`, the blocking default).
+    pub(crate) resolved: Option<Vec<T>>,
+}
+
 /// The message-passing interface the solver is written against.
 ///
 /// Sends are buffered and never block (the runtime owns the payload after
@@ -158,6 +182,61 @@ pub trait Communicator<T: Scalar>: Send + Sync + 'static {
         self.send(dest, send_tag, data);
         self.recv(src, recv_tag)
     }
+
+    /// Begin a split-phase reduction (`MPI_Iallreduce`): contribute `vals`
+    /// to the collective and return a completion handle without waiting
+    /// for the other ranks. The fold topology (RankOrder vs Arrival) is
+    /// the communicator's configured [`ReduceOrder`], identical to
+    /// [`Communicator::all_reduce`] — so a split-phase reduction of the
+    /// same values is bitwise-identical to the blocking call.
+    ///
+    /// At most one split-phase reduction may be outstanding per rank;
+    /// the default implementation completes at begin time (blocking).
+    #[must_use = "a begun reduction must be completed with reduce_finish"]
+    fn iall_reduce(&self, vals: Vec<T>, op: ReduceOp) -> ReduceRequest<T> {
+        let mut vals = vals;
+        self.all_reduce(&mut vals, op);
+        ReduceRequest {
+            len: vals.len(),
+            op,
+            generation: 0,
+            resolved: Some(vals),
+        }
+    }
+
+    /// Complete a begun split-phase reduction (`MPI_Wait` on the
+    /// [`iall_reduce`](Communicator::iall_reduce) handle), returning the
+    /// reduced vector every rank observes identically.
+    #[must_use = "dropping a finished reduction silently discards its result"]
+    fn reduce_finish(&self, req: ReduceRequest<T>) -> Vec<T> {
+        req.resolved
+            .expect("reduce_finish on a request this communicator did not begin")
+    }
+
+    /// Reduce several independent vectors in one message: pack, one
+    /// [`all_reduce`](Communicator::all_reduce), unpack in place. Because
+    /// the fold is element-wise, each group's result is bitwise-identical
+    /// to reducing it in its own call — batching only changes the message
+    /// count, never the values.
+    fn reduce_batch(&self, groups: &mut [&mut [T]], op: ReduceOp) {
+        let mut packed: Vec<T> = groups.iter().flat_map(|g| g.iter().copied()).collect();
+        self.all_reduce(&mut packed, op);
+        let mut off = 0;
+        for g in groups.iter_mut() {
+            g.copy_from_slice(&packed[off..off + g.len()]);
+            off += g.len();
+        }
+    }
+
+    /// Begin a batched split-phase reduction: several vectors packed into
+    /// one [`iall_reduce`](Communicator::iall_reduce) message. The reduced
+    /// groups come back concatenated in request order from
+    /// [`reduce_finish`](Communicator::reduce_finish).
+    #[must_use = "a begun reduction must be completed with reduce_finish"]
+    fn iall_reduce_batch(&self, groups: &[&[T]], op: ReduceOp) -> ReduceRequest<T> {
+        let packed: Vec<T> = groups.iter().flat_map(|g| g.iter().copied()).collect();
+        self.iall_reduce(packed, op)
+    }
 }
 
 /// Blanket impl so `Arc<C>` is usable wherever a communicator is expected.
@@ -185,6 +264,18 @@ impl<T: Scalar, C: Communicator<T>> Communicator<T> for Arc<C> {
     }
     fn recorder(&self) -> &Recorder {
         (**self).recorder()
+    }
+    fn iall_reduce(&self, vals: Vec<T>, op: ReduceOp) -> ReduceRequest<T> {
+        (**self).iall_reduce(vals, op)
+    }
+    fn reduce_finish(&self, req: ReduceRequest<T>) -> Vec<T> {
+        (**self).reduce_finish(req)
+    }
+    fn reduce_batch(&self, groups: &mut [&mut [T]], op: ReduceOp) {
+        (**self).reduce_batch(groups, op)
+    }
+    fn iall_reduce_batch(&self, groups: &[&[T]], op: ReduceOp) -> ReduceRequest<T> {
+        (**self).iall_reduce_batch(groups, op)
     }
 }
 

@@ -1,13 +1,34 @@
 //! Preconditioned Bi-CGSTAB exactly as implemented in the paper (Alg. 3).
 //!
-//! One outer iteration is six fused device kernels, two preconditioner
-//! applications, two halo exchanges and three reduction stages:
+//! One outer iteration is the six fused device kernels, two
+//! preconditioner applications and two halo exchanges of Alg. 3, but the
+//! reduction schedule is restructured: with
+//! [`SolveParams::overlap_reduce`] on (the default) each iteration ships
+//! exactly **two** batched reduction messages, both posted split-phase
+//! ([`Communicator::iall_reduce`]) so a half of the x-update computes
+//! under each one:
 //!
 //! ```text
-//! Preconditioner  MPI1+BCs  KernelBiCGS1  MPI2   host α
-//! KernelBiCGS2    Preconditioner  MPI3+BCs  KernelBiCGS3  MPI4  host ω
-//! KernelBiCGS4    KernelBiCGS5    MPI5   host β   KernelBiCGS6
+//! Preconditioner  MPI1+BCs  KernelBiCGS1
+//!   M1: iall_reduce [σ, ‖r‖²_prev]  ∥  KernelBiCGS4b (x += ω_prev r̂)   host α
+//! KernelBiCGS2    Preconditioner  MPI3+BCs  KernelBiCGS3
+//!   M2: iall_reduce [σ₁,σ₂,σ₃,σ₄]  ∥  KernelBiCGS4a (x += α p̂)        host ω, ρ
+//! KernelBiCGS5    host β   KernelBiCGS6
 //! ```
+//!
+//! Two tricks make ≤2 messages possible (both active in the synchronous
+//! path too, so the flag only changes message *grouping*, never values):
+//!
+//! * **ρ by recurrence.** `ρ_{i+1} = r̃ᵀr_{i+1} = r̃ᵀs − ω r̃ᵀt`
+//!   (`s = r − αw` is the half-updated residual). The two extra dots
+//!   `σ₃ = r̃ᵀs`, `σ₄ = r̃ᵀt` ride in M2 *before* ω exists, breaking the
+//!   serial ω → ρ dependency that forced a third reduction. The
+//!   convergence norm `‖r‖²` stays a *direct* dot (the analogous
+//!   recurrence cancels catastrophically near convergence).
+//! * **Lagged convergence check.** `‖r_i‖²` is reduced inside iteration
+//!   `i+1`'s M1 and iteration `i`'s stopping decision is taken one
+//!   iteration late — at the cost of one speculative preconditioner
+//!   application on the final iteration.
 //!
 //! The same routine serves as the *outer* solver and — in [`Scope::Local`]
 //! and [`Scope::Global`] flavours with an identity preconditioner — as the
@@ -17,14 +38,15 @@
 
 use accel::Device;
 use accel::Scalar;
+use accel::REDUCE_OVERLAP_STAGE;
 use blockgrid::Field;
 use comm::{Communicator, ReduceOp};
 use stencil::apply_physical_bcs;
 
 use crate::ctx::{RankCtx, Workspace};
 use crate::kernels::{
-    axpy2_inplace, axpy_inplace, diff_norm2, dot, dot2, p_update, residual_update_fused,
-    INFO_BICGS1, INFO_BICGS2, INFO_BICGS3, INFO_BICGS4, INFO_BICGS5, INFO_BICGS6, INFO_DOT,
+    axpy_inplace, diff_norm2, dot, dot2, p_update, residual_update_fused, INFO_BICGS1, INFO_BICGS2,
+    INFO_BICGS3, INFO_BICGS4A, INFO_BICGS4B, INFO_BICGS5, INFO_BICGS6, INFO_DOT,
 };
 use crate::precond::Preconditioner;
 
@@ -70,6 +92,17 @@ pub struct SolveParams {
     /// replacement reductions keep the fused kernels' fold order); the
     /// flag exists as the ablation switch for the overlap cost model.
     pub overlap_halo: bool,
+    /// Ship the per-iteration scalar reductions as two split-phase
+    /// batched messages with compute posted under each (see the module
+    /// docs), instead of blocking per stage. Under a deterministic
+    /// reduction order the reduced *values* — and hence the iterates,
+    /// residual history and stopping decisions — are bitwise-identical
+    /// either way: batching only regroups which scalars share a message,
+    /// and the element-wise rank-ordered fold is oblivious to grouping.
+    /// Effective only in [`Scope::Global`] on >1 rank (elsewhere
+    /// reductions are free and lagging would waste a preconditioner
+    /// application on the final iteration).
+    pub overlap_reduce: bool,
 }
 
 impl Default for SolveParams {
@@ -82,6 +115,7 @@ impl Default for SolveParams {
             true_residual_every: 0,
             max_restarts: 0,
             overlap_halo: true,
+            overlap_reduce: true,
         }
     }
 }
@@ -184,6 +218,10 @@ fn refresh_and_apply<T: Scalar, D: Device, C: Communicator<T>>(
 }
 
 /// Sum `vals` across ranks in [`Scope::Global`]; local identity otherwise.
+///
+/// Routed through [`Communicator::reduce_batch`] so the blocking call
+/// sites share the same pack/fold path as the split-phase batches of the
+/// reduction-overlap schedule.
 fn global_sum<T: Scalar, D: Device, C: Communicator<T>>(
     ctx: &RankCtx<T, D, C>,
     scope: Scope,
@@ -192,7 +230,7 @@ fn global_sum<T: Scalar, D: Device, C: Communicator<T>>(
 ) {
     if scope == Scope::Global {
         ctx.recorder
-            .stage(stage, || ctx.comm.all_reduce(vals, ReduceOp::Sum));
+            .stage(stage, || ctx.comm.reduce_batch(&mut [vals], ReduceOp::Sum));
     }
 }
 
@@ -264,6 +302,68 @@ where
     let mut restarts = 0usize;
     let mut true_residuals: Vec<(usize, f64)> = Vec::new();
 
+    // Reduction overlap only regroups which scalars share a message and
+    // when the stopping decision is *read* — never a reduced value or the
+    // arithmetic of an update — so it stays bitwise-transparent. Gated to
+    // real multi-rank worlds: on one rank reductions are free and the lag
+    // would only spend an extra preconditioner application per solve.
+    let overlap_reduce = params.overlap_reduce && scope == Scope::Global && ctx.comm.size() > 1;
+
+    // Lag state of the overlapped schedule: `(i, ‖r_i‖²_local, ω_i)` —
+    // iteration i's not-yet-reduced convergence norm and its deferred
+    // `x += ω r̂` half, both completed under iteration i+1's M1 window.
+    let mut lagged: Option<(usize, T, T)> = None;
+
+    /// Iteration `$j`'s epilogue once its global `‖r_j‖²` is in hand:
+    /// history/final-residual bookkeeping and the stopping ladder
+    /// (non-finite → converged → true-residual guard), in the exact
+    /// decision order of the synchronous schedule. `break`s out of the
+    /// enclosing loop on any stop, falls through otherwise.
+    macro_rules! finish_iteration {
+        ($j:expr, $rnorm2:expr) => {{
+            let j = $j;
+            let res = $rnorm2.to_f64().max(0.0).sqrt();
+            final_residual = res;
+            if params.record_history {
+                history.push(res);
+            }
+            if !res.is_finite() {
+                outcome_breakdown = Some(Breakdown::NonFinite);
+                iterations = j;
+                break;
+            }
+            if res < params.tol {
+                converged = true;
+                iterations = j;
+                break;
+            }
+            // Optional drift guard: recompute the true residual
+            // ‖b − A x‖ (the recursive residual can decouple from it in
+            // long stagnating solves) and let it decide convergence too.
+            if params.true_residual_every > 0 && j % params.true_residual_every == 0 {
+                refresh_and_apply(
+                    ctx,
+                    scope,
+                    "MPI6",
+                    overlap,
+                    stencil::INFO_APPLY,
+                    x,
+                    &mut ws.t,
+                );
+                let mut s = [diff_norm2(&ctx.dev, INFO_DOT, &ctx.grid, b, &ws.t)];
+                global_sum(ctx, scope, "MPI6", &mut s);
+                let tres = s[0].to_f64().max(0.0).sqrt();
+                true_residuals.push((j, tres));
+                if tres < params.tol {
+                    final_residual = tres;
+                    converged = true;
+                    iterations = j;
+                    break;
+                }
+            }
+        }};
+    }
+
     for i in 1..=params.max_iters {
         iterations = i;
 
@@ -329,9 +429,33 @@ where
             ctx.lap
                 .apply_fused_dot(&ctx.dev, INFO_BICGS1, &ws.p_hat, &mut ws.w, &ws.r0t)
         };
-        let mut sums = [psum_local];
-        global_sum(ctx, scope, "MPI2", &mut sums);
-        let psum = sums[0];
+        // M1: reduce σ = r̃ᵀw — batched with the previous iteration's
+        // lagged ‖r‖², and posted split-phase so the deferred ω half of
+        // the previous x-update computes while the message is in flight.
+        let psum = if overlap_reduce {
+            ctx.recorder.begin(REDUCE_OVERLAP_STAGE);
+            let req = match &lagged {
+                Some((_, rnorm2_prev, _)) => ctx
+                    .comm
+                    .iall_reduce_batch(&[&[psum_local], &[*rnorm2_prev]], ReduceOp::Sum),
+                None => ctx.comm.iall_reduce(vec![psum_local], ReduceOp::Sum),
+            };
+            if let Some((_, _, omega_prev)) = lagged {
+                // KernelBiCGS4b deferred from iteration i−1: x ← x + ω r̂
+                axpy_inplace(&ctx.dev, INFO_BICGS4B, &ctx.grid, x, &ws.r_hat, omega_prev);
+            }
+            let red = ctx.comm.reduce_finish(req);
+            ctx.recorder.end(REDUCE_OVERLAP_STAGE);
+            if let Some((prev, _, _)) = lagged.take() {
+                // iteration i−1's stopping decisions, one message late
+                finish_iteration!(prev, red[1]);
+            }
+            red[0]
+        } else {
+            let mut sums = [psum_local];
+            global_sum(ctx, scope, "MPI2", &mut sums);
+            sums[0]
+        };
         if !psum.is_finite() {
             outcome_breakdown = Some(Breakdown::NonFinite);
             break;
@@ -352,7 +476,7 @@ where
             let res = s[0].to_f64().max(0.0).sqrt();
             if res < params.tol {
                 // x ← x + α p̂, then exit (Alg. 1 line 10)
-                axpy_inplace(&ctx.dev, INFO_BICGS4, &ctx.grid, x, &ws.p_hat, alpha);
+                axpy_inplace(&ctx.dev, INFO_BICGS4A, &ctx.grid, x, &ws.p_hat, alpha);
                 final_residual = res;
                 if params.record_history {
                     history.push(res);
@@ -361,6 +485,12 @@ where
                 break;
             }
         }
+
+        // σ₃ = r̃ᵀ s, first half of the ρ recurrence
+        // ρ_{i+1} = r̃ᵀ r_{i+1} = r̃ᵀ s − ω r̃ᵀ t. Computing ρ this way
+        // frees it from its serial dependence on ω, letting it ride in M2
+        // alongside the ω dots instead of forcing a third reduction.
+        let c3_local = dot(&ctx.dev, INFO_DOT, &ctx.grid, &ws.r0t, &ws.r);
 
         // Solve M r̂ = r
         prec_iterations += ctx.recorder.stage("Preconditioner", || {
@@ -383,9 +513,26 @@ where
             ctx.lap
                 .apply_fused_dot2(&ctx.dev, INFO_BICGS3, &ws.r_hat, &mut ws.t, &ws.r)
         };
-        let mut sums = [p1l, p2l];
-        global_sum(ctx, scope, "MPI4", &mut sums);
-        let [p1, p2] = sums;
+        // σ₄ = r̃ᵀ t, second half of the ρ recurrence
+        let c4_local = dot(&ctx.dev, INFO_DOT, &ctx.grid, &ws.r0t, &ws.t);
+
+        // M2: all four scalars in one batch; the α half of the x-update
+        // (KernelBiCGS4a) computes under the split-phase message.
+        let (p1, p2, c3, c4) = if overlap_reduce {
+            ctx.recorder.begin(REDUCE_OVERLAP_STAGE);
+            let req = ctx
+                .comm
+                .iall_reduce(vec![p1l, p2l, c3_local, c4_local], ReduceOp::Sum);
+            axpy_inplace(&ctx.dev, INFO_BICGS4A, &ctx.grid, x, &ws.p_hat, alpha);
+            let red = ctx.comm.reduce_finish(req);
+            ctx.recorder.end(REDUCE_OVERLAP_STAGE);
+            (red[0], red[1], red[2], red[3])
+        } else {
+            let mut sums = [p1l, p2l, c3_local, c4_local];
+            global_sum(ctx, scope, "MPI4", &mut sums);
+            axpy_inplace(&ctx.dev, INFO_BICGS4A, &ctx.grid, x, &ws.p_hat, alpha);
+            (sums[0], sums[1], sums[2], sums[3])
+        };
         if !(p1.is_finite() && p2.is_finite()) {
             outcome_breakdown = Some(Breakdown::NonFinite);
             break;
@@ -393,20 +540,13 @@ where
         // t = 0 can only happen when r is (numerically) zero; ω = 0 keeps
         // the update well-defined and the convergence check decides.
         let omega = if p2 == T::ZERO { T::ZERO } else { p1 / p2 };
+        let rho_new = c3 - omega * c4;
 
-        // KernelBiCGS4: x ← x + α p̂ + ω r̂
-        axpy2_inplace(
-            &ctx.dev,
-            INFO_BICGS4,
-            &ctx.grid,
-            x,
-            &ws.p_hat,
-            alpha,
-            &ws.r_hat,
-            omega,
-        );
-        // KernelBiCGS5: r ← r − ω t, fused dots (r̃·r, r·r)
-        let (rho_new_local, rnorm2_local) = residual_update_fused(
+        // KernelBiCGS5: r ← r − ω t, fused dots (r̃·r, r·r). Only the
+        // direct ‖r‖² is kept — ρ already came from the recurrence (the
+        // direct norm avoids the cancellation a norm recurrence suffers
+        // near convergence, which is why it is not recurred as well).
+        let (_, rnorm2_local) = residual_update_fused(
             &ctx.dev,
             INFO_BICGS5,
             &ctx.grid,
@@ -415,51 +555,40 @@ where
             omega,
             &ws.r0t,
         );
-        let mut sums = [rho_new_local, rnorm2_local];
-        global_sum(ctx, scope, "MPI5", &mut sums);
-        let [rho_new, rnorm2] = sums;
-        let res = rnorm2.to_f64().max(0.0).sqrt();
-        final_residual = res;
-        if params.record_history {
-            history.push(res);
-        }
-        if !res.is_finite() {
-            outcome_breakdown = Some(Breakdown::NonFinite);
-            break;
-        }
-        if res < params.tol {
-            converged = true;
-            break;
-        }
-        // Optional drift guard: recompute the true residual ‖b − A x‖
-        // (the recursive residual can decouple from it in long stagnating
-        // solves) and let it decide convergence too.
-        if params.true_residual_every > 0 && i % params.true_residual_every == 0 {
-            refresh_and_apply(
-                ctx,
-                scope,
-                "MPI6",
-                overlap,
-                stencil::INFO_APPLY,
-                x,
-                &mut ws.t,
-            );
-            let mut s = [diff_norm2(&ctx.dev, INFO_DOT, &ctx.grid, b, &ws.t)];
-            global_sum(ctx, scope, "MPI6", &mut s);
-            let tres = s[0].to_f64().max(0.0).sqrt();
-            true_residuals.push((i, tres));
-            if tres < params.tol {
-                final_residual = tres;
-                converged = true;
-                break;
+
+        if overlap_reduce {
+            if rho_new == T::ZERO || omega == T::ZERO {
+                // A breakdown trigger pre-empts the lag: complete the
+                // iteration eagerly (deferred ω half, blocking norm
+                // reduction, stopping ladder) so convergence keeps its
+                // priority over the breakdown and a restart resumes from
+                // the fully-updated iterate.
+                axpy_inplace(&ctx.dev, INFO_BICGS4B, &ctx.grid, x, &ws.r_hat, omega);
+                let mut s = [rnorm2_local];
+                global_sum(ctx, scope, "MPI5", &mut s);
+                finish_iteration!(i, s[0]);
+                if rho_new == T::ZERO {
+                    breakdown_or_restart!(Breakdown::RhoZero);
+                } else {
+                    // stagnated: ω = 0 with a non-converged residual
+                    breakdown_or_restart!(Breakdown::OmegaZero);
+                }
             }
-        }
-        if rho_new == T::ZERO {
-            breakdown_or_restart!(Breakdown::RhoZero);
-        }
-        if omega == T::ZERO {
-            // stagnated: ω = 0 with a non-converged residual
-            breakdown_or_restart!(Breakdown::OmegaZero);
+            lagged = Some((i, rnorm2_local, omega));
+        } else {
+            // KernelBiCGS4b: x ← x + ω r̂ (split exactly as the overlap
+            // schedule splits it, so the iterate sequence is shared)
+            axpy_inplace(&ctx.dev, INFO_BICGS4B, &ctx.grid, x, &ws.r_hat, omega);
+            let mut s = [rnorm2_local];
+            global_sum(ctx, scope, "MPI5", &mut s);
+            finish_iteration!(i, s[0]);
+            if rho_new == T::ZERO {
+                breakdown_or_restart!(Breakdown::RhoZero);
+            }
+            if omega == T::ZERO {
+                // stagnated: ω = 0 with a non-converged residual
+                breakdown_or_restart!(Breakdown::OmegaZero);
+            }
         }
         let beta = (rho_new / rho) * (alpha / omega);
         rho = rho_new;
@@ -475,6 +604,21 @@ where
             beta,
             omega,
         );
+    }
+
+    // Drain the lag when the iteration budget ran out with the last
+    // iteration's bookkeeping still in flight: apply the deferred ω half
+    // and take its stopping decisions (the one-shot loop hosts the
+    // macro's `break`s).
+    if let Some((j, rnorm2_local, omega_prev)) = lagged.take() {
+        axpy_inplace(&ctx.dev, INFO_BICGS4B, &ctx.grid, x, &ws.r_hat, omega_prev);
+        let mut s = [rnorm2_local];
+        global_sum(ctx, scope, "MPI5", &mut s);
+        #[allow(clippy::never_loop)]
+        loop {
+            finish_iteration!(j, s[0]);
+            break;
+        }
     }
 
     SolveOutcome {
@@ -837,6 +981,163 @@ mod tests {
             let bs: Vec<u64> = xs.iter().map(|v| v.to_bits()).collect();
             let bo: Vec<u64> = xo.iter().map(|v| v.to_bits()).collect();
             assert_eq!(bs, bo, "rank {rank}: solutions diverge");
+        }
+    }
+
+    #[test]
+    fn overlap_reduce_is_bitwise_identical_to_synchronous() {
+        // The reduction-overlap determinism guarantee: batching the
+        // per-iteration dots into two split-phase messages must not
+        // perturb a single bit of the iteration under a rank-ordered
+        // fold — histories and solutions agree exactly with the blocking
+        // schedule. Exercised both with a reduction-free preconditioner
+        // (G(CI)) and with inner solves that reduce themselves
+        // (FBiCGS-G(BiCGS)), so the flag is covered inside the
+        // preconditioner too.
+        let mut g = GlobalGrid::dirichlet([8, 8, 8], [0.15; 3], [0.0; 3]);
+        g.bc = paper_bcs();
+        let n = g.unknowns();
+        let b_host = rng_values(n, 53);
+        let bnorm: f64 = b_host.iter().map(|v| v * v).sum::<f64>().sqrt();
+        let tol = 1e-10 * bnorm;
+
+        for kind in [SolverKind::BiCgsGCi, SolverKind::FBiCgsGBiCgs] {
+            let solve = |overlap_reduce: bool| {
+                let decomp = Decomp::new([2, 2, 2]);
+                let g2 = g.clone();
+                let b_ref = b_host.clone();
+                run_ranks::<f64, _, _>(8, ReduceOrder::RankOrder, move |comm| {
+                    let grid = BlockGrid::new(g2.clone(), decomp, comm.rank());
+                    let ln = grid.local_n;
+                    let mut local = Vec::with_capacity(ln[0] * ln[1] * ln[2]);
+                    for k in 0..ln[2] {
+                        for j in 0..ln[1] {
+                            for i in 0..ln[0] {
+                                let gidx = (grid.offset[0] + i)
+                                    + 8 * ((grid.offset[1] + j) + 8 * (grid.offset[2] + k));
+                                local.push(b_ref[gidx]);
+                            }
+                        }
+                    }
+                    let dev = Serial::new(Recorder::disabled());
+                    let ctx: RankCtx<f64, _, ThreadComm<f64>> = RankCtx::new(dev, comm, grid);
+                    let b = Field::from_interior(&ctx.dev, &ctx.grid, &local);
+                    let mut x = ctx.field();
+                    let mut ws = Workspace::new(&ctx.dev, &ctx.grid);
+                    let opts = SolverOptions {
+                        eig_min_factor: 10.0,
+                        overlap_reduce,
+                        ..SolverOptions::default()
+                    };
+                    let mut prec = kind.build_preconditioner(&ctx, &opts);
+                    let params = SolveParams {
+                        tol,
+                        max_iters: 20_000,
+                        record_history: true,
+                        overlap_reduce,
+                        ..Default::default()
+                    };
+                    let out = bicgstab_solve(
+                        &ctx,
+                        Scope::Global,
+                        &b,
+                        &mut x,
+                        &mut *prec,
+                        &mut ws,
+                        &params,
+                    );
+                    (out, x.interior_to_host(&ctx.grid))
+                })
+            };
+
+            let sync = solve(false);
+            let over = solve(true);
+            for (rank, ((os, xs), (oo, xo))) in sync.iter().zip(&over).enumerate() {
+                assert!(
+                    os.converged && oo.converged,
+                    "{kind} rank {rank}: {os:?} vs {oo:?}"
+                );
+                assert_eq!(os.iterations, oo.iterations, "{kind} rank {rank}");
+                let hs: Vec<u64> = os.residual_history.iter().map(|v| v.to_bits()).collect();
+                let ho: Vec<u64> = oo.residual_history.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(hs, ho, "{kind} rank {rank}: residual histories diverge");
+                let bs: Vec<u64> = xs.iter().map(|v| v.to_bits()).collect();
+                let bo: Vec<u64> = xo.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(bs, bo, "{kind} rank {rank}: solutions diverge");
+            }
+        }
+    }
+
+    #[test]
+    fn overlap_reduce_ships_two_messages_per_iteration() {
+        // The headline message-count guarantee of the overlapped
+        // schedule: one batch at M1, one at M2 — 2 per iteration, plus
+        // the ρ₀ init reduction and the final iteration's lagged-check
+        // message. The blocking schedule ships 3 per iteration plus init.
+        let mut g = GlobalGrid::dirichlet([8, 8, 8], [0.15; 3], [0.0; 3]);
+        g.bc = paper_bcs();
+        let n = g.unknowns();
+        let b_host = rng_values(n, 59);
+        let bnorm: f64 = b_host.iter().map(|v| v * v).sum::<f64>().sqrt();
+        let tol = 1e-8 * bnorm;
+
+        let count = |overlap_reduce: bool| {
+            let decomp = Decomp::new([2, 2, 2]);
+            let g2 = g.clone();
+            let b_ref = b_host.clone();
+            run_ranks::<f64, _, _>(8, ReduceOrder::RankOrder, move |comm| {
+                let grid = BlockGrid::new(g2.clone(), decomp, comm.rank());
+                let ln = grid.local_n;
+                let mut local = Vec::with_capacity(ln[0] * ln[1] * ln[2]);
+                for k in 0..ln[2] {
+                    for j in 0..ln[1] {
+                        for i in 0..ln[0] {
+                            let gidx = (grid.offset[0] + i)
+                                + 8 * ((grid.offset[1] + j) + 8 * (grid.offset[2] + k));
+                            local.push(b_ref[gidx]);
+                        }
+                    }
+                }
+                let dev = Serial::new(Recorder::disabled());
+                let ctx: RankCtx<f64, _, ThreadComm<f64>> = RankCtx::new(dev, comm, grid);
+                let b = Field::from_interior(&ctx.dev, &ctx.grid, &local);
+                let mut x = ctx.field();
+                let mut ws = Workspace::new(&ctx.dev, &ctx.grid);
+                let params = SolveParams {
+                    tol,
+                    max_iters: 20_000,
+                    record_history: false,
+                    overlap_reduce,
+                    ..Default::default()
+                };
+                let out = bicgstab_solve(
+                    &ctx,
+                    Scope::Global,
+                    &b,
+                    &mut x,
+                    &mut IdentityPrec,
+                    &mut ws,
+                    &params,
+                );
+                (out.converged, out.iterations, ctx.comm.stats().allreduces)
+            })
+        };
+
+        for (converged, iters, allreduces) in count(true) {
+            assert!(converged);
+            assert_eq!(
+                allreduces,
+                2 * iters as u64 + 2,
+                "overlapped schedule must ship 2 messages/iteration"
+            );
+        }
+        for (converged, iters, allreduces) in count(false) {
+            assert!(converged);
+            assert_eq!(
+                allreduces,
+                3 * iters as u64 + 1,
+                "blocking schedule ships 3 messages/iteration"
+            );
         }
     }
 

@@ -47,6 +47,10 @@ pub struct SolverOptions {
     /// sweeps (only the communicating `G(CI)` / `G(BiCGS)` flavours have
     /// exchanges to hide). Mirrors `SolveParams::overlap_halo`.
     pub overlap_halo: bool,
+    /// Split-phase batched reductions in the *inner* Bi-CGSTAB solves of
+    /// the `G(BiCGS)` / `BJ(BiCGS)` preconditioners (the Chebyshev
+    /// flavours are reduction-free). Mirrors `SolveParams::overlap_reduce`.
+    pub overlap_reduce: bool,
 }
 
 impl Default for SolverOptions {
@@ -59,6 +63,7 @@ impl Default for SolverOptions {
             eig_max_shrink: 1e-4,
             eig_min_factor: 100.0,
             overlap_halo: true,
+            overlap_reduce: true,
         }
     }
 }
@@ -138,12 +143,14 @@ impl SolverKind {
                 let mut p =
                     InnerBiCgsPrec::new(ctx, Scope::Global, opts.inner_tol_g, opts.inner_max_iters);
                 p.set_overlap(opts.overlap_halo);
+                p.set_overlap_reduce(opts.overlap_reduce);
                 Box::new(p)
             }
             Self::FBiCgsBjBiCgs => {
                 let mut p =
                     InnerBiCgsPrec::new(ctx, Scope::Local, opts.inner_tol_bj, opts.inner_max_iters);
                 p.set_overlap(opts.overlap_halo);
+                p.set_overlap_reduce(opts.overlap_reduce);
                 Box::new(p)
             }
             Self::BiCgsBjCi => {

@@ -139,6 +139,7 @@ pub struct InnerBiCgsPrec<T> {
     tol_rel: f64,
     max_iters: usize,
     overlap: bool,
+    overlap_reduce: bool,
     ws: Workspace<T>,
     name: &'static str,
 }
@@ -163,6 +164,7 @@ impl<T: Scalar> InnerBiCgsPrec<T> {
             tol_rel,
             max_iters,
             overlap: true,
+            overlap_reduce: true,
             ws: Workspace::new(&ctx.dev, &ctx.grid),
             name,
         }
@@ -172,6 +174,12 @@ impl<T: Scalar> InnerBiCgsPrec<T> {
     /// (on by default; only the global scope communicates).
     pub fn set_overlap(&mut self, on: bool) {
         self.overlap = on;
+    }
+
+    /// Enable or disable split-phase batched reductions in the inner
+    /// solve (on by default; only the global scope reduces).
+    pub fn set_overlap_reduce(&mut self, on: bool) {
+        self.overlap_reduce = on;
     }
 }
 
@@ -194,6 +202,7 @@ impl<T: Scalar, D: Device, C: Communicator<T>> Preconditioner<T, D, C> for Inner
             max_iters: self.max_iters,
             record_history: false,
             overlap_halo: self.overlap,
+            overlap_reduce: self.overlap_reduce,
             ..Default::default()
         };
         let outcome = bicgstab_solve(

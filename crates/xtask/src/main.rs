@@ -42,6 +42,7 @@ const UNSAFE_ALLOWLIST: &[&str] = &[
 /// silently abandons an in-flight message or a borrowed ghost region.
 const MUST_USE_TYPES: &[(&str, &str)] = &[
     ("crates/comm/src/types.rs", "RecvRequest"),
+    ("crates/comm/src/types.rs", "ReduceRequest"),
     ("crates/blockgrid/src/halo.rs", "PendingExchange"),
 ];
 

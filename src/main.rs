@@ -31,6 +31,8 @@ USAGE: poisson-bicgstab-repro [OPTIONS]
   --ci-iters N     Chebyshev sweeps per application          [24]
   --min-factor X   lambda_min rescaling (Bergamaschi)        [10]
   --no-overlap     synchronous halo exchanges (overlap is on by default)
+  --no-overlap-reduce  blocking reductions instead of the split-phase
+                   batched schedule (overlap is on by default)
   --arrival        arrival-order (nondeterministic) reductions
   --early-exit     enable the Alg. 1 mid-loop convergence check
   --true-res K     recompute the true residual every K iterations
@@ -58,13 +60,17 @@ fn main() {
         });
     let mut cfg = RunConfig::small(solver);
     cfg.nodes = args.get("nodes", 48);
-    cfg.decomp = args.decomp("ranks", [1, 1, 1]);
+    cfg.decomp = args.try_decomp("ranks", [1, 1, 1]).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        usage()
+    });
     cfg.device = args.get_str("device", "serial");
     cfg.tol = args.get("tol", 1e-10);
     cfg.max_iters = args.get("max-iters", 50_000);
     cfg.opts.ci_iterations = args.get("ci-iters", 24);
     cfg.opts.eig_min_factor = args.get("min-factor", 10.0);
     cfg.opts.overlap_halo = !args.flag("no-overlap");
+    cfg.opts.overlap_reduce = !args.flag("no-overlap-reduce");
     cfg.order = if args.flag("arrival") {
         ReduceOrder::Arrival
     } else {

@@ -261,6 +261,59 @@ proptest! {
         }
     }
 
+    /// Batching transparency of the split-phase reduction: one
+    /// `iall_reduce_batch` over N single-scalar groups returns exactly
+    /// the bits of N sequential blocking `all_reduce` calls under
+    /// RankOrder, with the local scalars produced by the device dot
+    /// kernel on every back-end. This is the invariant that lets the
+    /// overlapped Bi-CGSTAB merge its per-iteration dots into two
+    /// batched messages without perturbing a single bit.
+    #[test]
+    fn batched_iall_reduce_matches_sequential_all_reduce(
+        (global, input) in grid_strategy(),
+        decomp in decomp_strategy(),
+        dev_spec in prop_oneof![Just("serial"), Just("threads:3"), Just("simgpu:4")],
+        nscalars in 1usize..=6,
+    ) {
+        for (d, n) in decomp.iter().zip(&global.n) {
+            prop_assume!(d <= n);
+        }
+        let d = Decomp::new(decomp);
+        let run = |batched: bool| {
+            let g2 = global.clone();
+            let inp = input.clone();
+            run_ranks::<f64, _, _>(d.ranks(), ReduceOrder::RankOrder, move |comm| {
+                let grid = BlockGrid::new(g2.clone(), d, comm.rank());
+                let dev = accel::AnyDevice::from_spec(dev_spec, Recorder::disabled()).unwrap();
+                let local = scatter(&g2, &grid, &inp);
+                let u = Field::from_interior(&dev, &grid, &local);
+                let base = krylov::kernels::dot(&dev, krylov::kernels::INFO_DOT, &grid, &u, &u);
+                let vals: Vec<f64> = (0..nscalars)
+                    .map(|s| base * (0.25 + 0.5 * s as f64) - s as f64)
+                    .collect();
+                let reduced: Vec<f64> = if batched {
+                    let groups: Vec<&[f64]> = vals.iter().map(std::slice::from_ref).collect();
+                    let req = comm.iall_reduce_batch(&groups, ReduceOp::Sum);
+                    comm.reduce_finish(req)
+                } else {
+                    vals.iter()
+                        .map(|&v| {
+                            let mut one = [v];
+                            comm.all_reduce(&mut one, ReduceOp::Sum);
+                            one[0]
+                        })
+                        .collect()
+                };
+                reduced.iter().map(|v| v.to_bits()).collect::<Vec<u64>>()
+            })
+        };
+        let sequential = run(false);
+        let batch = run(true);
+        for (rank, (s, b)) in sequential.iter().zip(&batch).enumerate() {
+            prop_assert_eq!(s, b, "reduced scalars differ on rank {}", rank);
+        }
+    }
+
     /// Tentpole invariant of the split-phase halo exchange: on every
     /// back-end, `begin → BCs → apply_interior → finish → apply_shell`
     /// leaves the field (ghosts included) and the operator output
