@@ -59,6 +59,7 @@ mod buffer;
 mod device;
 mod events;
 mod index;
+mod lease;
 mod pool;
 mod scalar;
 
@@ -68,5 +69,6 @@ pub use device::{
 };
 pub use events::{Event, KernelInfo, Recorder, HALO_OVERLAP_STAGE, REDUCE_OVERLAP_STAGE};
 pub use index::{chunk_range, Extent3, RowMap};
+pub use lease::{DeviceLease, DevicePool};
 pub use pool::ThreadPool;
 pub use scalar::{add_partials, Scalar};

@@ -1,0 +1,217 @@
+//! Load test of the serving layer (`crates/serve`): open-loop synthetic
+//! arrivals against a `SolveService`, cold vs warm.
+//!
+//! Methodology (EXPERIMENTS.md §"Serving-layer load test"): a fixed
+//! job trace — mixed grid sizes, mixed priorities, a few poison
+//! tenants — is submitted open-loop (fixed inter-arrival time,
+//! independent of completions) to two identically configured services
+//! that differ only in the warm-session cache:
+//!
+//! - **cold**: `session_capacity = 0`, every job pays the full setup
+//!   (grid, operator, RHS assembly, normalisation, offload);
+//! - **warm**: `session_capacity = 8`, repeat discretisations reuse the
+//!   constructed solver and re-run only the solve.
+//!
+//! Solves are deliberately short (small iteration budget) so the trace
+//! is setup-dominated — the regime a multi-tenant service amortises.
+//! Emits `BENCH_serve.json` with per-phase throughput and p50/p99
+//! latency plus the warm/cold throughput ratio.
+//!
+//! `SERVE_BENCH_SMOKE=1` shrinks the trace for CI smoke runs.
+
+use std::time::{Duration, Instant};
+
+use krylov::SolverKind;
+use poisson::{paper_problem, PoissonProblem};
+use serde::Serialize;
+use serve::{JobResult, Priority, ServiceConfig, SolveRequest, SolveService};
+
+/// One deterministic synthetic trace: `jobs` requests cycling through
+/// `problems` (and priorities), with a poison tenant every
+/// `poison_every` jobs.
+struct Trace {
+    jobs: usize,
+    poison_every: usize,
+    inter_arrival: Duration,
+}
+
+fn poison_problem() -> PoissonProblem {
+    let mut p = paper_problem(9);
+    p.rhs = std::sync::Arc::new(|_, _, _| panic!("poison tenant"));
+    p.exact = None;
+    p
+}
+
+fn request_for(problems: &[PoissonProblem], i: usize, trace: &Trace) -> SolveRequest {
+    let mut req = if trace.poison_every != 0 && i % trace.poison_every == trace.poison_every / 2 {
+        SolveRequest::new(poison_problem(), SolverKind::BiCgs)
+    } else {
+        SolveRequest::new(problems[i % problems.len()].clone(), SolverKind::BiCgs)
+    };
+    // Short, fixed-length solves: the residual target is unreachable,
+    // so every good job runs exactly `max_iters` outer iterations and
+    // the trace cost is dominated by setup — which is the quantity the
+    // warm path removes.
+    req.tol = 1e-300;
+    req.max_iters = 3;
+    req.priority = match i % 3 {
+        0 => Priority::High,
+        1 => Priority::Normal,
+        _ => Priority::Low,
+    };
+    req
+}
+
+#[derive(Serialize)]
+struct PhaseRecord {
+    name: &'static str,
+    jobs: usize,
+    completed: u64,
+    failed: u64,
+    panicked: u64,
+    quarantined: u64,
+    warm_hits: u64,
+    cold_builds: u64,
+    wall_ms: f64,
+    throughput_jobs_per_s: f64,
+    latency_p50_ms: f64,
+    latency_p99_ms: f64,
+    mean_setup_ms: f64,
+    mean_solve_ms: f64,
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+fn run_phase(
+    name: &'static str,
+    problems: &[PoissonProblem],
+    session_capacity: usize,
+    trace: &Trace,
+) -> PhaseRecord {
+    let svc = SolveService::start(ServiceConfig {
+        workers: 2,
+        queue_capacity: trace.jobs + 8,
+        session_capacity,
+        ..ServiceConfig::default()
+    });
+    let start = Instant::now();
+    let mut handles = Vec::with_capacity(trace.jobs);
+    for i in 0..trace.jobs {
+        handles.push(
+            svc.submit(request_for(problems, i, trace))
+                .expect("queue sized for the whole trace"),
+        );
+        // Open loop: arrivals are paced by the trace, not by service
+        // completions.
+        std::thread::sleep(trace.inter_arrival);
+    }
+    let mut latencies_ms = Vec::new();
+    let mut setup_ms = Vec::new();
+    let mut solve_ms = Vec::new();
+    for handle in &handles {
+        if let JobResult::Done(out) = handle.wait() {
+            let m = &out.metrics;
+            let total = m.queue_wait + m.setup + m.solve;
+            latencies_ms.push(total.as_secs_f64() * 1e3);
+            setup_ms.push(m.setup.as_secs_f64() * 1e3);
+            solve_ms.push(m.solve.as_secs_f64() * 1e3);
+        }
+    }
+    let wall = start.elapsed().as_secs_f64();
+    let stats = svc.shutdown();
+    latencies_ms.sort_by(|a, b| a.total_cmp(b));
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    PhaseRecord {
+        name,
+        jobs: trace.jobs,
+        completed: stats.completed,
+        failed: stats.failed,
+        panicked: stats.panicked,
+        quarantined: stats.quarantined,
+        warm_hits: stats.warm_hits,
+        cold_builds: stats.cold_builds,
+        wall_ms: wall * 1e3,
+        throughput_jobs_per_s: stats.completed as f64 / wall,
+        latency_p50_ms: percentile(&latencies_ms, 0.50),
+        latency_p99_ms: percentile(&latencies_ms, 0.99),
+        mean_setup_ms: mean(&setup_ms),
+        mean_solve_ms: mean(&solve_ms),
+    }
+}
+
+#[derive(Serialize)]
+struct ServeRecord {
+    smoke: bool,
+    workers: usize,
+    grids: Vec<usize>,
+    cold: PhaseRecord,
+    warm: PhaseRecord,
+    warm_over_cold_throughput: f64,
+}
+
+fn main() {
+    // Poison tenants panic by design; keep their backtraces out of the
+    // bench output while leaving real failures loud.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let poison = info
+            .payload()
+            .downcast_ref::<&str>()
+            .is_some_and(|s| s.contains("poison tenant"));
+        if !poison {
+            default_hook(info);
+        }
+    }));
+    let smoke = std::env::var("SERVE_BENCH_SMOKE").is_ok_and(|v| v != "0");
+    let grids = vec![21usize, 25, 29];
+    let problems: Vec<PoissonProblem> = grids.iter().map(|&n| paper_problem(n)).collect();
+    let trace = Trace {
+        jobs: if smoke { 12 } else { 72 },
+        poison_every: 12,
+        inter_arrival: Duration::from_micros(200),
+    };
+    // Cold first, then warm, on the *same* problem instances so the
+    // warm phase can recognise repeat right-hand sides.
+    let cold = run_phase("cold", &problems, 0, &trace);
+    let warm = run_phase("warm", &problems, 8, &trace);
+    let ratio = warm.throughput_jobs_per_s / cold.throughput_jobs_per_s;
+    println!(
+        "serve load test ({} jobs/phase): cold {:.1} jobs/s (p50 {:.2} ms, p99 {:.2} ms) | \
+         warm {:.1} jobs/s (p50 {:.2} ms, p99 {:.2} ms) | warm/cold = {ratio:.2}x",
+        trace.jobs,
+        cold.throughput_jobs_per_s,
+        cold.latency_p50_ms,
+        cold.latency_p99_ms,
+        warm.throughput_jobs_per_s,
+        warm.latency_p50_ms,
+        warm.latency_p99_ms,
+    );
+    assert_eq!(
+        cold.quarantined + warm.quarantined,
+        (cold.panicked + warm.panicked),
+        "every poison tenant quarantines exactly one session"
+    );
+    let record = ServeRecord {
+        smoke,
+        workers: 2,
+        grids,
+        cold,
+        warm,
+        warm_over_cold_throughput: ratio,
+    };
+    let path = bench::write_bench_json("serve", &record).expect("write BENCH_serve.json");
+    println!("wrote {path}");
+    if !smoke {
+        assert!(
+            ratio >= 2.0,
+            "warm-session reuse should at least double throughput on a repeat \
+             workload, got {ratio:.2}x"
+        );
+    }
+}

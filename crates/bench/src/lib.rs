@@ -210,6 +210,7 @@ pub fn run_once(cfg: &RunConfig) -> RunResult {
             max_restarts: cfg2.params_extra.max_restarts,
             overlap_halo: cfg2.opts.overlap_halo,
             overlap_reduce: cfg2.opts.overlap_reduce,
+            cancel: None,
         };
         let t0 = Instant::now();
         let outcome = solver.solve(cfg2.kind, &cfg2.opts, &params);

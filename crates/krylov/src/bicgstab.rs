@@ -43,6 +43,7 @@ use blockgrid::Field;
 use comm::{Communicator, ReduceOp};
 use stencil::apply_physical_bcs;
 
+use crate::cancel::CancelToken;
 use crate::ctx::{RankCtx, Workspace};
 use crate::kernels::{
     axpy_inplace, diff_norm2, dot, dot2, p_update, residual_update_fused, INFO_BICGS1, INFO_BICGS2,
@@ -61,7 +62,7 @@ pub enum Scope {
 }
 
 /// Stopping parameters of one Bi-CGSTAB solve.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct SolveParams {
     /// Absolute tolerance on the residual 2-norm (the caller normalises
     /// the RHS, making this a relative tolerance as in the paper).
@@ -103,6 +104,10 @@ pub struct SolveParams {
     /// reductions are free and lagging would waste a preconditioner
     /// application on the final iteration).
     pub overlap_reduce: bool,
+    /// Cooperative cancellation flag, polled collectively once per outer
+    /// iteration (see [`CancelToken`]). `None` adds no messages and no
+    /// polling.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for SolveParams {
@@ -116,6 +121,7 @@ impl Default for SolveParams {
             max_restarts: 0,
             overlap_halo: true,
             overlap_reduce: true,
+            cancel: None,
         }
     }
 }
@@ -154,6 +160,9 @@ pub struct SolveOutcome {
     /// `(iteration, ‖b − A x‖)` samples when
     /// [`SolveParams::true_residual_every`] is active.
     pub true_residuals: Vec<(usize, f64)>,
+    /// `true` when the solve stopped because its [`CancelToken`] fired
+    /// (the iterate is valid up to the last completed iteration).
+    pub cancelled: bool,
 }
 
 impl SolveOutcome {
@@ -292,6 +301,7 @@ where
             breakdown: None,
             restarts: 0,
             true_residuals: Vec::new(),
+            cancelled: false,
         };
     }
 
@@ -301,6 +311,7 @@ where
     let mut iterations = 0;
     let mut restarts = 0usize;
     let mut true_residuals: Vec<(usize, f64)> = Vec::new();
+    let mut cancelled = false;
 
     // Reduction overlap only regroups which scalars share a message and
     // when the stopping decision is *read* — never a reduced value or the
@@ -365,6 +376,23 @@ where
     }
 
     for i in 1..=params.max_iters {
+        // Cooperative cancellation, decided collectively so every rank
+        // breaks on the same iteration: each rank reduces its local view
+        // of the flag and any rank's request stops them all. The poll
+        // (and its message) exists only when a token is installed.
+        if let Some(token) = &params.cancel {
+            let mut flag = [if token.is_cancelled() {
+                T::ONE
+            } else {
+                T::ZERO
+            }];
+            global_sum(ctx, scope, "MPIC", &mut flag);
+            if flag[0] != T::ZERO {
+                cancelled = true;
+                iterations = i - 1;
+                break;
+            }
+        }
         iterations = i;
 
         /// On a curable breakdown: restart the Krylov process from the
@@ -630,6 +658,7 @@ where
         breakdown: outcome_breakdown,
         restarts,
         true_residuals,
+        cancelled: cancelled && !converged,
     }
 }
 
@@ -1302,6 +1331,45 @@ mod feature_tests {
                 "iter {i}: true {tres} vs recursive {recursive}"
             );
         }
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_before_the_first_iteration() {
+        let token = CancelToken::new();
+        token.cancel();
+        let out = solve_with(&SolveParams {
+            tol: 1e-14,
+            cancel: Some(token),
+            ..Default::default()
+        });
+        assert!(out.cancelled);
+        assert!(!out.converged);
+        assert_eq!(out.iterations, 0);
+    }
+
+    #[test]
+    fn uncancelled_token_changes_nothing_bitwise() {
+        // Installing a token that never fires must not perturb the
+        // iteration: identical history and iteration count.
+        let plain = solve_with(&SolveParams {
+            tol: 1e-10,
+            ..Default::default()
+        });
+        let tokened = solve_with(&SolveParams {
+            tol: 1e-10,
+            cancel: Some(CancelToken::new()),
+            ..Default::default()
+        });
+        assert!(plain.converged && tokened.converged);
+        assert!(!tokened.cancelled);
+        assert_eq!(plain.iterations, tokened.iterations);
+        let a: Vec<u64> = plain.residual_history.iter().map(|v| v.to_bits()).collect();
+        let b: Vec<u64> = tokened
+            .residual_history
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -1,0 +1,57 @@
+//! Cooperative cancellation for in-flight solves.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A cloneable cancellation flag observed by [`bicgstab_solve`].
+///
+/// The solver polls the token once per outer iteration, *collectively*:
+/// every rank contributes its local view of the flag to a one-element
+/// reduction, so all ranks take the break on the same iteration even
+/// when the flip races with the loop. A cancelled solve stops at an
+/// iteration boundary with its iterate fully updated — the lagged
+/// bookkeeping of the overlapped reduction schedule is drained exactly
+/// as on an iteration-budget exhaustion — and reports
+/// [`SolveOutcome::cancelled`](crate::SolveOutcome::cancelled).
+///
+/// Without a token installed ([`SolveParams::cancel`](crate::SolveParams::cancel)
+/// is `None`) the solver ships no extra messages: the poll and its
+/// reduction exist only when someone can actually cancel.
+///
+/// [`bicgstab_solve`]: crate::bicgstab_solve
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request cancellation; observed by every clone of this token.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        assert!(!c.is_cancelled());
+        t.cancel();
+        assert!(c.is_cancelled());
+        assert!(t.is_cancelled());
+    }
+}

@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 mod bicgstab;
+mod cancel;
 mod cheby;
 mod config;
 mod ctx;
@@ -45,6 +46,7 @@ mod richardson;
 mod schwarz;
 
 pub use bicgstab::{bicgstab_solve, Breakdown, Scope, SolveOutcome, SolveParams};
+pub use cancel::CancelToken;
 pub use cheby::{global_bounds, local_bounds, ChebyMode, ChebyOutcome, ChebyshevIteration};
 pub use config::{SolverKind, SolverOptions};
 pub use ctx::{RankCtx, Workspace};

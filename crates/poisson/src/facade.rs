@@ -10,6 +10,56 @@ use krylov::{
 use crate::assemble::{local_exact, local_rhs};
 use crate::problem::PoissonProblem;
 
+/// Why solver setup (or an RHS swap) refused the input.
+///
+/// Every variant is decided *collectively*: either from data all ranks
+/// share (the decomposition) or from a globally reduced quantity (the
+/// RHS norm, a validity flag), so in a multi-rank world every rank
+/// returns the same variant and no rank is left blocked in a collective.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SetupError {
+    /// `comm.size() != decomp.ranks()` — the decomposition does not
+    /// match the communicator.
+    DecompMismatch {
+        /// Communicator world size.
+        comm: usize,
+        /// Ranks the decomposition expects.
+        decomp: usize,
+    },
+    /// The global RHS norm is not positive (all-zero or non-finite
+    /// right-hand side) — the normalisation `b / ‖b‖` is undefined.
+    ZeroRhs,
+    /// A rank was handed a local RHS slice of the wrong length.
+    RhsSizeMismatch {
+        /// This rank's interior size.
+        expected: usize,
+        /// Length actually provided on this rank.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for SetupError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::DecompMismatch { comm, decomp } => write!(
+                f,
+                "decomposition must match the communicator size \
+                 (communicator has {comm} ranks, decomposition wants {decomp})"
+            ),
+            Self::ZeroRhs => write!(
+                f,
+                "zero right-hand side (the global RHS norm must be positive and finite)"
+            ),
+            Self::RhsSizeMismatch { expected, got } => write!(
+                f,
+                "local RHS size mismatch (expected {expected} interior values, got {got})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SetupError {}
+
 /// One rank's fully wired Poisson solver: subdomain, operator, assembled
 /// and normalised right-hand side, and reusable Krylov workspace.
 ///
@@ -31,36 +81,107 @@ pub struct PoissonSolver<T: Scalar, D: Device, C: Communicator<T>> {
 impl<T: Scalar, D: Device, C: Communicator<T>> PoissonSolver<T, D, C> {
     /// Set up the solver for this rank's subdomain of `problem` under
     /// `decomp`. `comm.size()` must equal `decomp.ranks()`.
+    ///
+    /// Panics on invalid input; services should prefer
+    /// [`PoissonSolver::try_new`].
     pub fn new(problem: PoissonProblem, decomp: Decomp, dev: D, comm: C) -> Self {
-        assert_eq!(
-            comm.size(),
-            decomp.ranks(),
-            "decomposition must match the communicator size"
-        );
+        Self::try_new(problem, decomp, dev, comm).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible setup: like [`PoissonSolver::new`] but refusing bad
+    /// input with a [`SetupError`] instead of aborting the process.
+    ///
+    /// The decision is collective-safe: in a multi-rank world every rank
+    /// returns the same `Err` variant (see [`SetupError`]).
+    pub fn try_new(
+        problem: PoissonProblem,
+        decomp: Decomp,
+        dev: D,
+        comm: C,
+    ) -> Result<Self, SetupError> {
+        if comm.size() != decomp.ranks() {
+            return Err(SetupError::DecompMismatch {
+                comm: comm.size(),
+                decomp: decomp.ranks(),
+            });
+        }
         let grid = BlockGrid::new(problem.discretize(), decomp, comm.rank());
         let ctx: RankCtx<T, D, C> = RankCtx::new(dev, comm, grid);
 
         // Assemble and globally normalise the RHS (Sec. IV: "we always
         // normalize the right-hand side").
         let b_host = local_rhs(&problem, &ctx.grid);
-        let local_sq: f64 = b_host.iter().map(|v| v * v).sum();
-        let mut sums = [T::from_f64(local_sq)];
-        ctx.comm.all_reduce(&mut sums, ReduceOp::Sum);
-        let b_norm = sums[0].to_f64().max(0.0).sqrt();
-        assert!(b_norm > 0.0, "zero right-hand side");
-        let b_scaled: Vec<T> = b_host.iter().map(|&v| T::from_f64(v / b_norm)).collect();
+        let (b_scaled, b_norm) = Self::normalised(&ctx, &b_host)?;
         let b = Field::from_interior(&ctx.dev, &ctx.grid, &b_scaled);
 
         let ws = Workspace::new(&ctx.dev, &ctx.grid);
         let x = Field::zeros(&ctx.dev, &ctx.grid);
-        Self {
+        Ok(Self {
             ctx,
             ws,
             b,
             b_norm,
             x,
             problem,
+        })
+    }
+
+    /// Validate and globally normalise a local RHS slice.
+    ///
+    /// The per-rank size check rides inside the norm reduction as a
+    /// validity flag, so a rank with a malformed slice never leaves its
+    /// peers blocked in the collective: all ranks observe the flagged
+    /// failure and return together.
+    fn normalised(ctx: &RankCtx<T, D, C>, rhs_local: &[f64]) -> Result<(Vec<T>, f64), SetupError> {
+        let expected: usize = ctx.grid.local_n.iter().product();
+        let (local_sq, bad) = if rhs_local.len() == expected {
+            (rhs_local.iter().map(|v| v * v).sum::<f64>(), 0.0)
+        } else {
+            (0.0, 1.0)
+        };
+        let mut sums = [T::from_f64(local_sq), T::from_f64(bad)];
+        ctx.comm.all_reduce(&mut sums, ReduceOp::Sum);
+        if sums[1].to_f64() != 0.0 {
+            return Err(SetupError::RhsSizeMismatch {
+                expected,
+                got: rhs_local.len(),
+            });
         }
+        let b_norm = sums[0].to_f64().max(0.0).sqrt();
+        if !(b_norm > 0.0 && b_norm.is_finite()) {
+            return Err(SetupError::ZeroRhs);
+        }
+        let b_scaled: Vec<T> = rhs_local.iter().map(|&v| T::from_f64(v / b_norm)).collect();
+        Ok((b_scaled, b_norm))
+    }
+
+    /// Swap in a fresh local right-hand side, keeping the grid, the
+    /// operator, the Krylov [`Workspace`] and every device allocation of
+    /// this solver: only the new RHS is re-normalised and offloaded (the
+    /// warm path of a serving layer — the setup phase the paper
+    /// amortises is skipped entirely).
+    pub fn set_rhs(&mut self, rhs_local: &[f64]) -> Result<(), SetupError> {
+        let (b_scaled, b_norm) = Self::normalised(&self.ctx, rhs_local)?;
+        self.b = Field::from_interior(&self.ctx.dev, &self.ctx.grid, &b_scaled);
+        self.b_norm = b_norm;
+        Ok(())
+    }
+
+    /// [`set_rhs`](PoissonSolver::set_rhs) followed by
+    /// [`solve`](PoissonSolver::solve): re-solve this rank's subdomain
+    /// against a fresh RHS while reusing the constructed solver. The
+    /// result is bitwise-identical to a freshly constructed solver fed
+    /// the same inputs (the solve starts from a zero guess and every
+    /// workspace value is overwritten before use).
+    pub fn resolve_with_rhs(
+        &mut self,
+        rhs_local: &[f64],
+        kind: SolverKind,
+        opts: &SolverOptions,
+        params: &SolveParams,
+    ) -> Result<SolveOutcome, SetupError> {
+        self.set_rhs(rhs_local)?;
+        Ok(self.solve(kind, opts, params))
     }
 
     /// The rank context (device, communicator, grid, operator).
@@ -290,5 +411,188 @@ mod tests {
             Serial::new(Recorder::disabled()),
             SelfComm::default(),
         );
+    }
+
+    #[test]
+    fn try_new_reports_decomp_mismatch() {
+        let p = paper_problem(9);
+        let err = PoissonSolver::<f64, _, _>::try_new(
+            p,
+            Decomp::new([2, 1, 1]),
+            Serial::new(Recorder::disabled()),
+            SelfComm::default(),
+        )
+        .map(|_| ())
+        .expect_err("one rank cannot satisfy a 2-rank decomposition");
+        assert_eq!(err, SetupError::DecompMismatch { comm: 1, decomp: 2 });
+    }
+
+    #[test]
+    fn try_new_reports_zero_rhs() {
+        use crate::problem::PoissonProblem;
+        use std::sync::Arc;
+        // a genuinely zero RHS with zero boundary data: ‖b‖ = 0
+        let p = PoissonProblem {
+            lo: [0.0; 3],
+            hi: [1.0; 3],
+            nodes: [9; 3],
+            bc: [[blockgrid::BcKind::Dirichlet; 2]; 3],
+            rhs: Arc::new(|_, _, _| 0.0),
+            dirichlet: Arc::new(|_, _, _| 0.0),
+            neumann_dx: std::array::from_fn(|_| {
+                Arc::new(|_: f64, _: f64, _: f64| 0.0) as crate::problem::SpaceFn
+            }),
+            exact: None,
+        };
+        let err = PoissonSolver::<f64, _, _>::try_new(
+            p,
+            Decomp::single(),
+            Serial::new(Recorder::disabled()),
+            SelfComm::default(),
+        )
+        .map(|_| ())
+        .expect_err("a zero RHS must be refused");
+        assert_eq!(err, SetupError::ZeroRhs);
+    }
+
+    #[test]
+    fn set_rhs_rejects_wrong_length() {
+        let p = paper_problem(9);
+        let mut solver: PoissonSolver<f64, _, _> = PoissonSolver::new(
+            p,
+            Decomp::single(),
+            Serial::new(Recorder::disabled()),
+            SelfComm::default(),
+        );
+        let n: usize = solver.grid().local_n.iter().product();
+        let err = solver.set_rhs(&vec![1.0; n + 1]).expect_err("wrong length");
+        assert_eq!(
+            err,
+            SetupError::RhsSizeMismatch {
+                expected: n,
+                got: n + 1
+            }
+        );
+        // the solver is still usable after the refusal
+        let out = solver.solve(
+            SolverKind::BiCgsGNoCommCi,
+            &SolverOptions {
+                eig_min_factor: 10.0,
+                ..Default::default()
+            },
+            &SolveParams {
+                tol: 1e-10,
+                max_iters: 20_000,
+                record_history: false,
+                ..Default::default()
+            },
+        );
+        assert!(out.converged);
+    }
+
+    /// The warm-path guarantee: a solver that already ran against one
+    /// RHS and is re-aimed at another via `resolve_with_rhs` must
+    /// reproduce a freshly constructed solver *bitwise* — same residual
+    /// history, same solution bits.
+    #[test]
+    fn resolve_with_rhs_is_bitwise_identical_to_fresh_solver() {
+        let kind = SolverKind::BiCgsGNoCommCi;
+        let opts = SolverOptions {
+            eig_min_factor: 10.0,
+            ..Default::default()
+        };
+        let params = SolveParams {
+            tol: 1e-12,
+            max_iters: 20_000,
+            record_history: true,
+            ..Default::default()
+        };
+
+        // fresh solver, solved once against the paper RHS
+        let p = paper_problem(11);
+        let mut fresh: PoissonSolver<f64, _, _> = PoissonSolver::new(
+            p.clone(),
+            Decomp::single(),
+            Serial::new(Recorder::disabled()),
+            SelfComm::default(),
+        );
+        let fresh_out = fresh.solve(kind, &opts, &params);
+        assert!(fresh_out.converged);
+
+        // warm solver: first exhausted against a *different* RHS (the
+        // paper RHS scaled — different normalisation, different iterates),
+        // then re-aimed at the paper RHS via the swap path
+        let mut warm: PoissonSolver<f64, _, _> = PoissonSolver::new(
+            p.clone(),
+            Decomp::single(),
+            Serial::new(Recorder::disabled()),
+            SelfComm::default(),
+        );
+        let rhs_paper = crate::assemble::local_rhs(&p, warm.grid());
+        let rhs_other: Vec<f64> = rhs_paper.iter().map(|v| 3.5 * v + 1.0).collect();
+        warm.set_rhs(&rhs_other).unwrap();
+        let _ = warm.solve(kind, &opts, &params);
+        let warm_out = warm
+            .resolve_with_rhs(&rhs_paper, kind, &opts, &params)
+            .unwrap();
+
+        assert_eq!(fresh_out.iterations, warm_out.iterations);
+        assert_eq!(
+            fresh.rhs_norm().to_bits(),
+            warm.rhs_norm().to_bits(),
+            "re-normalisation must reproduce the fresh norm"
+        );
+        let hf: Vec<u64> = fresh_out
+            .residual_history
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        let hw: Vec<u64> = warm_out
+            .residual_history
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        assert_eq!(hf, hw, "residual histories diverge");
+        let sf: Vec<u64> = fresh.solution_local().iter().map(|v| v.to_bits()).collect();
+        let sw: Vec<u64> = warm.solution_local().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(sf, sw, "solutions diverge");
+    }
+
+    /// The same warm-path guarantee distributed: 8 ranks, overlapped
+    /// reductions, RHS swapped between two solves.
+    #[test]
+    fn distributed_resolve_with_rhs_matches_fresh_solver() {
+        let decomp = Decomp::new([2, 2, 2]);
+        let kind = SolverKind::BiCgsGNoCommCi;
+        let results = run_ranks::<f64, _, _>(8, ReduceOrder::RankOrder, move |comm| {
+            let p = paper_problem(13);
+            let opts = SolverOptions {
+                eig_min_factor: 10.0,
+                ..Default::default()
+            };
+            let params = SolveParams {
+                tol: 1e-12,
+                max_iters: 20_000,
+                record_history: true,
+                ..Default::default()
+            };
+            let mut solver: PoissonSolver<f64, Serial, ThreadComm<f64>> =
+                PoissonSolver::new(p.clone(), decomp, Serial::new(Recorder::disabled()), comm);
+            let rhs_paper = crate::assemble::local_rhs(&p, solver.grid());
+            let first = solver.solve(kind, &opts, &params);
+            let again = solver
+                .resolve_with_rhs(&rhs_paper, kind, &opts, &params)
+                .unwrap();
+            (first, again, solver.solution_local())
+        });
+        let sol0 = &results[0].2;
+        for (rank, (first, again, _)) in results.iter().enumerate() {
+            assert!(first.converged && again.converged, "rank {rank}");
+            assert_eq!(first.iterations, again.iterations, "rank {rank}");
+            let hf: Vec<u64> = first.residual_history.iter().map(|v| v.to_bits()).collect();
+            let ha: Vec<u64> = again.residual_history.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(hf, ha, "rank {rank}: swap perturbed the iteration");
+        }
+        assert!(!sol0.is_empty());
     }
 }

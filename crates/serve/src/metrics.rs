@@ -1,0 +1,62 @@
+//! Service-wide counters and their snapshot.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+#[derive(Default)]
+pub(crate) struct StatsInner {
+    pub submitted: AtomicU64,
+    pub rejected: AtomicU64,
+    pub completed: AtomicU64,
+    pub failed: AtomicU64,
+    pub shed: AtomicU64,
+    pub cancelled: AtomicU64,
+    pub panicked: AtomicU64,
+    pub quarantined: AtomicU64,
+    pub warm_hits: AtomicU64,
+    pub cold_builds: AtomicU64,
+    pub evicted: AtomicU64,
+    pub completion_seq: AtomicU64,
+}
+
+impl StatsInner {
+    pub(crate) fn bump(&self, counter: &AtomicU64) -> u64 {
+        counter.fetch_add(1, Ordering::SeqCst) + 1
+    }
+}
+
+/// Point-in-time snapshot of the service counters
+/// ([`SolveService::stats`](crate::SolveService::stats)).
+///
+/// The per-job view (queue wait, setup vs solve split, warm/cold) lives
+/// on each job's [`JobMetrics`](crate::JobMetrics); this is the
+/// aggregate the operator watches.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Jobs admitted into the queue.
+    pub submitted: u64,
+    /// Submissions refused at the door (queue full or shutting down).
+    pub rejected: u64,
+    /// Jobs that reached [`JobResult::Done`](crate::JobResult::Done).
+    pub completed: u64,
+    /// Jobs that reached [`JobResult::Failed`](crate::JobResult::Failed).
+    pub failed: u64,
+    /// Jobs shed unstarted (deadline expiry or shutdown drain).
+    pub shed: u64,
+    /// Jobs cancelled (queued or mid-solve).
+    pub cancelled: u64,
+    /// Jobs that panicked (a subset of `failed`).
+    pub panicked: u64,
+    /// Sessions retired because a job panicked on (or while building)
+    /// them. The pool never sees a poisoned session again.
+    pub quarantined: u64,
+    /// Jobs served by a cached warm session.
+    pub warm_hits: u64,
+    /// Sessions constructed from scratch.
+    pub cold_builds: u64,
+    /// Healthy sessions dropped because the session cache was full.
+    pub evicted: u64,
+    /// Jobs currently queued.
+    pub queued: usize,
+    /// Warm sessions currently cached.
+    pub cached_sessions: usize,
+}

@@ -1,0 +1,207 @@
+//! Bounded priority queue with admission control.
+//!
+//! Three FIFO classes drained strictly highest-first. `push` never
+//! blocks: a full queue answers [`SubmitError::Overloaded`] immediately
+//! (backpressure belongs to the caller, not a hidden buffer). `pop`
+//! blocks workers until work arrives or the queue closes.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+use crate::job::{JobShared, SubmitError};
+use crate::request::Priority;
+use std::sync::Arc;
+
+struct State {
+    classes: [VecDeque<Arc<JobShared>>; Priority::COUNT],
+    len: usize,
+    open: bool,
+}
+
+pub(crate) struct Scheduler {
+    state: Mutex<State>,
+    cv: Condvar,
+    capacity: usize,
+}
+
+impl Scheduler {
+    pub(crate) fn new(capacity: usize) -> Self {
+        Self {
+            state: Mutex::new(State {
+                classes: std::array::from_fn(|_| VecDeque::new()),
+                len: 0,
+                open: true,
+            }),
+            cv: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Admit a job, or reject immediately — never blocks.
+    pub(crate) fn push(&self, job: Arc<JobShared>) -> Result<(), SubmitError> {
+        let mut st = self.state.lock().unwrap();
+        if !st.open {
+            return Err(SubmitError::ShuttingDown);
+        }
+        if st.len >= self.capacity {
+            return Err(SubmitError::Overloaded);
+        }
+        let class = job.priority.class();
+        st.classes[class].push_back(job);
+        st.len += 1;
+        drop(st);
+        self.cv.notify_one();
+        Ok(())
+    }
+
+    /// Take the next job, highest class first, FIFO within a class.
+    /// Blocks while the queue is open and empty; `None` once it is
+    /// closed and drained.
+    pub(crate) fn pop(&self) -> Option<Arc<JobShared>> {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if st.len > 0 {
+                for class in 0..Priority::COUNT {
+                    if let Some(job) = st.classes[class].pop_front() {
+                        st.len -= 1;
+                        return Some(job);
+                    }
+                }
+            }
+            if !st.open {
+                return None;
+            }
+            st = self.cv.wait(st).unwrap();
+        }
+    }
+
+    /// Close the queue and drain everything still waiting (for
+    /// shutdown shedding). Wakes every blocked worker.
+    pub(crate) fn close(&self) -> Vec<Arc<JobShared>> {
+        let mut st = self.state.lock().unwrap();
+        st.open = false;
+        let drained: Vec<_> = st.classes.iter_mut().flat_map(|c| c.drain(..)).collect();
+        st.len = 0;
+        drop(st);
+        self.cv.notify_all();
+        drained
+    }
+
+    /// Jobs currently queued.
+    pub(crate) fn len(&self) -> usize {
+        self.state.lock().unwrap().len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::SolveRequest;
+    use krylov::SolverKind;
+    use poisson::unit_cube_dirichlet;
+    use proptest::prelude::*;
+
+    fn job(id: u64, priority: Priority) -> Arc<JobShared> {
+        let mut req = SolveRequest::new(unit_cube_dirichlet(5), SolverKind::BiCgs);
+        req.priority = priority;
+        Arc::new(JobShared::new(id, req))
+    }
+
+    fn class_of(c: usize) -> Priority {
+        match c {
+            0 => Priority::High,
+            1 => Priority::Normal,
+            _ => Priority::Low,
+        }
+    }
+
+    #[test]
+    fn a_closed_queue_admits_nothing() {
+        let q = Scheduler::new(4);
+        q.push(job(1, Priority::Normal)).unwrap();
+        let drained = q.close();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(
+            q.push(job(2, Priority::Normal)).unwrap_err(),
+            SubmitError::ShuttingDown
+        );
+        assert!(q.pop().is_none());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        // Single-worker drain order: a batch pushed in any class mix
+        // comes out highest class first, FIFO within each class — i.e.
+        // a stable sort of the submission order by class.
+        #[test]
+        fn drain_is_a_stable_sort_by_class(seq in prop::collection::vec(0usize..3, 1..40)) {
+            let q = Scheduler::new(seq.len());
+            for (i, &c) in seq.iter().enumerate() {
+                q.push(job(i as u64, class_of(c))).unwrap();
+            }
+            let mut expected: Vec<u64> = (0..seq.len() as u64).collect();
+            expected.sort_by_key(|&i| class_of(seq[i as usize]).class());
+            let got: Vec<u64> = (0..seq.len())
+                .map(|_| q.pop().expect("queue is non-empty").id)
+                .collect();
+            prop_assert_eq!(got, expected);
+        }
+
+        // Under arbitrary push/pop interleavings every pop returns the
+        // oldest job of the highest non-empty class, and nothing is
+        // lost: the queue mirrors a model list exactly.
+        #[test]
+        fn pop_returns_the_oldest_of_the_highest_class(
+            ops in prop::collection::vec((0usize..4, 0usize..3), 1..60),
+        ) {
+            let q = Scheduler::new(64);
+            let mut model: Vec<(u64, usize)> = Vec::new();
+            let mut next = 0u64;
+            for (op, c) in ops {
+                if op < 3 {
+                    let p = class_of(c);
+                    q.push(job(next, p)).unwrap();
+                    model.push((next, p.class()));
+                    next += 1;
+                } else if !model.is_empty() {
+                    let popped = q.pop().expect("model says non-empty");
+                    let best = model
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, &(id, class))| (class, id))
+                        .map(|(i, _)| i)
+                        .expect("model non-empty");
+                    let (id, _) = model.remove(best);
+                    prop_assert_eq!(popped.id, id);
+                }
+            }
+            prop_assert_eq!(q.len(), model.len());
+        }
+
+        // Admission control: a full queue answers Overloaded without
+        // blocking, and one pop frees exactly one slot.
+        #[test]
+        fn full_queue_rejects_until_a_pop_frees_a_slot(
+            cap in 1usize..8,
+            extra in 1usize..5,
+        ) {
+            let q = Scheduler::new(cap);
+            for i in 0..cap {
+                prop_assert!(q.push(job(i as u64, Priority::Normal)).is_ok());
+            }
+            for i in 0..extra {
+                prop_assert_eq!(
+                    q.push(job((cap + i) as u64, Priority::Normal)).unwrap_err(),
+                    SubmitError::Overloaded
+                );
+            }
+            let _ = q.pop().expect("queue is full");
+            prop_assert!(q.push(job(1000, Priority::Normal)).is_ok());
+            prop_assert_eq!(
+                q.push(job(1001, Priority::Normal)).unwrap_err(),
+                SubmitError::Overloaded
+            );
+        }
+    }
+}

@@ -1,0 +1,433 @@
+//! The multi-tenant solve service: admission, workers, session cache.
+//!
+//! Submitting returns an awaitable [`JobHandle`]; a fixed worker pool
+//! drains the priority queue, leasing a device per job and reusing warm
+//! sessions when a compatible one is cached. Panics are isolated per
+//! job: the offending session is quarantined and the service keeps
+//! serving.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use accel::{AnyDevice, DeviceLease, DevicePool, Recorder};
+use blockgrid::Decomp;
+use check::{try_run_ranks_checked, CheckConfig, Checked};
+use comm::ReduceOrder;
+use krylov::{SolveOutcome, SolveParams};
+use poisson::PoissonSolver;
+
+use crate::job::{JobError, JobHandle, JobMetrics, JobOutput, JobResult, JobShared, SubmitError};
+use crate::metrics::{ServiceStats, StatsInner};
+use crate::request::SolveRequest;
+use crate::scheduler::Scheduler;
+use crate::session::{panic_message, primary_panic, scatter, Session, SessionKey};
+
+/// Static configuration of a [`SolveService`].
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads draining the queue concurrently.
+    pub workers: usize,
+    /// Bounded queue capacity; submissions beyond it are rejected with
+    /// [`SubmitError::Overloaded`].
+    pub queue_capacity: usize,
+    /// Device specs backing the lease pool (one lease per entry, e.g.
+    /// `"serial"`, `"threads:4"`, `"simgpu"`). Empty means one
+    /// `"serial"` device per worker.
+    pub devices: Vec<String>,
+    /// Warm sessions kept alive across jobs; `0` disables reuse (every
+    /// job builds cold).
+    pub session_capacity: usize,
+    /// Reduction order for multi-rank worlds spawned by the service.
+    pub order: ReduceOrder,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            queue_capacity: 64,
+            devices: Vec::new(),
+            session_capacity: 8,
+            order: ReduceOrder::RankOrder,
+        }
+    }
+}
+
+/// LRU-ish warm-session cache: checkout removes, checkin appends and
+/// evicts the oldest entry past capacity.
+struct SessionCache {
+    entries: Mutex<Vec<(SessionKey, Session)>>,
+    capacity: usize,
+}
+
+impl SessionCache {
+    fn new(capacity: usize) -> Self {
+        Self {
+            entries: Mutex::new(Vec::new()),
+            capacity,
+        }
+    }
+
+    fn checkout(&self, key: &SessionKey) -> Option<Session> {
+        let mut entries = self.entries.lock().unwrap();
+        let pos = entries.iter().position(|(k, _)| k == key)?;
+        Some(entries.remove(pos).1)
+    }
+
+    /// Return a healthy session; reports whether an old session was
+    /// evicted to make room. With capacity `0` the session is simply
+    /// dropped (reuse disabled).
+    fn checkin(&self, key: SessionKey, session: Session) -> bool {
+        if self.capacity == 0 {
+            return false;
+        }
+        let mut entries = self.entries.lock().unwrap();
+        entries.push((key, session));
+        if entries.len() > self.capacity {
+            entries.remove(0);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.entries.lock().unwrap().len()
+    }
+}
+
+struct ServiceInner {
+    queue: Scheduler,
+    cache: SessionCache,
+    pool: DevicePool<AnyDevice>,
+    specs: Vec<String>,
+    stats: StatsInner,
+    order: ReduceOrder,
+    next_id: AtomicU64,
+}
+
+/// An in-process solve service. Construct with
+/// [`SolveService::start`], submit with [`SolveService::submit`],
+/// observe with [`SolveService::stats`]. Dropping the service (or
+/// calling [`SolveService::shutdown`]) closes admission, sheds
+/// everything still queued and joins the workers.
+pub struct SolveService {
+    inner: Arc<ServiceInner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl SolveService {
+    /// Start the worker pool.
+    ///
+    /// Panics on an invalid device spec or a zero-sized pool — a
+    /// service that cannot run anything is a deployment error, not a
+    /// per-job failure.
+    pub fn start(cfg: ServiceConfig) -> Self {
+        assert!(cfg.workers >= 1, "service needs at least one worker");
+        assert!(cfg.queue_capacity >= 1, "service needs a non-empty queue");
+        let specs = if cfg.devices.is_empty() {
+            vec!["serial".to_string(); cfg.workers]
+        } else {
+            cfg.devices.clone()
+        };
+        let devices: Vec<AnyDevice> = specs
+            .iter()
+            .map(|spec| {
+                AnyDevice::from_spec(spec, Recorder::disabled())
+                    .unwrap_or_else(|e| panic!("invalid device spec {spec:?}: {e}"))
+            })
+            .collect();
+        let inner = Arc::new(ServiceInner {
+            queue: Scheduler::new(cfg.queue_capacity),
+            cache: SessionCache::new(cfg.session_capacity),
+            pool: DevicePool::new(devices),
+            specs,
+            stats: StatsInner::default(),
+            order: cfg.order,
+            next_id: AtomicU64::new(0),
+        });
+        let workers = (0..cfg.workers)
+            .map(|i| {
+                let inner = inner.clone();
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Self { inner, workers }
+    }
+
+    /// Submit one request. Never blocks: a full queue answers
+    /// `Err(Overloaded)` immediately (admission control), leaving the
+    /// caller to shed or retry.
+    pub fn submit(&self, request: SolveRequest) -> Result<JobHandle, SubmitError> {
+        let id = self.inner.next_id.fetch_add(1, Ordering::SeqCst) + 1;
+        let job = Arc::new(JobShared::new(id, request));
+        match self.inner.queue.push(job.clone()) {
+            Ok(()) => {
+                self.inner.stats.bump(&self.inner.stats.submitted);
+                Ok(JobHandle { shared: job })
+            }
+            Err(e) => {
+                self.inner.stats.bump(&self.inner.stats.rejected);
+                Err(e)
+            }
+        }
+    }
+
+    /// Point-in-time counter snapshot.
+    pub fn stats(&self) -> ServiceStats {
+        let s = &self.inner.stats;
+        let load = |c: &AtomicU64| c.load(Ordering::SeqCst);
+        ServiceStats {
+            submitted: load(&s.submitted),
+            rejected: load(&s.rejected),
+            completed: load(&s.completed),
+            failed: load(&s.failed),
+            shed: load(&s.shed),
+            cancelled: load(&s.cancelled),
+            panicked: load(&s.panicked),
+            quarantined: load(&s.quarantined),
+            warm_hits: load(&s.warm_hits),
+            cold_builds: load(&s.cold_builds),
+            evicted: load(&s.evicted),
+            queued: self.inner.queue.len(),
+            cached_sessions: self.inner.cache.len(),
+        }
+    }
+
+    /// Close admission, shed every queued job, finish in-flight work
+    /// and join the workers. Idempotent; also runs on drop.
+    pub fn shutdown(mut self) -> ServiceStats {
+        self.shutdown_impl();
+        self.stats()
+    }
+
+    fn shutdown_impl(&mut self) {
+        for job in self.inner.queue.close() {
+            job.finish(JobResult::Shed);
+            self.inner.stats.bump(&self.inner.stats.shed);
+        }
+        for handle in self.workers.drain(..) {
+            handle.join().expect("workers never panic at top level");
+        }
+    }
+}
+
+impl Drop for SolveService {
+    fn drop(&mut self) {
+        self.shutdown_impl();
+    }
+}
+
+fn worker_loop(inner: &ServiceInner) {
+    while let Some(job) = inner.queue.pop() {
+        let queue_wait = job.submitted.elapsed();
+        let Some(request) = job.take_request() else {
+            continue;
+        };
+        if job.cancel.is_cancelled() {
+            inner.stats.bump(&inner.stats.cancelled);
+            job.finish(JobResult::Cancelled);
+            continue;
+        }
+        if job.deadline_expired(Instant::now()) {
+            inner.stats.bump(&inner.stats.shed);
+            job.finish(JobResult::Shed);
+            continue;
+        }
+        job.set_running();
+        let lease = inner.pool.acquire();
+        let result = execute(inner, &job, request, &lease, queue_wait);
+        match &result {
+            JobResult::Done(_) => inner.stats.bump(&inner.stats.completed),
+            JobResult::Failed(_) => inner.stats.bump(&inner.stats.failed),
+            JobResult::Cancelled => inner.stats.bump(&inner.stats.cancelled),
+            JobResult::Shed => inner.stats.bump(&inner.stats.shed),
+        };
+        job.finish(result);
+    }
+}
+
+/// Execute one admitted job on the leased device; returns its terminal
+/// result (terminal counters are the caller's job, quarantine/session
+/// counters are bumped here where the decisions happen).
+fn execute(
+    inner: &ServiceInner,
+    job: &JobShared,
+    request: SolveRequest,
+    lease: &DeviceLease<AnyDevice>,
+    queue_wait: Duration,
+) -> JobResult {
+    let spec = inner.specs[lease.slot()].clone();
+    if request.checked {
+        return execute_checked(inner, job, &request, &spec, queue_wait);
+    }
+    let setup_start = Instant::now();
+    // The key derivation discretises the problem, which panics on
+    // singular input — isolate it like any other job panic.
+    let key = match catch_unwind(AssertUnwindSafe(|| SessionKey::of(&request, &spec))) {
+        Ok(key) => key,
+        Err(payload) => {
+            inner.stats.bump(&inner.stats.panicked);
+            return JobResult::Failed(JobError::Panicked(panic_message(payload)));
+        }
+    };
+    let (mut session, warm) = match inner.cache.checkout(&key) {
+        Some(session) => {
+            inner.stats.bump(&inner.stats.warm_hits);
+            (session, true)
+        }
+        None => match Session::build(&key, &request, inner.order, lease) {
+            Ok(session) => {
+                inner.stats.bump(&inner.stats.cold_builds);
+                (session, false)
+            }
+            Err(JobError::Panicked(msg)) => {
+                // The stillborn session is quarantined: nothing of it
+                // ever reaches the cache.
+                inner.stats.bump(&inner.stats.panicked);
+                inner.stats.bump(&inner.stats.quarantined);
+                return JobResult::Failed(JobError::Panicked(msg));
+            }
+            Err(e) => return JobResult::Failed(e),
+        },
+    };
+    let setup = setup_start.elapsed();
+    let solve_start = Instant::now();
+    match session.run(&request, job.cancel.clone()) {
+        Ok(outcome) => {
+            let solve = solve_start.elapsed();
+            if inner.cache.checkin(key, session) {
+                inner.stats.bump(&inner.stats.evicted);
+            }
+            if outcome.cancelled {
+                JobResult::Cancelled
+            } else {
+                JobResult::Done(done(inner, outcome, queue_wait, setup, solve, warm, spec))
+            }
+        }
+        Err(JobError::Panicked(msg)) => {
+            // `session` is dropped here instead of checked in: the
+            // quarantine that keeps one tenant's panic from poisoning
+            // the next tenant's solve.
+            inner.stats.bump(&inner.stats.panicked);
+            inner.stats.bump(&inner.stats.quarantined);
+            JobResult::Failed(JobError::Panicked(msg))
+        }
+        Err(e) => {
+            // A clean setup refusal (e.g. malformed RHS override)
+            // leaves the session untouched and reusable.
+            if inner.cache.checkin(key, session) {
+                inner.stats.bump(&inner.stats.evicted);
+            }
+            JobResult::Failed(e)
+        }
+    }
+}
+
+/// Run a checked job under the full correctness harness: sanitized
+/// kernels and verified communicators, always cold (the harness owns
+/// its world). Any finding fails the job.
+fn execute_checked(
+    inner: &ServiceInner,
+    job: &JobShared,
+    request: &SolveRequest,
+    spec: &str,
+    queue_wait: Duration,
+) -> JobResult {
+    let ranks = request.ranks();
+    let config = CheckConfig {
+        order: inner.order,
+        ..CheckConfig::default()
+    };
+    let params = SolveParams {
+        tol: request.tol,
+        max_iters: request.max_iters,
+        record_history: false,
+        overlap_halo: request.opts.overlap_halo,
+        overlap_reduce: request.opts.overlap_reduce,
+        cancel: Some(job.cancel.clone()),
+        ..SolveParams::default()
+    };
+    let setup_start = Instant::now();
+    let ran = try_run_ranks_checked::<f64, _, _>(ranks, config, |comm| {
+        let dev = Checked::new(
+            AnyDevice::from_spec(spec, Recorder::disabled())
+                .expect("device spec validated at service start"),
+        );
+        let decomp = Decomp::new(request.decomp);
+        let mut solver = PoissonSolver::try_new(request.problem.clone(), decomp, dev, comm)?;
+        match &request.rhs {
+            Some(global) => {
+                let local = scatter(solver.grid(), global)?;
+                solver.resolve_with_rhs(&local, request.kind, &request.opts, &params)
+            }
+            None => Ok(solver.solve(request.kind, &request.opts, &params)),
+        }
+    });
+    let solve = setup_start.elapsed();
+    match ran {
+        Ok(rank_results) => {
+            let mut outcome = None;
+            let mut setup_err = None;
+            for r in rank_results {
+                match r {
+                    Ok(o) => outcome = outcome.or(Some(o)),
+                    Err(e) => setup_err = Some(e),
+                }
+            }
+            if let Some(e) = setup_err {
+                return JobResult::Failed(JobError::Setup(e));
+            }
+            let outcome = outcome.expect("checked world has at least one rank");
+            if outcome.cancelled {
+                JobResult::Cancelled
+            } else {
+                JobResult::Done(done(
+                    inner,
+                    outcome,
+                    queue_wait,
+                    Duration::ZERO,
+                    solve,
+                    false,
+                    spec.to_string(),
+                ))
+            }
+        }
+        Err(failure) => {
+            if failure.panics.is_empty() {
+                JobResult::Failed(JobError::Check(format!("{failure}")))
+            } else {
+                inner.stats.bump(&inner.stats.panicked);
+                let msgs = failure.panics.into_iter().map(|(_, m)| m).collect();
+                JobResult::Failed(JobError::Panicked(primary_panic(msgs)))
+            }
+        }
+    }
+}
+
+fn done(
+    inner: &ServiceInner,
+    outcome: SolveOutcome,
+    queue_wait: Duration,
+    setup: Duration,
+    solve: Duration,
+    warm: bool,
+    device: String,
+) -> JobOutput {
+    let metrics = JobMetrics {
+        queue_wait,
+        setup,
+        solve,
+        iterations: outcome.iterations,
+        warm,
+        device,
+        completion_seq: inner.stats.bump(&inner.stats.completion_seq),
+    };
+    JobOutput { outcome, metrics }
+}

@@ -1,0 +1,361 @@
+//! Warm sessions: constructed solvers kept alive across jobs.
+//!
+//! A session is one fully set-up [`PoissonSolver`] world — single-rank
+//! ([`SelfComm`]) or a persistent ranks-as-threads world
+//! ([`ThreadComm`]) — cached under a [`SessionKey`]. A warm hit skips
+//! the paper's entire setup phase (grid, operator, workspace and RHS
+//! assembly, normalisation, offload) and re-runs only `solve`, swapping
+//! in a fresh RHS when the job brings one.
+//!
+//! Panic isolation: every rank closure runs under `catch_unwind`; on a
+//! multi-rank panic the world is poisoned so blocked peers unwind
+//! instead of deadlocking, and the caller quarantines the session.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use accel::{AnyDevice, Recorder};
+use blockgrid::{BlockGrid, Decomp};
+use comm::{Poisoner, ReduceOrder, SelfComm, ThreadComm};
+use krylov::{CancelToken, SolveOutcome, SolveParams, SolverKind, SolverOptions};
+use poisson::assemble::local_rhs;
+use poisson::{PoissonProblem, PoissonSolver, SetupError};
+
+use crate::job::JobError;
+use crate::request::SolveRequest;
+
+/// What a cached session is keyed by: the problem *discretisation* (not
+/// its closures), the decomposition, the device spec, and the solver
+/// configuration. Two requests with equal keys can share a constructed
+/// solver; the RHS itself is per-job state (see [`Session::run`]).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct SessionKey {
+    n: [usize; 3],
+    h: [u64; 3],
+    origin: [u64; 3],
+    bc: [[blockgrid::BcKind; 2]; 3],
+    decomp: [usize; 3],
+    device: String,
+    kind: SolverKind,
+    opts: ([u64; 4], [usize; 2], [bool; 2]),
+}
+
+impl SessionKey {
+    /// Key of a request placed on `device`. Calls
+    /// `problem.discretize()`, which panics on singular input — callers
+    /// run this under the job's panic isolation.
+    pub(crate) fn of(req: &SolveRequest, device: &str) -> Self {
+        let g = req.problem.discretize();
+        let o = &req.opts;
+        Self {
+            n: g.n,
+            h: g.h.map(f64::to_bits),
+            origin: g.origin.map(f64::to_bits),
+            bc: g.bc,
+            decomp: req.decomp,
+            device: device.to_string(),
+            kind: req.kind,
+            opts: (
+                [
+                    o.inner_tol_g.to_bits(),
+                    o.inner_tol_bj.to_bits(),
+                    o.eig_max_shrink.to_bits(),
+                    o.eig_min_factor.to_bits(),
+                ],
+                [o.inner_max_iters, o.ci_iterations],
+                [o.overlap_halo, o.overlap_reduce],
+            ),
+        }
+    }
+
+    /// The device spec this key pins.
+    pub(crate) fn device(&self) -> &str {
+        &self.device
+    }
+}
+
+/// Identity of the closures a right-hand side was assembled from
+/// (pointer identity — resubmitting the same `PoissonProblem` value
+/// compares equal, a problem rebuilt from different closures does not).
+#[derive(Clone, Copy, PartialEq, Eq)]
+struct RhsSource([usize; 5]);
+
+impl RhsSource {
+    fn of(p: &PoissonProblem) -> Self {
+        let addr = |f: &poisson::SpaceFn| Arc::as_ptr(f) as *const () as usize;
+        Self([
+            addr(&p.rhs),
+            addr(&p.dirichlet),
+            addr(&p.neumann_dx[0]),
+            addr(&p.neumann_dx[1]),
+            addr(&p.neumann_dx[2]),
+        ])
+    }
+}
+
+enum SessionWorld {
+    Single(Box<PoissonSolver<f64, AnyDevice, SelfComm<f64>>>),
+    Multi {
+        ranks: Vec<PoissonSolver<f64, AnyDevice, ThreadComm<f64>>>,
+        poisoner: Poisoner<f64>,
+    },
+}
+
+/// A constructed solver world, reusable across jobs with equal
+/// [`SessionKey`]s.
+pub(crate) struct Session {
+    world: SessionWorld,
+    /// Provenance of the RHS currently offloaded in `b`: the closures
+    /// it was assembled from, or `None` after an explicit override.
+    b_source: Option<RhsSource>,
+    /// Completed solves on this session (diagnostics).
+    pub(crate) solves: u64,
+}
+
+/// Downcast a panic payload to its message.
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Among the per-rank panic payloads, prefer the root cause over the
+/// poison cascade every *other* rank unwinds with.
+pub(crate) fn primary_panic(msgs: Vec<String>) -> String {
+    msgs.iter()
+        .find(|m| !m.contains("poisoned"))
+        .cloned()
+        .unwrap_or_else(|| msgs.first().cloned().unwrap_or_default())
+}
+
+/// Scatter a global x-fastest RHS vector to one rank's interior.
+pub(crate) fn scatter(grid: &BlockGrid, global: &[f64]) -> Result<Vec<f64>, SetupError> {
+    let n = grid.global.n;
+    let expected = n[0] * n[1] * n[2];
+    if global.len() != expected {
+        return Err(SetupError::RhsSizeMismatch {
+            expected,
+            got: global.len(),
+        });
+    }
+    let ln = grid.local_n;
+    let mut local = Vec::with_capacity(ln[0] * ln[1] * ln[2]);
+    for k in 0..ln[2] {
+        for j in 0..ln[1] {
+            let row =
+                (grid.offset[0]) + n[0] * ((grid.offset[1] + j) + n[1] * (grid.offset[2] + k));
+            local.extend_from_slice(&global[row..row + ln[0]]);
+        }
+    }
+    Ok(local)
+}
+
+/// How this job's RHS reaches the solver.
+#[derive(Clone, Copy)]
+enum RhsPlan<'a> {
+    /// The offloaded `b` already matches the request; solve directly.
+    Keep,
+    /// Re-assemble from the request problem's closures, then swap.
+    Assemble(&'a PoissonProblem),
+    /// Scatter the request's global override, then swap.
+    Scatter(&'a [f64]),
+}
+
+fn run_one<C: comm::Communicator<f64>>(
+    solver: &mut PoissonSolver<f64, AnyDevice, C>,
+    plan: RhsPlan<'_>,
+    kind: SolverKind,
+    opts: &SolverOptions,
+    params: &SolveParams,
+) -> Result<SolveOutcome, SetupError> {
+    match plan {
+        RhsPlan::Keep => Ok(solver.solve(kind, opts, params)),
+        RhsPlan::Assemble(problem) => {
+            let local = local_rhs(problem, solver.grid());
+            solver.resolve_with_rhs(&local, kind, opts, params)
+        }
+        RhsPlan::Scatter(global) => {
+            let local = scatter(solver.grid(), global)?;
+            solver.resolve_with_rhs(&local, kind, opts, params)
+        }
+    }
+}
+
+impl Session {
+    /// Construct the session for `req` cold. The single-rank flavour
+    /// runs on a clone of the leased device; multi-rank worlds build
+    /// one device per rank from the key's spec. Any panic during
+    /// construction is caught (and, multi-rank, the half-built world
+    /// poisoned) and reported as [`JobError::Panicked`] — the caller
+    /// counts the stillborn session as quarantined.
+    pub(crate) fn build(
+        key: &SessionKey,
+        req: &SolveRequest,
+        order: ReduceOrder,
+        leased: &AnyDevice,
+    ) -> Result<Self, JobError> {
+        let decomp = Decomp::new(req.decomp);
+        let ranks = decomp.ranks();
+        let b_source = Some(RhsSource::of(&req.problem));
+        if ranks == 1 {
+            let problem = req.problem.clone();
+            let dev = leased.clone();
+            let built = catch_unwind(AssertUnwindSafe(|| {
+                PoissonSolver::try_new(problem, decomp, dev, SelfComm::default())
+            }));
+            match built {
+                Ok(Ok(solver)) => Ok(Self {
+                    world: SessionWorld::Single(Box::new(solver)),
+                    b_source,
+                    solves: 0,
+                }),
+                Ok(Err(e)) => Err(JobError::Setup(e)),
+                Err(p) => Err(JobError::Panicked(panic_message(p))),
+            }
+        } else {
+            let comms = ThreadComm::<f64>::world(ranks, order, vec![Recorder::disabled(); ranks]);
+            let poisoner = comms[0].poisoner();
+            let spec = key.device().to_string();
+            let results: Vec<_> = std::thread::scope(|s| {
+                let handles: Vec<_> = comms
+                    .into_iter()
+                    .map(|comm| {
+                        let problem = req.problem.clone();
+                        let poi = poisoner.clone();
+                        let spec = spec.clone();
+                        s.spawn(move || {
+                            let r = catch_unwind(AssertUnwindSafe(|| {
+                                let dev = AnyDevice::from_spec(&spec, Recorder::disabled())
+                                    .expect("device spec validated at service start");
+                                PoissonSolver::try_new(problem, decomp, dev, comm)
+                            }));
+                            if r.is_err() {
+                                // unblock peers stuck in collectives so
+                                // they unwind too
+                                poi.poison();
+                            }
+                            r
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("rank threads catch their panics"))
+                    .collect()
+            });
+            let mut solvers = Vec::with_capacity(ranks);
+            let mut panics = Vec::new();
+            let mut setup = None;
+            for r in results {
+                match r {
+                    Ok(Ok(s)) => solvers.push(s),
+                    Ok(Err(e)) => setup = Some(e),
+                    Err(p) => panics.push(panic_message(p)),
+                }
+            }
+            if !panics.is_empty() {
+                Err(JobError::Panicked(primary_panic(panics)))
+            } else if let Some(e) = setup {
+                Err(JobError::Setup(e))
+            } else {
+                Ok(Self {
+                    world: SessionWorld::Multi {
+                        ranks: solvers,
+                        poisoner,
+                    },
+                    b_source,
+                    solves: 0,
+                })
+            }
+        }
+    }
+
+    /// Execute one job on this session.
+    ///
+    /// `Err(JobError::Panicked)` means the session state can no longer
+    /// be trusted — the caller must quarantine it. `Err(JobError::Setup)`
+    /// is a clean collective refusal (every rank returned before
+    /// touching solver state): the session stays reusable.
+    pub(crate) fn run(
+        &mut self,
+        req: &SolveRequest,
+        cancel: CancelToken,
+    ) -> Result<SolveOutcome, JobError> {
+        let plan = match &req.rhs {
+            Some(global) => RhsPlan::Scatter(global),
+            None if self.b_source == Some(RhsSource::of(&req.problem)) => RhsPlan::Keep,
+            None => RhsPlan::Assemble(&req.problem),
+        };
+        let params = SolveParams {
+            tol: req.tol,
+            max_iters: req.max_iters,
+            record_history: false,
+            overlap_halo: req.opts.overlap_halo,
+            overlap_reduce: req.opts.overlap_reduce,
+            cancel: Some(cancel),
+            ..Default::default()
+        };
+        let outcome = match &mut self.world {
+            SessionWorld::Single(solver) => {
+                match catch_unwind(AssertUnwindSafe(|| {
+                    run_one(solver, plan, req.kind, &req.opts, &params)
+                })) {
+                    Ok(Ok(out)) => Ok(out),
+                    Ok(Err(e)) => Err(JobError::Setup(e)),
+                    Err(p) => Err(JobError::Panicked(panic_message(p))),
+                }
+            }
+            SessionWorld::Multi { ranks, poisoner } => {
+                let results: Vec<_> = std::thread::scope(|s| {
+                    let handles: Vec<_> = ranks
+                        .iter_mut()
+                        .map(|solver| {
+                            let poi = poisoner.clone();
+                            let params = params.clone();
+                            s.spawn(move || {
+                                let r = catch_unwind(AssertUnwindSafe(|| {
+                                    run_one(solver, plan, req.kind, &req.opts, &params)
+                                }));
+                                if r.is_err() {
+                                    poi.poison();
+                                }
+                                r
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("rank threads catch their panics"))
+                        .collect()
+                });
+                let mut out = None;
+                let mut panics = Vec::new();
+                let mut setup = None;
+                for r in results {
+                    match r {
+                        Ok(Ok(o)) => out = out.or(Some(o)),
+                        Ok(Err(e)) => setup = Some(e),
+                        Err(p) => panics.push(panic_message(p)),
+                    }
+                }
+                if !panics.is_empty() {
+                    Err(JobError::Panicked(primary_panic(panics)))
+                } else if let Some(e) = setup {
+                    Err(JobError::Setup(e))
+                } else {
+                    Ok(out.expect("every rank returned an outcome"))
+                }
+            }
+        }?;
+        self.solves += 1;
+        self.b_source = match &req.rhs {
+            Some(_) => None,
+            None => Some(RhsSource::of(&req.problem)),
+        };
+        Ok(outcome)
+    }
+}

@@ -1,0 +1,370 @@
+//! End-to-end service tests: lifecycle, warm reuse, panic isolation,
+//! scheduling semantics and the checked-mode harness.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use krylov::SolverKind;
+use poisson::{paper_problem, unit_cube_dirichlet, PoissonProblem, SetupError};
+use serve::{
+    JobError, JobHandle, JobResult, JobStatus, Priority, ServiceConfig, SolveRequest, SolveService,
+    SubmitError,
+};
+
+/// A request small and loose enough to finish in milliseconds.
+fn quick(problem: PoissonProblem) -> SolveRequest {
+    let mut req = SolveRequest::new(problem, SolverKind::BiCgs);
+    req.tol = 1e-8;
+    req.max_iters = 2_000;
+    req
+}
+
+fn single_worker(session_capacity: usize) -> SolveService {
+    SolveService::start(ServiceConfig {
+        workers: 1,
+        session_capacity,
+        ..ServiceConfig::default()
+    })
+}
+
+/// A problem whose RHS assembly blocks until `gate` opens — pins the
+/// (single) worker deterministically so tests can fill the queue,
+/// expire deadlines or cancel behind it.
+fn gated_problem(gate: &Arc<AtomicBool>) -> PoissonProblem {
+    let mut p = unit_cube_dirichlet(5);
+    let gate = gate.clone();
+    p.rhs = Arc::new(move |_, _, _| {
+        while !gate.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        1.0
+    });
+    p.exact = None;
+    p
+}
+
+/// A problem whose RHS assembly panics — the poison tenant.
+fn poison_problem() -> PoissonProblem {
+    let mut p = unit_cube_dirichlet(5);
+    p.rhs = Arc::new(|_, _, _| panic!("tenant rhs exploded"));
+    p.exact = None;
+    p
+}
+
+/// Block until the worker has started executing `handle`'s job.
+fn wait_until_running(handle: &JobHandle) {
+    let start = Instant::now();
+    while handle.status() != JobStatus::Running {
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "job never started running"
+        );
+        std::thread::sleep(Duration::from_micros(100));
+    }
+}
+
+#[test]
+fn solves_a_simple_job_end_to_end() {
+    let svc = single_worker(8);
+    let handle = svc.submit(quick(unit_cube_dirichlet(9))).unwrap();
+    let result = handle.wait();
+    let output = result.output().expect("job should complete");
+    assert!(output.outcome.converged);
+    assert!(!output.metrics.warm);
+    assert_eq!(output.metrics.device, "serial");
+    let stats = svc.stats();
+    assert_eq!(stats.submitted, 1);
+    assert_eq!(stats.completed, 1);
+    assert_eq!(stats.cold_builds, 1);
+    assert_eq!(stats.warm_hits, 0);
+    assert_eq!(stats.cached_sessions, 1);
+}
+
+#[test]
+fn warm_reuse_is_bitwise_identical_to_the_cold_solve() {
+    let svc = single_worker(8);
+    let req = quick(unit_cube_dirichlet(9));
+    let cold = svc.submit(req.clone()).unwrap().wait();
+    let warm = svc.submit(req).unwrap().wait();
+    let cold = cold.output().expect("cold job completes");
+    let warm = warm.output().expect("warm job completes");
+    assert!(!cold.metrics.warm);
+    assert!(
+        warm.metrics.warm,
+        "second identical request must hit the cache"
+    );
+    assert_eq!(cold.outcome.iterations, warm.outcome.iterations);
+    assert_eq!(
+        cold.outcome.final_residual.to_bits(),
+        warm.outcome.final_residual.to_bits(),
+        "warm solve must be bitwise-identical to the cold one"
+    );
+    let stats = svc.stats();
+    assert_eq!(stats.cold_builds, 1);
+    assert_eq!(stats.warm_hits, 1);
+}
+
+#[test]
+fn a_panicking_job_is_quarantined_and_the_service_keeps_serving() {
+    let svc = single_worker(8);
+    let poisoned = svc.submit(quick(poison_problem())).unwrap().wait();
+    match poisoned {
+        JobResult::Failed(JobError::Panicked(msg)) => {
+            assert!(
+                msg.contains("tenant rhs exploded"),
+                "panic payload must be preserved, got: {msg}"
+            );
+        }
+        other => panic!("poison job should fail as Panicked, got {other:?}"),
+    }
+    // Every subsequent tenant is served normally.
+    let good: Vec<_> = (0..5)
+        .map(|_| svc.submit(quick(unit_cube_dirichlet(7))).unwrap())
+        .collect();
+    for handle in good {
+        let result = handle.wait();
+        assert!(
+            result.output().is_some_and(|o| o.outcome.converged),
+            "jobs after a quarantine must still succeed, got {result:?}"
+        );
+    }
+    let stats = svc.stats();
+    assert_eq!(stats.panicked, 1);
+    assert_eq!(stats.quarantined, 1, "exactly one session quarantined");
+    assert_eq!(stats.failed, 1);
+    assert_eq!(stats.completed, 5);
+}
+
+#[test]
+fn eight_rank_checked_job_reports_zero_findings() {
+    let svc = single_worker(0);
+    let mut req = quick(paper_problem(13));
+    req.decomp = [2, 2, 2];
+    req.kind = SolverKind::BiCgsGNoCommCi;
+    req.checked = true;
+    let result = svc.submit(req).unwrap().wait();
+    let output = result
+        .output()
+        .unwrap_or_else(|| panic!("checked 8-rank solve must be clean, got {result:?}"));
+    assert!(output.outcome.converged);
+    assert!(!output.metrics.warm, "checked jobs always run cold");
+}
+
+#[test]
+fn full_queue_rejects_immediately_instead_of_blocking() {
+    let gate = Arc::new(AtomicBool::new(false));
+    let svc = SolveService::start(ServiceConfig {
+        workers: 1,
+        queue_capacity: 2,
+        session_capacity: 0,
+        ..ServiceConfig::default()
+    });
+    let blocker = svc.submit(quick(gated_problem(&gate))).unwrap();
+    wait_until_running(&blocker);
+    let q1 = svc.submit(quick(unit_cube_dirichlet(7))).unwrap();
+    let q2 = svc.submit(quick(unit_cube_dirichlet(7))).unwrap();
+    let start = Instant::now();
+    let rejected = svc.submit(quick(unit_cube_dirichlet(7)));
+    assert!(
+        start.elapsed() < Duration::from_secs(1),
+        "admission must not block on a full queue"
+    );
+    assert!(matches!(rejected, Err(SubmitError::Overloaded)));
+    assert_eq!(svc.stats().rejected, 1);
+    gate.store(true, Ordering::SeqCst);
+    assert!(blocker.wait().output().is_some());
+    assert!(q1.wait().output().is_some());
+    assert!(q2.wait().output().is_some());
+}
+
+#[test]
+fn deadline_expired_jobs_are_shed_unstarted() {
+    let gate = Arc::new(AtomicBool::new(false));
+    let svc = single_worker(0);
+    let blocker = svc.submit(quick(gated_problem(&gate))).unwrap();
+    wait_until_running(&blocker);
+    let mut stale = quick(unit_cube_dirichlet(7));
+    stale.deadline = Some(Duration::from_millis(10));
+    let stale = svc.submit(stale).unwrap();
+    std::thread::sleep(Duration::from_millis(30));
+    gate.store(true, Ordering::SeqCst);
+    assert!(matches!(stale.wait(), JobResult::Shed));
+    assert!(blocker.wait().output().is_some());
+    let stats = svc.stats();
+    assert_eq!(stats.shed, 1);
+    assert_eq!(stats.completed, 1);
+}
+
+#[test]
+fn a_queued_job_can_be_cancelled() {
+    let gate = Arc::new(AtomicBool::new(false));
+    let svc = single_worker(0);
+    let blocker = svc.submit(quick(gated_problem(&gate))).unwrap();
+    wait_until_running(&blocker);
+    let victim = svc.submit(quick(unit_cube_dirichlet(7))).unwrap();
+    victim.cancel();
+    gate.store(true, Ordering::SeqCst);
+    assert!(matches!(victim.wait(), JobResult::Cancelled));
+    assert!(blocker.wait().output().is_some());
+    assert_eq!(svc.stats().cancelled, 1);
+}
+
+#[test]
+fn a_running_job_is_cancelled_cooperatively() {
+    let svc = single_worker(0);
+    let mut req = quick(unit_cube_dirichlet(17));
+    // Unreachable tolerance: without cancellation this would grind
+    // through the full iteration budget.
+    req.tol = 1e-300;
+    req.max_iters = 50_000_000;
+    let handle = svc.submit(req).unwrap();
+    wait_until_running(&handle);
+    handle.cancel();
+    assert!(matches!(handle.wait(), JobResult::Cancelled));
+    assert_eq!(svc.stats().cancelled, 1);
+}
+
+#[test]
+fn priority_classes_drain_high_first_fifo_within_each() {
+    let gate = Arc::new(AtomicBool::new(false));
+    let svc = single_worker(8);
+    let blocker = svc.submit(quick(gated_problem(&gate))).unwrap();
+    wait_until_running(&blocker);
+    let submit = |priority| {
+        let mut req = quick(unit_cube_dirichlet(7));
+        req.priority = priority;
+        svc.submit(req).unwrap()
+    };
+    let low_1 = submit(Priority::Low);
+    let normal_1 = submit(Priority::Normal);
+    let high_1 = submit(Priority::High);
+    let low_2 = submit(Priority::Low);
+    let high_2 = submit(Priority::High);
+    gate.store(true, Ordering::SeqCst);
+    let seq = |h: &JobHandle| {
+        h.wait()
+            .output()
+            .expect("queued jobs complete")
+            .metrics
+            .completion_seq
+    };
+    let (h1, h2, n1, l1, l2) = (
+        seq(&high_1),
+        seq(&high_2),
+        seq(&normal_1),
+        seq(&low_1),
+        seq(&low_2),
+    );
+    assert!(blocker.wait().output().is_some());
+    assert!(
+        h1 < h2 && h2 < n1 && n1 < l1 && l1 < l2,
+        "expected High(FIFO), Normal, Low(FIFO); got seqs {:?}",
+        [h1, h2, n1, l1, l2]
+    );
+}
+
+#[test]
+fn a_zero_rhs_is_refused_cleanly_and_the_session_pool_stays_healthy() {
+    let svc = single_worker(8);
+    let mut p = unit_cube_dirichlet(7);
+    p.rhs = Arc::new(|_, _, _| 0.0);
+    p.dirichlet = Arc::new(|_, _, _| 0.0);
+    p.exact = None;
+    let result = svc.submit(quick(p)).unwrap().wait();
+    assert!(
+        matches!(
+            result,
+            JobResult::Failed(JobError::Setup(SetupError::ZeroRhs))
+        ),
+        "zero RHS must fail as a clean SetupError, got {result:?}"
+    );
+    let good = svc.submit(quick(unit_cube_dirichlet(7))).unwrap().wait();
+    assert!(good.output().is_some_and(|o| o.outcome.converged));
+    let stats = svc.stats();
+    assert_eq!(stats.failed, 1);
+    assert_eq!(stats.quarantined, 0, "a setup refusal is not a quarantine");
+}
+
+#[test]
+fn shutdown_sheds_queued_jobs_and_finishes_running_ones() {
+    let gate = Arc::new(AtomicBool::new(false));
+    let svc = single_worker(0);
+    let blocker = svc.submit(quick(gated_problem(&gate))).unwrap();
+    wait_until_running(&blocker);
+    let queued = svc.submit(quick(unit_cube_dirichlet(7))).unwrap();
+    let releaser = {
+        let gate = gate.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            gate.store(true, Ordering::SeqCst);
+        })
+    };
+    let stats = svc.shutdown();
+    releaser.join().unwrap();
+    assert!(matches!(queued.wait(), JobResult::Shed));
+    assert!(
+        blocker.wait().output().is_some(),
+        "the in-flight job runs to completion through shutdown"
+    );
+    assert_eq!(stats.shed, 1);
+    assert_eq!(stats.completed, 1);
+}
+
+mod no_job_lost {
+    //! Property: every admitted job reaches exactly one terminal state,
+    //! whatever mix of good, poison, cancelled and stale jobs arrives,
+    //! and the terminal counters account for all of them.
+
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        #[test]
+        fn every_admitted_job_reaches_a_terminal_state(
+            flavors in prop::collection::vec((0usize..4, 0usize..3), 1..7),
+            workers in 1usize..3,
+        ) {
+            let svc = SolveService::start(ServiceConfig {
+                workers,
+                queue_capacity: 64,
+                session_capacity: 4,
+                ..ServiceConfig::default()
+            });
+            let mut handles = Vec::new();
+            for (flavor, class) in flavors {
+                let mut req = quick(unit_cube_dirichlet(5 + 2 * (class % 2)));
+                req.priority = match class {
+                    0 => Priority::High,
+                    1 => Priority::Normal,
+                    _ => Priority::Low,
+                };
+                match flavor {
+                    1 => req.problem = poison_problem(),
+                    2 => req.deadline = Some(Duration::ZERO),
+                    _ => {}
+                }
+                let handle = svc.submit(req).unwrap();
+                if flavor == 3 {
+                    handle.cancel();
+                }
+                handles.push(handle);
+            }
+            let admitted = handles.len() as u64;
+            for handle in &handles {
+                // wait() returning at all is the invariant: a lost job
+                // would hang here (and trip the harness timeout).
+                let _terminal = handle.wait();
+            }
+            let stats = svc.shutdown();
+            prop_assert_eq!(stats.submitted, admitted);
+            prop_assert_eq!(
+                stats.completed + stats.failed + stats.shed + stats.cancelled,
+                admitted,
+                "terminal counters must account for every admitted job"
+            );
+        }
+    }
+}

@@ -44,6 +44,8 @@ const MUST_USE_TYPES: &[(&str, &str)] = &[
     ("crates/comm/src/types.rs", "RecvRequest"),
     ("crates/comm/src/types.rs", "ReduceRequest"),
     ("crates/blockgrid/src/halo.rs", "PendingExchange"),
+    // Dropping a job handle silently discards the tenant's result.
+    ("crates/serve/src/job.rs", "JobHandle"),
 ];
 
 /// How many lines above an `unsafe` token a `SAFETY` comment may sit.

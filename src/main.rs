@@ -20,6 +20,7 @@ fn usage() -> ! {
         "poisson-bicgstab-repro: preconditioned Bi-CGSTAB Poisson solver
 
 USAGE: poisson-bicgstab-repro [OPTIONS]
+       poisson-bicgstab-repro serve-demo   (multi-tenant solve-service demo)
   --nodes N        mesh nodes per axis                       [48]
   --ranks AxBxC    process-grid decomposition                [1x1x1]
   --solver NAME    bicgs | g-bicgs | bj-bicgs | bj-ci | g-ci | gnocomm-ci
@@ -46,7 +47,114 @@ USAGE: poisson-bicgstab-repro [OPTIONS]
     std::process::exit(2)
 }
 
+/// `serve-demo`: exercise `crates/serve` end to end — warm-session
+/// reuse, priorities, a multi-rank tenant and a quarantined poison
+/// tenant — and print the service counters.
+fn serve_demo() -> ! {
+    use poisson::{paper_problem, unit_cube_dirichlet};
+    use serve::{JobHandle, JobResult, Priority, ServiceConfig, SolveRequest, SolveService};
+
+    // The poison tenant panics by design; keep its backtrace quiet.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let expected = info
+            .payload()
+            .downcast_ref::<&str>()
+            .is_some_and(|s| s.contains("demo poison tenant"));
+        if !expected {
+            default_hook(info);
+        }
+    }));
+
+    let svc = SolveService::start(ServiceConfig {
+        workers: 2,
+        queue_capacity: 16,
+        session_capacity: 8,
+        ..ServiceConfig::default()
+    });
+    println!("serve-demo: 2 workers, queue capacity 16, warm-session cache 8\n");
+
+    let submit = |req: SolveRequest| -> JobHandle { svc.submit(req).expect("queue has room") };
+    let report = |name: &str, handle: &JobHandle| match handle.wait() {
+        JobResult::Done(out) => println!(
+            "  {name:<28} done: {} in {} iters ({}, setup {:.1} ms, solve {:.1} ms)",
+            if out.outcome.converged {
+                "converged"
+            } else {
+                "stopped"
+            },
+            out.outcome.iterations,
+            if out.metrics.warm {
+                "warm session"
+            } else {
+                "cold build"
+            },
+            out.metrics.setup.as_secs_f64() * 1e3,
+            out.metrics.solve.as_secs_f64() * 1e3,
+        ),
+        JobResult::Failed(e) => println!("  {name:<28} failed: {e}"),
+        JobResult::Shed => println!("  {name:<28} shed before starting"),
+        JobResult::Cancelled => println!("  {name:<28} cancelled"),
+    };
+
+    // Two tenants with different discretisations (both cold).
+    let paper = paper_problem(21);
+    let mut a = SolveRequest::new(paper.clone(), SolverKind::BiCgsGNoCommCi);
+    a.tol = 1e-8;
+    a.priority = Priority::High;
+    let mut b = SolveRequest::new(unit_cube_dirichlet(17), SolverKind::BiCgs);
+    b.tol = 1e-8;
+    let (a, b) = (submit(a), submit(b));
+    report("tenant A (paper, high)", &a);
+    report("tenant B (unit cube)", &b);
+
+    // Tenant A again: same discretisation and config, so the cached
+    // session is reused and setup is skipped.
+    let mut a2 = SolveRequest::new(paper, SolverKind::BiCgsGNoCommCi);
+    a2.tol = 1e-8;
+    let a2 = submit(a2);
+    report("tenant A repeat (warm)", &a2);
+
+    // A 4-rank tenant: the service spawns a ranks-as-threads world.
+    let mut multi = SolveRequest::new(unit_cube_dirichlet(15), SolverKind::BiCgsGNoCommCi);
+    multi.tol = 1e-8;
+    multi.decomp = [2, 2, 1];
+    let multi = submit(multi);
+    report("tenant C (2x2x1 ranks)", &multi);
+
+    // A poison tenant: its RHS closure panics mid-assembly. The panic
+    // is caught, the half-built session quarantined, and the service
+    // keeps serving.
+    let mut bad = unit_cube_dirichlet(9);
+    bad.rhs = std::sync::Arc::new(|_, _, _| panic!("demo poison tenant"));
+    bad.exact = None;
+    let poison = submit(SolveRequest::new(bad, SolverKind::BiCgs));
+    report("poison tenant", &poison);
+
+    let mut after = SolveRequest::new(unit_cube_dirichlet(9), SolverKind::BiCgs);
+    after.tol = 1e-8;
+    let after = submit(after);
+    report("tenant D (after poison)", &after);
+
+    let stats = svc.shutdown();
+    println!(
+        "\nservice stats: {} submitted, {} completed, {} failed \
+         ({} panicked, {} sessions quarantined), {} warm hits / {} cold builds",
+        stats.submitted,
+        stats.completed,
+        stats.failed,
+        stats.panicked,
+        stats.quarantined,
+        stats.warm_hits,
+        stats.cold_builds
+    );
+    std::process::exit(if stats.completed == 5 { 0 } else { 1 })
+}
+
 fn main() {
+    if std::env::args().nth(1).as_deref() == Some("serve-demo") {
+        serve_demo();
+    }
     let args = Args::parse();
     if args.flag("help") {
         usage();
