@@ -106,7 +106,9 @@ pub struct SolveParams {
     pub overlap_reduce: bool,
     /// Cooperative cancellation flag, polled collectively once per outer
     /// iteration (see [`CancelToken`]). `None` adds no messages and no
-    /// polling.
+    /// polling. With `overlap_reduce` active the poll adds no messages
+    /// either: the flag rides the M1 batch as one extra scalar rather
+    /// than a dedicated blocking reduction.
     pub cancel: Option<CancelToken>,
 }
 
@@ -379,18 +381,25 @@ where
         // Cooperative cancellation, decided collectively so every rank
         // breaks on the same iteration: each rank reduces its local view
         // of the flag and any rank's request stops them all. The poll
-        // (and its message) exists only when a token is installed.
-        if let Some(token) = &params.cancel {
-            let mut flag = [if token.is_cancelled() {
-                T::ONE
-            } else {
-                T::ZERO
-            }];
-            global_sum(ctx, scope, "MPIC", &mut flag);
-            if flag[0] != T::ZERO {
-                cancelled = true;
-                iterations = i - 1;
-                break;
+        // (and its message) exists only when a token is installed — and
+        // in the overlapped schedule it costs no message at all: the
+        // flag rides the M1 batch as one extra scalar (see below)
+        // instead of this dedicated blocking reduction, which would
+        // reintroduce the per-iteration synchronous message the
+        // split-phase batching removed.
+        if !overlap_reduce {
+            if let Some(token) = &params.cancel {
+                let mut flag = [if token.is_cancelled() {
+                    T::ONE
+                } else {
+                    T::ZERO
+                }];
+                global_sum(ctx, scope, "MPIC", &mut flag);
+                if flag[0] != T::ZERO {
+                    cancelled = true;
+                    iterations = i - 1;
+                    break;
+                }
             }
         }
         iterations = i;
@@ -462,21 +471,47 @@ where
         // the previous x-update computes while the message is in flight.
         let psum = if overlap_reduce {
             ctx.recorder.begin(REDUCE_OVERLAP_STAGE);
-            let req = match &lagged {
-                Some((_, rnorm2_prev, _)) => ctx
-                    .comm
-                    .iall_reduce_batch(&[&[psum_local], &[*rnorm2_prev]], ReduceOp::Sum),
-                None => ctx.comm.iall_reduce(vec![psum_local], ReduceOp::Sum),
-            };
+            // The cancel poll piggybacks on M1 as one extra scalar, so
+            // an installed token adds no message: the flag is sampled
+            // here instead of at the loop top, and the decision lands
+            // after the deferred ω half below completes the previous
+            // iterate — the same iteration boundary the blocking poll
+            // stops at.
+            let cancel_local = params.cancel.as_ref().map(|token| {
+                [if token.is_cancelled() {
+                    T::ONE
+                } else {
+                    T::ZERO
+                }]
+            });
+            let rnorm2_prev = lagged.as_ref().map(|(_, r, _)| [*r]);
+            let psl = [psum_local];
+            let mut groups: Vec<&[T]> = vec![&psl];
+            if let Some(r) = &rnorm2_prev {
+                groups.push(r);
+            }
+            if let Some(c) = &cancel_local {
+                groups.push(c);
+            }
+            let req = ctx.comm.iall_reduce_batch(&groups, ReduceOp::Sum);
             if let Some((_, _, omega_prev)) = lagged {
                 // KernelBiCGS4b deferred from iteration i−1: x ← x + ω r̂
                 axpy_inplace(&ctx.dev, INFO_BICGS4B, &ctx.grid, x, &ws.r_hat, omega_prev);
             }
             let red = ctx.comm.reduce_finish(req);
             ctx.recorder.end(REDUCE_OVERLAP_STAGE);
+            let had_lag = lagged.is_some();
             if let Some((prev, _, _)) = lagged.take() {
                 // iteration i−1's stopping decisions, one message late
                 finish_iteration!(prev, red[1]);
+            }
+            if cancel_local.is_some() && red[1 + usize::from(had_lag)] != T::ZERO {
+                // Every rank reads the same reduced sum, so all break
+                // together; x is complete through iteration i−1 (the
+                // deferred ω half just landed above).
+                cancelled = true;
+                iterations = i - 1;
+                break;
             }
             red[0]
         } else {
@@ -1167,6 +1202,138 @@ mod tests {
                 3 * iters as u64 + 1,
                 "blocking schedule ships 3 messages/iteration"
             );
+        }
+    }
+
+    #[test]
+    fn cancel_poll_adds_no_messages_under_the_overlapped_schedule() {
+        // An installed (never-fired) token must ride the M1 batch as one
+        // extra scalar instead of shipping its own blocking reduction:
+        // allreduce counts stay at the overlapped schedule's 2 per
+        // iteration + 2, identical to the token-free solve, and the
+        // iteration itself is bitwise untouched.
+        let mut g = GlobalGrid::dirichlet([8, 8, 8], [0.15; 3], [0.0; 3]);
+        g.bc = paper_bcs();
+        let n = g.unknowns();
+        let b_host = rng_values(n, 61);
+        let bnorm: f64 = b_host.iter().map(|v| v * v).sum::<f64>().sqrt();
+        let tol = 1e-8 * bnorm;
+
+        let run = |cancel: Option<CancelToken>| {
+            let decomp = Decomp::new([2, 2, 2]);
+            let g2 = g.clone();
+            let b_ref = b_host.clone();
+            run_ranks::<f64, _, _>(8, ReduceOrder::RankOrder, move |comm| {
+                let grid = BlockGrid::new(g2.clone(), decomp, comm.rank());
+                let ln = grid.local_n;
+                let mut local = Vec::with_capacity(ln[0] * ln[1] * ln[2]);
+                for k in 0..ln[2] {
+                    for j in 0..ln[1] {
+                        for i in 0..ln[0] {
+                            let gidx = (grid.offset[0] + i)
+                                + 8 * ((grid.offset[1] + j) + 8 * (grid.offset[2] + k));
+                            local.push(b_ref[gidx]);
+                        }
+                    }
+                }
+                let dev = Serial::new(Recorder::disabled());
+                let ctx: RankCtx<f64, _, ThreadComm<f64>> = RankCtx::new(dev, comm, grid);
+                let b = Field::from_interior(&ctx.dev, &ctx.grid, &local);
+                let mut x = ctx.field();
+                let mut ws = Workspace::new(&ctx.dev, &ctx.grid);
+                let params = SolveParams {
+                    tol,
+                    max_iters: 20_000,
+                    record_history: true,
+                    cancel: cancel.clone(),
+                    ..Default::default()
+                };
+                let out = bicgstab_solve(
+                    &ctx,
+                    Scope::Global,
+                    &b,
+                    &mut x,
+                    &mut IdentityPrec,
+                    &mut ws,
+                    &params,
+                );
+                (out, ctx.comm.stats().allreduces)
+            })
+        };
+
+        let plain = run(None);
+        let tokened = run(Some(CancelToken::new()));
+        for (rank, ((po, pa), (to, ta))) in plain.iter().zip(&tokened).enumerate() {
+            assert!(po.converged && to.converged, "rank {rank}");
+            assert!(!to.cancelled, "rank {rank}");
+            assert_eq!(po.iterations, to.iterations, "rank {rank}");
+            assert_eq!(
+                pa, ta,
+                "rank {rank}: an uncancelled token must not add messages"
+            );
+            assert_eq!(*ta, 2 * to.iterations as u64 + 2, "rank {rank}");
+            let hp: Vec<u64> = po.residual_history.iter().map(|v| v.to_bits()).collect();
+            let ht: Vec<u64> = to.residual_history.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(hp, ht, "rank {rank}: residual histories diverge");
+        }
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_every_rank_under_the_overlapped_schedule() {
+        // The piggybacked flag is decided collectively: a pre-cancelled
+        // token stops all ranks at iteration 0 after exactly two
+        // messages (the ρ₀ init reduction and the M1 batch carrying the
+        // flag).
+        let mut g = GlobalGrid::dirichlet([8, 8, 8], [0.15; 3], [0.0; 3]);
+        g.bc = paper_bcs();
+        let n = g.unknowns();
+        let b_host = rng_values(n, 67);
+        let token = CancelToken::new();
+        token.cancel();
+
+        let decomp = Decomp::new([2, 2, 2]);
+        let b_ref = b_host.clone();
+        let results = run_ranks::<f64, _, _>(8, ReduceOrder::RankOrder, move |comm| {
+            let grid = BlockGrid::new(g.clone(), decomp, comm.rank());
+            let ln = grid.local_n;
+            let mut local = Vec::with_capacity(ln[0] * ln[1] * ln[2]);
+            for k in 0..ln[2] {
+                for j in 0..ln[1] {
+                    for i in 0..ln[0] {
+                        let gidx = (grid.offset[0] + i)
+                            + 8 * ((grid.offset[1] + j) + 8 * (grid.offset[2] + k));
+                        local.push(b_ref[gidx]);
+                    }
+                }
+            }
+            let dev = Serial::new(Recorder::disabled());
+            let ctx: RankCtx<f64, _, ThreadComm<f64>> = RankCtx::new(dev, comm, grid);
+            let b = Field::from_interior(&ctx.dev, &ctx.grid, &local);
+            let mut x = ctx.field();
+            let mut ws = Workspace::new(&ctx.dev, &ctx.grid);
+            let params = SolveParams {
+                tol: 1e-14,
+                max_iters: 20_000,
+                record_history: false,
+                cancel: Some(token.clone()),
+                ..Default::default()
+            };
+            let out = bicgstab_solve(
+                &ctx,
+                Scope::Global,
+                &b,
+                &mut x,
+                &mut IdentityPrec,
+                &mut ws,
+                &params,
+            );
+            (out, ctx.comm.stats().allreduces)
+        });
+        for (rank, (out, allreduces)) in results.iter().enumerate() {
+            assert!(out.cancelled, "rank {rank}: {out:?}");
+            assert!(!out.converged, "rank {rank}");
+            assert_eq!(out.iterations, 0, "rank {rank}");
+            assert_eq!(*allreduces, 2, "rank {rank}: init + flag-carrying M1");
         }
     }
 

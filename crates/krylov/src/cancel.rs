@@ -6,17 +6,18 @@ use std::sync::Arc;
 /// A cloneable cancellation flag observed by [`bicgstab_solve`].
 ///
 /// The solver polls the token once per outer iteration, *collectively*:
-/// every rank contributes its local view of the flag to a one-element
-/// reduction, so all ranks take the break on the same iteration even
-/// when the flip races with the loop. A cancelled solve stops at an
-/// iteration boundary with its iterate fully updated — the lagged
-/// bookkeeping of the overlapped reduction schedule is drained exactly
-/// as on an iteration-budget exhaustion — and reports
+/// every rank contributes its local view of the flag to a reduction, so
+/// all ranks take the break on the same iteration even when the flip
+/// races with the loop. A cancelled solve stops at an iteration
+/// boundary with its iterate fully updated and reports
 /// [`SolveOutcome::cancelled`](crate::SolveOutcome::cancelled).
 ///
 /// Without a token installed ([`SolveParams::cancel`](crate::SolveParams::cancel)
 /// is `None`) the solver ships no extra messages: the poll and its
-/// reduction exist only when someone can actually cancel.
+/// reduction exist only when someone can actually cancel. Under the
+/// overlapped reduction schedule even an installed token is free of
+/// extra messages — the flag rides the per-iteration M1 batch as one
+/// more scalar, preserving the 2-messages-per-iteration guarantee.
 ///
 /// [`bicgstab_solve`]: crate::bicgstab_solve
 #[derive(Clone, Debug, Default)]

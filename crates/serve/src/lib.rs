@@ -5,17 +5,19 @@
 //! arrive concurrently, queue under admission control, and run on a
 //! fixed worker/device pool that reuses warm sessions whenever a
 //! request matches a previously constructed solver (same
-//! discretisation, decomposition, device and solver configuration — the
-//! hot path skips assembly, normalisation and offload and re-runs only
-//! the solve against a fresh right-hand side).
+//! discretisation, decomposition, device lease and solver
+//! configuration — the hot path skips assembly, normalisation and
+//! offload and re-runs only the solve against a fresh right-hand side).
 //!
 //! The pieces:
 //!
 //! - [`SolveService`] — submit [`SolveRequest`]s, get awaitable
 //!   [`JobHandle`]s, watch [`ServiceStats`].
 //! - scheduling — a bounded three-class priority queue; a full queue
-//!   *rejects* ([`SubmitError::Overloaded`]) rather than blocking, and
-//!   queued jobs past their deadline are shed unstarted.
+//!   *rejects* ([`SubmitError::Overloaded`]) rather than blocking, with
+//!   per-class headroom so a low-priority flood cannot crowd
+//!   high-priority work out at admission, and queued jobs past their
+//!   deadline are shed unstarted.
 //! - panic isolation — every job runs under `catch_unwind`; a panic
 //!   becomes [`JobError::Panicked`] with the payload preserved and the
 //!   session it touched is quarantined, never returned to the pool.

@@ -4,6 +4,13 @@
 //! blocks: a full queue answers [`SubmitError::Overloaded`] immediately
 //! (backpressure belongs to the caller, not a hidden buffer). `pop`
 //! blocks workers until work arrives or the queue closes.
+//!
+//! Admission is *class-aware*: each class below High forfeits one
+//! reserve tranche (`capacity / 8` slots) of headroom, so a sustained
+//! flood of Low-priority work tops out before the queue is full and
+//! High-priority submissions still find slots — backpressure cannot
+//! invert priority at the door. Queues smaller than 8 slots have a zero
+//! reserve and behave as a single shared buffer.
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
@@ -37,16 +44,23 @@ impl Scheduler {
         }
     }
 
+    /// Occupancy at which `class` stops being admitted: High may fill
+    /// the queue, each lower class gives up one more reserve tranche.
+    fn watermark(&self, class: usize) -> usize {
+        let reserve = self.capacity / 8;
+        self.capacity - class * reserve
+    }
+
     /// Admit a job, or reject immediately — never blocks.
     pub(crate) fn push(&self, job: Arc<JobShared>) -> Result<(), SubmitError> {
         let mut st = self.state.lock().unwrap();
         if !st.open {
             return Err(SubmitError::ShuttingDown);
         }
-        if st.len >= self.capacity {
+        let class = job.priority.class();
+        if st.len >= self.watermark(class) {
             return Err(SubmitError::Overloaded);
         }
-        let class = job.priority.class();
         st.classes[class].push_back(job);
         st.len += 1;
         drop(st);
@@ -116,6 +130,38 @@ mod tests {
     }
 
     #[test]
+    fn a_low_flood_cannot_starve_higher_classes_at_admission() {
+        // capacity 16 → reserve tranche 2: Low tops out at 12, Normal
+        // at 14, High fills the queue. A sustained Low flood therefore
+        // leaves 4 slots no Low job can take, 2 of them High-exclusive.
+        let q = Scheduler::new(16);
+        for i in 0..12 {
+            q.push(job(i, Priority::Low)).unwrap();
+        }
+        assert_eq!(
+            q.push(job(100, Priority::Low)).unwrap_err(),
+            SubmitError::Overloaded,
+            "Low must stop at its watermark, not at capacity"
+        );
+        for i in 0..2 {
+            q.push(job(200 + i, Priority::Normal)).unwrap();
+        }
+        assert_eq!(
+            q.push(job(300, Priority::Normal)).unwrap_err(),
+            SubmitError::Overloaded
+        );
+        for i in 0..2 {
+            q.push(job(400 + i, Priority::High)).unwrap();
+        }
+        assert_eq!(
+            q.push(job(500, Priority::High)).unwrap_err(),
+            SubmitError::Overloaded,
+            "High is bounded by the full capacity"
+        );
+        assert_eq!(q.len(), 16);
+    }
+
+    #[test]
     fn a_closed_queue_admits_nothing() {
         let q = Scheduler::new(4);
         q.push(job(1, Priority::Normal)).unwrap();
@@ -136,7 +182,9 @@ mod tests {
         // a stable sort of the submission order by class.
         #[test]
         fn drain_is_a_stable_sort_by_class(seq in prop::collection::vec(0usize..3, 1..40)) {
-            let q = Scheduler::new(seq.len());
+            // 2x headroom so even an all-Low batch clears the Low
+            // admission watermark (capacity - 2 * capacity/8).
+            let q = Scheduler::new(seq.len() * 2);
             for (i, &c) in seq.iter().enumerate() {
                 q.push(job(i as u64, class_of(c))).unwrap();
             }
@@ -155,7 +203,9 @@ mod tests {
         fn pop_returns_the_oldest_of_the_highest_class(
             ops in prop::collection::vec((0usize..4, 0usize..3), 1..60),
         ) {
-            let q = Scheduler::new(64);
+            // Sized so even 60 all-Low pushes stay under Low's
+            // admission watermark (128 - 2*16 = 96).
+            let q = Scheduler::new(128);
             let mut model: Vec<(u64, usize)> = Vec::new();
             let mut next = 0u64;
             for (op, c) in ops {

@@ -31,7 +31,10 @@ pub struct ServiceConfig {
     /// Worker threads draining the queue concurrently.
     pub workers: usize,
     /// Bounded queue capacity; submissions beyond it are rejected with
-    /// [`SubmitError::Overloaded`].
+    /// [`SubmitError::Overloaded`]. Admission is class-aware: Normal
+    /// and Low each forfeit a `capacity / 8` reserve tranche, so a
+    /// flood of low-priority work cannot fill the queue and push
+    /// high-priority submissions into `Overloaded`.
     pub queue_capacity: usize,
     /// Device specs backing the lease pool (one lease per entry, e.g.
     /// `"serial"`, `"threads:4"`, `"simgpu"`). Empty means one
@@ -243,6 +246,10 @@ fn worker_loop(inner: &ServiceInner) {
         job.set_running();
         let lease = inner.pool.acquire();
         let result = execute(inner, &job, request, &lease, queue_wait);
+        // Return the slot before publishing the result: a submitter
+        // reacting to this job's completion must find the device (and
+        // its per-slot warm session) available again, not still leased.
+        drop(lease);
         match &result {
             JobResult::Done(_) => inner.stats.bump(&inner.stats.completed),
             JobResult::Failed(_) => inner.stats.bump(&inner.stats.failed),
@@ -270,7 +277,9 @@ fn execute(
     let setup_start = Instant::now();
     // The key derivation discretises the problem, which panics on
     // singular input — isolate it like any other job panic.
-    let key = match catch_unwind(AssertUnwindSafe(|| SessionKey::of(&request, &spec))) {
+    let key = match catch_unwind(AssertUnwindSafe(|| {
+        SessionKey::of(&request, &spec, lease.slot())
+    })) {
         Ok(key) => key,
         Err(payload) => {
             inner.stats.bump(&inner.stats.panicked);

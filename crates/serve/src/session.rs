@@ -25,9 +25,18 @@ use crate::job::JobError;
 use crate::request::SolveRequest;
 
 /// What a cached session is keyed by: the problem *discretisation* (not
-/// its closures), the decomposition, the device spec, and the solver
-/// configuration. Two requests with equal keys can share a constructed
-/// solver; the RHS itself is per-job state (see [`Session::run`]).
+/// its closures), the decomposition, the device spec *and lease slot*,
+/// and the solver configuration. Two requests with equal keys can share
+/// a constructed solver; the RHS itself is per-job state (see
+/// [`Session::run`]).
+///
+/// The slot is part of the key because a session embeds its own device
+/// handles (a clone of the leased device single-rank, per-rank devices
+/// built from the spec multi-rank): keying the cache per slot means a
+/// session only ever runs under the lease it was built on, so the
+/// `DevicePool` bounds *device* concurrency, not just job concurrency —
+/// two workers holding different slots can never drive the same
+/// session's devices at once.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct SessionKey {
     n: [usize; 3],
@@ -36,15 +45,16 @@ pub struct SessionKey {
     bc: [[blockgrid::BcKind; 2]; 3],
     decomp: [usize; 3],
     device: String,
+    slot: usize,
     kind: SolverKind,
     opts: ([u64; 4], [usize; 2], [bool; 2]),
 }
 
 impl SessionKey {
-    /// Key of a request placed on `device`. Calls
-    /// `problem.discretize()`, which panics on singular input — callers
-    /// run this under the job's panic isolation.
-    pub(crate) fn of(req: &SolveRequest, device: &str) -> Self {
+    /// Key of a request placed on `device` held under lease `slot`.
+    /// Calls `problem.discretize()`, which panics on singular input —
+    /// callers run this under the job's panic isolation.
+    pub(crate) fn of(req: &SolveRequest, device: &str, slot: usize) -> Self {
         let g = req.problem.discretize();
         let o = &req.opts;
         Self {
@@ -54,6 +64,7 @@ impl SessionKey {
             bc: g.bc,
             decomp: req.decomp,
             device: device.to_string(),
+            slot,
             kind: req.kind,
             opts: (
                 [
@@ -76,20 +87,36 @@ impl SessionKey {
 
 /// Identity of the closures a right-hand side was assembled from
 /// (pointer identity — resubmitting the same `PoissonProblem` value
-/// compares equal, a problem rebuilt from different closures does not).
-#[derive(Clone, Copy, PartialEq, Eq)]
-struct RhsSource([usize; 5]);
+/// matches, a problem rebuilt from different closures does not).
+///
+/// Holds *clones* of the five `Arc`s, not bare addresses: the clones
+/// keep the allocations alive for as long as the session remembers
+/// them, so a later tenant's closures can never be allocated at the
+/// recycled addresses and falsely match. Pointer comparison is only
+/// sound while the pointee is pinned by a live reference.
+#[derive(Clone)]
+struct RhsSource([poisson::SpaceFn; 5]);
 
 impl RhsSource {
     fn of(p: &PoissonProblem) -> Self {
-        let addr = |f: &poisson::SpaceFn| Arc::as_ptr(f) as *const () as usize;
         Self([
-            addr(&p.rhs),
-            addr(&p.dirichlet),
-            addr(&p.neumann_dx[0]),
-            addr(&p.neumann_dx[1]),
-            addr(&p.neumann_dx[2]),
+            p.rhs.clone(),
+            p.dirichlet.clone(),
+            p.neumann_dx[0].clone(),
+            p.neumann_dx[1].clone(),
+            p.neumann_dx[2].clone(),
         ])
+    }
+
+    /// Whether `p`'s closures are the very allocations this source
+    /// holds (thin-pointer comparison, so vtable identity is moot).
+    fn matches(&self, p: &PoissonProblem) -> bool {
+        let same = |a: &poisson::SpaceFn, b: &poisson::SpaceFn| {
+            std::ptr::eq(Arc::as_ptr(a) as *const (), Arc::as_ptr(b) as *const ())
+        };
+        same(&self.0[0], &p.rhs)
+            && same(&self.0[1], &p.dirichlet)
+            && (0..3).all(|a| same(&self.0[2 + a], &p.neumann_dx[a]))
     }
 }
 
@@ -287,7 +314,13 @@ impl Session {
     ) -> Result<SolveOutcome, JobError> {
         let plan = match &req.rhs {
             Some(global) => RhsPlan::Scatter(global),
-            None if self.b_source == Some(RhsSource::of(&req.problem)) => RhsPlan::Keep,
+            None if self
+                .b_source
+                .as_ref()
+                .is_some_and(|s| s.matches(&req.problem)) =>
+            {
+                RhsPlan::Keep
+            }
             None => RhsPlan::Assemble(&req.problem),
         };
         let params = SolveParams {
@@ -357,5 +390,35 @@ impl Session {
             None => Some(RhsSource::of(&req.problem)),
         };
         Ok(outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use krylov::SolverKind;
+    use poisson::unit_cube_dirichlet;
+
+    #[test]
+    fn session_keys_are_per_lease_slot() {
+        // A session embeds its own device handles, so the cache must
+        // never hand a session built under one lease to the holder of
+        // another — the slot is part of the identity.
+        let req = SolveRequest::new(unit_cube_dirichlet(5), SolverKind::BiCgs);
+        let a = SessionKey::of(&req, "serial", 0);
+        let b = SessionKey::of(&req, "serial", 1);
+        assert_ne!(a, b, "same request under different lease slots");
+        assert_eq!(a, SessionKey::of(&req, "serial", 0));
+    }
+
+    #[test]
+    fn rhs_source_tracks_closure_identity_not_value() {
+        let p = unit_cube_dirichlet(5);
+        let source = RhsSource::of(&p);
+        assert!(source.matches(&p));
+        assert!(source.matches(&p.clone()), "clones share the same Arcs");
+        let mut q = p.clone();
+        q.rhs = Arc::new(|_, _, _| 1.0);
+        assert!(!source.matches(&q), "a rebuilt closure must not match");
     }
 }

@@ -106,6 +106,44 @@ fn warm_reuse_is_bitwise_identical_to_the_cold_solve() {
 }
 
 #[test]
+fn warm_sessions_pin_their_rhs_closures_and_reassemble_for_new_tenants() {
+    // Regression: RHS provenance must hold the closure Arcs themselves,
+    // not their raw addresses. With bare addresses, the first tenant's
+    // dropped allocations could be recycled for a later tenant's
+    // closures, falsely matching the cached RHS and silently serving
+    // the previous tenant's solution.
+    let svc = single_worker(8);
+    let req = quick(unit_cube_dirichlet(9));
+    let rhs_weak = Arc::downgrade(&req.problem.rhs);
+    assert!(svc.submit(req).unwrap().wait().output().is_some());
+    // The request is long gone, but the cached session must keep the
+    // closures it assembled its RHS from alive — that pin is what makes
+    // pointer identity sound.
+    assert!(
+        rhs_weak.upgrade().is_some(),
+        "cached session must pin the RHS closures it assembled from"
+    );
+    // A same-discretisation tenant with different closures must hit the
+    // warm cache yet re-assemble: its solve must be bitwise-identical
+    // to a cold solve of the same problem.
+    let mut other = quick(unit_cube_dirichlet(9));
+    other.problem.rhs = Arc::new(|x, y, z| 1.0 + x + 2.0 * y - z);
+    other.problem.exact = None;
+    let warm = svc.submit(other.clone()).unwrap().wait();
+    let warm = warm.output().expect("warm job completes");
+    assert!(warm.metrics.warm, "same discretisation must hit the cache");
+    let cold_svc = single_worker(8);
+    let cold = cold_svc.submit(other).unwrap().wait();
+    let cold = cold.output().expect("cold job completes");
+    assert_eq!(warm.outcome.iterations, cold.outcome.iterations);
+    assert_eq!(
+        warm.outcome.final_residual.to_bits(),
+        cold.outcome.final_residual.to_bits(),
+        "a new tenant's closures must be re-assembled, not kept"
+    );
+}
+
+#[test]
 fn a_panicking_job_is_quarantined_and_the_service_keeps_serving() {
     let svc = single_worker(8);
     let poisoned = svc.submit(quick(poison_problem())).unwrap().wait();
