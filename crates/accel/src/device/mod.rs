@@ -151,6 +151,51 @@ pub trait Device: Clone + Send + Sync + 'static {
     where
         F: Fn(usize, usize, &mut [T]) -> [T; NR] + Sync;
 
+    /// Launch one fused kernel over *two* row maps at once, fusing an
+    /// `NR`-way sum reduction.
+    ///
+    /// Both maps must agree on `ny`/`nz` (they describe the same logical
+    /// row set, possibly with different row lengths and strides into
+    /// different buffers). The kernel receives the `(j, k)` row of each
+    /// buffer as an exclusive slice. This is the entry point for fused
+    /// sweeps that update two fields in one pass (e.g. the fused
+    /// `KernelBiCGS56` residual+direction update) and for split stencil
+    /// sweeps that deposit per-row dot partials into a slot buffer.
+    ///
+    /// One launch is recorded, with `map_a.elems()` elements — `info` for
+    /// a fused kernel must therefore account for *all* traffic of the
+    /// fused sweep per `map_a` element (see [`KernelInfo::fused`]).
+    fn launch_rows2_reduce<T: Scalar, F, const NR: usize>(
+        &self,
+        info: KernelInfo,
+        map_a: RowMap,
+        out_a: &mut [T],
+        map_b: RowMap,
+        out_b: &mut [T],
+        f: F,
+    ) -> [T; NR]
+    where
+        F: Fn(usize, usize, &mut [T], &mut [T]) -> [T; NR] + Sync;
+
+    /// Launch a two-map kernel with no reduction (element-wise update of
+    /// two buffers in one sweep).
+    fn launch_rows2<T: Scalar, F>(
+        &self,
+        info: KernelInfo,
+        map_a: RowMap,
+        out_a: &mut [T],
+        map_b: RowMap,
+        out_b: &mut [T],
+        f: F,
+    ) where
+        F: Fn(usize, usize, &mut [T], &mut [T]) + Sync,
+    {
+        let _: [T; 0] = self.launch_rows2_reduce(info, map_a, out_a, map_b, out_b, |j, k, a, b| {
+            f(j, k, a, b);
+            []
+        });
+    }
+
     /// Launch a pure reduction kernel over `ny * nz` rows (no output field).
     fn launch_reduce<T: Scalar, F, const NR: usize>(
         &self,
@@ -275,6 +320,25 @@ impl Device for AnyDevice {
             Self::Serial(d) => d.launch_rows_reduce(info, map, out, f),
             Self::Threads(d) => d.launch_rows_reduce(info, map, out, f),
             Self::SimGpu(d) => d.launch_rows_reduce(info, map, out, f),
+        }
+    }
+
+    fn launch_rows2_reduce<T: Scalar, F, const NR: usize>(
+        &self,
+        info: KernelInfo,
+        map_a: RowMap,
+        out_a: &mut [T],
+        map_b: RowMap,
+        out_b: &mut [T],
+        f: F,
+    ) -> [T; NR]
+    where
+        F: Fn(usize, usize, &mut [T], &mut [T]) -> [T; NR] + Sync,
+    {
+        match self {
+            Self::Serial(d) => d.launch_rows2_reduce(info, map_a, out_a, map_b, out_b, f),
+            Self::Threads(d) => d.launch_rows2_reduce(info, map_a, out_a, map_b, out_b, f),
+            Self::SimGpu(d) => d.launch_rows2_reduce(info, map_a, out_a, map_b, out_b, f),
         }
     }
 

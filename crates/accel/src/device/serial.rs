@@ -57,6 +57,39 @@ impl Device for Serial {
         acc
     }
 
+    fn launch_rows2_reduce<T: Scalar, F, const NR: usize>(
+        &self,
+        info: KernelInfo,
+        map_a: RowMap,
+        out_a: &mut [T],
+        map_b: RowMap,
+        out_b: &mut [T],
+        f: F,
+    ) -> [T; NR]
+    where
+        F: Fn(usize, usize, &mut [T], &mut [T]) -> [T; NR] + Sync,
+    {
+        map_a.validate(out_a.len());
+        map_b.validate(out_b.len());
+        assert_eq!(
+            (map_a.ny, map_a.nz),
+            (map_b.ny, map_b.nz),
+            "two-map launch requires matching row sets"
+        );
+        self.recorder.kernel(info, map_a.elems());
+        let mut acc = [T::ZERO; NR];
+        for k in 0..map_a.nz {
+            for j in 0..map_a.ny {
+                let off_a = map_a.row_offset(j, k);
+                let off_b = map_b.row_offset(j, k);
+                let row_a = &mut out_a[off_a..off_a + map_a.len];
+                let row_b = &mut out_b[off_b..off_b + map_b.len];
+                acc = add_partials(acc, f(j, k, row_a, row_b));
+            }
+        }
+        acc
+    }
+
     fn launch_reduce<T: Scalar, F, const NR: usize>(
         &self,
         info: KernelInfo,

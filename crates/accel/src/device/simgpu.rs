@@ -138,6 +138,45 @@ impl Device for SimGpu {
         tree_reduce(block_partials)
     }
 
+    fn launch_rows2_reduce<T: Scalar, F, const NR: usize>(
+        &self,
+        info: KernelInfo,
+        map_a: RowMap,
+        out_a: &mut [T],
+        map_b: RowMap,
+        out_b: &mut [T],
+        f: F,
+    ) -> [T; NR]
+    where
+        F: Fn(usize, usize, &mut [T], &mut [T]) -> [T; NR] + Sync,
+    {
+        map_a.validate(out_a.len());
+        map_b.validate(out_b.len());
+        assert_eq!(
+            (map_a.ny, map_a.nz),
+            (map_b.ny, map_b.nz),
+            "two-map launch requires matching row sets"
+        );
+        self.recorder.kernel(info, map_a.elems());
+        let rows = map_a.rows();
+        let bs = self.params.block_rows;
+        let blocks = rows.div_ceil(bs);
+        let mut block_partials = Vec::with_capacity(blocks);
+        for b in 0..blocks {
+            let mut acc = [T::ZERO; NR];
+            for r in b * bs..((b + 1) * bs).min(rows) {
+                let (j, k) = map_a.row_jk(r);
+                let off_a = map_a.row_offset(j, k);
+                let off_b = map_b.row_offset(j, k);
+                let row_a = &mut out_a[off_a..off_a + map_a.len];
+                let row_b = &mut out_b[off_b..off_b + map_b.len];
+                acc = add_partials(acc, f(j, k, row_a, row_b));
+            }
+            block_partials.push(acc);
+        }
+        tree_reduce(block_partials)
+    }
+
     fn launch_reduce<T: Scalar, F, const NR: usize>(
         &self,
         info: KernelInfo,

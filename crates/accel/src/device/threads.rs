@@ -97,6 +97,57 @@ impl Device for Threads {
         partials.into_iter().fold([T::ZERO; NR], add_partials)
     }
 
+    fn launch_rows2_reduce<T: Scalar, F, const NR: usize>(
+        &self,
+        info: KernelInfo,
+        map_a: RowMap,
+        out_a: &mut [T],
+        map_b: RowMap,
+        out_b: &mut [T],
+        f: F,
+    ) -> [T; NR]
+    where
+        F: Fn(usize, usize, &mut [T], &mut [T]) -> [T; NR] + Sync,
+    {
+        map_a.validate(out_a.len());
+        map_b.validate(out_b.len());
+        assert_eq!(
+            (map_a.ny, map_a.nz),
+            (map_b.ny, map_b.nz),
+            "two-map launch requires matching row sets"
+        );
+        self.recorder.kernel(info, map_a.elems());
+        let rows = map_a.rows();
+        let chunks = self.chunks_for(rows);
+        // Same lock-free partial collection and chunk-order merge as
+        // launch_rows_reduce, so fused two-buffer sweeps reduce with the
+        // identical floating-point grouping as single-buffer ones.
+        let mut partials: Vec<[T; NR]> = vec![[T::ZERO; NR]; chunks];
+        let partials_ptr = SendPtr(partials.as_mut_ptr());
+        let ptr_a = SendPtr(out_a.as_mut_ptr());
+        let ptr_b = SendPtr(out_b.as_mut_ptr());
+        self.pool.run_chunks(chunks, &|c| {
+            let mut acc = [T::ZERO; NR];
+            for r in chunk_range(rows, chunks, c) {
+                let (j, k) = map_a.row_jk(r);
+                // SAFETY: both maps validated above against their own
+                // distinct buffers (`out_a`/`out_b` are exclusive borrows);
+                // each row index `r` belongs to exactly one chunk, so the
+                // row slices of either buffer never alias across workers.
+                let row_a = unsafe { row_slice_mut(ptr_a, &map_a, j, k) };
+                // SAFETY: as above for the second buffer.
+                let row_b = unsafe { row_slice_mut(ptr_b, &map_b, j, k) };
+                acc = add_partials(acc, f(j, k, row_a, row_b));
+            }
+            // SAFETY: `c < chunks == partials.len()` and each chunk index is
+            // dispatched exactly once, so the writes are disjoint; the Vec
+            // outlives `run_chunks`, which joins all workers before returning.
+            let slots = partials_ptr;
+            unsafe { *slots.0.add(c) = acc };
+        });
+        partials.into_iter().fold([T::ZERO; NR], add_partials)
+    }
+
     fn launch_reduce<T: Scalar, F, const NR: usize>(
         &self,
         info: KernelInfo,
@@ -196,6 +247,57 @@ mod tests {
             }
         });
         assert_eq!(out, vec![1.0; 3]);
+    }
+
+    #[test]
+    fn two_map_launch_matches_serial() {
+        use crate::device::{GpuSimParams, SimGpu};
+        let e = Extent3::new(5, 4, 3);
+        let map_a = RowMap::halo_interior(e);
+        // Second buffer: one slot per row, same (ny, nz) row set.
+        let map_b = RowMap {
+            base: 0,
+            len: 1,
+            ny: map_a.ny,
+            nz: map_a.nz,
+            sy: 1,
+            sz: map_a.ny,
+        };
+        let padded = 7 * 6 * 5;
+        let kernel = |j: usize, k: usize, a: &mut [f64], b: &mut [f64]| {
+            let mut s = 0.0;
+            for (i, v) in a.iter_mut().enumerate() {
+                *v = (i + 3 * j + 7 * k) as f64;
+                s += *v;
+            }
+            b[0] = s;
+            [s]
+        };
+        #[allow(clippy::type_complexity)]
+        let run = |dev: &dyn Fn(&mut [f64], &mut [f64]) -> [f64; 1]| {
+            let mut a = vec![0.0f64; padded];
+            let mut b = vec![0.0f64; map_a.rows()];
+            let s = dev(&mut a, &mut b);
+            (a, b, s)
+        };
+        let (a0, b0, s0) = run(&|a, b| {
+            Serial::new(Recorder::disabled()).launch_rows2_reduce(INFO, map_a, a, map_b, b, kernel)
+        });
+        let (a1, b1, s1) = run(&|a, b| {
+            Threads::new(3, Recorder::disabled())
+                .launch_rows2_reduce(INFO, map_a, a, map_b, b, kernel)
+        });
+        let (a2, b2, s2) = run(&|a, b| {
+            SimGpu::new(GpuSimParams::mi250x(), Recorder::disabled())
+                .launch_rows2_reduce(INFO, map_a, a, map_b, b, kernel)
+        });
+        assert_eq!(a0, a1);
+        assert_eq!(a0, a2);
+        assert_eq!(b0, b1);
+        assert_eq!(b0, b2);
+        // Integer-valued sums are exact under any grouping.
+        assert_eq!(s0, s1);
+        assert_eq!(s0, s2);
     }
 
     #[test]

@@ -51,6 +51,37 @@ impl KernelInfo {
             flops_per_elem,
         }
     }
+
+    /// Metadata for a kernel that fuses `a` and `b` into one sweep.
+    ///
+    /// Flops add (both bodies still execute per element); streaming bytes
+    /// add *minus* `dedup_bytes`, the per-element traffic the fusion
+    /// eliminates because an operand is re-read (or a value re-written)
+    /// by both members but only streamed once in the fused sweep. This is
+    /// the accounting rule the performance model costs fused kernels by.
+    pub const fn fused(name: &'static str, a: KernelInfo, b: KernelInfo, dedup_bytes: u32) -> Self {
+        Self {
+            name,
+            bytes_per_elem: a.bytes_per_elem + b.bytes_per_elem - dedup_bytes,
+            flops_per_elem: a.flops_per_elem + b.flops_per_elem,
+        }
+    }
+
+    /// Rescale element-wise metadata to *row*-wise metadata for kernels
+    /// recorded through [`Device::launch_reduce`], whose element count is
+    /// the row count `ny·nz`: a grid-field reduction streams `row_len`
+    /// elements per row, so bytes and flops multiply by the row length
+    /// and the recorded totals stay honest. Without this a dot's traffic
+    /// would be under-booked by `nx` in the performance model.
+    ///
+    /// [`Device::launch_reduce`]: crate::Device::launch_reduce
+    pub const fn per_row(self, row_len: usize) -> Self {
+        Self {
+            name: self.name,
+            bytes_per_elem: self.bytes_per_elem * row_len as u32,
+            flops_per_elem: self.flops_per_elem * row_len as u32,
+        }
+    }
 }
 
 /// One logical performance event.

@@ -125,9 +125,9 @@ impl RowMap {
     /// (a single map). Otherwise up to six maps: two full xy-planes
     /// (z faces), two x-strips per remaining plane (y faces) and two
     /// single-cell columns per remaining row (x faces).
-    pub fn halo_shell(interior: Extent3) -> Vec<Self> {
+    pub fn halo_shell(interior: Extent3) -> ShellMaps {
         if Self::halo_deep_interior(interior).is_none() {
-            return vec![Self::halo_interior(interior)];
+            return ShellMaps::one(Self::halo_interior(interior));
         }
         let (nx, ny, nz) = (interior.nx, interior.ny, interior.nz);
         let pnx = nx + 2;
@@ -135,7 +135,7 @@ impl RowMap {
         let (sy, sz) = (pnx, pnx * pny);
         // padded-coordinate index of cell (i, j, k)
         let idx = |i: usize, j: usize, k: usize| i + j * sy + k * sz;
-        vec![
+        ShellMaps::six([
             // z-low / z-high planes: full interior cross-section
             Self {
                 base: idx(1, 1, 1),
@@ -187,7 +187,7 @@ impl RowMap {
                 sy,
                 sz,
             },
-        ]
+        ])
     }
 
     /// Total number of mapped elements.
@@ -239,6 +239,49 @@ impl RowMap {
     #[inline(always)]
     pub const fn row_jk(&self, r: usize) -> (usize, usize) {
         (r % self.ny, r / self.ny)
+    }
+}
+
+/// The row maps of a [`RowMap::halo_shell`] decomposition, stored inline.
+///
+/// The shell is at most six pieces, so the container is a fixed array
+/// plus a count — `halo_shell` is called once per shell sweep inside the
+/// solver hot loop, and returning a `Vec` here would break the
+/// steady-state zero-allocation guarantee the solve audits enforce.
+/// Dereferences to a slice; iterating by value yields `RowMap`s.
+#[derive(Clone, Copy, Debug)]
+pub struct ShellMaps {
+    maps: [RowMap; 6],
+    n: usize,
+}
+
+impl ShellMaps {
+    const fn one(map: RowMap) -> Self {
+        Self {
+            maps: [map; 6],
+            n: 1,
+        }
+    }
+
+    const fn six(maps: [RowMap; 6]) -> Self {
+        Self { maps, n: 6 }
+    }
+}
+
+impl std::ops::Deref for ShellMaps {
+    type Target = [RowMap];
+
+    fn deref(&self) -> &[RowMap] {
+        &self.maps[..self.n]
+    }
+}
+
+impl IntoIterator for ShellMaps {
+    type Item = RowMap;
+    type IntoIter = std::iter::Take<std::array::IntoIter<RowMap, 6>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.maps.into_iter().take(self.n)
     }
 }
 

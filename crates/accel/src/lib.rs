@@ -58,6 +58,7 @@
 mod buffer;
 mod device;
 mod events;
+mod fold;
 mod index;
 mod lease;
 mod pool;
@@ -68,7 +69,8 @@ pub use device::{
     AnyDevice, Device, DeviceKind, ExchangeHazard, GpuSimParams, Serial, SimGpu, Threads,
 };
 pub use events::{Event, KernelInfo, Recorder, HALO_OVERLAP_STAGE, REDUCE_OVERLAP_STAGE};
-pub use index::{chunk_range, Extent3, RowMap};
+pub use fold::{fold_row_edge_last, row_has_deep_middle};
+pub use index::{chunk_range, Extent3, RowMap, ShellMaps};
 pub use lease::{DeviceLease, DevicePool};
 pub use pool::ThreadPool;
 pub use scalar::{add_partials, Scalar};

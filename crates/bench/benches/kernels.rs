@@ -6,8 +6,8 @@ use blockgrid::{BlockGrid, Decomp, Field, GlobalGrid};
 use comm::{run_ranks, ReduceOrder};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use krylov::kernels::{
-    axpy_inplace, dot, p_update, residual_update_fused, INFO_BICGS2, INFO_BICGS5, INFO_BICGS6,
-    INFO_DOT,
+    axpy3_inplace, axpy_dot, axpy_inplace, dot, residual_p_update_fused, residual_update_fused,
+    INFO_BICGS2, INFO_BICGS2F, INFO_BICGS5, INFO_BICGS56, INFO_BICGS6, INFO_DOT,
 };
 use krylov::{global_bounds, ChebyMode, ChebyshevIteration, RankCtx};
 use stencil::{apply_physical_bcs, Laplacian, INFO_APPLY};
@@ -77,10 +77,19 @@ fn bench_vector_kernels(c: &mut Criterion) {
         b.iter(|| residual_update_fused(&dev, INFO_BICGS5, &g, &mut y, &t, 1e-9, &r0t));
     });
     group.bench_function("p_update(KernelBiCGS6)", |b| {
-        b.iter(|| p_update(&dev, INFO_BICGS6, &g, &mut y, &x, &t, 0.5, 0.1));
+        b.iter(|| axpy3_inplace(&dev, INFO_BICGS6, &g, &mut y, &x, &t, 0.5, 0.1));
     });
     group.bench_function("dot", |b| {
         b.iter(|| dot(&dev, INFO_DOT, &g, &x, &t));
+    });
+    group.bench_function("axpy_dot(KernelBiCGS2F)", |b| {
+        b.iter(|| axpy_dot(&dev, INFO_BICGS2F, &g, &mut y, &x, 1e-9, &r0t));
+    });
+    group.bench_function("residual_p_update(KernelBiCGS56)", |b| {
+        let mut p = filled(&dev, &g, 5);
+        b.iter(|| {
+            residual_p_update_fused(&dev, INFO_BICGS56, &g, &mut y, &mut p, &t, &x, 0.1, 0.5)
+        });
     });
     group.finish();
 }

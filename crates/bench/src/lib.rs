@@ -210,6 +210,7 @@ pub fn run_once(cfg: &RunConfig) -> RunResult {
             max_restarts: cfg2.params_extra.max_restarts,
             overlap_halo: cfg2.opts.overlap_halo,
             overlap_reduce: cfg2.opts.overlap_reduce,
+            fuse_kernels: cfg2.opts.fuse_kernels,
             cancel: None,
         };
         let t0 = Instant::now();
@@ -307,6 +308,49 @@ pub fn write_bench_json<T: Serialize>(name: &str, payload: &T) -> std::io::Resul
     Ok(path.display().to_string())
 }
 
+/// Sum the elements streamed by the Bi-CGSTAB hot-path full-grid
+/// sweeps in an event stream: kernels outside `Preconditioner`
+/// stages, excluding the O(faces) boundary/halo-staging kernels and
+/// the O(ny·nz) slot folds. The split interior/shell pieces of one
+/// overlapped sweep sum to exactly one interior's worth of elements,
+/// so elements ÷ interior = full-grid sweep count. Reduction kernels
+/// record their *row* count as `elems`, but each launch streams the
+/// whole grid once — so a dot launch counts as one interior.
+///
+/// Returns `(total_hot_elems, interior_elems)`; dividing the difference
+/// of two runs at different iteration caps by `caps_delta * interior`
+/// yields the sweeps-per-iteration figure the fusion ablation reports.
+pub fn hot_sweep_elems(events: &[Event]) -> (u64, u64) {
+    let interior = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Kernel { name, elems, .. } if name.starts_with("KernelBiCGS") => Some(*elems),
+            _ => None,
+        })
+        .max()
+        .unwrap_or(0);
+    let mut depth = 0usize;
+    let mut total = 0u64;
+    for e in events {
+        match e {
+            Event::Begin { name } if *name == "Preconditioner" => depth += 1,
+            Event::End { name } if *name == "Preconditioner" => depth -= 1,
+            Event::Kernel { name, elems, .. } if depth == 0 => {
+                if name.starts_with("KernelDot") {
+                    total += interior;
+                } else if *name != "KernelNeumannBCs"
+                    && !name.starts_with("KernelFold")
+                    && !name.starts_with("KernelHalo")
+                {
+                    total += elems;
+                }
+            }
+            _ => {}
+        }
+    }
+    (total, interior)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -359,6 +403,42 @@ mod tests {
         // reduction overlap is on by default on >1 rank: the iteration's
         // dots travel as the two batched messages M1 and M2
         assert_eq!(allreduces, 2, "M1 [σ, ‖r‖²_prev] and M2 [σ₁..σ₄]");
+    }
+
+    #[test]
+    fn fusion_cuts_sweeps_per_iteration_from_eleven_to_five() {
+        // The tentpole traffic claim, asserted on real event streams: the
+        // unfused overlapped schedule runs 11 full-grid sweeps per outer
+        // iteration, the fused one 5. Two solves at different iteration
+        // caps difference away setup and drain.
+        let sweeps = |fuse: bool| {
+            let run = |iters: usize| {
+                let mut cfg = RunConfig::small(SolverKind::BiCgs);
+                cfg.nodes = 17;
+                cfg.tol = 1e-300; // never reached: fixed iteration count
+                cfg.max_iters = iters;
+                cfg.record_events = true;
+                cfg.opts.fuse_kernels = fuse;
+                hot_sweep_elems(&run_once(&cfg).events[0])
+            };
+            let (lo, interior) = run(3);
+            let (hi, _) = run(6);
+            (hi - lo) as f64 / (3 * interior) as f64
+        };
+        let unfused = sweeps(false);
+        let fused = sweeps(true);
+        assert!(
+            unfused >= 10.0,
+            "unfused schedule should sweep >=10x/iter, measured {unfused}"
+        );
+        assert!(
+            fused <= 6.0,
+            "fused schedule should sweep <=6x/iter, measured {fused}"
+        );
+        assert!(
+            (unfused - 11.0).abs() < 0.01 && (fused - 5.0).abs() < 0.01,
+            "expected exactly 11 -> 5 sweeps, measured {unfused} -> {fused}"
+        );
     }
 
     #[test]

@@ -193,6 +193,30 @@ impl<D: Device> Checked<D> {
         }
     }
 
+    /// Cells of `out` that lie in a tracked fresh region and have never
+    /// been the target of a launch.
+    fn uninit_cells<T: Scalar>(&self, out: &[T]) -> Vec<usize> {
+        let fresh = self.state.fresh.lock().expect("fresh lock");
+        let out_lo = out.as_ptr() as usize;
+        let mut cells = Vec::new();
+        for region in fresh.iter() {
+            if region.elem_bytes != size_of::<T>() {
+                continue;
+            }
+            let r_hi = region.base + region.initialized.len() * region.elem_bytes;
+            for cell in 0..out.len() {
+                let addr = out_lo + cell * size_of::<T>();
+                if addr < region.base || addr >= r_hi {
+                    continue;
+                }
+                if !region.initialized[(addr - region.base) / region.elem_bytes] {
+                    cells.push(cell);
+                }
+            }
+        }
+        cells
+    }
+
     /// Replay the kernel on two shadow copies of `out` whose tracked,
     /// never-initialised elements hold different canaries; a divergence
     /// in mapped elements or partials proves a read-before-init.
@@ -206,27 +230,7 @@ impl<D: Device> Checked<D> {
     ) where
         F: Fn(usize, usize, &mut [T]) -> [T; NR] + Sync,
     {
-        let uninit = {
-            let fresh = self.state.fresh.lock().expect("fresh lock");
-            let out_lo = out.as_ptr() as usize;
-            let mut cells = Vec::new();
-            for region in fresh.iter() {
-                if region.elem_bytes != size_of::<T>() {
-                    continue;
-                }
-                let r_hi = region.base + region.initialized.len() * region.elem_bytes;
-                for cell in 0..out.len() {
-                    let addr = out_lo + cell * size_of::<T>();
-                    if addr < region.base || addr >= r_hi {
-                        continue;
-                    }
-                    if !region.initialized[(addr - region.base) / region.elem_bytes] {
-                        cells.push(cell);
-                    }
-                }
-            }
-            cells
-        };
+        let uninit = self.uninit_cells(out);
         if uninit.is_empty() {
             return;
         }
@@ -254,6 +258,81 @@ impl<D: Device> Checked<D> {
         }
         for (a, b) in partials_a.iter().zip(&partials_b) {
             if bits(*a) != bits(*b) {
+                self.flag(Violation::ReadBeforeInit { kernel, cell: 0 });
+                return;
+            }
+        }
+    }
+
+    /// Two-buffer variant of [`Self::audit_fresh_reads`]: the fused
+    /// kernel is replayed on shadow copies of *both* buffers, with
+    /// canaries planted in the never-initialised cells of each.
+    fn audit_fresh_reads2<T: Scalar, F, const NR: usize>(
+        &self,
+        kernel: &'static str,
+        a: (&RowMap, &[T], &[bool]),
+        b: (&RowMap, &[T], &[bool]),
+        f: &F,
+    ) where
+        F: Fn(usize, usize, &mut [T], &mut [T]) -> [T; NR] + Sync,
+    {
+        let (map_a, out_a, mapped_a) = a;
+        let (map_b, out_b, mapped_b) = b;
+        let uninit_a = self.uninit_cells(out_a);
+        let uninit_b = self.uninit_cells(out_b);
+        if uninit_a.is_empty() && uninit_b.is_empty() {
+            return;
+        }
+        let mut shadow_a1 = out_a.to_vec();
+        let mut shadow_a2 = out_a.to_vec();
+        let mut shadow_b1 = out_b.to_vec();
+        let mut shadow_b2 = out_b.to_vec();
+        for &cell in &uninit_a {
+            shadow_a1[cell] = T::from_f64(1.0e30);
+            shadow_a2[cell] = T::from_f64(-3.0e30);
+        }
+        for &cell in &uninit_b {
+            shadow_b1[cell] = T::from_f64(1.0e30);
+            shadow_b2[cell] = T::from_f64(-3.0e30);
+        }
+        let mut partials_1 = [T::ZERO; NR];
+        let mut partials_2 = [T::ZERO; NR];
+        for r in 0..map_a.rows() {
+            let (j, k) = map_a.row_jk(r);
+            let off_a = map_a.row_offset(j, k);
+            let off_b = map_b.row_offset(j, k);
+            partials_1 = add_partials(
+                partials_1,
+                f(
+                    j,
+                    k,
+                    &mut shadow_a1[off_a..off_a + map_a.len],
+                    &mut shadow_b1[off_b..off_b + map_b.len],
+                ),
+            );
+            partials_2 = add_partials(
+                partials_2,
+                f(
+                    j,
+                    k,
+                    &mut shadow_a2[off_a..off_a + map_a.len],
+                    &mut shadow_b2[off_b..off_b + map_b.len],
+                ),
+            );
+        }
+        for (mapped, s1, s2) in [
+            (mapped_a, &shadow_a1, &shadow_a2),
+            (mapped_b, &shadow_b1, &shadow_b2),
+        ] {
+            for (cell, &m) in mapped.iter().enumerate() {
+                if m && bits(s1[cell]) != bits(s2[cell]) {
+                    self.flag(Violation::ReadBeforeInit { kernel, cell });
+                    return;
+                }
+            }
+        }
+        for (p1, p2) in partials_1.iter().zip(&partials_2) {
+            if bits(*p1) != bits(*p2) {
                 self.flag(Violation::ReadBeforeInit { kernel, cell: 0 });
                 return;
             }
@@ -336,6 +415,58 @@ impl<D: Device> Device for Checked<D> {
             }
         }
         self.mark_initialized(out, &mapped);
+        result
+    }
+
+    fn launch_rows2_reduce<T: Scalar, F, const NR: usize>(
+        &self,
+        info: KernelInfo,
+        map_a: RowMap,
+        out_a: &mut [T],
+        map_b: RowMap,
+        out_b: &mut [T],
+        f: F,
+    ) -> [T; NR]
+    where
+        F: Fn(usize, usize, &mut [T], &mut [T]) -> [T; NR] + Sync,
+    {
+        // A fused two-buffer sweep is audited exactly once: both maps are
+        // walked, both write-sets diffed, and the fresh-read replay runs
+        // the fused closure on shadow copies of both buffers together.
+        let mapped_a = self.audit_map(info.name, &map_a, out_a.len());
+        let mapped_b = self.audit_map(info.name, &map_b, out_b.len());
+        let (Some(mapped_a), Some(mapped_b)) = (mapped_a, mapped_b) else {
+            return [T::ZERO; NR];
+        };
+        self.audit_hazards(info.name, out_a, &mapped_a);
+        self.audit_hazards(info.name, out_b, &mapped_b);
+        self.audit_fresh_reads2(
+            info.name,
+            (&map_a, out_a, &mapped_a),
+            (&map_b, out_b, &mapped_b),
+            &f,
+        );
+        let before_a: Vec<u64> = out_a.iter().map(|&v| bits(v)).collect();
+        let before_b: Vec<u64> = out_b.iter().map(|&v| bits(v)).collect();
+        let result = self
+            .inner
+            .launch_rows2_reduce(info, map_a, out_a, map_b, out_b, &f);
+        for (mapped, before, after) in [
+            (&mapped_a, &before_a, &*out_a),
+            (&mapped_b, &before_b, &*out_b),
+        ] {
+            for (cell, (&b, &a)) in before.iter().zip(after.iter()).enumerate() {
+                if b != bits(a) && !mapped[cell] {
+                    self.flag(Violation::OutOfMapWrite {
+                        kernel: info.name,
+                        cell,
+                    });
+                    break;
+                }
+            }
+        }
+        self.mark_initialized(out_a, &mapped_a);
+        self.mark_initialized(out_b, &mapped_b);
         result
     }
 

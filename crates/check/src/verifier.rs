@@ -366,7 +366,7 @@ impl<T: Scalar> Communicator<T> for VerifiedComm<T> {
         RecvRequest { src, tag }
     }
 
-    fn iall_reduce(&self, vals: Vec<T>, op: ReduceOp) -> ReduceRequest<T> {
+    fn iall_reduce(&self, vals: &[T], op: ReduceOp) -> ReduceRequest<T> {
         self.audit_collective("iall_reduce", Some(op), vals.len());
         let me = self.rank();
         {
@@ -401,7 +401,7 @@ impl<T: Scalar> Communicator<T> for VerifiedComm<T> {
         req
     }
 
-    fn reduce_finish(&self, req: ReduceRequest<T>) -> Vec<T> {
+    fn reduce_finish(&self, req: ReduceRequest<T>, out: &mut [T]) {
         let me = self.rank();
         {
             let mut outstanding = self
@@ -427,10 +427,9 @@ impl<T: Scalar> Communicator<T> for VerifiedComm<T> {
                 kind: "reduce_finish",
             },
         );
-        let out = self.inner.reduce_finish(req);
+        self.inner.reduce_finish(req, out);
         self.shared.set_state(me, RankState::Running);
         self.shared.bump_progress();
-        out
     }
 
     fn wait(&self, req: RecvRequest) -> Vec<T> {

@@ -139,15 +139,19 @@ mod tests {
     #[test]
     fn iall_reduce_is_identity_resolved_at_begin() {
         let c = SelfComm::<f64>::default();
-        let req = c.iall_reduce(vec![3.0, 4.0], ReduceOp::Sum);
+        let req = c.iall_reduce(&[3.0, 4.0], ReduceOp::Sum);
         assert_eq!(req.len, 2);
-        assert_eq!(c.reduce_finish(req), vec![3.0, 4.0]);
+        let mut out = [0.0; 2];
+        c.reduce_finish(req, &mut out);
+        assert_eq!(out, [3.0, 4.0]);
         let mut a = [1.0];
         let mut b = [2.0, 3.0];
         c.reduce_batch(&mut [&mut a, &mut b], ReduceOp::Sum);
         assert_eq!((a, b), ([1.0], [2.0, 3.0]));
         let batched = c.iall_reduce_batch(&[&[5.0], &[6.0]], ReduceOp::Max);
-        assert_eq!(c.reduce_finish(batched), vec![5.0, 6.0]);
+        let mut out = [0.0; 2];
+        c.reduce_finish(batched, &mut out);
+        assert_eq!(out, [5.0, 6.0]);
         assert_eq!(c.stats().allreduces, 3);
     }
 }

@@ -36,11 +36,19 @@ enum Phase {
 }
 
 /// State of the generation-stamped collective engine.
+///
+/// All buffers are recycled round over round: contribution slots retire
+/// into `spare` after the fold and are reused by later arrivals, and the
+/// result vector keeps its capacity across rounds. After one warm-up
+/// round per payload size the engine never touches the heap — the
+/// steady-state allocation audits depend on this.
 struct Collective<T> {
     phase: Phase,
     generation: u64,
     /// Contributions in arrival order (rank, payload).
     contributions: Vec<(usize, Vec<T>)>,
+    /// Retired contribution slots awaiting reuse.
+    spare: Vec<Vec<T>>,
     result: Vec<T>,
     departed: usize,
 }
@@ -51,6 +59,7 @@ impl<T> Default for Collective<T> {
             phase: Phase::Collect,
             generation: 0,
             contributions: Vec::new(),
+            spare: Vec::new(),
             result: Vec::new(),
             departed: 0,
         }
@@ -224,7 +233,7 @@ impl<T: Scalar> ThreadComm<T> {
     /// [`Self::collective_finish`]. Never blocks on *other ranks'
     /// contributions*, only on the previous round draining, which is what
     /// makes the split-phase reduction overlap-capable.
-    fn collective_begin(&self, vals: Vec<T>, op: ReduceOp) -> u64 {
+    fn collective_begin(&self, vals: &[T], op: ReduceOp) -> u64 {
         let shared = &self.shared;
         shared.check_poison();
         let mut st = shared.collective.lock();
@@ -240,21 +249,35 @@ impl<T: Scalar> ThreadComm<T> {
             self.rank
         );
         let my_generation = st.generation;
-        st.contributions.push((self.rank, vals));
+        // Stage the contribution in a recycled slot: `clear` +
+        // `extend_from_slice` keeps the slot's capacity, so after one
+        // warm-up round per payload size no round allocates.
+        let mut slot = st.spare.pop().unwrap_or_default();
+        slot.clear();
+        slot.extend_from_slice(vals);
+        st.contributions.push((self.rank, slot));
         if st.contributions.len() == shared.size {
             // Last arriver folds and publishes.
-            let mut items = std::mem::take(&mut st.contributions);
+            let Collective {
+                contributions,
+                spare,
+                result,
+                ..
+            } = &mut *st;
             if shared.order == ReduceOrder::RankOrder {
-                items.sort_by_key(|(rank, _)| *rank);
+                // Unstable sort: ranks are unique, and stable sort would
+                // allocate its merge scratch.
+                contributions.sort_unstable_by_key(|(rank, _)| *rank);
             }
-            let mut iter = items.into_iter();
-            let (_, mut acc) = iter.next().expect("at least one contribution");
-            for (_, contribution) in iter {
-                for (a, b) in acc.iter_mut().zip(contribution) {
-                    *a = op.combine(*a, b);
+            result.clear();
+            result.extend_from_slice(&contributions[0].1);
+            for (_, contribution) in &contributions[1..] {
+                for (a, b) in result.iter_mut().zip(contribution) {
+                    *a = op.combine(*a, *b);
                 }
             }
-            st.result = acc;
+            // Retire the slots for the next round's arrivals.
+            spare.extend(contributions.drain(..).map(|(_, slot)| slot));
             st.phase = Phase::Distribute;
             st.departed = 0;
             shared.collective_cvar.notify_all();
@@ -265,7 +288,7 @@ impl<T: Scalar> ThreadComm<T> {
     /// Finish phase: wait for `generation`'s result to be published, copy
     /// it out and depart (the last departer resets the engine for the next
     /// round).
-    fn collective_finish(&self, generation: u64) -> Vec<T> {
+    fn collective_finish(&self, generation: u64, out: &mut [T]) {
         let shared = &self.shared;
         shared.check_poison();
         let mut st = shared.collective.lock();
@@ -273,21 +296,18 @@ impl<T: Scalar> ThreadComm<T> {
             shared.collective_cvar.wait(&mut st);
             shared.check_poison();
         }
-        let out = st.result.clone();
+        out.copy_from_slice(&st.result[..out.len()]);
         st.departed += 1;
         if st.departed == shared.size {
             st.phase = Phase::Collect;
             st.generation += 1;
-            st.result.clear();
             shared.collective_cvar.notify_all();
         }
-        out
     }
 
     fn collective_exchange(&self, vals: &mut [T], op: ReduceOp) {
-        let generation = self.collective_begin(vals.to_vec(), op);
-        let result = self.collective_finish(generation);
-        vals.copy_from_slice(&result);
+        let generation = self.collective_begin(vals, op);
+        self.collective_finish(generation, vals);
     }
 }
 
@@ -350,25 +370,29 @@ impl<T: Scalar> Communicator<T> for ThreadComm<T> {
         &self.recorder
     }
 
-    fn iall_reduce(&self, vals: Vec<T>, op: ReduceOp) -> ReduceRequest<T> {
+    fn iall_reduce(&self, vals: &[T], op: ReduceOp) -> ReduceRequest<T> {
         self.stats.allreduces.fetch_add(1, Ordering::Relaxed);
         self.recorder.record(Event::AllReduce {
             elems: vals.len() as u32,
         });
-        let len = vals.len();
         let generation = self.collective_begin(vals, op);
         ReduceRequest {
-            len,
+            len: vals.len(),
             op,
             generation,
             resolved: None,
         }
     }
 
-    fn reduce_finish(&self, req: ReduceRequest<T>) -> Vec<T> {
+    fn reduce_finish(&self, req: ReduceRequest<T>, out: &mut [T]) {
+        assert_eq!(
+            out.len(),
+            req.len,
+            "reduce_finish output buffer does not match the request length"
+        );
         match req.resolved {
-            Some(resolved) => resolved,
-            None => self.collective_finish(req.generation),
+            Some(resolved) => out.copy_from_slice(&resolved[..req.len]),
+            None => self.collective_finish(req.generation, out),
         }
     }
 }
@@ -685,11 +709,12 @@ mod stress_tests {
         for order in [ReduceOrder::RankOrder, ReduceOrder::Arrival] {
             run_ranks::<f64, _, _>(5, order, |comm| {
                 let mine = vec![1.0 / (comm.rank() as f64 + 3.0), comm.rank() as f64];
-                let req = comm.iall_reduce(mine.clone(), ReduceOp::Sum);
+                let req = comm.iall_reduce(&mine, ReduceOp::Sum);
                 // Overlap window: the rank is free to compute here.
                 let busywork: f64 = (0..100).map(|i| i as f64).sum();
                 assert_eq!(busywork, 4950.0);
-                let split = comm.reduce_finish(req);
+                let mut split = vec![0.0; mine.len()];
+                comm.reduce_finish(req, &mut split);
                 let mut blocking = mine;
                 comm.all_reduce(&mut blocking, ReduceOp::Sum);
                 assert_eq!(
@@ -706,9 +731,10 @@ mod stress_tests {
     fn repeated_iall_reduce_rounds_do_not_cross() {
         run_ranks::<f64, _, _>(4, ReduceOrder::RankOrder, |comm| {
             for round in 0..200 {
-                let req = comm.iall_reduce(vec![comm.rank() as f64 + round as f64], ReduceOp::Sum);
-                let got = comm.reduce_finish(req);
-                assert_eq!(got, vec![6.0 + 4.0 * round as f64]);
+                let req = comm.iall_reduce(&[comm.rank() as f64 + round as f64], ReduceOp::Sum);
+                let mut got = [0.0];
+                comm.reduce_finish(req, &mut got);
+                assert_eq!(got, [6.0 + 4.0 * round as f64]);
             }
         });
     }
@@ -722,8 +748,9 @@ mod stress_tests {
             let b = [1.0, 2.0];
             let req = comm.iall_reduce_batch(&[&a, &b], ReduceOp::Sum);
             assert_eq!(req.len, 3);
-            let out = comm.reduce_finish(req);
-            assert_eq!(out, vec![3.0, 3.0, 6.0]);
+            let mut out = [0.0; 3];
+            comm.reduce_finish(req, &mut out);
+            assert_eq!(out, [3.0, 3.0, 6.0]);
             assert_eq!(comm.stats().allreduces, 1);
         });
     }
@@ -749,8 +776,8 @@ mod stress_tests {
         let comms = ThreadComm::<f64>::world_default(2);
         let c0 = &comms[0];
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let _r1 = c0.iall_reduce(vec![1.0], ReduceOp::Sum);
-            let _r2 = c0.iall_reduce(vec![2.0], ReduceOp::Sum);
+            let _r1 = c0.iall_reduce(&[1.0], ReduceOp::Sum);
+            let _r2 = c0.iall_reduce(&[2.0], ReduceOp::Sum);
         }));
         let msg = *result
             .expect_err("second begin must panic")

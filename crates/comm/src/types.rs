@@ -87,10 +87,20 @@ pub struct RecvRequest {
     pub tag: Tag,
 }
 
+/// Capacity ceiling for one split-phase reduction, in scalars.
+///
+/// Split-phase reductions carry the solver's *dot-product groups* — a
+/// handful of scalars per message (the Bi-CGSTAB schedules batch at most
+/// four). Bounding the payload lets every layer stage it in fixed
+/// stack/inline storage, which is what keeps the steady-state iteration
+/// allocation-free. Reduce large vectors with the blocking
+/// [`Communicator::all_reduce`] instead.
+pub const MAX_REDUCE_SCALARS: usize = 8;
+
 /// A begun split-phase reduction (the `MPI_Iallreduce` request object).
 ///
 /// The contribution is made at begin time ([`Communicator::iall_reduce`]);
-/// the reduced vector is only available after
+/// the reduced values are only available after
 /// [`Communicator::reduce_finish`]. Between the two calls the caller is
 /// free to compute — that window is what hides the reduction latency.
 /// Exactly one split-phase reduction may be outstanding per rank (the
@@ -99,16 +109,17 @@ pub struct RecvRequest {
 #[derive(Clone, Debug)]
 #[must_use = "a begun reduction must be completed with reduce_finish"]
 pub struct ReduceRequest<T: Scalar> {
-    /// Number of reduced elements.
+    /// Number of reduced elements (at most [`MAX_REDUCE_SCALARS`]).
     pub len: usize,
     /// Reduction operator applied element-wise.
     pub op: ReduceOp,
     /// Collective-engine generation the contribution entered
     /// (`ThreadComm` bookkeeping; 0 for resolve-at-begin communicators).
     pub(crate) generation: u64,
-    /// Pre-resolved result for communicators that complete the reduction
-    /// at begin time (`SelfComm`, the blocking default).
-    pub(crate) resolved: Option<Vec<T>>,
+    /// Pre-resolved result (first `len` slots) for communicators that
+    /// complete the reduction at begin time (`SelfComm`, the blocking
+    /// default). Inline storage: resolving must not touch the heap.
+    pub(crate) resolved: Option<[T; MAX_REDUCE_SCALARS]>,
 }
 
 /// The message-passing interface the solver is written against.
@@ -190,27 +201,38 @@ pub trait Communicator<T: Scalar>: Send + Sync + 'static {
     /// [`Communicator::all_reduce`] — so a split-phase reduction of the
     /// same values is bitwise-identical to the blocking call.
     ///
-    /// At most one split-phase reduction may be outstanding per rank;
-    /// the default implementation completes at begin time (blocking).
+    /// At most one split-phase reduction may be outstanding per rank and
+    /// `vals.len()` must not exceed [`MAX_REDUCE_SCALARS`] — the bounded
+    /// payload is what lets every implementation run the steady state
+    /// without heap allocation. The default implementation completes at
+    /// begin time (blocking).
     #[must_use = "a begun reduction must be completed with reduce_finish"]
-    fn iall_reduce(&self, vals: Vec<T>, op: ReduceOp) -> ReduceRequest<T> {
-        let mut vals = vals;
-        self.all_reduce(&mut vals, op);
+    fn iall_reduce(&self, vals: &[T], op: ReduceOp) -> ReduceRequest<T> {
+        let mut buf = [T::ZERO; MAX_REDUCE_SCALARS];
+        buf[..vals.len()].copy_from_slice(vals);
+        self.all_reduce(&mut buf[..vals.len()], op);
         ReduceRequest {
             len: vals.len(),
             op,
             generation: 0,
-            resolved: Some(vals),
+            resolved: Some(buf),
         }
     }
 
     /// Complete a begun split-phase reduction (`MPI_Wait` on the
-    /// [`iall_reduce`](Communicator::iall_reduce) handle), returning the
-    /// reduced vector every rank observes identically.
-    #[must_use = "dropping a finished reduction silently discards its result"]
-    fn reduce_finish(&self, req: ReduceRequest<T>) -> Vec<T> {
-        req.resolved
-            .expect("reduce_finish on a request this communicator did not begin")
+    /// [`iall_reduce`](Communicator::iall_reduce) handle), copying the
+    /// reduced values — identical on every rank — into `out`, whose
+    /// length must equal the request's `len`.
+    fn reduce_finish(&self, req: ReduceRequest<T>, out: &mut [T]) {
+        assert_eq!(
+            out.len(),
+            req.len,
+            "reduce_finish output buffer does not match the request length"
+        );
+        let resolved = req
+            .resolved
+            .expect("reduce_finish on a request this communicator did not begin");
+        out.copy_from_slice(&resolved[..req.len]);
     }
 
     /// Reduce several independent vectors in one message: pack, one
@@ -219,8 +241,23 @@ pub trait Communicator<T: Scalar>: Send + Sync + 'static {
     /// to reducing it in its own call — batching only changes the message
     /// count, never the values.
     fn reduce_batch(&self, groups: &mut [&mut [T]], op: ReduceOp) {
-        let mut packed: Vec<T> = groups.iter().flat_map(|g| g.iter().copied()).collect();
-        self.all_reduce(&mut packed, op);
+        let total: usize = groups.iter().map(|g| g.len()).sum();
+        // Scalar batches (the solver hot path) pack through fixed stack
+        // storage; only oversized batches pay for a heap buffer.
+        let mut stack = [T::ZERO; MAX_REDUCE_SCALARS];
+        let mut heap: Vec<T> = Vec::new();
+        let packed: &mut [T] = if total <= MAX_REDUCE_SCALARS {
+            &mut stack[..total]
+        } else {
+            heap.resize(total, T::ZERO);
+            &mut heap
+        };
+        let mut off = 0;
+        for g in groups.iter() {
+            packed[off..off + g.len()].copy_from_slice(g);
+            off += g.len();
+        }
+        self.all_reduce(packed, op);
         let mut off = 0;
         for g in groups.iter_mut() {
             g.copy_from_slice(&packed[off..off + g.len()]);
@@ -228,14 +265,21 @@ pub trait Communicator<T: Scalar>: Send + Sync + 'static {
         }
     }
 
-    /// Begin a batched split-phase reduction: several vectors packed into
-    /// one [`iall_reduce`](Communicator::iall_reduce) message. The reduced
-    /// groups come back concatenated in request order from
-    /// [`reduce_finish`](Communicator::reduce_finish).
+    /// Begin a batched split-phase reduction: several scalar groups packed
+    /// into one [`iall_reduce`](Communicator::iall_reduce) message (at
+    /// most [`MAX_REDUCE_SCALARS`] in total). The reduced groups come back
+    /// concatenated in request order from
+    /// [`reduce_finish`](Communicator::reduce_finish). Packing stages
+    /// through fixed stack storage — no allocation.
     #[must_use = "a begun reduction must be completed with reduce_finish"]
     fn iall_reduce_batch(&self, groups: &[&[T]], op: ReduceOp) -> ReduceRequest<T> {
-        let packed: Vec<T> = groups.iter().flat_map(|g| g.iter().copied()).collect();
-        self.iall_reduce(packed, op)
+        let mut buf = [T::ZERO; MAX_REDUCE_SCALARS];
+        let mut n = 0;
+        for g in groups {
+            buf[n..n + g.len()].copy_from_slice(g);
+            n += g.len();
+        }
+        self.iall_reduce(&buf[..n], op)
     }
 }
 
@@ -265,11 +309,11 @@ impl<T: Scalar, C: Communicator<T>> Communicator<T> for Arc<C> {
     fn recorder(&self) -> &Recorder {
         (**self).recorder()
     }
-    fn iall_reduce(&self, vals: Vec<T>, op: ReduceOp) -> ReduceRequest<T> {
+    fn iall_reduce(&self, vals: &[T], op: ReduceOp) -> ReduceRequest<T> {
         (**self).iall_reduce(vals, op)
     }
-    fn reduce_finish(&self, req: ReduceRequest<T>) -> Vec<T> {
-        (**self).reduce_finish(req)
+    fn reduce_finish(&self, req: ReduceRequest<T>, out: &mut [T]) {
+        (**self).reduce_finish(req, out)
     }
     fn reduce_batch(&self, groups: &mut [&mut [T]], op: ReduceOp) {
         (**self).reduce_batch(groups, op)

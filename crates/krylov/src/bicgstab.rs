@@ -1,20 +1,34 @@
 //! Preconditioned Bi-CGSTAB exactly as implemented in the paper (Alg. 3).
 //!
-//! One outer iteration is the six fused device kernels, two
-//! preconditioner applications and two halo exchanges of Alg. 3, but the
-//! reduction schedule is restructured: with
+//! One outer iteration is the device kernels, two preconditioner
+//! applications and two halo exchanges of Alg. 3, but both the reduction
+//! schedule and the kernel grouping are restructured. With
 //! [`SolveParams::overlap_reduce`] on (the default) each iteration ships
-//! exactly **two** batched reduction messages, both posted split-phase
-//! ([`Communicator::iall_reduce`]) so a half of the x-update computes
-//! under each one:
+//! exactly **two** batched reduction messages posted split-phase
+//! ([`Communicator::iall_reduce`]), and with
+//! [`SolveParams::fuse_kernels`] on (also the default) the memory-bound
+//! vector work collapses from eleven full-grid sweeps to **five**:
 //!
 //! ```text
-//! Preconditioner  MPI1+BCs  KernelBiCGS1
-//!   M1: iall_reduce [σ, ‖r‖²_prev]  ∥  KernelBiCGS4b (x += ω_prev r̂)   host α
-//! KernelBiCGS2    Preconditioner  MPI3+BCs  KernelBiCGS3
-//!   M2: iall_reduce [σ₁,σ₂,σ₃,σ₄]  ∥  KernelBiCGS4a (x += α p̂)        host ω, ρ
-//! KernelBiCGS5    host β   KernelBiCGS6
+//! Preconditioner  MPI1+BCs  KernelBiCGS1 (w = A p̂ ⊕ σ = r̃ᵀw)
+//!   M1: iall_reduce [σ, ‖r‖²_prev]  ∥  KernelBiCGS4 (x ← (x+α p̂)+ω r̂)  host α
+//! KernelBiCGS2F (r −= αw ⊕ σ₃)   Preconditioner
+//! MPI3+BCs  KernelBiCGS3F (t = A r̂ ⊕ σ₁,σ₂,σ₄)
+//!   M2: reduce [σ₁,σ₂,σ₃,σ₄]                                          host ω, ρ, β
+//! KernelBiCGS56 (r −= ωt ⊕ ‖r‖² ⊕ p ← r + β(p − ωw))
 //! ```
+//!
+//! Unfused (`fuse_kernels: false`) the schedule is the historical one —
+//! separate dot sweeps, the x-update split into its 4a/4b halves hidden
+//! under M2 and M1 respectively, and a separate KernelBiCGS5/6 pair.
+//! Fusion regroups *which loop* computes each value, never the order of
+//! the float operations inside a row or the reduction tree that merges
+//! row partials, so fused and unfused runs are bitwise-identical under a
+//! deterministic [`comm::ReduceOrder`]. Fused overlap defers the whole
+//! merged x-update into the next M1 window (there is no 4a half left to
+//! hide under M2, which therefore blocks) — the p̂ it needs survives the
+//! next preconditioner application in a ping-pong buffer
+//! (`Workspace::p_hat_prev`).
 //!
 //! Two tricks make ≤2 messages possible (both active in the synchronous
 //! path too, so the flag only changes message *grouping*, never values):
@@ -46,8 +60,10 @@ use stencil::apply_physical_bcs;
 use crate::cancel::CancelToken;
 use crate::ctx::{RankCtx, Workspace};
 use crate::kernels::{
-    axpy_inplace, diff_norm2, dot, dot2, p_update, residual_update_fused, INFO_BICGS1, INFO_BICGS2,
-    INFO_BICGS3, INFO_BICGS4A, INFO_BICGS4B, INFO_BICGS5, INFO_BICGS6, INFO_DOT,
+    axpy2_chained_inplace, axpy3_inplace, axpy_dot, axpy_inplace, diff_norm2, dot, dot2,
+    norm2_axpy, residual_p_update_fused, residual_update_fused, INFO_BICGS1, INFO_BICGS2,
+    INFO_BICGS2F, INFO_BICGS3, INFO_BICGS3F, INFO_BICGS4, INFO_BICGS4A, INFO_BICGS4B, INFO_BICGS5,
+    INFO_BICGS56, INFO_BICGS6, INFO_DOT, INFO_FOLD1, INFO_FOLD3, INFO_NORM2AXPY,
 };
 use crate::precond::Preconditioner;
 
@@ -110,6 +126,18 @@ pub struct SolveParams {
     /// either: the flag rides the M1 batch as one extra scalar rather
     /// than a dedicated blocking reduction.
     pub cancel: Option<CancelToken>,
+    /// Run the hot loop on the fused kernel schedule: `KernelBiCGS2F`
+    /// (axpy + dot), `KernelBiCGS3F` (apply + three dots),
+    /// `KernelBiCGS56` (residual + p-update) and the merged deferred
+    /// x-update (`KernelBiCGS4`), cutting the full-grid sweeps per
+    /// iteration from 11 to 5 (264 → 200 B/elem of model traffic).
+    /// Under a deterministic reduction order the iterate sequence,
+    /// residual history and stopping decisions are bitwise identical to
+    /// the unfused schedule — every fused sweep keeps the grouping and
+    /// fold order of the kernels it replaces. With `early_exit_check`
+    /// the α-step falls back to the unfused sweeps (the mid-loop exit
+    /// must observe `‖r‖` before σ₃ is worth computing).
+    pub fuse_kernels: bool,
 }
 
 impl Default for SolveParams {
@@ -124,6 +152,7 @@ impl Default for SolveParams {
             overlap_halo: true,
             overlap_reduce: true,
             cancel: None,
+            fuse_kernels: true,
         }
     }
 }
@@ -269,8 +298,10 @@ where
     let mut prec_iterations = 0u64;
 
     let overlap = params.overlap_halo && scope == Scope::Global;
+    let fuse = params.fuse_kernels;
 
-    // r_0 = b − A x_0
+    // r_0 = b − A x_0, ρ_0 = r̃ᵀ r_0 = ‖r_0‖² (r̃ = r_0 elementwise, so
+    // the fused norm is the same sequence of products as the dot below)
     refresh_and_apply(
         ctx,
         scope,
@@ -280,13 +311,27 @@ where
         x,
         &mut ws.w,
     );
-    ws.r.copy_from(b);
-    axpy_inplace(&ctx.dev, INFO_BICGS2, &ctx.grid, &mut ws.r, &ws.w, -T::ONE);
-
-    // r̃ = r_0, p_0 = r_0, ρ_0 = r̃ᵀ r_0 = ‖r_0‖²
+    let mut sums = if fuse {
+        // KernelNorm2Axpy: residual formation and its norm in one sweep
+        [norm2_axpy(
+            &ctx.dev,
+            INFO_NORM2AXPY,
+            &ctx.grid,
+            &mut ws.r,
+            b,
+            &ws.w,
+        )]
+    } else {
+        ws.r.copy_from(b);
+        axpy_inplace(&ctx.dev, INFO_BICGS2, &ctx.grid, &mut ws.r, &ws.w, -T::ONE);
+        [T::ZERO]
+    };
+    // r̃ = r_0, p_0 = r_0
     ws.r0t.copy_from(&ws.r);
     ws.p.copy_from(&ws.r);
-    let mut sums = [dot(&ctx.dev, INFO_DOT, &ctx.grid, &ws.r0t, &ws.r)];
+    if !fuse {
+        sums = [dot(&ctx.dev, INFO_DOT, &ctx.grid, &ws.r0t, &ws.r)];
+    }
     global_sum(ctx, scope, "MPI0", &mut sums);
     let mut rho = sums[0];
     let res0 = rho.to_f64().max(0.0).sqrt();
@@ -322,10 +367,13 @@ where
     // would only spend an extra preconditioner application per solve.
     let overlap_reduce = params.overlap_reduce && scope == Scope::Global && ctx.comm.size() > 1;
 
-    // Lag state of the overlapped schedule: `(i, ‖r_i‖²_local, ω_i)` —
-    // iteration i's not-yet-reduced convergence norm and its deferred
-    // `x += ω r̂` half, both completed under iteration i+1's M1 window.
-    let mut lagged: Option<(usize, T, T)> = None;
+    // Lag state of the overlapped schedule: `(i, ‖r_i‖²_local, ω_i, α_i)`
+    // — iteration i's not-yet-reduced convergence norm and its deferred
+    // x-update, both completed under iteration i+1's M1 window. Unfused,
+    // only the ω half (`x += ω r̂`) is deferred (α landed under M2);
+    // fused, the whole update `x ← (x + α p̂) + ω r̂` is deferred as one
+    // merged KernelBiCGS4 sweep, which is why α rides along.
+    let mut lagged: Option<(usize, T, T, T)> = None;
 
     /// Iteration `$j`'s epilogue once its global `‖r_j‖²` is in hand:
     /// history/final-residual bookkeeping and the stopping ladder
@@ -421,11 +469,25 @@ where
                         x,
                         &mut ws.w,
                     );
-                    ws.r.copy_from(b);
-                    axpy_inplace(&ctx.dev, INFO_BICGS2, &ctx.grid, &mut ws.r, &ws.w, -T::ONE);
+                    let mut s = if fuse {
+                        [norm2_axpy(
+                            &ctx.dev,
+                            INFO_NORM2AXPY,
+                            &ctx.grid,
+                            &mut ws.r,
+                            b,
+                            &ws.w,
+                        )]
+                    } else {
+                        ws.r.copy_from(b);
+                        axpy_inplace(&ctx.dev, INFO_BICGS2, &ctx.grid, &mut ws.r, &ws.w, -T::ONE);
+                        [T::ZERO]
+                    };
                     ws.r0t.copy_from(&ws.r);
                     ws.p.copy_from(&ws.r);
-                    let mut s = [dot(&ctx.dev, INFO_DOT, &ctx.grid, &ws.r0t, &ws.r)];
+                    if !fuse {
+                        s = [dot(&ctx.dev, INFO_DOT, &ctx.grid, &ws.r0t, &ws.r)];
+                    }
                     global_sum(ctx, scope, "MPI0", &mut s);
                     rho = s[0];
                     let res = rho.to_f64().max(0.0).sqrt();
@@ -447,20 +509,50 @@ where
             prec.apply(ctx, &mut ws.p, &mut ws.p_hat)
         }) as u64;
         // MPI1 + KernelNeumannBCs, then KernelBiCGS1: w = A p̂, p_sum = r̃ᵀ w.
-        // Overlapped, the fused kernel splits into interior/shell sweeps
-        // plus a separate dot that keeps the fused fold order (same rows,
-        // same per-row accumulation, same partial merge → bitwise equal).
+        // Overlapped unfused, the fused kernel splits into interior/shell
+        // sweeps plus a separate dot that keeps the fused fold order (same
+        // rows, same per-row accumulation, same partial merge → bitwise
+        // equal). Overlapped fused, the sweeps *keep* their dot: each
+        // piece deposits per-row partials into the slot buffer and a row
+        // fold completes the scalar — one full-grid sweep instead of two,
+        // still bitwise equal to the monolithic KernelBiCGS1.
         let psum_local = if overlap {
-            refresh_and_apply(
-                ctx,
-                scope,
-                "MPI1",
-                true,
-                stencil::INFO_APPLY,
-                &mut ws.p_hat,
-                &mut ws.w,
-            );
-            dot(&ctx.dev, INFO_DOT, &ctx.grid, &ws.r0t, &ws.w)
+            if fuse {
+                let r0s = ws.r0t.as_slice();
+                let terms = |c: usize, v: T| [r0s[c] * v];
+                let pending = ctx.halo.begin(&ctx.dev, &ctx.comm, &ws.p_hat);
+                apply_physical_bcs(&ctx.grid, &mut ws.p_hat, &ctx.recorder, false);
+                ctx.lap.apply_interior_dot(
+                    &ctx.dev,
+                    INFO_BICGS1,
+                    &ws.p_hat,
+                    &mut ws.w,
+                    &mut ws.slots,
+                    &terms,
+                );
+                ctx.halo.finish(&ctx.dev, &ctx.comm, pending, &mut ws.p_hat);
+                let fold = ctx.lap.apply_shell_dot(
+                    &ctx.dev,
+                    INFO_BICGS1,
+                    &ws.p_hat,
+                    &mut ws.w,
+                    &mut ws.slots,
+                    &terms,
+                );
+                let [s] = fold.fold(&ctx.dev, INFO_FOLD1, &ws.slots);
+                s
+            } else {
+                refresh_and_apply(
+                    ctx,
+                    scope,
+                    "MPI1",
+                    true,
+                    stencil::INFO_APPLY,
+                    &mut ws.p_hat,
+                    &mut ws.w,
+                );
+                dot(&ctx.dev, INFO_DOT, &ctx.grid, &ws.r0t, &ws.w)
+            }
         } else {
             refresh_ghosts(ctx, scope, "MPI1", &mut ws.p_hat);
             ctx.lap
@@ -484,24 +576,46 @@ where
                     T::ZERO
                 }]
             });
-            let rnorm2_prev = lagged.as_ref().map(|(_, r, _)| [*r]);
+            let rnorm2_prev = lagged.as_ref().map(|(_, r, _, _)| [*r]);
             let psl = [psum_local];
-            let mut groups: Vec<&[T]> = vec![&psl];
+            // Fixed-capacity group list: the M1 batch is at most
+            // [σ, ‖r‖²_prev, cancel] and the hot loop must not allocate.
+            let mut groups: [&[T]; 3] = [&psl; 3];
+            let mut ng = 1;
             if let Some(r) = &rnorm2_prev {
-                groups.push(r);
+                groups[ng] = r;
+                ng += 1;
             }
             if let Some(c) = &cancel_local {
-                groups.push(c);
+                groups[ng] = c;
+                ng += 1;
             }
-            let req = ctx.comm.iall_reduce_batch(&groups, ReduceOp::Sum);
-            if let Some((_, _, omega_prev)) = lagged {
-                // KernelBiCGS4b deferred from iteration i−1: x ← x + ω r̂
-                axpy_inplace(&ctx.dev, INFO_BICGS4B, &ctx.grid, x, &ws.r_hat, omega_prev);
+            let req = ctx.comm.iall_reduce_batch(&groups[..ng], ReduceOp::Sum);
+            if let Some((_, _, omega_prev, alpha_prev)) = lagged {
+                if fuse {
+                    // Merged KernelBiCGS4 deferred from iteration i−1:
+                    // x ← (x + α p̂_prev) + ω r̂, chained exactly as the
+                    // split 4a/4b pair so the iterate matches bitwise.
+                    axpy2_chained_inplace(
+                        &ctx.dev,
+                        INFO_BICGS4,
+                        &ctx.grid,
+                        x,
+                        &ws.p_hat_prev,
+                        alpha_prev,
+                        &ws.r_hat,
+                        omega_prev,
+                    );
+                } else {
+                    // KernelBiCGS4b deferred from iteration i−1: x ← x + ω r̂
+                    axpy_inplace(&ctx.dev, INFO_BICGS4B, &ctx.grid, x, &ws.r_hat, omega_prev);
+                }
             }
-            let red = ctx.comm.reduce_finish(req);
+            let mut red = [T::ZERO; 3];
+            ctx.comm.reduce_finish(req, &mut red[..ng]);
             ctx.recorder.end(REDUCE_OVERLAP_STAGE);
             let had_lag = lagged.is_some();
-            if let Some((prev, _, _)) = lagged.take() {
+            if let Some((prev, _, _, _)) = lagged.take() {
                 // iteration i−1's stopping decisions, one message late
                 finish_iteration!(prev, red[1]);
             }
@@ -528,72 +642,126 @@ where
         }
         let alpha = rho / psum;
 
-        // KernelBiCGS2: r ← r − α w
-        axpy_inplace(&ctx.dev, INFO_BICGS2, &ctx.grid, &mut ws.r, &ws.w, -alpha);
+        // KernelBiCGS2: r ← r − α w, and σ₃ = r̃ᵀ s — the first half of
+        // the ρ recurrence ρ_{i+1} = r̃ᵀ r_{i+1} = r̃ᵀ s − ω r̃ᵀ t.
+        // Computing ρ this way frees it from its serial dependence on ω,
+        // letting it ride in M2 alongside the ω dots instead of forcing a
+        // third reduction. Fused, the axpy and σ₃ share one sweep
+        // (KernelBiCGS2F); with the mid-loop exit active σ₃ must wait for
+        // the exit decision, so the sweeps stay separate.
+        let c3_local = if fuse && !params.early_exit_check {
+            axpy_dot(
+                &ctx.dev,
+                INFO_BICGS2F,
+                &ctx.grid,
+                &mut ws.r,
+                &ws.w,
+                -alpha,
+                &ws.r0t,
+            )
+        } else {
+            axpy_inplace(&ctx.dev, INFO_BICGS2, &ctx.grid, &mut ws.r, &ws.w, -alpha);
 
-        // Optional mid-loop convergence check (Algorithm 1 lines 9–11).
-        // One extra reduction per iteration; Algorithm 3 trades it away.
-        if params.early_exit_check {
-            let mut s = [dot(&ctx.dev, INFO_DOT, &ctx.grid, &ws.r, &ws.r)];
-            global_sum(ctx, scope, "MPI2b", &mut s);
-            let res = s[0].to_f64().max(0.0).sqrt();
-            if res < params.tol {
-                // x ← x + α p̂, then exit (Alg. 1 line 10)
-                axpy_inplace(&ctx.dev, INFO_BICGS4A, &ctx.grid, x, &ws.p_hat, alpha);
-                final_residual = res;
-                if params.record_history {
-                    history.push(res);
+            // Optional mid-loop convergence check (Algorithm 1 lines
+            // 9–11). One extra reduction per iteration; Algorithm 3
+            // trades it away.
+            if params.early_exit_check {
+                let mut s = [dot(&ctx.dev, INFO_DOT, &ctx.grid, &ws.r, &ws.r)];
+                global_sum(ctx, scope, "MPI2b", &mut s);
+                let res = s[0].to_f64().max(0.0).sqrt();
+                if res < params.tol {
+                    // x ← x + α p̂, then exit (Alg. 1 line 10)
+                    axpy_inplace(&ctx.dev, INFO_BICGS4A, &ctx.grid, x, &ws.p_hat, alpha);
+                    final_residual = res;
+                    if params.record_history {
+                        history.push(res);
+                    }
+                    converged = true;
+                    break;
                 }
-                converged = true;
-                break;
             }
-        }
-
-        // σ₃ = r̃ᵀ s, first half of the ρ recurrence
-        // ρ_{i+1} = r̃ᵀ r_{i+1} = r̃ᵀ s − ω r̃ᵀ t. Computing ρ this way
-        // frees it from its serial dependence on ω, letting it ride in M2
-        // alongside the ω dots instead of forcing a third reduction.
-        let c3_local = dot(&ctx.dev, INFO_DOT, &ctx.grid, &ws.r0t, &ws.r);
+            dot(&ctx.dev, INFO_DOT, &ctx.grid, &ws.r0t, &ws.r)
+        };
 
         // Solve M r̂ = r
         prec_iterations += ctx.recorder.stage("Preconditioner", || {
             prec.apply(ctx, &mut ws.r, &mut ws.r_hat)
         }) as u64;
-        // MPI3 + BCs, then KernelBiCGS3: t = A r̂, p1 = tᵀ r, p2 = tᵀ t
-        let (p1l, p2l) = if overlap {
-            refresh_and_apply(
-                ctx,
-                scope,
-                "MPI3",
-                true,
-                stencil::INFO_APPLY,
-                &mut ws.r_hat,
-                &mut ws.t,
-            );
-            dot2(&ctx.dev, INFO_DOT, &ctx.grid, &ws.t, &ws.r)
-        } else {
+        // MPI3 + BCs, then KernelBiCGS3: t = A r̂, p1 = tᵀ r, p2 = tᵀ t,
+        // and σ₄ = r̃ᵀ t (second half of the ρ recurrence). Fused, all
+        // three dots ride in the stencil sweep (KernelBiCGS3F); unfused
+        // the ω dots share the sweep and σ₄ gets its own.
+        let (p1l, p2l, c4_local) = if overlap {
+            if fuse {
+                let rs = ws.r.as_slice();
+                let r0s = ws.r0t.as_slice();
+                let terms = |c: usize, v: T| [v * rs[c], v * v, r0s[c] * v];
+                let pending = ctx.halo.begin(&ctx.dev, &ctx.comm, &ws.r_hat);
+                apply_physical_bcs(&ctx.grid, &mut ws.r_hat, &ctx.recorder, false);
+                ctx.lap.apply_interior_dot(
+                    &ctx.dev,
+                    INFO_BICGS3F,
+                    &ws.r_hat,
+                    &mut ws.t,
+                    &mut ws.slots,
+                    &terms,
+                );
+                ctx.halo.finish(&ctx.dev, &ctx.comm, pending, &mut ws.r_hat);
+                let fold = ctx.lap.apply_shell_dot(
+                    &ctx.dev,
+                    INFO_BICGS3F,
+                    &ws.r_hat,
+                    &mut ws.t,
+                    &mut ws.slots,
+                    &terms,
+                );
+                let [a, b2, c] = fold.fold(&ctx.dev, INFO_FOLD3, &ws.slots);
+                (a, b2, c)
+            } else {
+                refresh_and_apply(
+                    ctx,
+                    scope,
+                    "MPI3",
+                    true,
+                    stencil::INFO_APPLY,
+                    &mut ws.r_hat,
+                    &mut ws.t,
+                );
+                let (a, b2) = dot2(&ctx.dev, INFO_DOT, &ctx.grid, &ws.t, &ws.r);
+                (a, b2, dot(&ctx.dev, INFO_DOT, &ctx.grid, &ws.r0t, &ws.t))
+            }
+        } else if fuse {
             refresh_ghosts(ctx, scope, "MPI3", &mut ws.r_hat);
             ctx.lap
-                .apply_fused_dot2(&ctx.dev, INFO_BICGS3, &ws.r_hat, &mut ws.t, &ws.r)
+                .apply_fused_dot3(&ctx.dev, INFO_BICGS3F, &ws.r_hat, &mut ws.t, &ws.r, &ws.r0t)
+        } else {
+            refresh_ghosts(ctx, scope, "MPI3", &mut ws.r_hat);
+            let (a, b2) =
+                ctx.lap
+                    .apply_fused_dot2(&ctx.dev, INFO_BICGS3, &ws.r_hat, &mut ws.t, &ws.r);
+            (a, b2, dot(&ctx.dev, INFO_DOT, &ctx.grid, &ws.r0t, &ws.t))
         };
-        // σ₄ = r̃ᵀ t, second half of the ρ recurrence
-        let c4_local = dot(&ctx.dev, INFO_DOT, &ctx.grid, &ws.r0t, &ws.t);
 
-        // M2: all four scalars in one batch; the α half of the x-update
-        // (KernelBiCGS4a) computes under the split-phase message.
-        let (p1, p2, c3, c4) = if overlap_reduce {
+        // M2: all four scalars in one batch. Unfused, the α half of the
+        // x-update (KernelBiCGS4a) computes under the split-phase message.
+        // Fused, there is nothing left to hide here — both x-halves ride
+        // in next iteration's merged KernelBiCGS4 sweep — so M2 blocks.
+        let (p1, p2, c3, c4) = if overlap_reduce && !fuse {
             ctx.recorder.begin(REDUCE_OVERLAP_STAGE);
             let req = ctx
                 .comm
-                .iall_reduce(vec![p1l, p2l, c3_local, c4_local], ReduceOp::Sum);
+                .iall_reduce(&[p1l, p2l, c3_local, c4_local], ReduceOp::Sum);
             axpy_inplace(&ctx.dev, INFO_BICGS4A, &ctx.grid, x, &ws.p_hat, alpha);
-            let red = ctx.comm.reduce_finish(req);
+            let mut red = [T::ZERO; 4];
+            ctx.comm.reduce_finish(req, &mut red);
             ctx.recorder.end(REDUCE_OVERLAP_STAGE);
             (red[0], red[1], red[2], red[3])
         } else {
             let mut sums = [p1l, p2l, c3_local, c4_local];
             global_sum(ctx, scope, "MPI4", &mut sums);
-            axpy_inplace(&ctx.dev, INFO_BICGS4A, &ctx.grid, x, &ws.p_hat, alpha);
+            if !fuse {
+                axpy_inplace(&ctx.dev, INFO_BICGS4A, &ctx.grid, x, &ws.p_hat, alpha);
+            }
             (sums[0], sums[1], sums[2], sums[3])
         };
         if !(p1.is_finite() && p2.is_finite()) {
@@ -605,76 +773,170 @@ where
         let omega = if p2 == T::ZERO { T::ZERO } else { p1 / p2 };
         let rho_new = c3 - omega * c4;
 
-        // KernelBiCGS5: r ← r − ω t, fused dots (r̃·r, r·r). Only the
-        // direct ‖r‖² is kept — ρ already came from the recurrence (the
-        // direct norm avoids the cancellation a norm recurrence suffers
-        // near convergence, which is why it is not recurred as well).
-        let (_, rnorm2_local) = residual_update_fused(
-            &ctx.dev,
-            INFO_BICGS5,
-            &ctx.grid,
-            &mut ws.r,
-            &ws.t,
-            omega,
-            &ws.r0t,
-        );
+        // Fused tail: β only exists when ρ and ω are both non-zero, so
+        // breakdown is decided *before* the residual/p sweep and the
+        // fused KernelBiCGS56 only runs on the healthy path.
+        let breakdown_now = rho_new == T::ZERO || omega == T::ZERO;
+        if fuse && !breakdown_now {
+            let beta = (rho_new / rho) * (alpha / omega);
+            rho = rho_new;
+            // KernelBiCGS56: r ← r − ω t, ‖r‖² and p ← r + β (p − ω w)
+            // in one sweep. The direct ‖r‖² is kept — ρ already came
+            // from the recurrence (the direct norm avoids the
+            // cancellation a norm recurrence suffers near convergence).
+            let rnorm2_local = residual_p_update_fused(
+                &ctx.dev,
+                INFO_BICGS56,
+                &ctx.grid,
+                &mut ws.r,
+                &mut ws.p,
+                &ws.t,
+                &ws.w,
+                omega,
+                beta,
+            );
+            if overlap_reduce {
+                // Both x-halves defer into next iteration's merged
+                // KernelBiCGS4 sweep; keep this p̂ alive across the swap.
+                lagged = Some((i, rnorm2_local, omega, alpha));
+                std::mem::swap(&mut ws.p_hat, &mut ws.p_hat_prev);
+            } else {
+                // KernelBiCGS4 merged: x ← (x + α p̂) + ω r̂
+                axpy2_chained_inplace(
+                    &ctx.dev,
+                    INFO_BICGS4,
+                    &ctx.grid,
+                    x,
+                    &ws.p_hat,
+                    alpha,
+                    &ws.r_hat,
+                    omega,
+                );
+                let mut s = [rnorm2_local];
+                global_sum(ctx, scope, "MPI5", &mut s);
+                finish_iteration!(i, s[0]);
+            }
+        } else if fuse {
+            // Breakdown pre-empts the fusion: β is undefined, so finish
+            // the iteration eagerly with the plain residual update and
+            // merged x sweep, then take the stopping ladder.
+            let (_, rnorm2_local) = residual_update_fused(
+                &ctx.dev,
+                INFO_BICGS5,
+                &ctx.grid,
+                &mut ws.r,
+                &ws.t,
+                omega,
+                &ws.r0t,
+            );
+            axpy2_chained_inplace(
+                &ctx.dev,
+                INFO_BICGS4,
+                &ctx.grid,
+                x,
+                &ws.p_hat,
+                alpha,
+                &ws.r_hat,
+                omega,
+            );
+            let mut s = [rnorm2_local];
+            global_sum(ctx, scope, "MPI5", &mut s);
+            finish_iteration!(i, s[0]);
+            if rho_new == T::ZERO {
+                breakdown_or_restart!(Breakdown::RhoZero);
+            } else {
+                // stagnated: ω = 0 with a non-converged residual
+                breakdown_or_restart!(Breakdown::OmegaZero);
+            }
+        } else {
+            // KernelBiCGS5: r ← r − ω t, fused dots (r̃·r, r·r). Only the
+            // direct ‖r‖² is kept — ρ already came from the recurrence
+            // (the direct norm avoids the cancellation a norm recurrence
+            // suffers near convergence, which is why it is not recurred
+            // as well).
+            let (_, rnorm2_local) = residual_update_fused(
+                &ctx.dev,
+                INFO_BICGS5,
+                &ctx.grid,
+                &mut ws.r,
+                &ws.t,
+                omega,
+                &ws.r0t,
+            );
 
-        if overlap_reduce {
-            if rho_new == T::ZERO || omega == T::ZERO {
-                // A breakdown trigger pre-empts the lag: complete the
-                // iteration eagerly (deferred ω half, blocking norm
-                // reduction, stopping ladder) so convergence keeps its
-                // priority over the breakdown and a restart resumes from
-                // the fully-updated iterate.
+            if overlap_reduce {
+                if breakdown_now {
+                    // A breakdown trigger pre-empts the lag: complete the
+                    // iteration eagerly (deferred ω half, blocking norm
+                    // reduction, stopping ladder) so convergence keeps
+                    // its priority over the breakdown and a restart
+                    // resumes from the fully-updated iterate.
+                    axpy_inplace(&ctx.dev, INFO_BICGS4B, &ctx.grid, x, &ws.r_hat, omega);
+                    let mut s = [rnorm2_local];
+                    global_sum(ctx, scope, "MPI5", &mut s);
+                    finish_iteration!(i, s[0]);
+                    if rho_new == T::ZERO {
+                        breakdown_or_restart!(Breakdown::RhoZero);
+                    } else {
+                        // stagnated: ω = 0 with a non-converged residual
+                        breakdown_or_restart!(Breakdown::OmegaZero);
+                    }
+                }
+                lagged = Some((i, rnorm2_local, omega, alpha));
+            } else {
+                // KernelBiCGS4b: x ← x + ω r̂ (split exactly as the
+                // overlap schedule splits it, so the iterate sequence is
+                // shared)
                 axpy_inplace(&ctx.dev, INFO_BICGS4B, &ctx.grid, x, &ws.r_hat, omega);
                 let mut s = [rnorm2_local];
                 global_sum(ctx, scope, "MPI5", &mut s);
                 finish_iteration!(i, s[0]);
                 if rho_new == T::ZERO {
                     breakdown_or_restart!(Breakdown::RhoZero);
-                } else {
+                }
+                if omega == T::ZERO {
                     // stagnated: ω = 0 with a non-converged residual
                     breakdown_or_restart!(Breakdown::OmegaZero);
                 }
             }
-            lagged = Some((i, rnorm2_local, omega));
-        } else {
-            // KernelBiCGS4b: x ← x + ω r̂ (split exactly as the overlap
-            // schedule splits it, so the iterate sequence is shared)
-            axpy_inplace(&ctx.dev, INFO_BICGS4B, &ctx.grid, x, &ws.r_hat, omega);
-            let mut s = [rnorm2_local];
-            global_sum(ctx, scope, "MPI5", &mut s);
-            finish_iteration!(i, s[0]);
-            if rho_new == T::ZERO {
-                breakdown_or_restart!(Breakdown::RhoZero);
-            }
-            if omega == T::ZERO {
-                // stagnated: ω = 0 with a non-converged residual
-                breakdown_or_restart!(Breakdown::OmegaZero);
-            }
-        }
-        let beta = (rho_new / rho) * (alpha / omega);
-        rho = rho_new;
+            let beta = (rho_new / rho) * (alpha / omega);
+            rho = rho_new;
 
-        // KernelBiCGS6: p ← r + β (p − ω w)
-        p_update(
-            &ctx.dev,
-            INFO_BICGS6,
-            &ctx.grid,
-            &mut ws.p,
-            &ws.r,
-            &ws.w,
-            beta,
-            omega,
-        );
+            // KernelBiCGS6: p ← r + β (p − ω w)
+            axpy3_inplace(
+                &ctx.dev,
+                INFO_BICGS6,
+                &ctx.grid,
+                &mut ws.p,
+                &ws.r,
+                &ws.w,
+                beta,
+                omega,
+            );
+        }
     }
 
     // Drain the lag when the iteration budget ran out with the last
     // iteration's bookkeeping still in flight: apply the deferred ω half
     // and take its stopping decisions (the one-shot loop hosts the
     // macro's `break`s).
-    if let Some((j, rnorm2_local, omega_prev)) = lagged.take() {
-        axpy_inplace(&ctx.dev, INFO_BICGS4B, &ctx.grid, x, &ws.r_hat, omega_prev);
+    if let Some((j, rnorm2_local, omega_prev, alpha_prev)) = lagged.take() {
+        if fuse {
+            // Merged deferred update: x ← (x + α p̂) + ω r̂ for the last
+            // in-flight iteration (its p̂ lives in the swapped buffer).
+            axpy2_chained_inplace(
+                &ctx.dev,
+                INFO_BICGS4,
+                &ctx.grid,
+                x,
+                &ws.p_hat_prev,
+                alpha_prev,
+                &ws.r_hat,
+                omega_prev,
+            );
+        } else {
+            axpy_inplace(&ctx.dev, INFO_BICGS4B, &ctx.grid, x, &ws.r_hat, omega_prev);
+        }
         let mut s = [rnorm2_local];
         global_sum(ctx, scope, "MPI5", &mut s);
         #[allow(clippy::never_loop)]
@@ -1128,6 +1390,93 @@ mod tests {
                 let bs: Vec<u64> = xs.iter().map(|v| v.to_bits()).collect();
                 let bo: Vec<u64> = xo.iter().map(|v| v.to_bits()).collect();
                 assert_eq!(bs, bo, "{kind} rank {rank}: solutions diverge");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_kernels_are_bitwise_identical_to_unfused() {
+        // The fusion determinism guarantee: regrouping the memory-bound
+        // work (apply+dot sweeps, the merged x-update, KernelBiCGS56)
+        // must not perturb a single bit of the iteration under a
+        // rank-ordered fold — histories and solutions agree exactly with
+        // the unfused schedule, on the threaded back-end (whose chunked
+        // partial folds must also be regroup-invariant), under both the
+        // split-phase and the blocking reduction schedules, and with a
+        // preconditioner that runs fused inner solves (FBiCGS-G(BiCGS)).
+        use accel::Threads;
+        let mut g = GlobalGrid::dirichlet([8, 8, 8], [0.15; 3], [0.0; 3]);
+        g.bc = paper_bcs();
+        let n = g.unknowns();
+        let b_host = rng_values(n, 61);
+        let bnorm: f64 = b_host.iter().map(|v| v * v).sum::<f64>().sqrt();
+        let tol = 1e-10 * bnorm;
+
+        for kind in [SolverKind::BiCgsGCi, SolverKind::FBiCgsGBiCgs] {
+            for overlap_reduce in [true, false] {
+                let solve = |fuse_kernels: bool| {
+                    let decomp = Decomp::new([2, 2, 2]);
+                    let g2 = g.clone();
+                    let b_ref = b_host.clone();
+                    run_ranks::<f64, _, _>(8, ReduceOrder::RankOrder, move |comm| {
+                        let grid = BlockGrid::new(g2.clone(), decomp, comm.rank());
+                        let ln = grid.local_n;
+                        let mut local = Vec::with_capacity(ln[0] * ln[1] * ln[2]);
+                        for k in 0..ln[2] {
+                            for j in 0..ln[1] {
+                                for i in 0..ln[0] {
+                                    let gidx = (grid.offset[0] + i)
+                                        + 8 * ((grid.offset[1] + j) + 8 * (grid.offset[2] + k));
+                                    local.push(b_ref[gidx]);
+                                }
+                            }
+                        }
+                        let dev = Threads::new(2, Recorder::disabled());
+                        let ctx: RankCtx<f64, _, ThreadComm<f64>> = RankCtx::new(dev, comm, grid);
+                        let b = Field::from_interior(&ctx.dev, &ctx.grid, &local);
+                        let mut x = ctx.field();
+                        let mut ws = Workspace::new(&ctx.dev, &ctx.grid);
+                        let opts = SolverOptions {
+                            eig_min_factor: 10.0,
+                            overlap_reduce,
+                            fuse_kernels,
+                            ..SolverOptions::default()
+                        };
+                        let mut prec = kind.build_preconditioner(&ctx, &opts);
+                        let params = SolveParams {
+                            tol,
+                            max_iters: 20_000,
+                            record_history: true,
+                            overlap_reduce,
+                            fuse_kernels,
+                            ..Default::default()
+                        };
+                        let out = bicgstab_solve(
+                            &ctx,
+                            Scope::Global,
+                            &b,
+                            &mut x,
+                            &mut *prec,
+                            &mut ws,
+                            &params,
+                        );
+                        (out, x.interior_to_host(&ctx.grid))
+                    })
+                };
+
+                let unfused = solve(false);
+                let fused = solve(true);
+                for (rank, ((os, xs), (oo, xo))) in unfused.iter().zip(&fused).enumerate() {
+                    let tag = format!("{kind} overlap_reduce={overlap_reduce} rank {rank}");
+                    assert!(os.converged && oo.converged, "{tag}: {os:?} vs {oo:?}");
+                    assert_eq!(os.iterations, oo.iterations, "{tag}");
+                    let hs: Vec<u64> = os.residual_history.iter().map(|v| v.to_bits()).collect();
+                    let ho: Vec<u64> = oo.residual_history.iter().map(|v| v.to_bits()).collect();
+                    assert_eq!(hs, ho, "{tag}: residual histories diverge");
+                    let bs: Vec<u64> = xs.iter().map(|v| v.to_bits()).collect();
+                    let bo: Vec<u64> = xo.iter().map(|v| v.to_bits()).collect();
+                    assert_eq!(bs, bo, "{tag}: solutions diverge");
+                }
             }
         }
     }

@@ -272,7 +272,7 @@ impl<T: Scalar> ChebyshevIteration<T> {
         tol: f64,
         max_sweeps: usize,
     ) -> ChebyOutcome {
-        use crate::kernels::{axpy_inplace, INFO_BICGS2, INFO_DOT};
+        use crate::kernels::{axpy_inplace, norm2_axpy, INFO_BICGS2, INFO_NORM2AXPY};
         use comm::ReduceOp;
 
         let mut residual = ctx.field();
@@ -280,45 +280,38 @@ impl<T: Scalar> ChebyshevIteration<T> {
         let mut sweeps = 0usize;
         let mut history = Vec::new();
         loop {
-            // r = b − A x (true residual)
+            // A x, staged in `correction` (refilled by the CI below)
             match self.mode {
                 ChebyMode::Global if self.overlap => {
                     let pending = ctx.halo.begin(&ctx.dev, &ctx.comm, x);
                     apply_physical_bcs(&ctx.grid, x, &ctx.recorder, false);
                     ctx.lap
-                        .apply_interior(&ctx.dev, stencil::INFO_APPLY, x, &mut residual);
+                        .apply_interior(&ctx.dev, stencil::INFO_APPLY, x, &mut correction);
                     ctx.halo.finish(&ctx.dev, &ctx.comm, pending, x);
                     ctx.lap
-                        .apply_shell(&ctx.dev, stencil::INFO_APPLY, x, &mut residual);
+                        .apply_shell(&ctx.dev, stencil::INFO_APPLY, x, &mut correction);
                 }
                 ChebyMode::Global => {
                     ctx.halo.exchange(&ctx.dev, &ctx.comm, x);
                     apply_physical_bcs(&ctx.grid, x, &ctx.recorder, false);
                     ctx.lap
-                        .apply(&ctx.dev, stencil::INFO_APPLY, x, &mut residual);
+                        .apply(&ctx.dev, stencil::INFO_APPLY, x, &mut correction);
                 }
                 _ => {
                     apply_physical_bcs(&ctx.grid, x, &ctx.recorder, true);
                     ctx.lap
-                        .apply(&ctx.dev, stencil::INFO_APPLY, x, &mut residual);
+                        .apply(&ctx.dev, stencil::INFO_APPLY, x, &mut correction);
                 }
             }
-            // residual = b − A x, computed in place
-            {
-                let mut tmp = ctx.field();
-                tmp.copy_from(b);
-                axpy_inplace(
-                    &ctx.dev,
-                    INFO_BICGS2,
-                    &ctx.grid,
-                    &mut tmp,
-                    &residual,
-                    -T::ONE,
-                );
-                residual.swap(&mut tmp);
-            }
-            let mut s = [crate::kernels::norm2_local(
-                &ctx.dev, INFO_DOT, &ctx.grid, &residual,
+            // r = b − A x and ‖r‖² in one fused sweep — no per-cycle
+            // temporary field, no separate copy/axpy/dot triple.
+            let mut s = [norm2_axpy(
+                &ctx.dev,
+                INFO_NORM2AXPY,
+                &ctx.grid,
+                &mut residual,
+                b,
+                &correction,
             )];
             ctx.comm.all_reduce(&mut s, ReduceOp::Sum);
             let res = s[0].to_f64().max(0.0).sqrt();

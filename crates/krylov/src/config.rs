@@ -51,6 +51,10 @@ pub struct SolverOptions {
     /// the `G(BiCGS)` / `BJ(BiCGS)` preconditioners (the Chebyshev
     /// flavours are reduction-free). Mirrors `SolveParams::overlap_reduce`.
     pub overlap_reduce: bool,
+    /// Fused memory-bound kernels in the *inner* Bi-CGSTAB solves of the
+    /// `G(BiCGS)` / `BJ(BiCGS)` preconditioners. Mirrors
+    /// `SolveParams::fuse_kernels`.
+    pub fuse_kernels: bool,
 }
 
 impl Default for SolverOptions {
@@ -64,6 +68,7 @@ impl Default for SolverOptions {
             eig_min_factor: 100.0,
             overlap_halo: true,
             overlap_reduce: true,
+            fuse_kernels: true,
         }
     }
 }
@@ -144,6 +149,7 @@ impl SolverKind {
                     InnerBiCgsPrec::new(ctx, Scope::Global, opts.inner_tol_g, opts.inner_max_iters);
                 p.set_overlap(opts.overlap_halo);
                 p.set_overlap_reduce(opts.overlap_reduce);
+                p.set_fuse(opts.fuse_kernels);
                 Box::new(p)
             }
             Self::FBiCgsBjBiCgs => {
@@ -151,6 +157,7 @@ impl SolverKind {
                     InnerBiCgsPrec::new(ctx, Scope::Local, opts.inner_tol_bj, opts.inner_max_iters);
                 p.set_overlap(opts.overlap_halo);
                 p.set_overlap_reduce(opts.overlap_reduce);
+                p.set_fuse(opts.fuse_kernels);
                 Box::new(p)
             }
             Self::BiCgsBjCi => {

@@ -50,8 +50,8 @@ impl<T: Scalar, D: Device, C: Communicator<T>> RankCtx<T, D, C> {
 }
 
 /// The Bi-CGSTAB vector set (Alg. 3), allocated once and reused across
-/// solves — all eight live in device memory for the whole solve, matching
-/// the paper's offload-once design.
+/// solves — every vector lives in device memory for the whole solve,
+/// matching the paper's offload-once design.
 pub struct Workspace<T> {
     /// Residual `r`.
     pub r: Field<T>,
@@ -67,11 +67,23 @@ pub struct Workspace<T> {
     pub w: Field<T>,
     /// `t = A r̂`.
     pub t: Field<T>,
+    /// Previous iteration's `p̂`, kept alive by the fused overlap
+    /// schedule: its merged x-update (`x ← (x + α p̂) + ω r̂`) is deferred
+    /// into the *next* iteration's M1 window, after the preconditioner
+    /// has already refilled `p_hat` — so the two buffers ping-pong via
+    /// `std::mem::swap` instead of copying.
+    pub p_hat_prev: Field<T>,
+    /// Per-row dot partials for the fused split-phase stencil sweeps
+    /// (`Laplacian::apply_interior_dot` / `apply_shell_dot`): sized for
+    /// the widest fused dot group (`slot_len(3)`, the three KernelBiCGS3F
+    /// components), reused by the one-component KernelBiCGS1 fold.
+    pub slots: Vec<T>,
 }
 
 impl<T: Scalar> Workspace<T> {
     /// Allocate the workspace on `dev` for `grid`.
     pub fn new<D: Device>(dev: &D, grid: &BlockGrid) -> Self {
+        let lap = Laplacian::new(grid);
         Self {
             r: Field::zeros(dev, grid),
             r0t: Field::zeros(dev, grid),
@@ -80,6 +92,8 @@ impl<T: Scalar> Workspace<T> {
             r_hat: Field::zeros(dev, grid),
             w: Field::zeros(dev, grid),
             t: Field::zeros(dev, grid),
+            p_hat_prev: Field::zeros(dev, grid),
+            slots: vec![T::ZERO; lap.slot_len(3)],
         }
     }
 }

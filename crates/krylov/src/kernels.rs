@@ -7,7 +7,7 @@
 //! [`stencil::Laplacian`]). This module provides the remaining vector
 //! kernels, all operating on subdomain interiors.
 
-use accel::{Device, KernelInfo, Scalar};
+use accel::{fold_row_edge_last, row_has_deep_middle, Device, KernelInfo, Scalar};
 use blockgrid::{BlockGrid, Field};
 
 /// `KernelBiCGS2`: `r ← r − α w` (one stream in, one in/out, 2 flops).
@@ -38,6 +38,31 @@ pub const INFO_CI2: KernelInfo = KernelInfo::new("KernelCI2", 56, 16);
 pub const INFO_DOT: KernelInfo = KernelInfo::new("KernelDot", 16, 2);
 /// Scaling kernel (`z = b/θ` half of `KernelCI1`; also RHS normalisation).
 pub const INFO_SCALE: KernelInfo = KernelInfo::new("KernelScale", 16, 1);
+/// `KernelBiCGS2F`: `KernelBiCGS2` fused with the follow-on dot
+/// `r̃ᵀ r` — the updated `r` never round-trips to memory between the
+/// axpy and the reduction (8 B/elem deduplicated: one `r` re-read).
+pub const INFO_BICGS2F: KernelInfo = KernelInfo::fused("KernelBiCGS2F", INFO_BICGS2, INFO_DOT, 8);
+/// `KernelBiCGS3F`: `KernelBiCGS3` fused with the third dot `r̃ᵀ t`,
+/// so the second stencil apply produces all three scalars of the ω
+/// step in one sweep (16 B/elem deduplicated: `t` re-read + re-write).
+pub const INFO_BICGS3F: KernelInfo = KernelInfo::fused("KernelBiCGS3F", INFO_BICGS3, INFO_DOT, 16);
+/// `KernelBiCGS56`: `KernelBiCGS5` and `KernelBiCGS6` in one sweep —
+/// `r ← r − ω t` with `‖r‖²`, and `p ← r + β (p − ω w)` consuming the
+/// fresh residual value in-register. Streams r(rw), p(rw), t(r), w(r):
+/// 48 B/elem vs 64 B for the pair (`r̃ᵀr` is free: it equals ρ_new,
+/// already reduced).
+pub const INFO_BICGS56: KernelInfo = KernelInfo::new("KernelBiCGS56", 48, 8);
+/// `KernelNorm2Axpy`: residual formation `r ← b − w` fused with `‖r‖²`
+/// (setup/restart path; replaces copy + axpy + dot at 24 B/elem extra).
+pub const INFO_NORM2AXPY: KernelInfo = KernelInfo::new("KernelNorm2Axpy", 32, 3);
+/// Fold of per-row dot partials deposited by a split fused-dot sweep
+/// (`NR = 1`). Named with the `KernelFold` prefix so sweep-count
+/// accounting can exclude these row-sized launches from full-grid
+/// sweep totals.
+pub const INFO_FOLD1: KernelInfo = KernelInfo::new("KernelFold1", 8, 1);
+/// Fold of per-row dot partials for a three-way split fused dot
+/// (`NR = 3`, `KernelBiCGS3F` split form).
+pub const INFO_FOLD3: KernelInfo = KernelInfo::new("KernelFold3", 24, 3);
 
 /// `y ← y + a x` over the interior.
 pub fn axpy_inplace<T: Scalar, D: Device>(
@@ -85,6 +110,142 @@ pub fn axpy2_inplace<T: Scalar, D: Device>(
     });
 }
 
+/// `y ← (y + a1 x1) + a2 x2` over the interior — the two split halves
+/// of the x-update re-merged into one sweep (`KernelBiCGS4` traffic)
+/// while keeping the *grouping* of the two sequential axpys, so the
+/// result is bitwise identical to running `KernelBiCGS4a` then
+/// `KernelBiCGS4b`. Contrast [`axpy2_inplace`], which groups as
+/// `y + (a1 x1 + a2 x2)` and rounds differently.
+#[allow(clippy::too_many_arguments)]
+pub fn axpy2_chained_inplace<T: Scalar, D: Device>(
+    dev: &D,
+    info: KernelInfo,
+    grid: &BlockGrid,
+    y: &mut Field<T>,
+    x1: &Field<T>,
+    a1: T,
+    x2: &Field<T>,
+    a2: T,
+) {
+    let map = grid.interior_map();
+    let x1s = x1.as_slice();
+    let x2s = x2.as_slice();
+    let base0 = map.base;
+    let (sy, sz) = (map.sy, map.sz);
+    dev.launch_rows(info, map, y.as_mut_slice(), |j, k, row| {
+        let b = base0 + j * sy + k * sz;
+        for (i, v) in row.iter_mut().enumerate() {
+            let v1 = *v + a1 * x1s[b + i];
+            *v = v1 + a2 * x2s[b + i];
+        }
+    });
+}
+
+/// `y ← y + a x` fused with the dot `g · y` over the updated values —
+/// the `KernelBiCGS2F` sweep (`r ← r − α w` producing `r̃ᵀ r` in the
+/// same pass). The dot folds edge-last per row, bitwise identical to
+/// running [`axpy_inplace`] followed by [`dot`]`(g, y)`.
+#[allow(clippy::too_many_arguments)]
+pub fn axpy_dot<T: Scalar, D: Device>(
+    dev: &D,
+    info: KernelInfo,
+    grid: &BlockGrid,
+    y: &mut Field<T>,
+    x: &Field<T>,
+    a: T,
+    g: &Field<T>,
+) -> T {
+    let map = grid.interior_map();
+    let [nx, ny, nz] = grid.local_n;
+    let xs = x.as_slice();
+    let gs = g.as_slice();
+    let base0 = map.base;
+    let (sy, sz) = (map.sy, map.sz);
+    let [s] = dev.launch_rows_reduce(info, map, y.as_mut_slice(), |j, k, row| {
+        let b = base0 + j * sy + k * sz;
+        for (i, v) in row.iter_mut().enumerate() {
+            *v += a * xs[b + i];
+        }
+        let mid = row_has_deep_middle(nx, ny, nz, j, k);
+        [fold_row_edge_last(row.len(), mid, |i| gs[b + i] * row[i])]
+    });
+    s
+}
+
+/// `out ← b − w` fused with `‖out‖²` — the `KernelNorm2Axpy` setup
+/// sweep forming the initial residual and `ρ_0 = r̃ᵀ r = ‖r‖²` (since
+/// `r̃ = r` at setup) in one pass. Bitwise identical to
+/// `copy + axpy(-1) + dot(r, r)`: `b + (−1)·w` rounds as `b − w`, and
+/// the norm folds edge-last like [`dot`].
+pub fn norm2_axpy<T: Scalar, D: Device>(
+    dev: &D,
+    info: KernelInfo,
+    grid: &BlockGrid,
+    out: &mut Field<T>,
+    b: &Field<T>,
+    w: &Field<T>,
+) -> T {
+    let map = grid.interior_map();
+    let [nx, ny, nz] = grid.local_n;
+    let bs = b.as_slice();
+    let wsl = w.as_slice();
+    let base0 = map.base;
+    let (sy, sz) = (map.sy, map.sz);
+    let [s] = dev.launch_rows_reduce(info, map, out.as_mut_slice(), |j, k, row| {
+        let b0 = base0 + j * sy + k * sz;
+        for (i, v) in row.iter_mut().enumerate() {
+            *v = bs[b0 + i] - wsl[b0 + i];
+        }
+        let mid = row_has_deep_middle(nx, ny, nz, j, k);
+        [fold_row_edge_last(row.len(), mid, |i| row[i] * row[i])]
+    });
+    s
+}
+
+/// `KernelBiCGS56`: `r ← r − ω t` with `‖r‖²` **and** `p ← r + β (p −
+/// ω w)` in one two-output sweep, the fresh residual value consumed
+/// in-register. The norm accumulates in plain row order — exactly the
+/// order `KernelBiCGS5`'s `r·r` partial uses — and the `p` formula
+/// matches [`axpy3_inplace`] element-for-element, so the fused sweep
+/// is bitwise identical to `KernelBiCGS5` + `KernelBiCGS6`.
+#[allow(clippy::too_many_arguments)]
+pub fn residual_p_update_fused<T: Scalar, D: Device>(
+    dev: &D,
+    info: KernelInfo,
+    grid: &BlockGrid,
+    r: &mut Field<T>,
+    p: &mut Field<T>,
+    t: &Field<T>,
+    w: &Field<T>,
+    omega: T,
+    beta: T,
+) -> T {
+    let map = grid.interior_map();
+    let ts = t.as_slice();
+    let wsl = w.as_slice();
+    let base0 = map.base;
+    let (sy, sz) = (map.sy, map.sz);
+    let [s] = dev.launch_rows2_reduce(
+        info,
+        map,
+        r.as_mut_slice(),
+        map,
+        p.as_mut_slice(),
+        |j, k, row_r, row_p| {
+            let b = base0 + j * sy + k * sz;
+            let mut acc = T::ZERO;
+            for i in 0..row_r.len() {
+                let rv = row_r[i] - omega * ts[b + i];
+                row_r[i] = rv;
+                acc += rv * rv;
+                row_p[i] = rv + beta * (row_p[i] - omega * wsl[b + i]);
+            }
+            [acc]
+        },
+    );
+    s
+}
+
 /// `KernelBiCGS5`: `r ← r − ω t`, returning the local partial sums
 /// `(r̃ · r, r · r)` of the updated residual.
 pub fn residual_update_fused<T: Scalar, D: Device>(
@@ -116,9 +277,10 @@ pub fn residual_update_fused<T: Scalar, D: Device>(
     (p1, p2)
 }
 
-/// `KernelBiCGS6`: `p ← r + β (p − ω w)`.
+/// `KernelBiCGS6`: `p ← r + β (p − ω w)` — a three-stream axpy-style
+/// update (read `r`, `w`, read-modify-write `p`) in one sweep.
 #[allow(clippy::too_many_arguments)]
-pub fn p_update<T: Scalar, D: Device>(
+pub fn axpy3_inplace<T: Scalar, D: Device>(
     dev: &D,
     info: KernelInfo,
     grid: &BlockGrid,
@@ -142,6 +304,10 @@ pub fn p_update<T: Scalar, D: Device>(
 }
 
 /// Local interior dot product `a · b` (reduced per back-end policy).
+///
+/// Rows fold in the canonical edge-last order ([`fold_row_edge_last`]),
+/// making the result bitwise identical to the split halo-overlap form
+/// of the same dot (deep sweep + shell pieces + fold).
 pub fn dot<T: Scalar, D: Device>(
     dev: &D,
     info: KernelInfo,
@@ -150,27 +316,27 @@ pub fn dot<T: Scalar, D: Device>(
     b: &Field<T>,
 ) -> T {
     let map = grid.interior_map();
+    let [nx, ny, nz] = grid.local_n;
     let asl = a.as_slice();
     let bsl = b.as_slice();
     let base0 = map.base;
     let (len, sy, sz) = (map.len, map.sy, map.sz);
-    let [s] = dev.launch_reduce(info, map.ny, map.nz, |j, k| {
+    let [s] = dev.launch_reduce(info.per_row(len), map.ny, map.nz, |j, k| {
         let off = base0 + j * sy + k * sz;
-        let mut acc = T::ZERO;
-        for i in 0..len {
-            acc += asl[off + i] * bsl[off + i];
-        }
-        [acc]
+        let mid = row_has_deep_middle(nx, ny, nz, j, k);
+        [fold_row_edge_last(len, mid, |i| {
+            asl[off + i] * bsl[off + i]
+        })]
     });
     s
 }
 
 /// Local interior dot pair `(a · b, a · a)` in one reduction — the
 /// standalone form of the dots fused into `KernelBiCGS3`, used by the
-/// overlapped operator path. The per-row accumulation order (`a·b` then
-/// `a·a`, rows in `(j, k)` order, back-end partial merge) matches
-/// [`stencil::Laplacian::apply_fused_dot2`] exactly, so given the same
-/// `a` the results are bitwise identical.
+/// overlapped operator path. Each component folds per row in the
+/// canonical edge-last order, rows in `(j, k)` order with the back-end
+/// partial merge, matching [`stencil::Laplacian::apply_fused_dot2`]
+/// exactly, so given the same `a` the results are bitwise identical.
 pub fn dot2<T: Scalar, D: Device>(
     dev: &D,
     info: KernelInfo,
@@ -179,20 +345,21 @@ pub fn dot2<T: Scalar, D: Device>(
     b: &Field<T>,
 ) -> (T, T) {
     let map = grid.interior_map();
+    let [nx, ny, nz] = grid.local_n;
     let asl = a.as_slice();
     let bsl = b.as_slice();
     let base0 = map.base;
     let (len, sy, sz) = (map.len, map.sy, map.sz);
-    let [ab, aa] = dev.launch_reduce(info, map.ny, map.nz, |j, k| {
+    let [ab, aa] = dev.launch_reduce(info.per_row(len), map.ny, map.nz, |j, k| {
         let off = base0 + j * sy + k * sz;
-        let mut acc_ab = T::ZERO;
-        let mut acc_aa = T::ZERO;
-        for i in 0..len {
-            let av = asl[off + i];
-            acc_ab += av * bsl[off + i];
-            acc_aa += av * av;
-        }
-        [acc_ab, acc_aa]
+        let mid = row_has_deep_middle(nx, ny, nz, j, k);
+        [
+            fold_row_edge_last(len, mid, |i| asl[off + i] * bsl[off + i]),
+            fold_row_edge_last(len, mid, |i| {
+                let av = asl[off + i];
+                av * av
+            }),
+        ]
     });
     (ab, aa)
 }
@@ -211,7 +378,7 @@ pub fn diff_norm2<T: Scalar, D: Device>(
     let bsl = b.as_slice();
     let base0 = map.base;
     let (len, sy, sz) = (map.len, map.sy, map.sz);
-    let [s] = dev.launch_reduce(info, map.ny, map.nz, |j, k| {
+    let [s] = dev.launch_reduce(info.per_row(len), map.ny, map.nz, |j, k| {
         let off = base0 + j * sy + k * sz;
         let mut acc = T::ZERO;
         for i in 0..len {
@@ -328,7 +495,7 @@ mod tests {
         let mut p = field_iota(&dev, &grid, 1.0);
         let r = field_iota(&dev, &grid, 3.0);
         let w = field_iota(&dev, &grid, 1.0);
-        p_update(&dev, INFO_BICGS6, &grid, &mut p, &r, &w, 2.0, 0.5);
+        axpy3_inplace(&dev, INFO_BICGS6, &grid, &mut p, &r, &w, 2.0, 0.5);
         let pi = p.interior_to_host(&grid);
         for (i, v) in pi.iter().enumerate() {
             let x = i as f64;
@@ -371,5 +538,204 @@ mod tests {
         let n2 = norm2_local(&dev, INFO_DOT, &grid, &a);
         let expect: f64 = (0..27).map(|i| (i * i) as f64).sum();
         assert_eq!(n2, expect);
+    }
+
+    fn setup_rect() -> (Serial, BlockGrid) {
+        let grid = BlockGrid::new(
+            GlobalGrid::dirichlet([5, 4, 6], [0.1; 3], [0.0; 3]),
+            Decomp::single(),
+            0,
+        );
+        (Serial::new(Recorder::disabled()), grid)
+    }
+
+    fn rng_field(dev: &Serial, grid: &BlockGrid, seed: u64) -> Field<f64> {
+        let n = grid.local_n.iter().product();
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        let vals: Vec<f64> = (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+            })
+            .collect();
+        Field::from_interior(dev, grid, &vals)
+    }
+
+    #[test]
+    fn fused_axpy_dot_bitwise_matches_unfused() {
+        let (dev, grid) = setup_rect();
+        let x = rng_field(&dev, &grid, 1);
+        let g = rng_field(&dev, &grid, 2);
+        let mut y_fused = rng_field(&dev, &grid, 3);
+        let mut y_ref = rng_field(&dev, &grid, 3);
+        let a = 0.37;
+        let s_fused = axpy_dot(&dev, INFO_BICGS2F, &grid, &mut y_fused, &x, a, &g);
+        axpy_inplace(&dev, INFO_BICGS2, &grid, &mut y_ref, &x, a);
+        let s_ref = dot(&dev, INFO_DOT, &grid, &g, &y_ref);
+        assert_eq!(s_fused.to_bits(), s_ref.to_bits());
+        for (f, r) in y_fused.as_slice().iter().zip(y_ref.as_slice()) {
+            assert_eq!(f.to_bits(), r.to_bits());
+        }
+    }
+
+    #[test]
+    fn chained_axpy2_bitwise_matches_two_sequential_axpys() {
+        let (dev, grid) = setup_rect();
+        let x1 = rng_field(&dev, &grid, 4);
+        let x2 = rng_field(&dev, &grid, 5);
+        let mut y_fused = rng_field(&dev, &grid, 6);
+        let mut y_ref = rng_field(&dev, &grid, 6);
+        let (a1, a2) = (0.73, -1.19);
+        axpy2_chained_inplace(&dev, INFO_BICGS4, &grid, &mut y_fused, &x1, a1, &x2, a2);
+        axpy_inplace(&dev, INFO_BICGS4A, &grid, &mut y_ref, &x1, a1);
+        axpy_inplace(&dev, INFO_BICGS4B, &grid, &mut y_ref, &x2, a2);
+        for (f, r) in y_fused.as_slice().iter().zip(y_ref.as_slice()) {
+            assert_eq!(f.to_bits(), r.to_bits());
+        }
+    }
+
+    #[test]
+    fn norm2_axpy_bitwise_matches_copy_axpy_dot() {
+        let (dev, grid) = setup_rect();
+        let b = rng_field(&dev, &grid, 7);
+        let w = rng_field(&dev, &grid, 8);
+        let mut r_fused = Field::zeros(&dev, &grid);
+        let n2_fused = norm2_axpy(&dev, INFO_NORM2AXPY, &grid, &mut r_fused, &b, &w);
+        let mut r_ref = Field::zeros(&dev, &grid);
+        r_ref.copy_from(&b);
+        axpy_inplace(&dev, INFO_BICGS2, &grid, &mut r_ref, &w, -1.0);
+        let n2_ref = dot(&dev, INFO_DOT, &grid, &r_ref, &r_ref);
+        assert_eq!(n2_fused.to_bits(), n2_ref.to_bits());
+        let mi = grid.interior_map();
+        let (ri, rr) = (r_fused.as_slice(), r_ref.as_slice());
+        for k in 0..mi.nz {
+            for j in 0..mi.ny {
+                let off = mi.row_offset(j, k);
+                for i in off..off + mi.len {
+                    assert_eq!(ri[i].to_bits(), rr[i].to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_bicgs56_bitwise_matches_bicgs5_then_bicgs6() {
+        let (dev, grid) = setup_rect();
+        let t = rng_field(&dev, &grid, 9);
+        let w = rng_field(&dev, &grid, 10);
+        let r0t = rng_field(&dev, &grid, 11);
+        let (omega, beta) = (0.41, -0.87);
+        let mut r_fused = rng_field(&dev, &grid, 12);
+        let mut p_fused = rng_field(&dev, &grid, 13);
+        let n2_fused = residual_p_update_fused(
+            &dev,
+            INFO_BICGS56,
+            &grid,
+            &mut r_fused,
+            &mut p_fused,
+            &t,
+            &w,
+            omega,
+            beta,
+        );
+        let mut r_ref = rng_field(&dev, &grid, 12);
+        let mut p_ref = rng_field(&dev, &grid, 13);
+        let (_, n2_ref) =
+            residual_update_fused(&dev, INFO_BICGS5, &grid, &mut r_ref, &t, omega, &r0t);
+        axpy3_inplace(
+            &dev,
+            INFO_BICGS6,
+            &grid,
+            &mut p_ref,
+            &r_ref,
+            &w,
+            beta,
+            omega,
+        );
+        assert_eq!(n2_fused.to_bits(), n2_ref.to_bits());
+        for (f, r) in r_fused.as_slice().iter().zip(r_ref.as_slice()) {
+            assert_eq!(f.to_bits(), r.to_bits());
+        }
+        for (f, r) in p_fused.as_slice().iter().zip(p_ref.as_slice()) {
+            assert_eq!(f.to_bits(), r.to_bits());
+        }
+    }
+
+    /// Overwrite every non-interior (ghost/padding) cell with NaN, the
+    /// most contagious contaminant: one stray read poisons the result.
+    fn poison_ghosts(grid: &BlockGrid, f: &mut Field<f64>) {
+        let mi = grid.interior_map();
+        let mut interior = vec![false; f.as_slice().len()];
+        for k in 0..mi.nz {
+            for j in 0..mi.ny {
+                let off = mi.row_offset(j, k);
+                interior[off..off + mi.len]
+                    .iter_mut()
+                    .for_each(|b| *b = true);
+            }
+        }
+        for (v, keep) in f.as_mut_slice().iter_mut().zip(&interior) {
+            if !keep {
+                *v = f64::NAN;
+            }
+        }
+    }
+
+    #[test]
+    fn fused_reductions_ignore_nan_poisoned_ghosts() {
+        // The fused single-sweep reductions must walk exactly the interior
+        // rows: a NaN in any ghost or pad cell they wrongly touched would
+        // surface in the scalar. Results must be bitwise identical to the
+        // clean-field run.
+        let (dev, grid) = setup_rect();
+        let run = |poison: bool| -> [f64; 4] {
+            let mut x = rng_field(&dev, &grid, 21);
+            let mut g = rng_field(&dev, &grid, 22);
+            let mut b = rng_field(&dev, &grid, 23);
+            let mut w = rng_field(&dev, &grid, 24);
+            let mut t = rng_field(&dev, &grid, 25);
+            let mut y = rng_field(&dev, &grid, 26);
+            let mut r = rng_field(&dev, &grid, 27);
+            let mut p = rng_field(&dev, &grid, 28);
+            if poison {
+                for f in [
+                    &mut x, &mut g, &mut b, &mut w, &mut t, &mut y, &mut r, &mut p,
+                ] {
+                    poison_ghosts(&grid, f);
+                }
+            }
+            let s1 = axpy_dot(&dev, INFO_BICGS2F, &grid, &mut y, &x, 0.59, &g);
+            let mut res = Field::zeros(&dev, &grid);
+            let s2 = norm2_axpy(&dev, INFO_NORM2AXPY, &grid, &mut res, &b, &w);
+            let s3 = residual_p_update_fused(
+                &dev,
+                INFO_BICGS56,
+                &grid,
+                &mut r,
+                &mut p,
+                &t,
+                &w,
+                0.3,
+                1.7,
+            );
+            let (s4a, s4b) = residual_update_fused(&dev, INFO_BICGS5, &grid, &mut r, &t, 0.3, &g);
+            [s1, s2, s3, s4a + s4b]
+        };
+        let clean = run(false);
+        let poisoned = run(true);
+        for (c, q) in clean.iter().zip(&poisoned) {
+            assert!(q.is_finite(), "a fused reduction read a ghost cell: {q}");
+            assert_eq!(c.to_bits(), q.to_bits());
+        }
+    }
+
+    #[test]
+    fn fused_info_constants_dedup_traffic() {
+        assert_eq!(INFO_BICGS2F.bytes_per_elem, 32);
+        assert_eq!(INFO_BICGS2F.flops_per_elem, 4);
+        assert_eq!(INFO_BICGS3F.bytes_per_elem, 48);
+        assert_eq!(INFO_BICGS3F.flops_per_elem, 16);
     }
 }

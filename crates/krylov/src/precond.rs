@@ -140,6 +140,7 @@ pub struct InnerBiCgsPrec<T> {
     max_iters: usize,
     overlap: bool,
     overlap_reduce: bool,
+    fuse: bool,
     ws: Workspace<T>,
     name: &'static str,
 }
@@ -165,6 +166,7 @@ impl<T: Scalar> InnerBiCgsPrec<T> {
             max_iters,
             overlap: true,
             overlap_reduce: true,
+            fuse: true,
             ws: Workspace::new(&ctx.dev, &ctx.grid),
             name,
         }
@@ -180,6 +182,12 @@ impl<T: Scalar> InnerBiCgsPrec<T> {
     /// solve (on by default; only the global scope reduces).
     pub fn set_overlap_reduce(&mut self, on: bool) {
         self.overlap_reduce = on;
+    }
+
+    /// Enable or disable the fused memory-bound kernels of the inner
+    /// solve (on by default; bitwise-transparent either way).
+    pub fn set_fuse(&mut self, on: bool) {
+        self.fuse = on;
     }
 }
 
@@ -203,6 +211,7 @@ impl<T: Scalar, D: Device, C: Communicator<T>> Preconditioner<T, D, C> for Inner
             record_history: false,
             overlap_halo: self.overlap,
             overlap_reduce: self.overlap_reduce,
+            fuse_kernels: self.fuse,
             ..Default::default()
         };
         let outcome = bicgstab_solve(

@@ -180,6 +180,45 @@ mod tests {
     }
 
     #[test]
+    fn fused_kernel_events_model_the_traffic_dedup() {
+        // A kernel built with `KernelInfo::fused` streams the two bodies'
+        // bytes minus the deduplicated operand traffic; replaying it must
+        // therefore model strictly less compute time than the two unfused
+        // launches, with the gap explained entirely by the saved bytes.
+        use accel::{KernelInfo, Recorder};
+        let m = MachineModel::mi250x();
+        let a = KernelInfo::new("KernelAxpy", 24, 2); // y = a*x + y
+        let b = KernelInfo::new("KernelDot", 16, 2); // s += y*z
+        let ab = KernelInfo::fused("KernelAxpyDot", a, b, 16); // y re-streamed once
+        assert_eq!(ab.bytes_per_elem, 24);
+        assert_eq!(ab.flops_per_elem, 4);
+
+        let elems = 1 << 20;
+        let rec = |infos: &[KernelInfo]| {
+            let r = Recorder::enabled();
+            for info in infos {
+                r.kernel(*info, elems);
+            }
+            r.drain()
+        };
+        let unfused = replay(&rec(&[a, b]), &m, 1);
+        let fused = replay(&rec(&[ab]), &m, 1);
+        assert!(
+            fused.compute_s < unfused.compute_s,
+            "fused {fused:?} vs unfused {unfused:?}"
+        );
+        // At a memory-bound operational intensity the saving is exactly
+        // the deduplicated bytes over the device bandwidth, plus the one
+        // launch overhead the fusion removes.
+        let saved = unfused.compute_s - fused.compute_s;
+        let floor = m.kernel_cost_s(16 * elems as u64, 0) - m.kernel_cost_s(1, 0);
+        assert!(
+            saved >= floor,
+            "saved {saved} should cover the dedup traffic {floor}"
+        );
+    }
+
+    #[test]
     fn markers_cost_nothing() {
         let m = MachineModel::mi250x();
         let only_markers = vec![Event::Begin { name: "a" }, Event::End { name: "a" }];

@@ -33,6 +33,8 @@ const UNSAFE_ALLOWLIST: &[&str] = &[
     "crates/accel/src/device/threads.rs",
     // Test fixture: counting global allocator (passthrough to System).
     "crates/blockgrid/tests/halo_zero_alloc.rs",
+    // Test fixture: counting global allocator (passthrough to System).
+    "crates/krylov/tests/solve_zero_alloc.rs",
     // Test fixture: deliberately unsound kernel mutant the sanitizer
     // must catch.
     "crates/check/tests/mutations.rs",
@@ -46,6 +48,9 @@ const MUST_USE_TYPES: &[(&str, &str)] = &[
     ("crates/blockgrid/src/halo.rs", "PendingExchange"),
     // Dropping a job handle silently discards the tenant's result.
     ("crates/serve/src/job.rs", "JobHandle"),
+    // Dropping the fold handle abandons the slot partials of a fused
+    // split-phase dot — the scalar would silently never be produced.
+    ("crates/stencil/src/laplacian.rs", "PendingDotFold"),
 ];
 
 /// How many lines above an `unsafe` token a `SAFETY` comment may sit.
@@ -427,5 +432,39 @@ mod tests {
         assert!(has_word("unsafe {", "unsafe"));
         assert!(!has_word("unsafe_fn()", "unsafe"));
         assert!(!has_word("not_unsafe", "unsafe"));
+    }
+
+    #[test]
+    fn must_use_audit_catches_unmarked_fold_handle() {
+        // Seeded mutation: a PendingDotFold declaration stripped of its
+        // `#[must_use]` marker must produce a finding, and the marked
+        // form must not — the lint really reads the attribute, not just
+        // the type name.
+        let dir = std::env::temp_dir().join(format!("xtask-mustuse-{}", std::process::id()));
+        let file = dir.join("crates/stencil/src/laplacian.rs");
+        std::fs::create_dir_all(file.parent().unwrap()).unwrap();
+
+        std::fs::write(&file, "pub struct PendingDotFold<const NR: usize> {}\n").unwrap();
+        let mut findings = Vec::new();
+        audit_must_use(&dir, &mut findings);
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.contains("PendingDotFold") && f.contains("must be #[must_use]")),
+            "unmarked mutant not caught: {findings:?}"
+        );
+
+        std::fs::write(
+            &file,
+            "#[must_use = \"fold the partials\"]\npub struct PendingDotFold<const NR: usize> {}\n",
+        )
+        .unwrap();
+        let mut findings = Vec::new();
+        audit_must_use(&dir, &mut findings);
+        assert!(
+            !findings.iter().any(|f| f.contains("PendingDotFold")),
+            "marked declaration flagged: {findings:?}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

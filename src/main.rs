@@ -34,6 +34,8 @@ USAGE: poisson-bicgstab-repro [OPTIONS]
   --no-overlap     synchronous halo exchanges (overlap is on by default)
   --no-overlap-reduce  blocking reductions instead of the split-phase
                    batched schedule (overlap is on by default)
+  --no-fuse        unfused kernel schedule, 11 full-grid sweeps per
+                   iteration (the fused 5-sweep schedule is the default)
   --arrival        arrival-order (nondeterministic) reductions
   --early-exit     enable the Alg. 1 mid-loop convergence check
   --true-res K     recompute the true residual every K iterations
@@ -179,6 +181,7 @@ fn main() {
     cfg.opts.eig_min_factor = args.get("min-factor", 10.0);
     cfg.opts.overlap_halo = !args.flag("no-overlap");
     cfg.opts.overlap_reduce = !args.flag("no-overlap-reduce");
+    cfg.opts.fuse_kernels = !args.flag("no-fuse");
     cfg.order = if args.flag("arrival") {
         ReduceOrder::Arrival
     } else {

@@ -119,12 +119,14 @@ fn distributed_overlap_reduce_solve_is_clean_under_full_checking() {
 fn verifier_reports_dropped_reduce_request_with_rank_provenance() {
     let offender = 2usize;
     let failure = try_run_ranks_checked::<f64, _, _>(4, CheckConfig::default(), move |comm| {
-        let req = comm.iall_reduce(vec![comm.rank() as f64 + 1.0], ReduceOp::Sum);
+        let req = comm.iall_reduce(&[comm.rank() as f64 + 1.0], ReduceOp::Sum);
         if comm.rank() == offender {
             drop(req); // the seeded bug: the request is never completed
-            Vec::new()
+            [0.0]
         } else {
-            comm.reduce_finish(req)
+            let mut out = [0.0];
+            comm.reduce_finish(req, &mut out);
+            out
         }
     })
     .expect_err("the dropped request must be reported at teardown");

@@ -294,7 +294,9 @@ proptest! {
                 let reduced: Vec<f64> = if batched {
                     let groups: Vec<&[f64]> = vals.iter().map(std::slice::from_ref).collect();
                     let req = comm.iall_reduce_batch(&groups, ReduceOp::Sum);
-                    comm.reduce_finish(req)
+                    let mut out = vec![0.0; nscalars];
+                    comm.reduce_finish(req, &mut out);
+                    out
                 } else {
                     vals.iter()
                         .map(|&v| {
