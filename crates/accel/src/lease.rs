@@ -162,6 +162,7 @@ mod tests {
         });
         // the waiter cannot finish while we hold the only slot; give it
         // time to reach the condvar, then release
+        #[allow(clippy::disallowed_methods)]
         std::thread::sleep(std::time::Duration::from_millis(20));
         assert!(!waiter.is_finished());
         drop(lease);

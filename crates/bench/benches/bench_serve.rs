@@ -109,6 +109,7 @@ fn run_phase(
         );
         // Open loop: arrivals are paced by the trace, not by service
         // completions.
+        #[allow(clippy::disallowed_methods)]
         std::thread::sleep(trace.inter_arrival);
     }
     let mut latencies_ms = Vec::new();

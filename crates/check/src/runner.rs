@@ -127,6 +127,7 @@ where
                     poisoner.poison();
                     break;
                 }
+                #[allow(clippy::disallowed_methods)]
                 std::thread::sleep(Duration::from_millis(2));
             }
         }

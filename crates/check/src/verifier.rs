@@ -332,6 +332,7 @@ impl<T: Scalar> Communicator<T> for VerifiedComm<T> {
             if spins < 128 {
                 std::thread::yield_now();
             } else {
+                #[allow(clippy::disallowed_methods)]
                 std::thread::sleep(Duration::from_micros(200));
             }
         }

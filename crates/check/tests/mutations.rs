@@ -202,6 +202,8 @@ fn watchdog_aborts_a_hung_collective() {
     };
     let failure = try_run_ranks_checked::<f64, _, _>(2, config, |comm| {
         if comm.rank() == 1 {
+            // LINT: collective-uniform(deliberately hung collective — the
+            // watchdog abort is what this test exercises)
             comm.barrier(); // rank 0 never arrives
         }
     })

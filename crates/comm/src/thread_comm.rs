@@ -692,6 +692,7 @@ mod stress_tests {
                 let _ = c1.recv(0, 0);
             });
             // Give rank 1 a moment to block, then poison the world.
+            #[allow(clippy::disallowed_methods)]
             std::thread::sleep(std::time::Duration::from_millis(20));
             assert!(!c0.is_poisoned());
             c0.poison();

@@ -245,6 +245,8 @@ pub trait Communicator<T: Scalar>: Send + Sync + 'static {
         // Scalar batches (the solver hot path) pack through fixed stack
         // storage; only oversized batches pay for a heap buffer.
         let mut stack = [T::ZERO; MAX_REDUCE_SCALARS];
+        // LINT: alloc-ok(Vec::new is non-allocating; the heap path only
+        // engages beyond MAX_REDUCE_SCALARS, off the solver hot path)
         let mut heap: Vec<T> = Vec::new();
         let packed: &mut [T] = if total <= MAX_REDUCE_SCALARS {
             &mut stack[..total]

@@ -294,6 +294,8 @@ where
     C: Communicator<T>,
     P: Preconditioner<T, D, C> + ?Sized,
 {
+    // LINT: alloc-ok(per-solve convergence bookkeeping, grows amortised
+    // outside the audited steady-state window)
     let mut history = Vec::new();
     let mut prec_iterations = 0u64;
 
@@ -347,6 +349,7 @@ where
             final_residual: res0,
             breakdown: None,
             restarts: 0,
+            // LINT: alloc-ok(empty vec for the zero-iteration early return)
             true_residuals: Vec::new(),
             cancelled: false,
         };
@@ -357,6 +360,7 @@ where
     let mut final_residual = res0;
     let mut iterations = 0;
     let mut restarts = 0usize;
+    // LINT: alloc-ok(per-solve diagnostic bookkeeping, off the iteration path)
     let mut true_residuals: Vec<(usize, f64)> = Vec::new();
     let mut cancelled = false;
 

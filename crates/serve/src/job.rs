@@ -7,6 +7,7 @@ use krylov::{CancelToken, SolveOutcome};
 use poisson::SetupError;
 
 use crate::request::{Priority, SolveRequest};
+use crate::sync;
 
 /// Why a submission was refused at the door (admission control).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -154,15 +155,15 @@ impl JobShared {
 
     /// Move the request out (exactly once, by the executing worker).
     pub(crate) fn take_request(&self) -> Option<SolveRequest> {
-        self.request.lock().unwrap().take()
+        sync::lock(&self.request).take()
     }
 
     pub(crate) fn set_running(&self) {
-        *self.state.lock().unwrap() = Phase::Running;
+        *sync::lock(&self.state) = Phase::Running;
     }
 
     pub(crate) fn finish(&self, result: JobResult) {
-        *self.state.lock().unwrap() = Phase::Terminal(result);
+        *sync::lock(&self.state) = Phase::Terminal(result);
         self.cv.notify_all();
     }
 
@@ -171,24 +172,24 @@ impl JobShared {
     }
 
     fn wait(&self) -> JobResult {
-        let mut state = self.state.lock().unwrap();
+        let mut state = sync::lock(&self.state);
         loop {
             if let Phase::Terminal(r) = &*state {
                 return r.clone();
             }
-            state = self.cv.wait(state).unwrap();
+            state = sync::wait(&self.cv, state);
         }
     }
 
     fn try_result(&self) -> Option<JobResult> {
-        match &*self.state.lock().unwrap() {
+        match &*sync::lock(&self.state) {
             Phase::Terminal(r) => Some(r.clone()),
             _ => None,
         }
     }
 
     fn status(&self) -> JobStatus {
-        match &*self.state.lock().unwrap() {
+        match &*sync::lock(&self.state) {
             Phase::Queued => JobStatus::Queued,
             Phase::Running => JobStatus::Running,
             Phase::Terminal(_) => JobStatus::Finished,

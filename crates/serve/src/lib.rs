@@ -34,8 +34,9 @@ mod request;
 mod scheduler;
 mod service;
 mod session;
+mod sync;
 
 pub use job::{JobError, JobHandle, JobMetrics, JobOutput, JobResult, JobStatus, SubmitError};
 pub use metrics::ServiceStats;
 pub use request::{Priority, SolveRequest};
-pub use service::{ServiceConfig, SolveService};
+pub use service::{ServiceConfig, SolveService, StartError};

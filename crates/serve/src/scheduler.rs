@@ -17,6 +17,7 @@ use std::sync::{Condvar, Mutex};
 
 use crate::job::{JobShared, SubmitError};
 use crate::request::Priority;
+use crate::sync;
 use std::sync::Arc;
 
 struct State {
@@ -53,7 +54,7 @@ impl Scheduler {
 
     /// Admit a job, or reject immediately — never blocks.
     pub(crate) fn push(&self, job: Arc<JobShared>) -> Result<(), SubmitError> {
-        let mut st = self.state.lock().unwrap();
+        let mut st = sync::lock(&self.state);
         if !st.open {
             return Err(SubmitError::ShuttingDown);
         }
@@ -61,6 +62,7 @@ impl Scheduler {
         if st.len >= self.watermark(class) {
             return Err(SubmitError::Overloaded);
         }
+        // LINT: panic-ok(Priority::class() is 0..COUNT by construction)
         st.classes[class].push_back(job);
         st.len += 1;
         drop(st);
@@ -72,27 +74,27 @@ impl Scheduler {
     /// Blocks while the queue is open and empty; `None` once it is
     /// closed and drained.
     pub(crate) fn pop(&self) -> Option<Arc<JobShared>> {
-        let mut st = self.state.lock().unwrap();
+        let mut st = sync::lock(&self.state);
         loop {
             if st.len > 0 {
-                for class in 0..Priority::COUNT {
-                    if let Some(job) = st.classes[class].pop_front() {
-                        st.len -= 1;
-                        return Some(job);
-                    }
+                // `classes` is ordered highest class first, so the
+                // first non-empty queue is the one to drain.
+                if let Some(job) = st.classes.iter_mut().find_map(VecDeque::pop_front) {
+                    st.len -= 1;
+                    return Some(job);
                 }
             }
             if !st.open {
                 return None;
             }
-            st = self.cv.wait(st).unwrap();
+            st = sync::wait(&self.cv, st);
         }
     }
 
     /// Close the queue and drain everything still waiting (for
     /// shutdown shedding). Wakes every blocked worker.
     pub(crate) fn close(&self) -> Vec<Arc<JobShared>> {
-        let mut st = self.state.lock().unwrap();
+        let mut st = sync::lock(&self.state);
         st.open = false;
         let drained: Vec<_> = st.classes.iter_mut().flat_map(|c| c.drain(..)).collect();
         st.len = 0;
@@ -103,7 +105,7 @@ impl Scheduler {
 
     /// Jobs currently queued.
     pub(crate) fn len(&self) -> usize {
-        self.state.lock().unwrap().len
+        sync::lock(&self.state).len
     }
 }
 

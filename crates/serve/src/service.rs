@@ -24,6 +24,41 @@ use crate::metrics::{ServiceStats, StatsInner};
 use crate::request::SolveRequest;
 use crate::scheduler::Scheduler;
 use crate::session::{panic_message, primary_panic, scatter, Session, SessionKey};
+use crate::sync;
+
+/// Why [`SolveService::try_start`] refused to bring the service up — a
+/// deployment misconfiguration, never a per-job failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StartError {
+    /// `workers` was zero: nothing would ever drain the queue.
+    NoWorkers,
+    /// `queue_capacity` was zero: nothing could ever be admitted.
+    NoQueue,
+    /// A device spec failed to parse or construct.
+    InvalidDevice {
+        /// The offending spec string.
+        spec: String,
+        /// Why the device could not be built from it.
+        reason: String,
+    },
+    /// The OS refused to spawn a worker thread.
+    Spawn(String),
+}
+
+impl std::fmt::Display for StartError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NoWorkers => write!(f, "service needs at least one worker"),
+            Self::NoQueue => write!(f, "service needs a non-empty queue"),
+            Self::InvalidDevice { spec, reason } => {
+                write!(f, "invalid device spec {spec:?}: {reason}")
+            }
+            Self::Spawn(e) => write!(f, "failed to spawn worker thread: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StartError {}
 
 /// Static configuration of a [`SolveService`].
 #[derive(Clone, Debug)]
@@ -75,7 +110,7 @@ impl SessionCache {
     }
 
     fn checkout(&self, key: &SessionKey) -> Option<Session> {
-        let mut entries = self.entries.lock().unwrap();
+        let mut entries = sync::lock(&self.entries);
         let pos = entries.iter().position(|(k, _)| k == key)?;
         Some(entries.remove(pos).1)
     }
@@ -87,7 +122,7 @@ impl SessionCache {
         if self.capacity == 0 {
             return false;
         }
-        let mut entries = self.entries.lock().unwrap();
+        let mut entries = sync::lock(&self.entries);
         entries.push((key, session));
         if entries.len() > self.capacity {
             entries.remove(0);
@@ -98,7 +133,7 @@ impl SessionCache {
     }
 
     fn len(&self) -> usize {
-        self.entries.lock().unwrap().len()
+        sync::lock(&self.entries).len()
     }
 }
 
@@ -127,22 +162,41 @@ impl SolveService {
     ///
     /// Panics on an invalid device spec or a zero-sized pool — a
     /// service that cannot run anything is a deployment error, not a
-    /// per-job failure.
+    /// per-job failure. [`SolveService::try_start`] is the
+    /// non-panicking form for callers that surface deployment errors
+    /// themselves.
     pub fn start(cfg: ServiceConfig) -> Self {
-        assert!(cfg.workers >= 1, "service needs at least one worker");
-        assert!(cfg.queue_capacity >= 1, "service needs a non-empty queue");
+        // LINT: panic-ok(documented panicking facade over try_start; a
+        // service that cannot start is a deployment error)
+        Self::try_start(cfg).unwrap_or_else(|e| panic!("cannot start solve service: {e}"))
+    }
+
+    /// Start the worker pool, reporting a deployment error instead of
+    /// panicking.
+    pub fn try_start(cfg: ServiceConfig) -> Result<Self, StartError> {
+        if cfg.workers < 1 {
+            return Err(StartError::NoWorkers);
+        }
+        if cfg.queue_capacity < 1 {
+            return Err(StartError::NoQueue);
+        }
         let specs = if cfg.devices.is_empty() {
             vec!["serial".to_string(); cfg.workers]
         } else {
             cfg.devices.clone()
         };
-        let devices: Vec<AnyDevice> = specs
-            .iter()
-            .map(|spec| {
-                AnyDevice::from_spec(spec, Recorder::disabled())
-                    .unwrap_or_else(|e| panic!("invalid device spec {spec:?}: {e}"))
-            })
-            .collect();
+        let mut devices = Vec::with_capacity(specs.len());
+        for spec in &specs {
+            match AnyDevice::from_spec(spec, Recorder::disabled()) {
+                Ok(dev) => devices.push(dev),
+                Err(e) => {
+                    return Err(StartError::InvalidDevice {
+                        spec: spec.clone(),
+                        reason: e.to_string(),
+                    })
+                }
+            }
+        }
         let inner = Arc::new(ServiceInner {
             queue: Scheduler::new(cfg.queue_capacity),
             cache: SessionCache::new(cfg.session_capacity),
@@ -152,16 +206,26 @@ impl SolveService {
             order: cfg.order,
             next_id: AtomicU64::new(0),
         });
-        let workers = (0..cfg.workers)
-            .map(|i| {
-                let inner = inner.clone();
-                std::thread::Builder::new()
-                    .name(format!("serve-worker-{i}"))
-                    .spawn(move || worker_loop(&inner))
-                    .expect("spawn worker thread")
-            })
-            .collect();
-        Self { inner, workers }
+        let mut workers = Vec::with_capacity(cfg.workers);
+        for i in 0..cfg.workers {
+            let worker_inner = inner.clone();
+            match std::thread::Builder::new()
+                .name(format!("serve-worker-{i}"))
+                .spawn(move || worker_loop(&worker_inner))
+            {
+                Ok(handle) => workers.push(handle),
+                Err(e) => {
+                    // Unwind the partial pool: close the queue so the
+                    // already-spawned workers exit, then join them.
+                    inner.queue.close();
+                    for handle in workers {
+                        let _ = handle.join();
+                    }
+                    return Err(StartError::Spawn(e.to_string()));
+                }
+            }
+        }
+        Ok(Self { inner, workers })
     }
 
     /// Submit one request. Never blocks: a full queue answers
@@ -216,6 +280,8 @@ impl SolveService {
             self.inner.stats.bump(&self.inner.stats.shed);
         }
         for handle in self.workers.drain(..) {
+            // LINT: panic-ok(worker_loop catches every job panic; join
+            // only fails on an analyzer-visible bug in the loop itself)
             handle.join().expect("workers never panic at top level");
         }
     }
@@ -270,6 +336,7 @@ fn execute(
     lease: &DeviceLease<AnyDevice>,
     queue_wait: Duration,
 ) -> JobResult {
+    // LINT: panic-ok(the pool is built with exactly one spec per slot)
     let spec = inner.specs[lease.slot()].clone();
     if request.checked {
         return execute_checked(inner, job, &request, &spec, queue_wait);
@@ -367,6 +434,7 @@ fn execute_checked(
     let ran = try_run_ranks_checked::<f64, _, _>(ranks, config, |comm| {
         let dev = Checked::new(
             AnyDevice::from_spec(spec, Recorder::disabled())
+                // LINT: panic-ok(try_start built a device from this exact spec)
                 .expect("device spec validated at service start"),
         );
         let decomp = Decomp::new(request.decomp);
@@ -393,6 +461,8 @@ fn execute_checked(
             if let Some(e) = setup_err {
                 return JobResult::Failed(JobError::Setup(e));
             }
+            // LINT: panic-ok(ranks() is >= 1, and the error branch above
+            // returned already, so at least one rank produced an outcome)
             let outcome = outcome.expect("checked world has at least one rank");
             if outcome.cancelled {
                 JobResult::Cancelled

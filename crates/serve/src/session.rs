@@ -99,13 +99,8 @@ struct RhsSource([poisson::SpaceFn; 5]);
 
 impl RhsSource {
     fn of(p: &PoissonProblem) -> Self {
-        Self([
-            p.rhs.clone(),
-            p.dirichlet.clone(),
-            p.neumann_dx[0].clone(),
-            p.neumann_dx[1].clone(),
-            p.neumann_dx[2].clone(),
-        ])
+        let [dx0, dx1, dx2] = p.neumann_dx.clone();
+        Self([p.rhs.clone(), p.dirichlet.clone(), dx0, dx1, dx2])
     }
 
     /// Whether `p`'s closures are the very allocations this source
@@ -114,9 +109,13 @@ impl RhsSource {
         let same = |a: &poisson::SpaceFn, b: &poisson::SpaceFn| {
             std::ptr::eq(Arc::as_ptr(a) as *const (), Arc::as_ptr(b) as *const ())
         };
-        same(&self.0[0], &p.rhs)
-            && same(&self.0[1], &p.dirichlet)
-            && (0..3).all(|a| same(&self.0[2 + a], &p.neumann_dx[a]))
+        let [rhs, dirichlet, dx0, dx1, dx2] = &self.0;
+        same(rhs, &p.rhs)
+            && same(dirichlet, &p.dirichlet)
+            && [dx0, dx1, dx2]
+                .into_iter()
+                .zip(&p.neumann_dx)
+                .all(|(a, b)| same(a, b))
     }
 }
 
@@ -161,21 +160,23 @@ pub(crate) fn primary_panic(msgs: Vec<String>) -> String {
 
 /// Scatter a global x-fastest RHS vector to one rank's interior.
 pub(crate) fn scatter(grid: &BlockGrid, global: &[f64]) -> Result<Vec<f64>, SetupError> {
-    let n = grid.global.n;
-    let expected = n[0] * n[1] * n[2];
+    let [nx, ny, nz] = grid.global.n;
+    let expected = nx * ny * nz;
     if global.len() != expected {
         return Err(SetupError::RhsSizeMismatch {
             expected,
             got: global.len(),
         });
     }
-    let ln = grid.local_n;
-    let mut local = Vec::with_capacity(ln[0] * ln[1] * ln[2]);
-    for k in 0..ln[2] {
-        for j in 0..ln[1] {
-            let row =
-                (grid.offset[0]) + n[0] * ((grid.offset[1] + j) + n[1] * (grid.offset[2] + k));
-            local.extend_from_slice(&global[row..row + ln[0]]);
+    let [lx, ly, lz] = grid.local_n;
+    let [ox, oy, oz] = grid.offset;
+    let mut local = Vec::with_capacity(lx * ly * lz);
+    for k in 0..lz {
+        for j in 0..ly {
+            let row = ox + nx * ((oy + j) + ny * (oz + k));
+            // LINT: panic-ok(offset + local_n <= n per axis is a grid
+            // invariant, so row + lx <= expected after the size check)
+            local.extend_from_slice(&global[row..row + lx]);
         }
     }
     Ok(local)
@@ -245,6 +246,8 @@ impl Session {
             }
         } else {
             let comms = ThreadComm::<f64>::world(ranks, order, vec![Recorder::disabled(); ranks]);
+            // LINT: panic-ok(world(ranks, ..) returns exactly ranks >= 2
+            // communicators on this branch)
             let poisoner = comms[0].poisoner();
             let spec = key.device().to_string();
             let results: Vec<_> = std::thread::scope(|s| {
@@ -257,6 +260,7 @@ impl Session {
                         s.spawn(move || {
                             let r = catch_unwind(AssertUnwindSafe(|| {
                                 let dev = AnyDevice::from_spec(&spec, Recorder::disabled())
+                                    // LINT: panic-ok(try_start built a device from this exact spec)
                                     .expect("device spec validated at service start");
                                 PoissonSolver::try_new(problem, decomp, dev, comm)
                             }));
@@ -271,6 +275,7 @@ impl Session {
                     .collect();
                 handles
                     .into_iter()
+                    // LINT: panic-ok(rank closures run under catch_unwind)
                     .map(|h| h.join().expect("rank threads catch their panics"))
                     .collect()
             });
@@ -362,6 +367,7 @@ impl Session {
                         .collect();
                     handles
                         .into_iter()
+                        // LINT: panic-ok(rank closures run under catch_unwind)
                         .map(|h| h.join().expect("rank threads catch their panics"))
                         .collect()
                 });
@@ -380,6 +386,8 @@ impl Session {
                 } else if let Some(e) = setup {
                     Err(JobError::Setup(e))
                 } else {
+                    // LINT: panic-ok(no panics and no setup error means
+                    // every rank returned Ok, and ranks >= 2 here)
                     Ok(out.expect("every rank returned an outcome"))
                 }
             }

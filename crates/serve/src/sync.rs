@@ -1,0 +1,24 @@
+//! Poison-recovering lock primitives for the service's shared state.
+//!
+//! Every mutex in this crate guards state that is consistent at each
+//! release point: the scheduler mutates `classes`/`len` inside one
+//! critical section, and the job state machine performs single
+//! assignments. Worker panics are caught by the per-job `catch_unwind`
+//! isolation before they can unwind through these guards, so a poisoned
+//! flag can only come from a panicking caller (e.g. a failing test
+//! assertion) that held a lock around otherwise-complete state.
+//! Recovering the guard instead of `.unwrap()`ing keeps one tenant's
+//! panic from wedging every other tenant's submit/wait path, matching
+//! the crate's panic-isolation contract.
+
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Lock `m`, recovering the guard if a previous holder panicked.
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Wait on `cv`, recovering the guard if a holder panicked mid-wait.
+pub(crate) fn wait<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}

@@ -36,6 +36,7 @@ fn gated_problem(gate: &Arc<AtomicBool>) -> PoissonProblem {
     let gate = gate.clone();
     p.rhs = Arc::new(move |_, _, _| {
         while !gate.load(Ordering::SeqCst) {
+            #[allow(clippy::disallowed_methods)]
             std::thread::sleep(Duration::from_millis(1));
         }
         1.0
@@ -60,6 +61,7 @@ fn wait_until_running(handle: &JobHandle) {
             start.elapsed() < Duration::from_secs(10),
             "job never started running"
         );
+        #[allow(clippy::disallowed_methods)]
         std::thread::sleep(Duration::from_micros(100));
     }
 }
@@ -225,6 +227,7 @@ fn deadline_expired_jobs_are_shed_unstarted() {
     let mut stale = quick(unit_cube_dirichlet(7));
     stale.deadline = Some(Duration::from_millis(10));
     let stale = svc.submit(stale).unwrap();
+    #[allow(clippy::disallowed_methods)]
     std::thread::sleep(Duration::from_millis(30));
     gate.store(true, Ordering::SeqCst);
     assert!(matches!(stale.wait(), JobResult::Shed));
@@ -334,6 +337,7 @@ fn shutdown_sheds_queued_jobs_and_finishes_running_ones() {
     let releaser = {
         let gate = gate.clone();
         std::thread::spawn(move || {
+            #[allow(clippy::disallowed_methods)]
             std::thread::sleep(Duration::from_millis(30));
             gate.store(true, Ordering::SeqCst);
         })

@@ -1,0 +1,168 @@
+//! SPMD003 — allocation in registered hot functions.
+//!
+//! The steady-state solve path is required to be allocation-free (the
+//! runtime counting-allocator audits in `solve_zero_alloc.rs` /
+//! `halo_zero_alloc.rs` enforce it dynamically). This pass turns the
+//! same contract into a static gate: inside the registered hot functions
+//! any allocating construct — `Vec::new`, `vec![…]`, `Box::new`,
+//! `format!`, `String::from`, `.to_vec()`, `.to_owned()`,
+//! `.to_string()`, `.collect()`, `.clone()` — is a finding unless the
+//! line carries `// LINT: alloc-ok(<reason>)` (e.g. a cold-path fallback
+//! or setup code executed once).
+
+use crate::tree::{FnItem, Tree};
+use crate::{Finding, SrcInfo};
+
+/// `(path suffix, fn name)` pairs forming the hot registry: the
+/// steady-state set audited by the zero-alloc runtime tests.
+pub const HOT_FUNCTIONS: &[(&str, &str)] = &[
+    // Bi-CGSTAB hot loop and its helpers.
+    ("crates/krylov/src/bicgstab.rs", "bicgstab_solve"),
+    ("crates/krylov/src/bicgstab.rs", "refresh_ghosts"),
+    ("crates/krylov/src/bicgstab.rs", "refresh_and_apply"),
+    ("crates/krylov/src/bicgstab.rs", "global_sum"),
+    // Fused vector kernels.
+    ("crates/krylov/src/kernels.rs", "axpy_inplace"),
+    ("crates/krylov/src/kernels.rs", "axpy2_inplace"),
+    ("crates/krylov/src/kernels.rs", "axpy2_chained_inplace"),
+    ("crates/krylov/src/kernels.rs", "axpy3_inplace"),
+    ("crates/krylov/src/kernels.rs", "axpy_dot"),
+    ("crates/krylov/src/kernels.rs", "norm2_axpy"),
+    ("crates/krylov/src/kernels.rs", "residual_p_update_fused"),
+    ("crates/krylov/src/kernels.rs", "residual_update_fused"),
+    ("crates/krylov/src/kernels.rs", "dot"),
+    ("crates/krylov/src/kernels.rs", "dot2"),
+    ("crates/krylov/src/kernels.rs", "diff_norm2"),
+    ("crates/krylov/src/kernels.rs", "norm2_local"),
+    ("crates/krylov/src/kernels.rs", "scale"),
+    // Chebyshev preconditioner inner loop + stencil combine.
+    ("crates/krylov/src/cheby.rs", "solve"),
+    ("crates/krylov/src/cheby.rs", "refresh_ghosts"),
+    ("crates/stencil/src/laplacian.rs", "apply"),
+    ("crates/stencil/src/laplacian.rs", "apply_interior"),
+    ("crates/stencil/src/laplacian.rs", "apply_shell"),
+    ("crates/stencil/src/laplacian.rs", "apply_fused_dot"),
+    ("crates/stencil/src/laplacian.rs", "apply_fused_dot2"),
+    ("crates/stencil/src/laplacian.rs", "apply_fused_dot3"),
+    ("crates/stencil/src/laplacian.rs", "apply_combine"),
+    ("crates/stencil/src/laplacian.rs", "apply_combine_interior"),
+    ("crates/stencil/src/laplacian.rs", "apply_combine_shell"),
+    ("crates/stencil/src/laplacian.rs", "combine_on_map"),
+    ("crates/stencil/src/laplacian.rs", "apply_interior_dot"),
+    ("crates/stencil/src/laplacian.rs", "apply_shell_dot"),
+    ("crates/stencil/src/laplacian.rs", "fold"),
+    // Halo pack/unpack and the split-phase exchange path.
+    ("crates/blockgrid/src/halo.rs", "pack_face"),
+    ("crates/blockgrid/src/halo.rs", "unpack_face"),
+    ("crates/blockgrid/src/halo.rs", "acquire"),
+    ("crates/blockgrid/src/halo.rs", "recycle"),
+    ("crates/blockgrid/src/halo.rs", "begin_impl"),
+    ("crates/blockgrid/src/halo.rs", "begin"),
+    ("crates/blockgrid/src/halo.rs", "finish"),
+    ("crates/blockgrid/src/halo.rs", "exchange"),
+    // ThreadComm collective engine.
+    ("crates/comm/src/thread_comm.rs", "collective_begin"),
+    ("crates/comm/src/thread_comm.rs", "collective_finish"),
+    ("crates/comm/src/thread_comm.rs", "collective_exchange"),
+    ("crates/comm/src/thread_comm.rs", "all_reduce"),
+    ("crates/comm/src/thread_comm.rs", "barrier"),
+    ("crates/comm/src/thread_comm.rs", "iall_reduce"),
+    ("crates/comm/src/thread_comm.rs", "reduce_finish"),
+    // Communicator trait defaults (SelfComm fallbacks).
+    ("crates/comm/src/types.rs", "reduce_batch"),
+    ("crates/comm/src/types.rs", "iall_reduce_batch"),
+];
+
+/// Method names whose call allocates an owning container.
+const ALLOC_METHODS: &[&str] = &["to_vec", "to_owned", "to_string", "collect", "clone"];
+
+/// Run SPMD003 over the registered hot functions of a file.
+pub fn check(src: &SrcInfo<'_>, fns: &[FnItem], findings: &mut Vec<Finding>) {
+    let hot: Vec<&str> = HOT_FUNCTIONS
+        .iter()
+        .filter(|(suffix, _)| src.rel.ends_with(suffix))
+        .map(|(_, name)| *name)
+        .collect();
+    if hot.is_empty() {
+        return;
+    }
+    for f in fns
+        .iter()
+        .filter(|f| !f.is_test && hot.contains(&f.name.as_str()))
+    {
+        scan(src, &f.name, &f.body, findings);
+    }
+}
+
+fn scan(src: &SrcInfo<'_>, fn_name: &str, items: &[Tree], findings: &mut Vec<Finding>) {
+    let mut i = 0;
+    while i < items.len() {
+        let t = &items[i];
+        // Nested fn bodies are scanned under their own names only if
+        // registered — skip them here.
+        if t.is_ident("fn") {
+            let mut j = i + 1;
+            while j < items.len() && !items[j].is_punct(b';') && !items[j].is_group(b'{') {
+                j += 1;
+            }
+            i = j + 1;
+            continue;
+        }
+        if let Some(what) = alloc_at(items, i) {
+            let line = t.line();
+            if !src.annotated(line, "alloc-ok") {
+                findings.push(Finding {
+                    code: "SPMD003",
+                    path: src.rel.to_string(),
+                    line,
+                    message: format!(
+                        "`{what}` allocates inside hot function `{fn_name}` (zero-alloc \
+                         steady-state registry); hoist it to setup, use a pooled buffer, \
+                         or annotate `// LINT: alloc-ok(<reason>)`"
+                    ),
+                });
+            }
+        }
+        if let Tree::Group { items: g, .. } = t {
+            scan(src, fn_name, g, findings);
+        }
+        i += 1;
+    }
+}
+
+/// Identify an allocating construct at `items[at]`, returning a display
+/// name.
+fn alloc_at(items: &[Tree], at: usize) -> Option<String> {
+    let name = items[at].ident()?;
+    let next = items.get(at + 1);
+    let prev = at.checked_sub(1).map(|p| &items[p]);
+    let prev2 = at.checked_sub(2).map(|p| &items[p]);
+
+    // vec![…] / format!(…)
+    if matches!(name, "vec" | "format") && matches!(next, Some(n) if n.is_punct(b'!')) {
+        return Some(format!("{name}!"));
+    }
+    // Vec::new / Vec::with_capacity / Vec::from / Box::new / String::from /
+    // String::new — match the *second* path segment with `::` before it.
+    if matches!(name, "new" | "with_capacity" | "from")
+        && matches!(prev, Some(p) if p.is_punct(b':'))
+        && matches!(prev2, Some(p) if p.is_punct(b':'))
+    {
+        if let Some(owner) = at.checked_sub(3).and_then(|p| items[p].ident()) {
+            if matches!(
+                owner,
+                "Vec" | "Box" | "String" | "VecDeque" | "HashMap" | "BTreeMap"
+            ) {
+                return Some(format!("{owner}::{name}"));
+            }
+        }
+    }
+    // .to_vec() / .collect() / .clone() …
+    if ALLOC_METHODS.contains(&name)
+        && matches!(prev, Some(p) if p.is_punct(b'.'))
+        && matches!(next, Some(n) if n.is_group(b'('))
+    {
+        return Some(format!(".{name}()"));
+    }
+    None
+}

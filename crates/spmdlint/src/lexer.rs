@@ -1,0 +1,445 @@
+//! Line-preserving lexical analysis shared by every pass.
+//!
+//! The foundation is [`strip_comments_and_strings`]: it replaces every
+//! comment, string/char literal and raw(-byte) string with spaces while
+//! keeping each `\n` exactly where it was, so anything computed on the
+//! stripped text carries exact line numbers back to the original file.
+//! [`tokenize`] then lexes the stripped text into identifier/punctuation
+//! tokens, each stamped with its 1-based line.
+
+/// One lexical token of the stripped source.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (including numeric literals' leading runs —
+    /// the passes never care about numbers, only that they group as one
+    /// token).
+    Ident {
+        /// The identifier text.
+        name: String,
+        /// 1-based source line.
+        line: u32,
+    },
+    /// A single punctuation byte (`.`, `?`, `;`, `#`, `=` …), including
+    /// the group delimiters `( ) [ ] { }`.
+    Punct {
+        /// The punctuation byte.
+        ch: u8,
+        /// 1-based source line.
+        line: u32,
+    },
+}
+
+impl Tok {
+    /// The token's 1-based source line.
+    pub fn line(&self) -> u32 {
+        match self {
+            Tok::Ident { line, .. } | Tok::Punct { line, .. } => *line,
+        }
+    }
+
+    /// The identifier name, when this is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            Tok::Ident { name, .. } => Some(name),
+            Tok::Punct { .. } => None,
+        }
+    }
+
+    /// True when this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.ident() == Some(name)
+    }
+
+    /// True when this token is the punctuation byte `ch`.
+    pub fn is_punct(&self, ch: u8) -> bool {
+        matches!(self, Tok::Punct { ch: c, .. } if *c == ch)
+    }
+}
+
+/// Replace comments, string/char literals and raw strings with spaces,
+/// preserving line structure so line numbers survive.
+///
+/// Handles the full literal zoo: nested block comments (`/* /* */ */`),
+/// escaped quotes, raw strings `r#"…"#`, byte strings `b"…"`, raw byte
+/// strings `br#"…"#`, byte chars `b'x'`, and `'a` lifetimes vs `'x'`
+/// char literals (including multi-byte chars like `'é'`). Escaped
+/// newlines inside string literals (`"… \⏎ …"`) keep their `\n` so the
+/// output always has exactly as many lines as the input.
+pub fn strip_comments_and_strings(src: &str) -> String {
+    #[derive(PartialEq)]
+    enum State {
+        Code,
+        LineComment,
+        BlockComment(usize),
+        Str,
+        RawStr(usize),
+        Char,
+    }
+    let b = src.as_bytes();
+    let mut out = Vec::with_capacity(b.len());
+    let mut state = State::Code;
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        match state {
+            State::Code => {
+                if c == b'/' && b.get(i + 1) == Some(&b'/') {
+                    state = State::LineComment;
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if c == b'/' && b.get(i + 1) == Some(&b'*') {
+                    state = State::BlockComment(1);
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if c == b'"' {
+                    state = State::Str;
+                    out.push(b' ');
+                    i += 1;
+                } else if let Some((prefix, hashes)) = raw_str_start(b, i) {
+                    state = State::RawStr(hashes);
+                    out.extend(std::iter::repeat_n(b' ', prefix + hashes + 1));
+                    i += prefix + hashes + 1;
+                } else if c == b'b' && b.get(i + 1) == Some(&b'"') && !ident_continues(b, i) {
+                    // Byte string b"…": blank the prefix too so `b` never
+                    // survives as a stray identifier.
+                    state = State::Str;
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if c == b'\'' && is_char_literal(b, i) {
+                    state = State::Char;
+                    out.push(b' ');
+                    i += 1;
+                } else if c == b'b'
+                    && b.get(i + 1) == Some(&b'\'')
+                    && !ident_continues(b, i)
+                    && is_char_literal(b, i + 1)
+                {
+                    // Byte char b'x'.
+                    state = State::Char;
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else {
+                    out.push(c);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                if c == b'\n' {
+                    state = State::Code;
+                    out.push(b'\n');
+                } else {
+                    out.push(b' ');
+                }
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == b'*' && b.get(i + 1) == Some(&b'/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if c == b'/' && b.get(i + 1) == Some(&b'*') {
+                    state = State::BlockComment(depth + 1);
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else {
+                    out.push(if c == b'\n' { b'\n' } else { b' ' });
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == b'\\' && i + 1 < b.len() {
+                    // Escaped pair — but an escaped newline (string
+                    // continuation) must keep its `\n` or every later
+                    // line number in the file would shift.
+                    out.push(b' ');
+                    out.push(if b[i + 1] == b'\n' { b'\n' } else { b' ' });
+                    i += 2;
+                } else {
+                    if c == b'"' {
+                        state = State::Code;
+                    }
+                    out.push(if c == b'\n' { b'\n' } else { b' ' });
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == b'"' && closes_raw_str(b, i, hashes) {
+                    out.extend(std::iter::repeat_n(b' ', hashes + 1));
+                    i += hashes + 1;
+                    state = State::Code;
+                } else {
+                    out.push(if c == b'\n' { b'\n' } else { b' ' });
+                    i += 1;
+                }
+            }
+            State::Char => {
+                if c == b'\\' && i + 1 < b.len() {
+                    out.push(b' ');
+                    out.push(if b[i + 1] == b'\n' { b'\n' } else { b' ' });
+                    i += 2;
+                } else {
+                    if c == b'\'' {
+                        state = State::Code;
+                    }
+                    out.push(if c == b'\n' { b'\n' } else { b' ' });
+                    i += 1;
+                }
+            }
+        }
+    }
+    String::from_utf8(out).expect("only ASCII substitutions")
+}
+
+/// True when `b[i]` continues an identifier begun earlier (so a `b`/`r`
+/// here is the tail of a name like `ptr`, not a literal prefix).
+fn ident_continues(b: &[u8], i: usize) -> bool {
+    i > 0 && is_ident_byte(b[i - 1])
+}
+
+/// `Some((prefix_len, hashes))` when `b[i..]` starts a raw string
+/// `r#*"` or raw byte string `br#*"`.
+fn raw_str_start(b: &[u8], i: usize) -> Option<(usize, usize)> {
+    let (start, prefix) = if b[i] == b'r' {
+        (i, 1)
+    } else if b[i] == b'b' && b.get(i + 1) == Some(&b'r') {
+        (i, 2)
+    } else {
+        return None;
+    };
+    // The prefix must not continue an identifier (e.g. `for`, `abr`).
+    if ident_continues(b, start) {
+        return None;
+    }
+    let mut j = start + prefix;
+    let mut hashes = 0;
+    while b.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (b.get(j) == Some(&b'"')).then_some((prefix, hashes))
+}
+
+/// True when the `"` at `b[i]` is followed by `hashes` `#` characters.
+fn closes_raw_str(b: &[u8], i: usize, hashes: usize) -> bool {
+    (1..=hashes).all(|h| b.get(i + h) == Some(&b'#'))
+}
+
+/// Distinguish a char literal from a lifetime: `'x'` or `'\n'` vs
+/// `'static`. A non-ASCII first byte (`'é'`) scans ahead for the closing
+/// quote; an ASCII one must close immediately, so `'a, 'b` in a generic
+/// list never false-positives.
+fn is_char_literal(b: &[u8], i: usize) -> bool {
+    debug_assert_eq!(b[i], b'\'');
+    match b.get(i + 1) {
+        Some(b'\\') => true,
+        Some(&c) if c >= 0x80 => (2..=5).any(|k| b.get(i + k) == Some(&b'\'')),
+        Some(_) => b.get(i + 2) == Some(&b'\''),
+        None => false,
+    }
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// True when `word` appears in `line` as a standalone token.
+pub fn has_word(line: &str, word: &str) -> bool {
+    let bytes = line.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = line[start..].find(word) {
+        let at = start + pos;
+        let before_ok = at == 0 || !is_ident_byte(bytes[at - 1]);
+        let end = at + word.len();
+        let after_ok = end >= bytes.len() || !is_ident_byte(bytes[end]);
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + 1;
+    }
+    false
+}
+
+/// Lex stripped source into identifier/punctuation tokens with 1-based
+/// line numbers. Must be fed the output of
+/// [`strip_comments_and_strings`]; literal bodies are gone by then, so
+/// every remaining byte is code.
+pub fn tokenize(stripped: &str) -> Vec<Tok> {
+    let b = stripped.as_bytes();
+    let mut toks = Vec::new();
+    let mut line: u32 = 1;
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        if c == b'\n' {
+            line += 1;
+            i += 1;
+        } else if c.is_ascii_whitespace() {
+            i += 1;
+        } else if is_ident_byte(c) {
+            let start = i;
+            while i < b.len() && is_ident_byte(b[i]) {
+                i += 1;
+            }
+            toks.push(Tok::Ident {
+                name: stripped[start..i].to_string(),
+                line,
+            });
+        } else if c.is_ascii() {
+            toks.push(Tok::Punct { ch: c, line });
+            i += 1;
+        } else {
+            // Non-ASCII code byte (only reachable in identifiers we do
+            // not track); skip without disturbing line accounting.
+            i += 1;
+        }
+    }
+    toks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn lines_of(s: &str) -> usize {
+        s.bytes().filter(|&b| b == b'\n').count()
+    }
+
+    /// Idents surviving the strip, for asserting what is code vs literal.
+    fn surviving(src: &str) -> Vec<String> {
+        tokenize(&strip_comments_and_strings(src))
+            .into_iter()
+            .filter_map(|t| t.ident().map(str::to_string))
+            .collect()
+    }
+
+    #[test]
+    fn nested_block_comments_strip_fully() {
+        let src = "a /* x /* y\n */ still_comment */ b";
+        let names = surviving(src);
+        assert_eq!(names, ["a", "b"], "nested comment content must vanish");
+        assert_eq!(lines_of(&strip_comments_and_strings(src)), lines_of(src));
+    }
+
+    #[test]
+    fn byte_strings_and_raw_byte_strings_strip_with_their_prefix() {
+        let src = r##"let x = b"code_inside"; let y = br#"also " gone"#; z"##;
+        let names = surviving(src);
+        assert!(
+            !names
+                .iter()
+                .any(|n| n.contains("code_inside") || n.contains("gone")),
+            "literal bodies must vanish: {names:?}"
+        );
+        assert!(
+            !names.contains(&"b".to_string()) && !names.contains(&"br".to_string()),
+            "literal prefixes must not survive as identifiers: {names:?}"
+        );
+        assert_eq!(names, ["let", "x", "let", "y", "z"]);
+    }
+
+    #[test]
+    fn raw_strings_ignore_escapes_and_inner_quotes() {
+        let src = r###"r#"a " \" still"# after"###;
+        assert_eq!(surviving(src), ["after"]);
+    }
+
+    #[test]
+    fn lifetimes_survive_char_literals_do_not() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; let uni = 'é'; }";
+        let names = surviving(src);
+        assert!(
+            names.contains(&"a".to_string()),
+            "lifetime names are code: {names:?}"
+        );
+        assert!(
+            !names.contains(&"x".to_string()) || names.iter().filter(|n| *n == "x").count() == 1,
+            "char literal body must vanish (only the parameter x survives): {names:?}"
+        );
+        assert!(!names.contains(&"n".to_string()), "escape body must vanish");
+    }
+
+    #[test]
+    fn static_lifetime_is_not_a_char_literal() {
+        // 's' followed by more ident bytes: must lex as a lifetime, not
+        // swallow "static>(..." as a char literal body.
+        let src = "fn f<T: 'static>(t: T) { use_it(t); }";
+        let names = surviving(src);
+        assert!(names.contains(&"static".to_string()), "{names:?}");
+        assert!(names.contains(&"use_it".to_string()), "{names:?}");
+    }
+
+    #[test]
+    fn escaped_newline_in_string_keeps_the_line() {
+        let src = "let s = \"one \\\ntwo\";\nafter";
+        let stripped = strip_comments_and_strings(src);
+        assert_eq!(lines_of(&stripped), lines_of(src));
+        assert_eq!(surviving(src), ["let", "s", "after"]);
+    }
+
+    #[test]
+    fn tokens_carry_their_source_line() {
+        let src = "first\n\"str\n str\" second\n/* c\n c */ third";
+        let toks = tokenize(&strip_comments_and_strings(src));
+        let at = |name: &str| {
+            toks.iter()
+                .find(|t| t.is_ident(name))
+                .unwrap_or_else(|| panic!("{name} not found"))
+                .line()
+        };
+        assert_eq!(at("first"), 1);
+        assert_eq!(at("second"), 3);
+        assert_eq!(at("third"), 5);
+    }
+
+    /// Fragment alphabet deliberately full of delimiter-openers so random
+    /// concatenations produce unterminated comments/strings/chars too —
+    /// stripping must preserve the line count on ill-formed input as well.
+    const FRAGMENTS: &[&str] = &[
+        "fn f() {}\n",
+        "/*",
+        "*/",
+        "// line comment",
+        "\n",
+        "\"",
+        "\\\"",
+        "\\\\",
+        "r#\"",
+        "\"#",
+        "b\"bytes\"",
+        "br#\"raw bytes\"#",
+        "b'x'",
+        "'c'",
+        "'static",
+        "<'a>",
+        "ident_like",
+        "let s = \"multi\nline\";",
+        "é'",
+        "\\\n",
+    ];
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        // The foundation of every pass: stripping literals/comments never
+        // changes how many lines the file has, no matter how the literal
+        // zoo is (mis)combined.
+        #[test]
+        fn stripping_preserves_line_count(
+            picks in prop::collection::vec(0usize..FRAGMENTS.len(), 0..40),
+        ) {
+            let src: String = picks.iter().map(|&i| FRAGMENTS[i]).collect();
+            let stripped = strip_comments_and_strings(&src);
+            prop_assert_eq!(lines_of(&stripped), lines_of(&src));
+            // And tokenization never reports a line beyond the input.
+            let max_line = lines_of(&src) as u32 + 1;
+            for t in tokenize(&stripped) {
+                prop_assert!(t.line() >= 1 && t.line() <= max_line);
+            }
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! SPMD004 — panic hygiene on the serving request path.
+//!
+//! `crates/serve` hosts multi-tenant jobs: a panic on the request path
+//! either kills a worker or converts into a quarantine — both are
+//! availability incidents a typed error would have avoided. Non-test
+//! code under `crates/serve/src` must not call `.unwrap()`/`.expect(…)`,
+//! invoke `panic!`-family macros, or use bracket indexing (which panics
+//! out-of-bounds). Provably-infallible sites carry
+//! `// LINT: panic-ok(<reason>)` with the justification.
+
+use crate::tree::{FnItem, Tree};
+use crate::{Finding, SrcInfo};
+
+/// Path fragment selecting the files this pass covers.
+const SERVE_SRC: &str = "crates/serve/src/";
+
+/// Identifier keywords that legitimately precede a `[` without forming
+/// an index expression (`&mut [T]`, `if cond [..]` never parses, but be
+/// conservative).
+const NON_INDEX_PREV: &[&str] = &[
+    "mut", "ref", "dyn", "as", "in", "if", "else", "match", "return", "let", "move", "box",
+    "while", "loop", "for", "break", "continue", "unsafe", "where", "impl", "fn", "pub", "use",
+    "mod", "struct", "enum", "trait", "type", "const", "static", "crate",
+];
+
+/// Run SPMD004 over non-test functions of serve source files.
+pub fn check(src: &SrcInfo<'_>, fns: &[FnItem], findings: &mut Vec<Finding>) {
+    if !src.rel.contains(SERVE_SRC) {
+        return;
+    }
+    for f in fns.iter().filter(|f| !f.is_test) {
+        scan(src, &f.body, findings);
+    }
+}
+
+fn scan(src: &SrcInfo<'_>, items: &[Tree], findings: &mut Vec<Finding>) {
+    for (i, t) in items.iter().enumerate() {
+        if let Some((line, what)) = panic_site(items, i) {
+            if !src.annotated(line, "panic-ok") {
+                findings.push(Finding {
+                    code: "SPMD004",
+                    path: src.rel.to_string(),
+                    line,
+                    message: format!(
+                        "`{what}` on the serve request path can panic a multi-tenant worker; \
+                         return a typed error (`SubmitError`/`JobError`/`StartError`) or \
+                         justify with `// LINT: panic-ok(<reason>)`"
+                    ),
+                });
+            }
+        }
+        if let Tree::Group { items: g, .. } = t {
+            scan(src, g, findings);
+        }
+    }
+}
+
+/// Identify a panic-capable construct at `items[at]`.
+fn panic_site(items: &[Tree], at: usize) -> Option<(u32, String)> {
+    let t = &items[at];
+    if let Some(name) = t.ident() {
+        let next = items.get(at + 1);
+        let prev = at.checked_sub(1).map(|p| &items[p]);
+        // .unwrap() / .expect(…)
+        if matches!(name, "unwrap" | "expect")
+            && matches!(prev, Some(p) if p.is_punct(b'.'))
+            && matches!(next, Some(n) if n.is_group(b'('))
+        {
+            return Some((t.line(), format!(".{name}()")));
+        }
+        // panic! / unreachable! / todo! / unimplemented! / assert!-family
+        if matches!(name, "panic" | "unreachable" | "todo" | "unimplemented")
+            && matches!(next, Some(n) if n.is_punct(b'!'))
+        {
+            return Some((t.line(), format!("{name}!")));
+        }
+        return None;
+    }
+    // Bracket indexing: `expr[…]` — a `[` group directly after an
+    // identifier (that is not a keyword) or a call/index result.
+    if let Tree::Group {
+        delim: b'[',
+        open_line,
+        ..
+    } = t
+    {
+        match at.checked_sub(1).map(|p| &items[p]) {
+            Some(Tree::Leaf(prev_tok)) => {
+                if let Some(name) = prev_tok.ident() {
+                    if !NON_INDEX_PREV.contains(&name) {
+                        return Some((*open_line, format!("{name}[…]")));
+                    }
+                }
+            }
+            Some(Tree::Group {
+                delim: b')' | b'(' | b'[',
+                ..
+            }) => {
+                return Some((*open_line, "(…)[…]".to_string()));
+            }
+            _ => {}
+        }
+    }
+    None
+}

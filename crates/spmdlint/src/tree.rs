@@ -1,0 +1,261 @@
+//! Brace-balanced token trees and `fn`-item extraction.
+//!
+//! The passes are intraprocedural: they want each function body as a
+//! nested structure where `( … )`, `[ … ]` and `{ … }` are single nodes,
+//! so control-flow keywords (`if`, `match`, `loop`) can be paired with
+//! their blocks without a real parser.
+
+use crate::lexer::Tok;
+
+/// One node of the token tree: a leaf token or a delimited group.
+#[derive(Clone, Debug)]
+pub enum Tree {
+    /// A non-delimiter token.
+    Leaf(Tok),
+    /// A `(`/`[`/`{` group with its contents.
+    Group {
+        /// Opening delimiter byte: `(`, `[` or `{`.
+        delim: u8,
+        /// Line of the opening delimiter.
+        open_line: u32,
+        /// Line of the closing delimiter (end of file when unbalanced).
+        close_line: u32,
+        /// Child nodes.
+        items: Vec<Tree>,
+    },
+}
+
+impl Tree {
+    /// The node's identifier name, when it is an identifier leaf.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            Tree::Leaf(t) => t.ident(),
+            Tree::Group { .. } => None,
+        }
+    }
+
+    /// True when this node is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.ident() == Some(name)
+    }
+
+    /// True when this node is the punctuation byte `ch`.
+    pub fn is_punct(&self, ch: u8) -> bool {
+        matches!(self, Tree::Leaf(t) if t.is_punct(ch))
+    }
+
+    /// True when this node is a group opened by `delim`.
+    pub fn is_group(&self, delim: u8) -> bool {
+        matches!(self, Tree::Group { delim: d, .. } if *d == delim)
+    }
+
+    /// The 1-based line where this node starts.
+    pub fn line(&self) -> u32 {
+        match self {
+            Tree::Leaf(t) => t.line(),
+            Tree::Group { open_line, .. } => *open_line,
+        }
+    }
+}
+
+fn closing(open: u8) -> u8 {
+    match open {
+        b'(' => b')',
+        b'[' => b']',
+        _ => b'}',
+    }
+}
+
+/// Build a token tree from the flat token stream. Unbalanced input is
+/// handled best-effort: stray closers are dropped, unclosed groups end
+/// at end-of-file.
+pub fn parse(toks: &[Tok]) -> Vec<Tree> {
+    let mut i = 0;
+    let (items, _) = parse_group(toks, &mut i, None);
+    items
+}
+
+fn parse_group(toks: &[Tok], i: &mut usize, until: Option<u8>) -> (Vec<Tree>, u32) {
+    let mut items = Vec::new();
+    let mut last_line = toks.last().map_or(1, Tok::line);
+    while *i < toks.len() {
+        let t = &toks[*i];
+        match t {
+            Tok::Punct { ch, line } if matches!(ch, b'(' | b'[' | b'{') => {
+                let (delim, open_line) = (*ch, *line);
+                *i += 1;
+                let (inner, close_line) = parse_group(toks, i, Some(closing(delim)));
+                items.push(Tree::Group {
+                    delim,
+                    open_line,
+                    close_line,
+                    items: inner,
+                });
+            }
+            Tok::Punct { ch, line } if matches!(ch, b')' | b']' | b'}') => {
+                if Some(*ch) == until {
+                    last_line = *line;
+                    *i += 1;
+                    return (items, last_line);
+                }
+                // Stray closer: drop it and keep going.
+                *i += 1;
+            }
+            _ => {
+                items.push(Tree::Leaf(t.clone()));
+                *i += 1;
+            }
+        }
+    }
+    (items, last_line)
+}
+
+/// A function body ready for analysis.
+#[derive(Clone, Debug)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    /// The body block's child nodes.
+    pub body: Vec<Tree>,
+    /// Line of the body's closing brace.
+    pub close_line: u32,
+    /// True when the function is test code: it carries a `#[test]`-like
+    /// attribute, `#[cfg(test)]`, or sits inside a `#[cfg(test)] mod`.
+    pub is_test: bool,
+}
+
+/// Extract every function (including nested ones and default trait
+/// methods) from a parsed file.
+pub fn collect_fns(items: &[Tree]) -> Vec<FnItem> {
+    let mut out = Vec::new();
+    collect_fns_in(items, false, &mut out);
+    out
+}
+
+fn collect_fns_in(items: &[Tree], in_test: bool, out: &mut Vec<FnItem>) {
+    let mut i = 0;
+    while i < items.len() {
+        if items[i].is_ident("fn") {
+            if let Some((item, past)) = extract_fn(items, i, in_test) {
+                collect_fns_in(&item.body, item.is_test, out);
+                out.push(item);
+                i = past;
+                continue;
+            }
+            i += 1;
+        } else if items[i].is_ident("mod") {
+            // `mod name { … }` or `mod name;` — recurse into an inline
+            // module, marking it as test code when `#[cfg(test)]`.
+            let test = in_test || attrs_mark_test(items, i);
+            let mut j = i + 1;
+            let mut advanced = false;
+            while j < items.len() {
+                if items[j].is_punct(b';') {
+                    break;
+                }
+                if let Tree::Group {
+                    delim: b'{',
+                    items: inner,
+                    ..
+                } = &items[j]
+                {
+                    collect_fns_in(inner, test, out);
+                    i = j + 1;
+                    advanced = true;
+                    break;
+                }
+                j += 1;
+            }
+            if !advanced {
+                i += 1;
+            }
+        } else if let Tree::Group { items: inner, .. } = &items[i] {
+            // impl blocks, trait bodies, etc.
+            collect_fns_in(inner, in_test, out);
+            i += 1;
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Parse a `fn` item starting at `items[at]` (the `fn` keyword). Returns
+/// the item plus the index just past its body; `None` for bodyless trait
+/// signatures.
+fn extract_fn(items: &[Tree], at: usize, in_test: bool) -> Option<(FnItem, usize)> {
+    let name = items.get(at + 1)?.ident()?.to_string();
+    let line = items[at].line();
+    let mut j = at + 2;
+    while j < items.len() {
+        if items[j].is_punct(b';') {
+            return None; // trait method signature without a body
+        }
+        if let Tree::Group {
+            delim: b'{',
+            items: body,
+            close_line,
+            ..
+        } = &items[j]
+        {
+            let is_test = in_test || attrs_mark_test(items, at);
+            return Some((
+                FnItem {
+                    name,
+                    line,
+                    body: body.clone(),
+                    close_line: *close_line,
+                    is_test,
+                },
+                j + 1,
+            ));
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Scan the attributes and modifiers directly before `items[at]` for a
+/// `test` marker: `#[test]`, `#[cfg(test)]`, `#[tokio::test]`, … all
+/// contain the bare identifier `test`.
+fn attrs_mark_test(items: &[Tree], at: usize) -> bool {
+    const MODIFIERS: &[&str] = &["pub", "unsafe", "const", "async", "extern", "default"];
+    let mut j = at;
+    while j > 0 {
+        j -= 1;
+        match &items[j] {
+            Tree::Leaf(t) => {
+                if t.ident().is_some_and(|n| MODIFIERS.contains(&n)) {
+                    continue;
+                }
+                return false;
+            }
+            Tree::Group { delim: b'(', .. } => continue, // pub(crate)
+            Tree::Group {
+                delim: b'[',
+                items: attr,
+                ..
+            } => {
+                // Only an attribute when preceded by `#`.
+                if j == 0 || !items[j - 1].is_punct(b'#') {
+                    return false;
+                }
+                if group_mentions(attr, "test") {
+                    return true;
+                }
+                j -= 1; // skip the `#`
+            }
+            Tree::Group { .. } => return false,
+        }
+    }
+    false
+}
+
+/// True when any (possibly nested) identifier in `items` equals `name`.
+pub fn group_mentions(items: &[Tree], name: &str) -> bool {
+    items.iter().any(|t| match t {
+        Tree::Leaf(tok) => tok.is_ident(name),
+        Tree::Group { items, .. } => group_mentions(items, name),
+    })
+}

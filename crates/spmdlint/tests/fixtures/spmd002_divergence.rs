@@ -1,0 +1,47 @@
+//! SPMD002 fixture: collectives under rank-dependent control flow.
+
+pub fn guarded_barrier(comm: &Comm) {
+    let me = comm.rank();
+    if me == 0 {
+        comm.barrier(); // EXPECT: SPMD002
+    }
+}
+
+pub fn taint_propagates_through_lets(comm: &Comm) {
+    let me = comm.rank();
+    let is_first = me == 0;
+    while is_first {
+        comm.all_reduce(&[1.0]); // EXPECT: SPMD002
+    }
+}
+
+pub fn guarded_halo_exchange(ctx: &Ctx) {
+    if ctx.comm.rank() > 0 {
+        ctx.halo.exchange(&ctx.dev, &ctx.comm, &mut ctx.u); // EXPECT: SPMD002
+    }
+}
+
+pub fn balanced_arms_are_clean(comm: &Comm) {
+    if comm.rank() == 0 {
+        comm.barrier();
+    } else {
+        comm.barrier();
+    }
+}
+
+pub fn uniform_condition_is_clean(comm: &Comm, split: bool) {
+    if split {
+        comm.barrier();
+        comm.all_reduce(&[1.0]);
+    } else {
+        comm.barrier();
+        comm.all_reduce(&[2.0]);
+    }
+}
+
+pub fn annotated_is_clean(comm: &Comm, cfg_rank: usize) {
+    if cfg_rank == 0 {
+        // LINT: collective-uniform(fixture: replicated config value)
+        comm.barrier();
+    }
+}

@@ -1,0 +1,23 @@
+//! SPMD004 fixture: panic hygiene on the serve request path. The driver
+//! analyzes this under a `crates/serve/src/` rel path.
+
+pub fn request_path(x: Option<usize>, xs: &[usize]) -> usize {
+    let a = x.unwrap(); // EXPECT: SPMD004
+    let b = xs.first().expect("non-empty"); // EXPECT: SPMD004
+    let c = xs[1]; // EXPECT: SPMD004
+    if a + b + c > 3 {
+        panic!("boom"); // EXPECT: SPMD004
+    }
+    a + b + c
+}
+
+pub fn typed_errors_are_clean(x: Option<usize>, xs: &[usize]) -> Result<usize, Error> {
+    let a = x.ok_or(Error::Missing)?;
+    let b = xs.first().copied().ok_or(Error::Empty)?;
+    Ok(a + b)
+}
+
+pub fn annotated_is_clean(x: Option<usize>) -> usize {
+    // LINT: panic-ok(fixture: invariant justified here)
+    x.unwrap()
+}

@@ -1,0 +1,9 @@
+//! SPMD005 fixture: `unsafe` in a file outside the allowlist.
+
+pub fn undocumented_peek(p: *const f64) -> f64 {
+    unsafe { *p } // EXPECT: SPMD005
+}
+
+pub fn safe_code_is_clean(x: f64) -> f64 {
+    x * 2.0
+}

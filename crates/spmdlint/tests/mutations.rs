@@ -1,0 +1,232 @@
+//! Seeded-mutation guard: apply each fixture mutation to a scratch copy
+//! of the *real* source file and assert spmdlint reports the expected
+//! code at the expected line — so the analyzer cannot rot into a no-op
+//! while the gate stays green.
+//!
+//! Line numbers are located dynamically (by searching for the mutated
+//! statement), so the tests survive unrelated edits to the sources.
+
+use std::path::PathBuf;
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(std::path::Path::parent)
+        .expect("crates/spmdlint sits two levels below the repo root")
+        .to_path_buf()
+}
+
+fn load(rel: &str) -> String {
+    let path = repo_root().join(rel);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// 1-based line number of the first line containing `needle`.
+fn line_of(text: &str, needle: &str) -> u32 {
+    (text
+        .lines()
+        .position(|l| l.contains(needle))
+        .unwrap_or_else(|| panic!("pattern {needle:?} not found — update the mutation test"))
+        + 1) as u32
+}
+
+/// Blank the (1-based) line, preserving line numbering.
+fn blank_line(text: &str, line: u32) -> String {
+    text.lines()
+        .enumerate()
+        .map(|(i, l)| if i as u32 + 1 == line { "" } else { l })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn findings_with(rel: &str, text: &str, code: &str) -> Vec<(u32, String)> {
+    spmdlint::analyze_source(rel, text)
+        .into_iter()
+        .filter(|f| f.code == code)
+        .map(|f| (f.line, f.message))
+        .collect()
+}
+
+#[test]
+fn unmutated_sources_are_clean() {
+    for rel in [
+        "crates/krylov/src/bicgstab.rs",
+        "crates/krylov/src/kernels.rs",
+        "crates/serve/src/service.rs",
+        "crates/serve/src/scheduler.rs",
+        "crates/comm/src/thread_comm.rs",
+        "crates/blockgrid/src/halo.rs",
+        "crates/stencil/src/laplacian.rs",
+    ] {
+        let findings = spmdlint::analyze_source(rel, &load(rel));
+        assert!(
+            findings.is_empty(),
+            "{rel} must be finding-free before mutation: {findings:?}"
+        );
+    }
+}
+
+#[test]
+fn dropped_reduce_finish_is_caught_spmd001() {
+    let rel = "crates/krylov/src/bicgstab.rs";
+    let text = load(rel);
+    let finish = line_of(&text, "ctx.comm.reduce_finish(req, &mut red[..ng]);");
+    let begin = line_of(&text, "let req = ctx.comm.iall_reduce_batch(&groups[..ng]");
+    let mutant = blank_line(&text, finish);
+    let found = findings_with(rel, &mutant, "SPMD001");
+    assert!(
+        found
+            .iter()
+            .any(|(l, m)| *l == begin && m.contains("reduce_finish")),
+        "expected SPMD001 at the iall_reduce_batch begin line {begin}, got {found:?}"
+    );
+}
+
+#[test]
+fn dropped_halo_finish_is_caught_spmd001() {
+    let rel = "crates/krylov/src/bicgstab.rs";
+    let text = load(rel);
+    let finish = line_of(
+        &text,
+        "ctx.halo.finish(&ctx.dev, &ctx.comm, pending, &mut ws.p_hat)",
+    );
+    let begin = line_of(
+        &text,
+        "let pending = ctx.halo.begin(&ctx.dev, &ctx.comm, &ws.p_hat)",
+    );
+    let mutant = blank_line(&text, finish);
+    let found = findings_with(rel, &mutant, "SPMD001");
+    assert!(
+        found
+            .iter()
+            .any(|(l, m)| *l == begin && m.contains("PendingExchange")),
+        "expected SPMD001 at the halo begin line {begin}, got {found:?}"
+    );
+}
+
+#[test]
+fn dropped_dot_fold_is_caught_spmd001() {
+    let rel = "crates/krylov/src/bicgstab.rs";
+    let text = load(rel);
+    let fold = line_of(
+        &text,
+        "let [s] = fold.fold(&ctx.dev, INFO_FOLD1, &ws.slots);",
+    );
+    let begin = line_of(&text, "let fold = ctx.lap.apply_shell_dot(");
+    let mutant = blank_line(&text, fold);
+    let found = findings_with(rel, &mutant, "SPMD001");
+    assert!(
+        found
+            .iter()
+            .any(|(l, m)| *l == begin && m.contains("PendingDotFold")),
+        "expected SPMD001 at the apply_shell_dot line {begin}, got {found:?}"
+    );
+}
+
+#[test]
+fn rank_guarded_collective_is_caught_spmd002() {
+    let rel = "crates/krylov/src/bicgstab.rs";
+    let text = load(rel);
+    // Mutation: make global_sum's reduction conditional on being rank 0.
+    let guard = "if scope == Scope::Global {";
+    let cond_line = line_of(&text, guard);
+    let mutant = text.replacen(
+        guard,
+        "if scope == Scope::Global && ctx.comm.rank() == 0 {",
+        1,
+    );
+    let found = findings_with(rel, &mutant, "SPMD002");
+    assert!(
+        found
+            .iter()
+            .any(|(_, m)| m.contains(&format!("line {cond_line}"))),
+        "expected SPMD002 naming condition line {cond_line}, got {found:?}"
+    );
+}
+
+#[test]
+fn hot_path_allocation_is_caught_spmd003() {
+    let rel = "crates/krylov/src/kernels.rs";
+    let text = load(rel);
+    // Mutation: allocate a scratch Vec at the top of axpy_inplace.
+    let sig = line_of(&text, "pub fn axpy_inplace<T: Scalar, D: Device>(");
+    let open = text
+        .lines()
+        .enumerate()
+        .skip(sig as usize - 1)
+        .find(|(_, l)| l.trim_end().ends_with('{'))
+        .map(|(i, _)| i + 1)
+        .expect("axpy_inplace opening brace");
+    let inject = (open + 1) as u32;
+    let mutant: Vec<&str> = text.lines().collect();
+    let mut lines: Vec<String> = mutant.iter().map(|s| s.to_string()).collect();
+    lines[open] = format!("    let scratch: Vec<T> = Vec::new(); {}", lines[open]);
+    let mutant = lines.join("\n");
+    let found = findings_with(rel, &mutant, "SPMD003");
+    assert!(
+        found
+            .iter()
+            .any(|(l, m)| *l == inject && m.contains("Vec::new")),
+        "expected SPMD003 at injected line {inject}, got {found:?}"
+    );
+}
+
+#[test]
+fn fresh_unwrap_in_serve_is_caught_spmd004() {
+    let rel = "crates/serve/src/service.rs";
+    let text = load(rel);
+    let anchor = line_of(&text, "fn worker_loop");
+    let open = text
+        .lines()
+        .enumerate()
+        .skip(anchor as usize - 1)
+        .find(|(_, l)| l.trim_end().ends_with('{'))
+        .map(|(i, _)| i + 1)
+        .expect("worker_loop opening brace");
+    let inject = (open + 1) as u32;
+    let mut lines: Vec<String> = text.lines().map(|s| s.to_string()).collect();
+    lines[open] = format!("    let _poke = None::<usize>.unwrap(); {}", lines[open]);
+    let mutant = lines.join("\n");
+    let found = findings_with(rel, &mutant, "SPMD004");
+    assert!(
+        found
+            .iter()
+            .any(|(l, m)| *l == inject && m.contains(".unwrap()")),
+        "expected SPMD004 at injected line {inject}, got {found:?}"
+    );
+}
+
+#[test]
+fn stripped_must_use_is_caught_spmd006() {
+    // Seeded mutation: a PendingDotFold declaration stripped of its
+    // `#[must_use]` marker must produce a finding, and the marked form
+    // must not — the lint reads the attribute, not just the type name.
+    let dir = std::env::temp_dir().join(format!("spmdlint-mustuse-{}", std::process::id()));
+    let file = dir.join("crates/stencil/src/laplacian.rs");
+    std::fs::create_dir_all(file.parent().unwrap()).unwrap();
+
+    std::fs::write(&file, "pub struct PendingDotFold<const NR: usize> {}\n").unwrap();
+    let mut findings = Vec::new();
+    spmdlint::legacy::audit_must_use(&dir, &mut findings);
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.code == "SPMD006" && f.message.contains("PendingDotFold")),
+        "unmarked mutant not caught: {findings:?}"
+    );
+
+    std::fs::write(
+        &file,
+        "#[must_use = \"fold the partials\"]\npub struct PendingDotFold<const NR: usize> {}\n",
+    )
+    .unwrap();
+    let mut findings = Vec::new();
+    spmdlint::legacy::audit_must_use(&dir, &mut findings);
+    assert!(
+        !findings
+            .iter()
+            .any(|f| f.message.contains("PendingDotFold")),
+        "marked declaration flagged: {findings:?}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

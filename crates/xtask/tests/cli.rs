@@ -1,0 +1,104 @@
+//! End-to-end CLI contract of `cargo xtask lint`: exit codes, the
+//! human OK line, and `--json` output that deserializes under the
+//! `spmdlint-findings-v1` schema.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn xtask(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .args(args)
+        .output()
+        .expect("run the xtask binary")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn clean_workspace_exits_zero() {
+    let out = xtask(&["lint"]);
+    assert!(
+        out.status.success(),
+        "the committed workspace must lint clean:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout(&out).contains("xtask lint: OK"));
+}
+
+#[test]
+fn json_mode_emits_parseable_schema_v1() {
+    let out = xtask(&["lint", "--json"]);
+    assert!(out.status.success());
+    let v = serde_json::from_str(stdout(&out).trim()).expect("valid JSON on stdout");
+    assert_eq!(
+        v.get("schema").and_then(|s| s.as_str()),
+        Some("spmdlint-findings-v1")
+    );
+    assert_eq!(
+        v.get("findings").and_then(|f| f.as_array()).map(<[_]>::len),
+        Some(0),
+        "a clean run reports an empty findings array, not a missing one"
+    );
+}
+
+#[test]
+fn findings_exit_nonzero_with_stable_code_and_exact_line() {
+    // A scratch workspace with one seeded panic-hygiene violation.
+    let root = scratch_root("xtask-cli-findings");
+    let src = "pub fn f(x: Option<usize>) -> usize {\n    x.unwrap()\n}\n";
+    write(&root.join("crates/serve/src/bad.rs"), src);
+
+    let out = xtask(&[
+        "lint",
+        "--json",
+        "--root",
+        root.to_str().expect("utf-8 path"),
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "findings must exit 1 (distinct from usage errors)"
+    );
+    let v = serde_json::from_str(stdout(&out).trim()).expect("valid JSON even when failing");
+    let findings = v
+        .get("findings")
+        .and_then(|f| f.as_array())
+        .expect("findings array");
+    assert!(
+        findings.iter().any(|f| {
+            f.get("code").and_then(|c| c.as_str()) == Some("SPMD004")
+                && f.get("path").and_then(|p| p.as_str()) == Some("crates/serve/src/bad.rs")
+                && f.get("line").and_then(|l| l.as_u64()) == Some(2)
+        }),
+        "expected SPMD004 at crates/serve/src/bad.rs:2, got {}",
+        stdout(&out)
+    );
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    for args in [
+        &["lint", "--bogus"] as &[&str],
+        &["lint", "--root"],
+        &["frobnicate"],
+        &[],
+    ] {
+        let out = xtask(args);
+        assert_eq!(out.status.code(), Some(2), "args {args:?}");
+    }
+}
+
+fn scratch_root(tag: &str) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&root).ok();
+    root
+}
+
+fn write(path: &Path, content: &str) {
+    std::fs::create_dir_all(path.parent().expect("scratch paths have parents"))
+        .expect("create scratch dirs");
+    std::fs::write(path, content).expect("write scratch file");
+}

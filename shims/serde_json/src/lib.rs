@@ -1,6 +1,7 @@
 //! Minimal `serde_json` stand-in: render the serde shim's [`serde::Value`]
-//! tree as JSON text. Only the writer half exists — the workspace never
-//! parses JSON back.
+//! tree as JSON text, and parse JSON text back into a [`serde::Value`]
+//! tree ([`from_str`]) — enough for the workspace's schema round-trip
+//! tests (`spmdlint --json`) without the real crate.
 
 use std::fmt;
 
@@ -121,6 +122,258 @@ fn write_string(s: &str, out: &mut String) {
     out.push('"');
 }
 
+/// Parse error: what went wrong and the byte offset it was noticed at.
+#[derive(Debug)]
+pub struct ParseError {
+    /// Byte offset into the input.
+    pub offset: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "json parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a JSON document into a [`serde::Value`] tree.
+///
+/// Strict where it matters for round-trips (rejects trailing garbage,
+/// trailing commas, unterminated strings), permissive about whitespace.
+/// Integers without a fraction or exponent parse as `U64`/`I64`; all
+/// other numbers parse as `F64`.
+pub fn from_str(text: &str) -> Result<serde::Value, ParseError> {
+    let mut p = Parser {
+        b: text.as_bytes(),
+        i: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.i != p.b.len() {
+        return Err(p.err("trailing characters after the document"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            offset: self.i,
+            message: message.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.b.get(self.i), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.i += 1;
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> bool {
+        if self.b.get(self.i) == Some(&c) {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), ParseError> {
+        if self.eat(c) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{}`", c as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: serde::Value) -> Result<serde::Value, ParseError> {
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(format!("expected `{word}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<serde::Value, ParseError> {
+        match self.b.get(self.i) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(serde::Value::Str(self.string()?)),
+            Some(b't') => self.literal("true", serde::Value::Bool(true)),
+            Some(b'f') => self.literal("false", serde::Value::Bool(false)),
+            Some(b'n') => self.literal("null", serde::Value::Null),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => self.number(),
+            Some(_) => Err(self.err("expected a JSON value")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self) -> Result<serde::Value, ParseError> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.eat(b'}') {
+            return Ok(serde::Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            entries.push((key, val));
+            self.skip_ws();
+            if self.eat(b',') {
+                continue;
+            }
+            self.expect(b'}')?;
+            return Ok(serde::Value::Object(entries));
+        }
+    }
+
+    fn array(&mut self) -> Result<serde::Value, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.eat(b']') {
+            return Ok(serde::Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            if self.eat(b',') {
+                continue;
+            }
+            self.expect(b']')?;
+            return Ok(serde::Value::Array(items));
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.b.get(self.i) {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    match self.b.get(self.i) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.i += 1;
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: a low surrogate must follow.
+                                if !(self.eat(b'\\') && self.eat(b'u')) {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let cp = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(cp)
+                            } else {
+                                char::from_u32(hi)
+                            };
+                            match c {
+                                Some(c) => out.push(c),
+                                None => return Err(self.err("invalid \\u escape")),
+                            }
+                            // hex4 leaves `i` past the digits; undo the
+                            // generic advance below.
+                            self.i -= 1;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.i += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so the
+                    // boundaries are trustworthy).
+                    let rest = &self.b[self.i..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid utf-8"))?;
+                    let c = s.chars().next().ok_or_else(|| self.err("empty"))?;
+                    out.push(c);
+                    self.i += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let d = self
+                .b
+                .get(self.i)
+                .and_then(|c| (*c as char).to_digit(16))
+                .ok_or_else(|| self.err("expected 4 hex digits"))?;
+            v = v * 16 + d;
+            self.i += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<serde::Value, ParseError> {
+        let start = self.i;
+        let neg = self.eat(b'-');
+        let mut float = false;
+        while let Some(c) = self.b.get(self.i) {
+            match c {
+                b'0'..=b'9' => self.i += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.i += 1;
+                }
+                _ => break,
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.b[start..self.i]).map_err(|_| self.err("invalid number"))?;
+        if float {
+            text.parse::<f64>()
+                .map(serde::Value::F64)
+                .map_err(|e| self.err(format!("bad float `{text}`: {e}")))
+        } else if neg {
+            text.parse::<i64>()
+                .map(serde::Value::I64)
+                .map_err(|e| self.err(format!("bad integer `{text}`: {e}")))
+        } else {
+            text.parse::<u64>()
+                .map(serde::Value::U64)
+                .map_err(|e| self.err(format!("bad integer `{text}`: {e}")))
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -164,5 +417,66 @@ mod tests {
     fn non_finite_floats_error() {
         assert!(to_string(&f64::NAN).is_err());
         assert!(to_string(&f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn parse_round_trips_the_writer() {
+        let r = Rec {
+            name: "fig6 \"quoted\" \n".into(),
+            ranks: 8,
+            time_s: 0.25,
+            series: vec![1.0, 0.5],
+        };
+        for text in [to_string(&r).unwrap(), to_string_pretty(&r).unwrap()] {
+            let v = from_str(&text).unwrap();
+            assert_eq!(
+                v.get("name").and_then(|v| v.as_str()),
+                Some("fig6 \"quoted\" \n")
+            );
+            assert_eq!(v.get("ranks").and_then(|v| v.as_u64()), Some(8));
+            assert_eq!(v.get("time_s"), Some(&serde::Value::F64(0.25)));
+            assert_eq!(
+                v.get("series").and_then(|v| v.as_array()).map(<[_]>::len),
+                Some(2)
+            );
+        }
+    }
+
+    #[test]
+    fn parse_scalars_and_structure() {
+        assert_eq!(from_str("null").unwrap(), serde::Value::Null);
+        assert_eq!(from_str(" true ").unwrap(), serde::Value::Bool(true));
+        assert_eq!(from_str("42").unwrap(), serde::Value::U64(42));
+        assert_eq!(from_str("-7").unwrap(), serde::Value::I64(-7));
+        assert_eq!(from_str("2.5e1").unwrap(), serde::Value::F64(25.0));
+        assert_eq!(
+            from_str("[1, [2], {}]").unwrap(),
+            serde::Value::Array(vec![
+                serde::Value::U64(1),
+                serde::Value::Array(vec![serde::Value::U64(2)]),
+                serde::Value::Object(Vec::new()),
+            ])
+        );
+        assert_eq!(
+            from_str(r#""a\u0041\ud83d\ude00b""#).unwrap(),
+            serde::Value::Str("aA\u{1f600}b".into())
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":1,}",
+            "\"unterminated",
+            "tru",
+            "1 2",
+            "{\"a\" 1}",
+            r#""\ud800x""#,
+        ] {
+            assert!(from_str(bad).is_err(), "accepted malformed input {bad:?}");
+        }
     }
 }

@@ -125,6 +125,8 @@ fn verifier_reports_dropped_reduce_request_with_rank_provenance() {
             [0.0]
         } else {
             let mut out = [0.0];
+            // LINT: collective-uniform(deliberate divergence: the seeded
+            // dropped-request bug this test expects the verifier to catch)
             comm.reduce_finish(req, &mut out);
             out
         }

@@ -359,12 +359,16 @@ proptest! {
                 let mut w = Field::zeros(&dev, &grid);
                 let halo = HaloExchange::new(&grid);
                 if split {
+                    // LINT: collective-uniform(`split` is the closure's bool
+                    // argument, identical on every rank)
                     let pending = halo.begin(&dev, &comm, &u);
                     apply_physical_bcs(&grid, &mut u, &Recorder::disabled(), false);
                     lap.apply_interior(&dev, INFO_APPLY, &u, &mut w);
+                    // LINT: collective-uniform(same rank-uniform `split` flag)
                     halo.finish(&dev, &comm, pending, &mut u);
                     lap.apply_shell(&dev, INFO_APPLY, &u, &mut w);
                 } else {
+                    // LINT: collective-uniform(same rank-uniform `split` flag)
                     halo.exchange(&dev, &comm, &mut u);
                     apply_physical_bcs(&grid, &mut u, &Recorder::disabled(), false);
                     lap.apply(&dev, INFO_APPLY, &u, &mut w);
