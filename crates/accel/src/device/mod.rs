@@ -218,6 +218,87 @@ pub trait Device: Clone + Send + Sync + 'static {
         });
     }
 
+    /// Lane-batched launch: run the same kernel over every lane of a
+    /// multi-RHS batch, amortizing launch overhead across lanes.
+    ///
+    /// `lanes[s]` is the backing slice of lane `s`'s field; all lanes share
+    /// the row map `map`, which must validate against each slice. The
+    /// caller passes only the *active* lanes — frozen lanes of a batched
+    /// solve are simply omitted, and the kernel receives the slot index
+    /// `s` so it can look up per-lane coefficients. Per-lane reduction
+    /// results land in `accs[s]`.
+    ///
+    /// The contract that makes batching safe to adopt incrementally: every
+    /// lane's result is **bitwise identical** to a solo
+    /// [`Device::launch_rows_reduce`] over that lane's field alone. The
+    /// default implementation guarantees this by construction (one solo
+    /// launch per lane); back-ends override it with a single row-outer /
+    /// lane-inner sweep that keeps one accumulator per lane through the
+    /// back-end's exact solo merge structure, recording **one** kernel
+    /// launch of `map.elems() * lanes.len()` elements — launch overhead is
+    /// paid once per sweep instead of once per lane, which is the batched
+    /// path's modelled GPU win.
+    fn launch_lanes_reduce<T: Scalar, F, const NR: usize>(
+        &self,
+        info: KernelInfo,
+        map: RowMap,
+        lanes: &mut [&mut [T]],
+        accs: &mut [[T; NR]],
+        f: F,
+    ) where
+        F: Fn(usize, usize, usize, &mut [T]) -> [T; NR] + Sync,
+    {
+        validate_lanes(&map, lanes, accs.len());
+        for (s, lane) in lanes.iter_mut().enumerate() {
+            accs[s] = self.launch_rows_reduce(info, map, lane, |j, k, row| f(s, j, k, row));
+        }
+    }
+
+    /// Lane-batched two-buffer launch (see [`Device::launch_lanes_reduce`]
+    /// and [`Device::launch_rows2_reduce`]): the kernel receives lane `s`'s
+    /// `(j, k)` row of each buffer.
+    #[allow(clippy::too_many_arguments)]
+    fn launch_lanes2_reduce<T: Scalar, F, const NR: usize>(
+        &self,
+        info: KernelInfo,
+        map_a: RowMap,
+        lanes_a: &mut [&mut [T]],
+        map_b: RowMap,
+        lanes_b: &mut [&mut [T]],
+        accs: &mut [[T; NR]],
+        f: F,
+    ) where
+        F: Fn(usize, usize, usize, &mut [T], &mut [T]) -> [T; NR] + Sync,
+    {
+        validate_lanes(&map_a, lanes_a, accs.len());
+        validate_lanes(&map_b, lanes_b, accs.len());
+        assert_eq!(lanes_a.len(), lanes_b.len(), "lane count mismatch");
+        for (s, (lane_a, lane_b)) in lanes_a.iter_mut().zip(lanes_b.iter_mut()).enumerate() {
+            accs[s] = self.launch_rows2_reduce(info, map_a, lane_a, map_b, lane_b, |j, k, a, b| {
+                f(s, j, k, a, b)
+            });
+        }
+    }
+
+    /// Lane-batched launch with no reduction (element-wise update of every
+    /// lane in one sweep).
+    fn launch_lanes<T: Scalar, F>(
+        &self,
+        info: KernelInfo,
+        map: RowMap,
+        lanes: &mut [&mut [T]],
+        f: F,
+    ) where
+        F: Fn(usize, usize, usize, &mut [T]) + Sync,
+    {
+        // [T; 0] slots are zero-sized, so this Vec never heap-allocates.
+        let mut accs = vec![[T::ZERO; 0]; lanes.len()];
+        self.launch_lanes_reduce(info, map, lanes, &mut accs, |s, j, k, row| {
+            f(s, j, k, row);
+            []
+        });
+    }
+
     /// Sanitizer hook: a split-phase halo exchange borrowed the ghost
     /// planes described by `hazard` (called by `HaloExchange::begin` after
     /// all sends and receives are posted). Production back-ends ignore it;
@@ -228,6 +309,22 @@ pub trait Device: Clone + Send + Sync + 'static {
     /// completed (called by `HaloExchange::finish` before any ghost plane
     /// is unpacked). Default no-op.
     fn on_exchange_finish(&self, _hazard: ExchangeHazard) {}
+}
+
+/// Shared precondition check for the lane-batched launches: the row map
+/// must validate against every lane's backing slice (the `&mut` lane
+/// slices are necessarily disjoint allocations, which is what makes
+/// concurrent per-lane row handout sound), and there must be one
+/// accumulator slot per lane.
+pub(crate) fn validate_lanes<T>(map: &RowMap, lanes: &[&mut [T]], accs_len: usize) {
+    assert_eq!(
+        accs_len,
+        lanes.len(),
+        "lane launch needs one accumulator slot per lane"
+    );
+    for lane in lanes {
+        map.validate(lane.len());
+    }
 }
 
 /// Runtime-selected device (one enum, zero dynamic dispatch in kernels).
@@ -359,6 +456,48 @@ impl Device for AnyDevice {
         }
     }
 
+    fn launch_lanes_reduce<T: Scalar, F, const NR: usize>(
+        &self,
+        info: KernelInfo,
+        map: RowMap,
+        lanes: &mut [&mut [T]],
+        accs: &mut [[T; NR]],
+        f: F,
+    ) where
+        F: Fn(usize, usize, usize, &mut [T]) -> [T; NR] + Sync,
+    {
+        match self {
+            Self::Serial(d) => d.launch_lanes_reduce(info, map, lanes, accs, f),
+            Self::Threads(d) => d.launch_lanes_reduce(info, map, lanes, accs, f),
+            Self::SimGpu(d) => d.launch_lanes_reduce(info, map, lanes, accs, f),
+        }
+    }
+
+    fn launch_lanes2_reduce<T: Scalar, F, const NR: usize>(
+        &self,
+        info: KernelInfo,
+        map_a: RowMap,
+        lanes_a: &mut [&mut [T]],
+        map_b: RowMap,
+        lanes_b: &mut [&mut [T]],
+        accs: &mut [[T; NR]],
+        f: F,
+    ) where
+        F: Fn(usize, usize, usize, &mut [T], &mut [T]) -> [T; NR] + Sync,
+    {
+        match self {
+            Self::Serial(d) => {
+                d.launch_lanes2_reduce(info, map_a, lanes_a, map_b, lanes_b, accs, f)
+            }
+            Self::Threads(d) => {
+                d.launch_lanes2_reduce(info, map_a, lanes_a, map_b, lanes_b, accs, f)
+            }
+            Self::SimGpu(d) => {
+                d.launch_lanes2_reduce(info, map_a, lanes_a, map_b, lanes_b, accs, f)
+            }
+        }
+    }
+
     fn on_exchange_begin(&self, hazard: ExchangeHazard) {
         match self {
             Self::Serial(d) => d.on_exchange_begin(hazard),
@@ -440,5 +579,142 @@ mod tests {
         assert_eq!(d.kind(), DeviceKind::CpuThreads { threads: 2 });
         let d = AnyDevice::from_spec("mi250x", Recorder::disabled()).unwrap();
         assert!(matches!(d.kind(), DeviceKind::SimGpu { .. }));
+    }
+
+    /// Inexact per-cell values so any change in fold grouping shows up in
+    /// the last bit of the reductions. `s` stands in for the lane identity.
+    fn lane_kernel(s: usize, j: usize, k: usize, row: &mut [f64]) -> [f64; 1] {
+        let mut acc = 0.0;
+        for (i, v) in row.iter_mut().enumerate() {
+            *v = 1.0 / ((s * 1000 + k * 100 + j * 10 + i) as f64 + 3.0);
+            acc += *v * *v;
+        }
+        [acc]
+    }
+
+    #[test]
+    fn lane_batched_launch_is_bitwise_solo_per_lane() {
+        use crate::index::Extent3;
+        let info = KernelInfo::new("lanes", 16, 2);
+        let e = Extent3::new(5, 4, 3);
+        let map = RowMap::halo_interior(e);
+        let padded = (e.nx + 2) * (e.ny + 2) * (e.nz + 2);
+        let nl = 3;
+        for spec in ["serial", "threads:3", "mi250x"] {
+            let dev = AnyDevice::from_spec(spec, Recorder::disabled()).unwrap();
+            let mut fields: Vec<Vec<f64>> = vec![vec![0.5f64; padded]; nl];
+            let mut lanes: Vec<&mut [f64]> = fields.iter_mut().map(|f| f.as_mut_slice()).collect();
+            let mut accs = [[0.0f64; 1]; 3];
+            dev.launch_lanes_reduce(info, map, &mut lanes, &mut accs, lane_kernel);
+            for s in 0..nl {
+                let mut solo = vec![0.5f64; padded];
+                let r = dev.launch_rows_reduce(info, map, &mut solo, |j, k, row| {
+                    lane_kernel(s, j, k, row)
+                });
+                assert_eq!(
+                    accs[s][0].to_bits(),
+                    r[0].to_bits(),
+                    "{spec}: lane {s} reduction not bitwise solo"
+                );
+                assert!(
+                    fields[s]
+                        .iter()
+                        .zip(&solo)
+                        .all(|(a, b)| a.to_bits() == b.to_bits()),
+                    "{spec}: lane {s} field not bitwise solo"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lane_batched_two_map_launch_is_bitwise_solo_per_lane() {
+        use crate::index::Extent3;
+        let info = KernelInfo::new("lanes2", 24, 3);
+        let e = Extent3::new(4, 3, 3);
+        let map_a = RowMap::halo_interior(e);
+        let padded = (e.nx + 2) * (e.ny + 2) * (e.nz + 2);
+        // Second buffer: one slot per row, unpadded.
+        let map_b = RowMap {
+            base: 0,
+            len: 1,
+            ny: map_a.ny,
+            nz: map_a.nz,
+            sy: 1,
+            sz: map_a.ny,
+        };
+        let rows = map_a.rows();
+        let nl = 3;
+        let kernel = |s: usize, j: usize, k: usize, a: &mut [f64], b: &mut [f64]| {
+            let mut acc = 0.0;
+            for (i, v) in a.iter_mut().enumerate() {
+                *v = 1.0 / ((s * 700 + k * 50 + j * 7 + i) as f64 + 2.0);
+                acc += *v;
+            }
+            b[0] = acc;
+            [acc]
+        };
+        for spec in ["serial", "threads:2", "h100"] {
+            let dev = AnyDevice::from_spec(spec, Recorder::disabled()).unwrap();
+            let mut fa: Vec<Vec<f64>> = vec![vec![0.0f64; padded]; nl];
+            let mut fb: Vec<Vec<f64>> = vec![vec![0.0f64; rows]; nl];
+            let mut la: Vec<&mut [f64]> = fa.iter_mut().map(|f| f.as_mut_slice()).collect();
+            let mut lb: Vec<&mut [f64]> = fb.iter_mut().map(|f| f.as_mut_slice()).collect();
+            let mut accs = [[0.0f64; 1]; 3];
+            dev.launch_lanes2_reduce(info, map_a, &mut la, map_b, &mut lb, &mut accs, kernel);
+            for s in 0..nl {
+                let mut sa = vec![0.0f64; padded];
+                let mut sb = vec![0.0f64; rows];
+                let r =
+                    dev.launch_rows2_reduce(info, map_a, &mut sa, map_b, &mut sb, |j, k, a, b| {
+                        kernel(s, j, k, a, b)
+                    });
+                assert_eq!(accs[s][0].to_bits(), r[0].to_bits(), "{spec}: lane {s}");
+                assert!(fa[s]
+                    .iter()
+                    .zip(&sa)
+                    .all(|(x, y)| x.to_bits() == y.to_bits()));
+                assert!(fb[s]
+                    .iter()
+                    .zip(&sb)
+                    .all(|(x, y)| x.to_bits() == y.to_bits()));
+            }
+        }
+    }
+
+    #[test]
+    fn lane_batched_launch_records_one_kernel_event() {
+        use crate::events::Event;
+        use crate::index::Extent3;
+        let info = KernelInfo::new("lanes", 8, 1);
+        let e = Extent3::new(3, 3, 2);
+        let map = RowMap::halo_interior(e);
+        let padded = (e.nx + 2) * (e.ny + 2) * (e.nz + 2);
+        let rec = Recorder::enabled();
+        let dev = AnyDevice::from_spec("mi250x", rec.clone()).unwrap();
+        let mut fields: Vec<Vec<f64>> = vec![vec![0.0f64; padded]; 4];
+        let mut lanes: Vec<&mut [f64]> = fields.iter_mut().map(|f| f.as_mut_slice()).collect();
+        let mut accs = [[0.0f64; 1]; 4];
+        dev.launch_lanes_reduce(info, map, &mut lanes, &mut accs, lane_kernel);
+        let events = rec.drain();
+        assert_eq!(events.len(), 1, "batched sweep must record one launch");
+        match events[0] {
+            Event::Kernel { elems, .. } => {
+                assert_eq!(elems, (map.elems() * 4) as u64);
+            }
+            ref other => panic!("expected a kernel event, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_lane_set_is_a_no_op() {
+        let info = KernelInfo::new("lanes", 8, 1);
+        let map = RowMap::contiguous(8);
+        let rec = Recorder::enabled();
+        let dev = AnyDevice::from_spec("serial", rec.clone()).unwrap();
+        let mut lanes: Vec<&mut [f64]> = Vec::new();
+        let mut accs: [[f64; 1]; 0] = [];
+        dev.launch_lanes_reduce(info, map, &mut lanes, &mut accs, lane_kernel);
+        assert_eq!(rec.len(), 0);
     }
 }

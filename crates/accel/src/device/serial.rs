@@ -109,6 +109,75 @@ impl Device for Serial {
         }
         acc
     }
+
+    fn launch_lanes_reduce<T: Scalar, F, const NR: usize>(
+        &self,
+        info: KernelInfo,
+        map: RowMap,
+        lanes: &mut [&mut [T]],
+        accs: &mut [[T; NR]],
+        f: F,
+    ) where
+        F: Fn(usize, usize, usize, &mut [T]) -> [T; NR] + Sync,
+    {
+        super::validate_lanes(&map, lanes, accs.len());
+        if lanes.is_empty() {
+            return;
+        }
+        // One launch for the whole lane sweep; each lane still folds its
+        // own rows in (k, j) order, so per-lane results stay bitwise equal
+        // to a solo launch_rows_reduce over that lane's field.
+        self.recorder.kernel(info, map.elems() * lanes.len());
+        accs.fill([T::ZERO; NR]);
+        for k in 0..map.nz {
+            for j in 0..map.ny {
+                let off = map.row_offset(j, k);
+                for (s, lane) in lanes.iter_mut().enumerate() {
+                    let row = &mut lane[off..off + map.len];
+                    accs[s] = add_partials(accs[s], f(s, j, k, row));
+                }
+            }
+        }
+    }
+
+    fn launch_lanes2_reduce<T: Scalar, F, const NR: usize>(
+        &self,
+        info: KernelInfo,
+        map_a: RowMap,
+        lanes_a: &mut [&mut [T]],
+        map_b: RowMap,
+        lanes_b: &mut [&mut [T]],
+        accs: &mut [[T; NR]],
+        f: F,
+    ) where
+        F: Fn(usize, usize, usize, &mut [T], &mut [T]) -> [T; NR] + Sync,
+    {
+        super::validate_lanes(&map_a, lanes_a, accs.len());
+        super::validate_lanes(&map_b, lanes_b, accs.len());
+        assert_eq!(lanes_a.len(), lanes_b.len(), "lane count mismatch");
+        assert_eq!(
+            (map_a.ny, map_a.nz),
+            (map_b.ny, map_b.nz),
+            "two-map launch requires matching row sets"
+        );
+        if lanes_a.is_empty() {
+            return;
+        }
+        self.recorder.kernel(info, map_a.elems() * lanes_a.len());
+        accs.fill([T::ZERO; NR]);
+        for k in 0..map_a.nz {
+            for j in 0..map_a.ny {
+                let off_a = map_a.row_offset(j, k);
+                let off_b = map_b.row_offset(j, k);
+                for (s, (lane_a, lane_b)) in lanes_a.iter_mut().zip(lanes_b.iter_mut()).enumerate()
+                {
+                    let row_a = &mut lane_a[off_a..off_a + map_a.len];
+                    let row_b = &mut lane_b[off_b..off_b + map_b.len];
+                    accs[s] = add_partials(accs[s], f(s, j, k, row_a, row_b));
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]

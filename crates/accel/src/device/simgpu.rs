@@ -204,6 +204,97 @@ impl Device for SimGpu {
         }
         tree_reduce(block_partials)
     }
+
+    fn launch_lanes_reduce<T: Scalar, F, const NR: usize>(
+        &self,
+        info: KernelInfo,
+        map: RowMap,
+        lanes: &mut [&mut [T]],
+        accs: &mut [[T; NR]],
+        f: F,
+    ) where
+        F: Fn(usize, usize, usize, &mut [T]) -> [T; NR] + Sync,
+    {
+        super::validate_lanes(&map, lanes, accs.len());
+        if lanes.is_empty() {
+            return;
+        }
+        // One recorded launch covering all lanes: the batched sweep pays
+        // the (modelled) launch latency once, which is exactly the multi-RHS
+        // amortization the perfmodel replay credits.
+        self.recorder.kernel(info, map.elems() * lanes.len());
+        let rows = map.rows();
+        let bs = self.params.block_rows;
+        let blocks = rows.div_ceil(bs);
+        let nl = lanes.len();
+        // Lane-major block partials: lane s owns [s*blocks, (s+1)*blocks).
+        // Block geometry depends on rows only, so each lane's partials feed
+        // the same pairwise tree a solo launch would build — bitwise equal
+        // per lane.
+        let mut block_partials: Vec<[T; NR]> = vec![[T::ZERO; NR]; blocks * nl];
+        for b in 0..blocks {
+            for r in b * bs..((b + 1) * bs).min(rows) {
+                let (j, k) = map.row_jk(r);
+                let off = map.row_offset(j, k);
+                for (s, lane) in lanes.iter_mut().enumerate() {
+                    let row = &mut lane[off..off + map.len];
+                    let slot = &mut block_partials[s * blocks + b];
+                    *slot = add_partials(*slot, f(s, j, k, row));
+                }
+            }
+        }
+        for (s, acc) in accs.iter_mut().enumerate() {
+            *acc = tree_reduce(block_partials[s * blocks..(s + 1) * blocks].to_vec());
+        }
+    }
+
+    fn launch_lanes2_reduce<T: Scalar, F, const NR: usize>(
+        &self,
+        info: KernelInfo,
+        map_a: RowMap,
+        lanes_a: &mut [&mut [T]],
+        map_b: RowMap,
+        lanes_b: &mut [&mut [T]],
+        accs: &mut [[T; NR]],
+        f: F,
+    ) where
+        F: Fn(usize, usize, usize, &mut [T], &mut [T]) -> [T; NR] + Sync,
+    {
+        super::validate_lanes(&map_a, lanes_a, accs.len());
+        super::validate_lanes(&map_b, lanes_b, accs.len());
+        assert_eq!(lanes_a.len(), lanes_b.len(), "lane count mismatch");
+        assert_eq!(
+            (map_a.ny, map_a.nz),
+            (map_b.ny, map_b.nz),
+            "two-map launch requires matching row sets"
+        );
+        if lanes_a.is_empty() {
+            return;
+        }
+        self.recorder.kernel(info, map_a.elems() * lanes_a.len());
+        let rows = map_a.rows();
+        let bs = self.params.block_rows;
+        let blocks = rows.div_ceil(bs);
+        let nl = lanes_a.len();
+        let mut block_partials: Vec<[T; NR]> = vec![[T::ZERO; NR]; blocks * nl];
+        for b in 0..blocks {
+            for r in b * bs..((b + 1) * bs).min(rows) {
+                let (j, k) = map_a.row_jk(r);
+                let off_a = map_a.row_offset(j, k);
+                let off_b = map_b.row_offset(j, k);
+                for (s, (lane_a, lane_b)) in lanes_a.iter_mut().zip(lanes_b.iter_mut()).enumerate()
+                {
+                    let row_a = &mut lane_a[off_a..off_a + map_a.len];
+                    let row_b = &mut lane_b[off_b..off_b + map_b.len];
+                    let slot = &mut block_partials[s * blocks + b];
+                    *slot = add_partials(*slot, f(s, j, k, row_a, row_b));
+                }
+            }
+        }
+        for (s, acc) in accs.iter_mut().enumerate() {
+            *acc = tree_reduce(block_partials[s * blocks..(s + 1) * blocks].to_vec());
+        }
+    }
 }
 
 #[cfg(test)]

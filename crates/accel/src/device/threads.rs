@@ -178,6 +178,126 @@ impl Device for Threads {
         });
         partials.into_iter().fold([T::ZERO; NR], add_partials)
     }
+
+    fn launch_lanes_reduce<T: Scalar, F, const NR: usize>(
+        &self,
+        info: KernelInfo,
+        map: RowMap,
+        lanes: &mut [&mut [T]],
+        accs: &mut [[T; NR]],
+        f: F,
+    ) where
+        F: Fn(usize, usize, usize, &mut [T]) -> [T; NR] + Sync,
+    {
+        super::validate_lanes(&map, lanes, accs.len());
+        if lanes.is_empty() {
+            return;
+        }
+        self.recorder.kernel(info, map.elems() * lanes.len());
+        let rows = map.rows();
+        // Chunk geometry depends on rows only, never on the lane count, so
+        // each lane's partials are grouped exactly as a solo launch would
+        // group them — the lane sweep stays bitwise equal per lane.
+        let chunks = self.chunks_for(rows);
+        let nl = lanes.len();
+        // One partial slot per (chunk, lane); chunk c owns the contiguous
+        // range [c * nl, (c + 1) * nl).
+        let mut partials: Vec<[T; NR]> = vec![[T::ZERO; NR]; chunks * nl];
+        let partials_ptr = SendPtr(partials.as_mut_ptr());
+        let ptrs: Vec<SendPtr<T>> = lanes.iter_mut().map(|l| SendPtr(l.as_mut_ptr())).collect();
+        self.pool.run_chunks(chunks, &|c| {
+            for r in chunk_range(rows, chunks, c) {
+                let (j, k) = map.row_jk(r);
+                for (s, &ptr) in ptrs.iter().enumerate() {
+                    // SAFETY: `map` validated against every lane slice; the
+                    // lane slices are disjoint `&mut` borrows, and each row
+                    // index `r` belongs to exactly one chunk, so no two
+                    // workers ever touch the same (lane, row).
+                    let row = unsafe { row_slice_mut(ptr, &map, j, k) };
+                    let part = f(s, j, k, row);
+                    // SAFETY: slot `c * nl + s` belongs to chunk `c` alone;
+                    // the Vec outlives `run_chunks`, which joins all workers.
+                    let slots = partials_ptr;
+                    unsafe {
+                        let slot = slots.0.add(c * nl + s);
+                        *slot = add_partials(*slot, part);
+                    }
+                }
+            }
+        });
+        // Per lane: merge chunk partials in chunk order, the solo grouping.
+        for (s, acc) in accs.iter_mut().enumerate() {
+            *acc = [T::ZERO; NR];
+            for c in 0..chunks {
+                *acc = add_partials(*acc, partials[c * nl + s]);
+            }
+        }
+    }
+
+    fn launch_lanes2_reduce<T: Scalar, F, const NR: usize>(
+        &self,
+        info: KernelInfo,
+        map_a: RowMap,
+        lanes_a: &mut [&mut [T]],
+        map_b: RowMap,
+        lanes_b: &mut [&mut [T]],
+        accs: &mut [[T; NR]],
+        f: F,
+    ) where
+        F: Fn(usize, usize, usize, &mut [T], &mut [T]) -> [T; NR] + Sync,
+    {
+        super::validate_lanes(&map_a, lanes_a, accs.len());
+        super::validate_lanes(&map_b, lanes_b, accs.len());
+        assert_eq!(lanes_a.len(), lanes_b.len(), "lane count mismatch");
+        assert_eq!(
+            (map_a.ny, map_a.nz),
+            (map_b.ny, map_b.nz),
+            "two-map launch requires matching row sets"
+        );
+        if lanes_a.is_empty() {
+            return;
+        }
+        self.recorder.kernel(info, map_a.elems() * lanes_a.len());
+        let rows = map_a.rows();
+        let chunks = self.chunks_for(rows);
+        let nl = lanes_a.len();
+        let mut partials: Vec<[T; NR]> = vec![[T::ZERO; NR]; chunks * nl];
+        let partials_ptr = SendPtr(partials.as_mut_ptr());
+        let ptrs_a: Vec<SendPtr<T>> = lanes_a
+            .iter_mut()
+            .map(|l| SendPtr(l.as_mut_ptr()))
+            .collect();
+        let ptrs_b: Vec<SendPtr<T>> = lanes_b
+            .iter_mut()
+            .map(|l| SendPtr(l.as_mut_ptr()))
+            .collect();
+        self.pool.run_chunks(chunks, &|c| {
+            for r in chunk_range(rows, chunks, c) {
+                let (j, k) = map_a.row_jk(r);
+                for s in 0..nl {
+                    // SAFETY: both maps validated against every lane slice
+                    // of their buffer; lane slices are disjoint `&mut`
+                    // borrows and each row belongs to exactly one chunk.
+                    let row_a = unsafe { row_slice_mut(ptrs_a[s], &map_a, j, k) };
+                    // SAFETY: as above for the second buffer.
+                    let row_b = unsafe { row_slice_mut(ptrs_b[s], &map_b, j, k) };
+                    let part = f(s, j, k, row_a, row_b);
+                    // SAFETY: slot `c * nl + s` belongs to chunk `c` alone.
+                    let slots = partials_ptr;
+                    unsafe {
+                        let slot = slots.0.add(c * nl + s);
+                        *slot = add_partials(*slot, part);
+                    }
+                }
+            }
+        });
+        for (s, acc) in accs.iter_mut().enumerate() {
+            *acc = [T::ZERO; NR];
+            for c in 0..chunks {
+                *acc = add_partials(*acc, partials[c * nl + s]);
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -73,6 +73,47 @@ fn distributed_solve_runs_clean_under_full_checking() {
     }
 }
 
+/// The batched multi-RHS path under full checking across 8 ranks: the
+/// lane-strided fused kernels, per-face batched halo packing and the
+/// chunked B-wide reductions must produce zero diagnostics, with a
+/// communicating preconditioner in the loop.
+#[test]
+fn eight_rank_batched_solve_runs_clean_under_full_checking() {
+    let decomp = Decomp::new([2, 2, 2]);
+    let results = try_run_ranks_checked::<f64, _, _>(8, CheckConfig::default(), move |comm| {
+        let dev = Checked::new(Serial::new(Recorder::disabled()));
+        let mut solver: PoissonSolver<f64, _, _> =
+            PoissonSolver::new(paper_problem(13), decomp, dev, comm);
+        let n: usize = solver.grid().local_n.iter().product();
+        let rhs: Vec<Vec<f64>> = (0..3)
+            .map(|lane| {
+                (0..n)
+                    .map(|i| 1.0 + (((i + 7 * lane) as f64) * 0.29).sin())
+                    .collect()
+            })
+            .collect();
+        let rhs_refs: Vec<&[f64]> = rhs.iter().map(Vec::as_slice).collect();
+        let lanes = solver.solve_batch(
+            &rhs_refs,
+            SolverKind::BiCgsGCi,
+            &solver_opts(),
+            &solve_params(),
+            &[],
+        );
+        lanes
+            .into_iter()
+            .map(|lane| lane.expect("all lanes are valid").outcome.converged)
+            .collect::<Vec<_>>()
+    })
+    .unwrap_or_else(|failure| panic!("false positives under checking:\n{failure}"));
+    for lanes in &results {
+        assert!(
+            lanes.iter().all(|&converged| converged),
+            "every batched lane must converge under checking: {lanes:?}"
+        );
+    }
+}
+
 /// Same checked world on the threaded back-end, with the plain solver's
 /// preconditioned configuration — back-end independence of the checkers.
 #[test]

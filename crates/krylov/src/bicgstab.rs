@@ -58,12 +58,13 @@ use comm::{Communicator, ReduceOp};
 use stencil::apply_physical_bcs;
 
 use crate::cancel::CancelToken;
-use crate::ctx::{RankCtx, Workspace};
+use crate::ctx::{BatchWorkspace, RankCtx, Workspace};
 use crate::kernels::{
-    axpy2_chained_inplace, axpy3_inplace, axpy_dot, axpy_inplace, diff_norm2, dot, dot2,
-    norm2_axpy, residual_p_update_fused, residual_update_fused, INFO_BICGS1, INFO_BICGS2,
-    INFO_BICGS2F, INFO_BICGS3, INFO_BICGS3F, INFO_BICGS4, INFO_BICGS4A, INFO_BICGS4B, INFO_BICGS5,
-    INFO_BICGS56, INFO_BICGS6, INFO_DOT, INFO_FOLD1, INFO_FOLD3, INFO_NORM2AXPY,
+    axpy2_chained_batch, axpy2_chained_inplace, axpy3_inplace, axpy_dot, axpy_dot_batch,
+    axpy_inplace, diff_norm2, dot, dot2, norm2_axpy, norm2_axpy_batch, residual_p_update_fused,
+    residual_p_update_fused_batch, residual_update_fused, INFO_BICGS1, INFO_BICGS2, INFO_BICGS2F,
+    INFO_BICGS3, INFO_BICGS3F, INFO_BICGS4, INFO_BICGS4A, INFO_BICGS4B, INFO_BICGS5, INFO_BICGS56,
+    INFO_BICGS6, INFO_DOT, INFO_FOLD1, INFO_FOLD3, INFO_NORM2AXPY,
 };
 use crate::precond::Preconditioner;
 
@@ -961,6 +962,725 @@ where
         true_residuals,
         cancelled: cancelled && !converged,
     }
+}
+
+/// Per-lane progress of a batched solve: the scalar recurrence state and
+/// the convergence bookkeeping a solo [`bicgstab_solve`] keeps in locals.
+struct Lane<T> {
+    rho: T,
+    alpha: T,
+    omega: T,
+    beta: T,
+    /// `(iteration, ‖r‖²_local, ω, α)` awaiting next M1 (lag schedule).
+    lag: Option<(usize, T, T, T)>,
+    history: Vec<f64>,
+    final_residual: f64,
+    iterations: usize,
+    prec_iterations: u64,
+    converged: bool,
+    breakdown: Option<Breakdown>,
+    cancelled: bool,
+    /// A frozen lane takes no further part in kernels, halo messages or
+    /// reduction *values* (its fixed message slots carry zero).
+    frozen: bool,
+}
+
+/// Iteration `j`'s epilogue for one lane of a batched solve, once its
+/// global `‖r_j‖²` is in hand — the batch counterpart of the solo
+/// `finish_iteration!` ladder (minus the true-residual guard, which the
+/// batch path does not support). Returns `true` when the lane stops.
+fn lane_finish<T: Scalar>(lane: &mut Lane<T>, params: &SolveParams, j: usize, rnorm2: T) -> bool {
+    let res = rnorm2.to_f64().max(0.0).sqrt();
+    lane.final_residual = res;
+    if params.record_history {
+        lane.history.push(res);
+    }
+    if !res.is_finite() {
+        lane.breakdown = Some(Breakdown::NonFinite);
+        lane.iterations = j;
+        return true;
+    }
+    if res < params.tol {
+        lane.converged = true;
+        lane.iterations = j;
+        return true;
+    }
+    false
+}
+
+/// Refresh ghost layers of several lanes for an operator application in
+/// `scope`: one batched halo exchange carrying every lane's face planes
+/// per message, then the per-lane physical-BC kernels.
+fn refresh_ghosts_many<T: Scalar, D: Device, C: Communicator<T>>(
+    ctx: &RankCtx<T, D, C>,
+    scope: Scope,
+    stage: &'static str,
+    fields: &mut [&mut Field<T>],
+) {
+    match scope {
+        Scope::Global => {
+            ctx.recorder.stage(stage, || {
+                ctx.halo.exchange_batch(&ctx.dev, &ctx.comm, fields)
+            });
+            for f in fields.iter_mut() {
+                apply_physical_bcs(&ctx.grid, f, &ctx.recorder, false);
+            }
+        }
+        Scope::Local => {
+            for f in fields.iter_mut() {
+                apply_physical_bcs(&ctx.grid, f, &ctx.recorder, true);
+            }
+        }
+    }
+}
+
+/// Sum each group of `groups` element-wise across ranks in
+/// [`Scope::Global`] (one message); local identity otherwise.
+fn global_sum_groups<T: Scalar, D: Device, C: Communicator<T>>(
+    ctx: &RankCtx<T, D, C>,
+    scope: Scope,
+    stage: &'static str,
+    groups: &mut [&mut [T]],
+) {
+    if scope == Scope::Global {
+        ctx.recorder
+            .stage(stage, || ctx.comm.reduce_batch(groups, ReduceOp::Sum));
+    }
+}
+
+/// Solve `A x_b = b_b` for a batch of right-hand sides with one
+/// Bi-CGSTAB instance per lane, amortising sweeps, halo messages and
+/// reductions across the batch (the multi-RHS tentpole):
+///
+/// * every full-grid vector sweep strides all live lanes inside **one**
+///   kernel launch (`*_batch` kernels over the accel lane-launch API);
+/// * every halo exchange packs all live lanes' face planes into **one**
+///   message per face ([`blockgrid::HaloExchange::exchange_batch`]);
+/// * every reduction ships all lanes' scalars in the **same** messages —
+///   the per-iteration message count stays 2 (M1 split-phase, M2
+///   blocking) regardless of batch width, instead of `2 B`.
+///
+/// Lane `b` runs the exact fused solo schedule: its iterates, residual
+/// history and stopping decisions are **bitwise identical** to
+/// `bicgstab_solve(ctx, scope, bs[b], xs[b], precs[b], …, params)` under
+/// a deterministic [`comm::ReduceOrder`] — batching only regroups which
+/// scalars share a message and which sweep covers a row, never the
+/// arithmetic order inside a lane. Converged, cancelled or broken-down
+/// lanes *freeze*: they drop out of kernels and halo payloads while
+/// their fixed message slots carry zeros, so the remaining lanes'
+/// schedules (and bit patterns) are unaffected.
+///
+/// Restrictions relative to the solo path (asserted): fused kernels
+/// only, no mid-loop exit, no true-residual guard, and no breakdown
+/// restarts — a lane that breaks down freezes and reports its
+/// [`Breakdown`] instead of restarting. Cancellation is **per lane**
+/// via `cancels` (empty slice: none; otherwise one optional token per
+/// lane, present on every rank); [`SolveParams::cancel`] must be
+/// `None`. In the overlapped schedule the cancel flags ride the M1
+/// batch — `B` extra scalars, zero extra messages.
+///
+/// Every rank must pass the same batch width and freeze decisions are
+/// taken on allreduced values, so the live-lane set — and hence the
+/// kernel, halo and message schedule — stays identical on every rank.
+#[allow(clippy::too_many_arguments)]
+pub fn bicgstab_solve_batch<T, D, C, P>(
+    ctx: &RankCtx<T, D, C>,
+    scope: Scope,
+    bs: &[&Field<T>],
+    xs: &mut [&mut Field<T>],
+    precs: &mut [&mut P],
+    bws: &mut BatchWorkspace<T>,
+    params: &SolveParams,
+    cancels: &[Option<CancelToken>],
+) -> Vec<SolveOutcome>
+where
+    T: Scalar,
+    D: Device,
+    C: Communicator<T>,
+    P: Preconditioner<T, D, C> + ?Sized,
+{
+    let nb = bs.len();
+    assert_eq!(xs.len(), nb, "one iterate per right-hand side");
+    assert_eq!(precs.len(), nb, "one preconditioner per lane");
+    assert!(
+        bws.lanes.len() >= nb,
+        "one workspace lane per right-hand side (a wider cache is fine; the first {nb} are used)"
+    );
+    assert!(
+        cancels.is_empty() || cancels.len() == nb,
+        "cancels must be empty or carry one optional token per lane"
+    );
+    assert!(
+        params.cancel.is_none(),
+        "batched solves take per-lane tokens via `cancels`, not SolveParams::cancel"
+    );
+    assert!(
+        params.fuse_kernels,
+        "the batched path implements the fused kernel schedule only"
+    );
+    assert!(
+        !params.early_exit_check && params.true_residual_every == 0 && params.max_restarts == 0,
+        "mid-loop exits, true-residual guards and restarts are unsupported in batched solves"
+    );
+    if nb == 0 {
+        return Vec::new();
+    }
+
+    let lag_mode = params.overlap_reduce && scope == Scope::Global && ctx.comm.size() > 1;
+    let has_tokens = cancels.iter().any(|c| c.is_some());
+    let cancel_flag = |b: usize, lanes: &[Lane<T>]| -> T {
+        let live = !lanes[b].frozen;
+        match cancels.get(b) {
+            Some(Some(tok)) if live && tok.is_cancelled() => T::ONE,
+            _ => T::ZERO,
+        }
+    };
+
+    // ---- Setup (MPI0): r_0 = b − A x_0, ρ_0 = ‖r_0‖² per lane, one
+    // batched exchange + one batched fused sweep + one batched reduce.
+    {
+        let mut fields: Vec<&mut Field<T>> = xs.iter_mut().map(|x| &mut **x).collect();
+        refresh_ghosts_many(ctx, scope, "MPI0", &mut fields);
+    }
+    for (x, ws) in xs.iter().zip(bws.lanes.iter_mut()) {
+        ctx.lap.apply(&ctx.dev, stencil::INFO_APPLY, x, &mut ws.w);
+    }
+    let mut rhos: Vec<T> = vec![T::ZERO; nb];
+    {
+        let mut accs = vec![[T::ZERO; 1]; nb];
+        let mut outs: Vec<&mut [T]> = Vec::with_capacity(nb);
+        let mut wsl: Vec<&[T]> = Vec::with_capacity(nb);
+        for ws in bws.lanes.iter_mut().take(nb) {
+            outs.push(ws.r.as_mut_slice());
+            wsl.push(ws.w.as_slice());
+        }
+        let bsl: Vec<&[T]> = bs.iter().map(|b| b.as_slice()).collect();
+        norm2_axpy_batch(
+            &ctx.dev,
+            INFO_NORM2AXPY,
+            &ctx.grid,
+            &mut outs,
+            &bsl,
+            &wsl,
+            &mut accs,
+        );
+        for (rho, a) in rhos.iter_mut().zip(&accs) {
+            *rho = a[0];
+        }
+    }
+    for ws in bws.lanes.iter_mut().take(nb) {
+        ws.r0t.copy_from(&ws.r);
+        ws.p.copy_from(&ws.r);
+    }
+    global_sum(ctx, scope, "MPI0", &mut rhos);
+
+    let mut lanes: Vec<Lane<T>> = rhos
+        .iter()
+        .map(|&rho| Lane {
+            rho,
+            alpha: T::ZERO,
+            omega: T::ZERO,
+            beta: T::ZERO,
+            lag: None,
+            history: Vec::new(),
+            final_residual: 0.0,
+            iterations: 0,
+            prec_iterations: 0,
+            converged: false,
+            breakdown: None,
+            cancelled: false,
+            frozen: false,
+        })
+        .collect();
+    for lane in lanes.iter_mut() {
+        let res0 = lane.rho.to_f64().max(0.0).sqrt();
+        lane.final_residual = res0;
+        if params.record_history {
+            lane.history.push(res0);
+        }
+        if res0 < params.tol {
+            lane.converged = true;
+            lane.frozen = true;
+        }
+    }
+
+    for i in 1..=params.max_iters {
+        let mut active: Vec<usize> = (0..nb).filter(|&b| !lanes[b].frozen).collect();
+        if active.is_empty() {
+            break;
+        }
+
+        // Blocking cancel poll of the synchronous schedule (one B-wide
+        // group, mirroring the solo MPIC reduction). Overlapped, the
+        // flags ride M1 below instead — zero extra messages.
+        if !lag_mode && has_tokens {
+            let mut flags: Vec<T> = (0..nb).map(|b| cancel_flag(b, &lanes)).collect();
+            global_sum(ctx, scope, "MPIC", &mut flags);
+            for &b in &active {
+                if flags[b] != T::ZERO {
+                    lanes[b].cancelled = true;
+                    lanes[b].iterations = i - 1;
+                    lanes[b].frozen = true;
+                }
+            }
+            active.retain(|&b| !lanes[b].frozen);
+            if active.is_empty() {
+                break;
+            }
+        }
+        for &b in &active {
+            lanes[b].iterations = i;
+        }
+
+        // Solve M p̂ = p per lane (preconditioners are per-lane state; the
+        // lane order is fixed, so any collectives inside a communicating
+        // preconditioner stay rank-uniform).
+        for &b in &active {
+            let ws = &mut bws.lanes[b];
+            lanes[b].prec_iterations += ctx.recorder.stage("Preconditioner", || {
+                precs[b].apply(ctx, &mut ws.p, &mut ws.p_hat)
+            }) as u64;
+        }
+
+        // MPI1 (one batched exchange) + BCs, then batched KernelBiCGS1:
+        // w = A p̂, σ = r̃ᵀ w per lane in a single sweep.
+        {
+            let mut fields: Vec<&mut Field<T>> = bws
+                .lanes
+                .iter_mut()
+                .enumerate()
+                .filter(|(b, _)| active.contains(b))
+                .map(|(_, ws)| &mut ws.p_hat)
+                .collect();
+            refresh_ghosts_many(ctx, scope, "MPI1", &mut fields);
+        }
+        let mut psum_slots: Vec<T> = vec![T::ZERO; nb];
+        {
+            let mut accs = vec![[T::ZERO; 1]; active.len()];
+            let mut wm: Vec<&mut [T]> = Vec::with_capacity(active.len());
+            let mut us: Vec<&[T]> = Vec::with_capacity(active.len());
+            let mut gs: Vec<&[T]> = Vec::with_capacity(active.len());
+            for (b, ws) in bws.lanes.iter_mut().enumerate() {
+                if !active.contains(&b) {
+                    continue;
+                }
+                wm.push(ws.w.as_mut_slice());
+                us.push(ws.p_hat.as_slice());
+                gs.push(ws.r0t.as_slice());
+            }
+            ctx.lap
+                .apply_fused_dot_batch(&ctx.dev, INFO_BICGS1, &us, &mut wm, &gs, &mut accs);
+            for (slot, &b) in active.iter().enumerate() {
+                psum_slots[b] = accs[slot][0];
+            }
+        }
+
+        // M1: one chunked split-phase message carrying every lane's σ,
+        // the previous iteration's lagged ‖r‖² per lane, and (token
+        // installed) the per-lane cancel flags — fixed B-wide slot
+        // groups, frozen slots zero. The deferred merged x-updates of
+        // all lagged lanes compute under the message in one batched
+        // KernelBiCGS4 sweep, exactly as solo defers its single update.
+        let any_lag = lanes.iter().any(|l| l.lag.is_some());
+        if lag_mode {
+            let mut payload: Vec<T> = Vec::with_capacity(3 * nb);
+            payload.extend_from_slice(&psum_slots);
+            if any_lag {
+                payload.extend((0..nb).map(|b| match lanes[b].lag {
+                    Some((_, rn, _, _)) => rn,
+                    None => T::ZERO,
+                }));
+            }
+            if has_tokens {
+                payload.extend((0..nb).map(|b| cancel_flag(b, &lanes)));
+            }
+            ctx.recorder.begin(REDUCE_OVERLAP_STAGE);
+            let req = ctx.comm.iall_reduce_many(&payload, ReduceOp::Sum);
+            if any_lag {
+                let mut ys: Vec<&mut [T]> = Vec::with_capacity(nb);
+                let mut x1s: Vec<&[T]> = Vec::with_capacity(nb);
+                let mut x2s: Vec<&[T]> = Vec::with_capacity(nb);
+                let mut a1s: Vec<T> = Vec::with_capacity(nb);
+                let mut a2s: Vec<T> = Vec::with_capacity(nb);
+                for (b, (x, ws)) in xs.iter_mut().zip(bws.lanes.iter()).enumerate() {
+                    if let Some((_, _, omega_prev, alpha_prev)) = lanes[b].lag {
+                        ys.push(x.as_mut_slice());
+                        x1s.push(ws.p_hat_prev.as_slice());
+                        x2s.push(ws.r_hat.as_slice());
+                        a1s.push(alpha_prev);
+                        a2s.push(omega_prev);
+                    }
+                }
+                axpy2_chained_batch(
+                    &ctx.dev,
+                    INFO_BICGS4,
+                    &ctx.grid,
+                    &mut ys,
+                    &x1s,
+                    &a1s,
+                    &x2s,
+                    &a2s,
+                );
+            }
+            let mut red = vec![T::ZERO; payload.len()];
+            ctx.comm.reduce_finish_many(req, &mut red);
+            ctx.recorder.end(REDUCE_OVERLAP_STAGE);
+            psum_slots.copy_from_slice(&red[..nb]);
+            // Iteration i−1's stopping decisions per lagged lane, one
+            // message late (the solo lag ladder, lane-wise).
+            if any_lag {
+                for b in 0..nb {
+                    if let Some((prev, _, _, _)) = lanes[b].lag.take() {
+                        if lane_finish(&mut lanes[b], params, prev, red[nb + b]) {
+                            lanes[b].frozen = true;
+                        }
+                    }
+                }
+            }
+            if has_tokens {
+                let off = if any_lag { 2 * nb } else { nb };
+                for &b in &active {
+                    if !lanes[b].frozen && red[off + b] != T::ZERO {
+                        lanes[b].cancelled = true;
+                        lanes[b].iterations = i - 1;
+                        lanes[b].frozen = true;
+                    }
+                }
+            }
+        } else {
+            global_sum(ctx, scope, "MPI2", &mut psum_slots);
+        }
+        for &b in &active {
+            if lanes[b].frozen {
+                continue;
+            }
+            let psum = psum_slots[b];
+            if !psum.is_finite() {
+                lanes[b].breakdown = Some(Breakdown::NonFinite);
+                lanes[b].frozen = true;
+                continue;
+            }
+            if psum == T::ZERO {
+                lanes[b].breakdown = Some(Breakdown::PSumZero);
+                lanes[b].frozen = true;
+                continue;
+            }
+            lanes[b].alpha = lanes[b].rho / psum;
+        }
+        active.retain(|&b| !lanes[b].frozen);
+        if active.is_empty() {
+            continue;
+        }
+
+        // Batched KernelBiCGS2F: r ← r − α w with σ₃ = r̃ᵀ s per lane.
+        let mut c3_slots: Vec<T> = vec![T::ZERO; nb];
+        {
+            let mut accs = vec![[T::ZERO; 1]; active.len()];
+            let mut ys: Vec<&mut [T]> = Vec::with_capacity(active.len());
+            let mut xsl: Vec<&[T]> = Vec::with_capacity(active.len());
+            let mut gs: Vec<&[T]> = Vec::with_capacity(active.len());
+            let mut coefs: Vec<T> = Vec::with_capacity(active.len());
+            for (b, ws) in bws.lanes.iter_mut().enumerate() {
+                if !active.contains(&b) {
+                    continue;
+                }
+                ys.push(ws.r.as_mut_slice());
+                xsl.push(ws.w.as_slice());
+                gs.push(ws.r0t.as_slice());
+                coefs.push(-lanes[b].alpha);
+            }
+            axpy_dot_batch(
+                &ctx.dev,
+                INFO_BICGS2F,
+                &ctx.grid,
+                &mut ys,
+                &xsl,
+                &coefs,
+                &gs,
+                &mut accs,
+            );
+            for (slot, &b) in active.iter().enumerate() {
+                c3_slots[b] = accs[slot][0];
+            }
+        }
+
+        // Solve M r̂ = r per lane.
+        for &b in &active {
+            let ws = &mut bws.lanes[b];
+            lanes[b].prec_iterations += ctx.recorder.stage("Preconditioner", || {
+                precs[b].apply(ctx, &mut ws.r, &mut ws.r_hat)
+            }) as u64;
+        }
+
+        // MPI3 (one batched exchange) + BCs, then batched KernelBiCGS3F:
+        // t = A r̂ with (p1, p2, σ₄) per lane in a single sweep.
+        {
+            let mut fields: Vec<&mut Field<T>> = bws
+                .lanes
+                .iter_mut()
+                .enumerate()
+                .filter(|(b, _)| active.contains(b))
+                .map(|(_, ws)| &mut ws.r_hat)
+                .collect();
+            refresh_ghosts_many(ctx, scope, "MPI3", &mut fields);
+        }
+        let mut p1_slots: Vec<T> = vec![T::ZERO; nb];
+        let mut p2_slots: Vec<T> = vec![T::ZERO; nb];
+        let mut c4_slots: Vec<T> = vec![T::ZERO; nb];
+        {
+            let mut accs = vec![[T::ZERO; 3]; active.len()];
+            let mut tm: Vec<&mut [T]> = Vec::with_capacity(active.len());
+            let mut us: Vec<&[T]> = Vec::with_capacity(active.len());
+            let mut rsl: Vec<&[T]> = Vec::with_capacity(active.len());
+            let mut gs: Vec<&[T]> = Vec::with_capacity(active.len());
+            for (b, ws) in bws.lanes.iter_mut().enumerate() {
+                if !active.contains(&b) {
+                    continue;
+                }
+                tm.push(ws.t.as_mut_slice());
+                us.push(ws.r_hat.as_slice());
+                rsl.push(ws.r.as_slice());
+                gs.push(ws.r0t.as_slice());
+            }
+            ctx.lap.apply_fused_dot3_batch(
+                &ctx.dev,
+                INFO_BICGS3F,
+                &us,
+                &mut tm,
+                &rsl,
+                &gs,
+                &mut accs,
+            );
+            for (slot, &b) in active.iter().enumerate() {
+                p1_slots[b] = accs[slot][0];
+                p2_slots[b] = accs[slot][1];
+                c4_slots[b] = accs[slot][2];
+            }
+        }
+
+        // M2: all four scalar groups of every lane in one blocking
+        // message (the solo fused M2 blocks too — nothing is left to
+        // hide under it). Fixed B-wide groups, frozen slots zero.
+        global_sum_groups(
+            ctx,
+            scope,
+            "MPI4",
+            &mut [&mut p1_slots, &mut p2_slots, &mut c3_slots, &mut c4_slots],
+        );
+
+        // Per-lane ω / ρ-recurrence / β, and the breakdown partition.
+        let mut healthy: Vec<usize> = Vec::with_capacity(active.len());
+        let mut broken: Vec<(usize, T, T)> = Vec::new();
+        for &b in &active {
+            let (p1, p2, c3, c4) = (p1_slots[b], p2_slots[b], c3_slots[b], c4_slots[b]);
+            if !(p1.is_finite() && p2.is_finite()) {
+                lanes[b].breakdown = Some(Breakdown::NonFinite);
+                lanes[b].frozen = true;
+                continue;
+            }
+            let omega = if p2 == T::ZERO { T::ZERO } else { p1 / p2 };
+            let rho_new = c3 - omega * c4;
+            if rho_new == T::ZERO || omega == T::ZERO {
+                broken.push((b, omega, rho_new));
+            } else {
+                lanes[b].beta = (rho_new / lanes[b].rho) * (lanes[b].alpha / omega);
+                lanes[b].omega = omega;
+                lanes[b].rho = rho_new;
+                healthy.push(b);
+            }
+        }
+
+        // Breakdown lanes finish eagerly with the solo kernels (constant
+        // work — each lane breaks at most once per solve) and share one
+        // extra blocking norm reduction; the broken set derives from
+        // reduced values, so every rank takes this branch together.
+        if !broken.is_empty() {
+            let mut rn: Vec<T> = vec![T::ZERO; nb];
+            for &(b, omega, _) in &broken {
+                let ws = &mut bws.lanes[b];
+                let (_, rl) = residual_update_fused(
+                    &ctx.dev,
+                    INFO_BICGS5,
+                    &ctx.grid,
+                    &mut ws.r,
+                    &ws.t,
+                    omega,
+                    &ws.r0t,
+                );
+                axpy2_chained_inplace(
+                    &ctx.dev,
+                    INFO_BICGS4,
+                    &ctx.grid,
+                    &mut *xs[b],
+                    &ws.p_hat,
+                    lanes[b].alpha,
+                    &ws.r_hat,
+                    omega,
+                );
+                rn[b] = rl;
+            }
+            global_sum(ctx, scope, "MPI5", &mut rn);
+            for &(b, omega, rho_new) in &broken {
+                if !lane_finish(&mut lanes[b], params, i, rn[b]) {
+                    lanes[b].breakdown = Some(if rho_new == T::ZERO {
+                        Breakdown::RhoZero
+                    } else {
+                        debug_assert_eq!(omega, T::ZERO);
+                        Breakdown::OmegaZero
+                    });
+                }
+                lanes[b].frozen = true;
+            }
+        }
+        if healthy.is_empty() {
+            continue;
+        }
+
+        // Batched KernelBiCGS56: r ← r − ω t with ‖r‖² and
+        // p ← r + β (p − ω w), every healthy lane in one sweep.
+        let mut rn_slots: Vec<T> = vec![T::ZERO; nb];
+        {
+            let mut accs = vec![[T::ZERO; 1]; healthy.len()];
+            let mut rm: Vec<&mut [T]> = Vec::with_capacity(healthy.len());
+            let mut pm: Vec<&mut [T]> = Vec::with_capacity(healthy.len());
+            let mut tsl: Vec<&[T]> = Vec::with_capacity(healthy.len());
+            let mut wsl: Vec<&[T]> = Vec::with_capacity(healthy.len());
+            let mut omegas: Vec<T> = Vec::with_capacity(healthy.len());
+            let mut betas: Vec<T> = Vec::with_capacity(healthy.len());
+            for (b, ws) in bws.lanes.iter_mut().enumerate() {
+                if !healthy.contains(&b) {
+                    continue;
+                }
+                rm.push(ws.r.as_mut_slice());
+                pm.push(ws.p.as_mut_slice());
+                tsl.push(ws.t.as_slice());
+                wsl.push(ws.w.as_slice());
+                omegas.push(lanes[b].omega);
+                betas.push(lanes[b].beta);
+            }
+            residual_p_update_fused_batch(
+                &ctx.dev,
+                INFO_BICGS56,
+                &ctx.grid,
+                &mut rm,
+                &mut pm,
+                &tsl,
+                &wsl,
+                &omegas,
+                &betas,
+                &mut accs,
+            );
+            for (slot, &b) in healthy.iter().enumerate() {
+                rn_slots[b] = accs[slot][0];
+            }
+        }
+        if lag_mode {
+            // Defer every healthy lane's merged x-update and stopping
+            // decision into next iteration's M1 window; keep each lane's
+            // p̂ alive across the swap (the solo ping-pong, lane-wise).
+            for &b in &healthy {
+                lanes[b].lag = Some((i, rn_slots[b], lanes[b].omega, lanes[b].alpha));
+                let ws = &mut bws.lanes[b];
+                std::mem::swap(&mut ws.p_hat, &mut ws.p_hat_prev);
+            }
+        } else {
+            // Synchronous tail: merged x-updates now (one batched
+            // sweep), then one blocking B-wide norm reduction and the
+            // stopping ladder per lane.
+            {
+                let mut ys: Vec<&mut [T]> = Vec::with_capacity(healthy.len());
+                let mut x1s: Vec<&[T]> = Vec::with_capacity(healthy.len());
+                let mut x2s: Vec<&[T]> = Vec::with_capacity(healthy.len());
+                let mut a1s: Vec<T> = Vec::with_capacity(healthy.len());
+                let mut a2s: Vec<T> = Vec::with_capacity(healthy.len());
+                for (b, (x, ws)) in xs.iter_mut().zip(bws.lanes.iter()).enumerate() {
+                    if !healthy.contains(&b) {
+                        continue;
+                    }
+                    ys.push(x.as_mut_slice());
+                    x1s.push(ws.p_hat.as_slice());
+                    x2s.push(ws.r_hat.as_slice());
+                    a1s.push(lanes[b].alpha);
+                    a2s.push(lanes[b].omega);
+                }
+                axpy2_chained_batch(
+                    &ctx.dev,
+                    INFO_BICGS4,
+                    &ctx.grid,
+                    &mut ys,
+                    &x1s,
+                    &a1s,
+                    &x2s,
+                    &a2s,
+                );
+            }
+            global_sum(ctx, scope, "MPI5", &mut rn_slots);
+            for &b in &healthy {
+                if lane_finish(&mut lanes[b], params, i, rn_slots[b]) {
+                    lanes[b].frozen = true;
+                }
+            }
+        }
+    }
+
+    // Drain the lags when the iteration budget ran out with the last
+    // iterations' bookkeeping still in flight: one batched deferred
+    // x-update sweep, one blocking norm reduction, per-lane ladder.
+    let drain: Vec<usize> = (0..nb).filter(|&b| lanes[b].lag.is_some()).collect();
+    if !drain.is_empty() {
+        {
+            let mut ys: Vec<&mut [T]> = Vec::with_capacity(drain.len());
+            let mut x1s: Vec<&[T]> = Vec::with_capacity(drain.len());
+            let mut x2s: Vec<&[T]> = Vec::with_capacity(drain.len());
+            let mut a1s: Vec<T> = Vec::with_capacity(drain.len());
+            let mut a2s: Vec<T> = Vec::with_capacity(drain.len());
+            for (b, (x, ws)) in xs.iter_mut().zip(bws.lanes.iter()).enumerate() {
+                if let Some((_, _, omega_prev, alpha_prev)) = lanes[b].lag {
+                    ys.push(x.as_mut_slice());
+                    x1s.push(ws.p_hat_prev.as_slice());
+                    x2s.push(ws.r_hat.as_slice());
+                    a1s.push(alpha_prev);
+                    a2s.push(omega_prev);
+                }
+            }
+            axpy2_chained_batch(
+                &ctx.dev,
+                INFO_BICGS4,
+                &ctx.grid,
+                &mut ys,
+                &x1s,
+                &a1s,
+                &x2s,
+                &a2s,
+            );
+        }
+        let mut rn: Vec<T> = vec![T::ZERO; nb];
+        for &b in &drain {
+            rn[b] = lanes[b].lag.map(|(_, r, _, _)| r).unwrap_or(T::ZERO);
+        }
+        global_sum(ctx, scope, "MPI5", &mut rn);
+        for &b in &drain {
+            let (j, _, _, _) = lanes[b].lag.take().expect("drain lane has a pending lag");
+            lane_finish(&mut lanes[b], params, j, rn[b]);
+            lanes[b].frozen = true;
+        }
+    }
+
+    lanes
+        .into_iter()
+        .map(|l| SolveOutcome {
+            converged: l.converged,
+            iterations: l.iterations,
+            prec_iterations: l.prec_iterations,
+            residual_history: l.history,
+            final_residual: l.final_residual,
+            breakdown: l.breakdown,
+            restarts: 0,
+            // LINT: alloc-ok(empty vec; the batch path has no true-residual guard)
+            true_residuals: Vec::new(),
+            cancelled: l.cancelled && !l.converged,
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -1992,5 +2712,526 @@ mod feature_tests {
             .sum::<f64>()
             .sqrt();
         assert!(res < 1e-7, "true residual {res}");
+    }
+}
+
+#[cfg(test)]
+mod batch_tests {
+    use super::*;
+    use crate::ctx::BatchWorkspace;
+    use crate::precond::{IdentityPrec, PrecTraits};
+    use accel::{GpuSimParams, Recorder, Serial, SimGpu, Threads};
+    use blockgrid::{BcKind, BlockGrid, Decomp, GlobalGrid};
+    use comm::{run_ranks, ReduceOrder, SelfComm, ThreadComm};
+    use proptest::prelude::*;
+
+    fn rng_values(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+            })
+            .collect()
+    }
+
+    fn paper_bcs() -> [[BcKind; 2]; 3] {
+        [
+            [BcKind::Dirichlet, BcKind::Neumann],
+            [BcKind::Neumann, BcKind::Dirichlet],
+            [BcKind::Neumann, BcKind::Dirichlet],
+        ]
+    }
+
+    /// Restrict a global lexicographic field to this rank's interior.
+    fn scatter(grid: &BlockGrid, nx: [usize; 3], global: &[f64]) -> Vec<f64> {
+        let ln = grid.local_n;
+        let mut local = Vec::with_capacity(ln[0] * ln[1] * ln[2]);
+        for k in 0..ln[2] {
+            for j in 0..ln[1] {
+                for i in 0..ln[0] {
+                    let gidx = (grid.offset[0] + i)
+                        + nx[0] * ((grid.offset[1] + j) + nx[1] * (grid.offset[2] + k));
+                    local.push(global[gidx]);
+                }
+            }
+        }
+        local
+    }
+
+    fn bits(v: &[f64]) -> Vec<u64> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    fn assert_lane_matches_solo(
+        tag: &str,
+        solo: &(SolveOutcome, Vec<f64>),
+        bo: &SolveOutcome,
+        bx: &[f64],
+    ) {
+        let (so, sx) = solo;
+        assert_eq!(so.converged, bo.converged, "{tag}: converged");
+        assert_eq!(so.iterations, bo.iterations, "{tag}: iterations");
+        assert_eq!(so.breakdown, bo.breakdown, "{tag}: breakdown");
+        assert_eq!(so.prec_iterations, bo.prec_iterations, "{tag}: prec sweeps");
+        assert_eq!(
+            so.final_residual.to_bits(),
+            bo.final_residual.to_bits(),
+            "{tag}: final residual diverges"
+        );
+        assert_eq!(
+            bits(&so.residual_history),
+            bits(&bo.residual_history),
+            "{tag}: residual histories diverge"
+        );
+        assert_eq!(bits(sx), bits(bx), "{tag}: solutions diverge");
+    }
+
+    /// Lane-wise bitwise identity on one rank (the synchronous batch
+    /// schedule): every lane of a 3-wide batch reproduces the solo
+    /// fused solve bit-for-bit on each back-end's fold order.
+    fn lanewise_matches_solo_on<D: Device>(label: &str, dev: D) {
+        let mut g = GlobalGrid::dirichlet([6, 5, 4], [0.15; 3], [0.0; 3]);
+        g.bc = paper_bcs();
+        let grid = BlockGrid::new(g, Decomp::single(), 0);
+        let ctx: RankCtx<f64, _, SelfComm<f64>> = RankCtx::new(dev, SelfComm::default(), grid);
+        let n = ctx.grid.global.unknowns();
+        let params = SolveParams {
+            tol: 1e-10,
+            max_iters: 5_000,
+            ..Default::default()
+        };
+        let nb = 3;
+        let b_hosts: Vec<Vec<f64>> = (0..nb).map(|l| rng_values(n, 70 + l as u64)).collect();
+
+        let mut solo = Vec::new();
+        for bh in &b_hosts {
+            let b = Field::from_interior(&ctx.dev, &ctx.grid, bh);
+            let mut x = ctx.field();
+            let mut ws = Workspace::new(&ctx.dev, &ctx.grid);
+            let out = bicgstab_solve(
+                &ctx,
+                Scope::Global,
+                &b,
+                &mut x,
+                &mut IdentityPrec,
+                &mut ws,
+                &params,
+            );
+            assert!(out.converged, "{label}: solo lane failed: {out:?}");
+            solo.push((out, x.interior_to_host(&ctx.grid)));
+        }
+
+        let bfields: Vec<Field<f64>> = b_hosts
+            .iter()
+            .map(|bh| Field::from_interior(&ctx.dev, &ctx.grid, bh))
+            .collect();
+        let bs: Vec<&Field<f64>> = bfields.iter().collect();
+        let mut xfields: Vec<Field<f64>> = (0..nb).map(|_| ctx.field()).collect();
+        let mut xs: Vec<&mut Field<f64>> = xfields.iter_mut().collect();
+        let mut ps: Vec<IdentityPrec> = (0..nb).map(|_| IdentityPrec).collect();
+        let mut precs: Vec<&mut IdentityPrec> = ps.iter_mut().collect();
+        let mut bws = BatchWorkspace::new(&ctx.dev, &ctx.grid, nb);
+        let outs = bicgstab_solve_batch(
+            &ctx,
+            Scope::Global,
+            &bs,
+            &mut xs,
+            &mut precs,
+            &mut bws,
+            &params,
+            &[],
+        );
+        for (l, (s, bo)) in solo.iter().zip(&outs).enumerate() {
+            let bx = xfields[l].interior_to_host(&ctx.grid);
+            assert_lane_matches_solo(&format!("{label} lane {l}"), s, bo, &bx);
+        }
+    }
+
+    #[test]
+    fn batched_lanes_bitwise_match_solo_on_every_backend() {
+        lanewise_matches_solo_on("serial", Serial::new(Recorder::disabled()));
+        lanewise_matches_solo_on("threads", Threads::new(3, Recorder::disabled()));
+        lanewise_matches_solo_on(
+            "simgpu",
+            SimGpu::new(GpuSimParams::mi250x(), Recorder::disabled()),
+        );
+    }
+
+    /// Lane-wise bitwise identity across 8 ranks under the overlapped
+    /// (lagged) schedule with a communicating preconditioner: batching
+    /// regroups messages and sweeps, never a lane's arithmetic.
+    #[test]
+    fn batched_lanes_bitwise_match_solo_across_ranks() {
+        use crate::config::{SolverKind, SolverOptions};
+        let mut g = GlobalGrid::dirichlet([8, 8, 8], [0.15; 3], [0.0; 3]);
+        g.bc = paper_bcs();
+        let n = g.unknowns();
+        let nb = 2;
+        let b_hosts: Vec<Vec<f64>> = (0..nb).map(|l| rng_values(n, 80 + l as u64)).collect();
+        let bnorm: f64 = b_hosts[0].iter().map(|v| v * v).sum::<f64>().sqrt();
+        let tol = 1e-9 * bnorm;
+
+        let decomp = Decomp::new([2, 2, 2]);
+        let results = run_ranks::<f64, _, _>(8, ReduceOrder::RankOrder, move |comm| {
+            let grid = BlockGrid::new(g.clone(), decomp, comm.rank());
+            let dev = Serial::new(Recorder::disabled());
+            let ctx: RankCtx<f64, _, ThreadComm<f64>> = RankCtx::new(dev, comm, grid);
+            let locals: Vec<Vec<f64>> = b_hosts
+                .iter()
+                .map(|bh| scatter(&ctx.grid, [8, 8, 8], bh))
+                .collect();
+            let opts = SolverOptions {
+                eig_min_factor: 10.0,
+                ..SolverOptions::default()
+            };
+            let params = SolveParams {
+                tol,
+                max_iters: 20_000,
+                ..Default::default()
+            };
+
+            // Solo references, lane by lane (rank-uniform order).
+            let mut solo = Vec::new();
+            for local in &locals {
+                let b = Field::from_interior(&ctx.dev, &ctx.grid, local);
+                let mut x = ctx.field();
+                let mut ws = Workspace::new(&ctx.dev, &ctx.grid);
+                let mut prec = SolverKind::BiCgsGCi.build_preconditioner(&ctx, &opts);
+                let out = bicgstab_solve(
+                    &ctx,
+                    Scope::Global,
+                    &b,
+                    &mut x,
+                    &mut *prec,
+                    &mut ws,
+                    &params,
+                );
+                solo.push((out, x.interior_to_host(&ctx.grid)));
+            }
+
+            // One batched solve over both lanes.
+            let bfields: Vec<Field<f64>> = locals
+                .iter()
+                .map(|l| Field::from_interior(&ctx.dev, &ctx.grid, l))
+                .collect();
+            let bs: Vec<&Field<f64>> = bfields.iter().collect();
+            let mut xfields: Vec<Field<f64>> = (0..nb).map(|_| ctx.field()).collect();
+            let mut xs: Vec<&mut Field<f64>> = xfields.iter_mut().collect();
+            let mut boxes: Vec<_> = (0..nb)
+                .map(|_| SolverKind::BiCgsGCi.build_preconditioner(&ctx, &opts))
+                .collect();
+            let mut precs: Vec<_> = boxes.iter_mut().map(|p| &mut **p).collect();
+            let mut bws = BatchWorkspace::new(&ctx.dev, &ctx.grid, nb);
+            let outs = bicgstab_solve_batch(
+                &ctx,
+                Scope::Global,
+                &bs,
+                &mut xs,
+                &mut precs,
+                &mut bws,
+                &params,
+                &[],
+            );
+            let batch: Vec<(SolveOutcome, Vec<f64>)> = outs
+                .into_iter()
+                .zip(&xfields)
+                .map(|(o, x)| (o, x.interior_to_host(&ctx.grid)))
+                .collect();
+            (solo, batch)
+        });
+
+        for (rank, (solo, batch)) in results.iter().enumerate() {
+            for (l, (s, (bo, bx))) in solo.iter().zip(batch).enumerate() {
+                assert!(s.0.converged, "rank {rank} lane {l}: solo failed");
+                assert_lane_matches_solo(&format!("rank {rank} lane {l}"), s, bo, bx);
+            }
+        }
+    }
+
+    /// The headline amortisation guarantee: a 4-wide batch ships the
+    /// solo overlapped schedule's message count of its *longest* lane —
+    /// 2 per iteration + 2 — instead of four solo solves' worth.
+    #[test]
+    fn batched_reductions_amortize_across_lanes() {
+        let mut g = GlobalGrid::dirichlet([8, 8, 8], [0.15; 3], [0.0; 3]);
+        g.bc = paper_bcs();
+        let n = g.unknowns();
+        let nb = 4;
+        let b_hosts: Vec<Vec<f64>> = (0..nb).map(|l| rng_values(n, 90 + l as u64)).collect();
+        let bnorm: f64 = b_hosts[0].iter().map(|v| v * v).sum::<f64>().sqrt();
+        let tol = 1e-8 * bnorm;
+
+        let decomp = Decomp::new([2, 2, 2]);
+        let results = run_ranks::<f64, _, _>(8, ReduceOrder::RankOrder, move |comm| {
+            let grid = BlockGrid::new(g.clone(), decomp, comm.rank());
+            let dev = Serial::new(Recorder::disabled());
+            let ctx: RankCtx<f64, _, ThreadComm<f64>> = RankCtx::new(dev, comm, grid);
+            let locals: Vec<Vec<f64>> = b_hosts
+                .iter()
+                .map(|bh| scatter(&ctx.grid, [8, 8, 8], bh))
+                .collect();
+            let params = SolveParams {
+                tol,
+                max_iters: 20_000,
+                record_history: false,
+                ..Default::default()
+            };
+
+            // Solo message bill, lane by lane.
+            let before_solo = ctx.comm.stats().allreduces;
+            let mut solo_iters = Vec::new();
+            for local in &locals {
+                let b = Field::from_interior(&ctx.dev, &ctx.grid, local);
+                let mut x = ctx.field();
+                let mut ws = Workspace::new(&ctx.dev, &ctx.grid);
+                let out = bicgstab_solve(
+                    &ctx,
+                    Scope::Global,
+                    &b,
+                    &mut x,
+                    &mut IdentityPrec,
+                    &mut ws,
+                    &params,
+                );
+                assert!(out.converged);
+                solo_iters.push(out.iterations);
+            }
+            let solo_msgs = ctx.comm.stats().allreduces - before_solo;
+
+            // Batched message bill.
+            let bfields: Vec<Field<f64>> = locals
+                .iter()
+                .map(|l| Field::from_interior(&ctx.dev, &ctx.grid, l))
+                .collect();
+            let bs: Vec<&Field<f64>> = bfields.iter().collect();
+            let mut xfields: Vec<Field<f64>> = (0..nb).map(|_| ctx.field()).collect();
+            let mut xs: Vec<&mut Field<f64>> = xfields.iter_mut().collect();
+            let mut ps: Vec<IdentityPrec> = (0..nb).map(|_| IdentityPrec).collect();
+            let mut precs: Vec<&mut IdentityPrec> = ps.iter_mut().collect();
+            let mut bws = BatchWorkspace::new(&ctx.dev, &ctx.grid, nb);
+            let before_batch = ctx.comm.stats().allreduces;
+            let outs = bicgstab_solve_batch(
+                &ctx,
+                Scope::Global,
+                &bs,
+                &mut xs,
+                &mut precs,
+                &mut bws,
+                &params,
+                &[],
+            );
+            let batch_msgs = ctx.comm.stats().allreduces - before_batch;
+            let batch_iters: Vec<usize> = outs.iter().map(|o| o.iterations).collect();
+            assert!(outs.iter().all(|o| o.converged), "{outs:?}");
+            (solo_iters, solo_msgs, batch_iters, batch_msgs)
+        });
+
+        for (rank, (solo_iters, solo_msgs, batch_iters, batch_msgs)) in results.iter().enumerate() {
+            assert_eq!(solo_iters, batch_iters, "rank {rank}: lane iterations");
+            let longest = *batch_iters.iter().max().unwrap() as u64;
+            let solo_bill: u64 = solo_iters.iter().map(|&i| 2 * i as u64 + 2).sum();
+            assert_eq!(*solo_msgs, solo_bill, "rank {rank}: solo bill");
+            assert_eq!(
+                *batch_msgs,
+                2 * longest + 2,
+                "rank {rank}: the batch must ship its longest lane's solo bill"
+            );
+            assert!(
+                *batch_msgs < solo_bill,
+                "rank {rank}: batching must amortize ({batch_msgs} vs {solo_bill})"
+            );
+        }
+    }
+
+    /// A zero RHS converges at setup (iteration 0) and freezes; its
+    /// message slots carry zeros and the surviving lane stays bitwise
+    /// identical to its solo solve.
+    #[test]
+    fn converged_lane_freezes_without_touching_others() {
+        let mut g = GlobalGrid::dirichlet([6, 5, 4], [0.15; 3], [0.0; 3]);
+        g.bc = paper_bcs();
+        let grid = BlockGrid::new(g, Decomp::single(), 0);
+        let ctx: RankCtx<f64, _, SelfComm<f64>> =
+            RankCtx::new(Serial::new(Recorder::disabled()), SelfComm::default(), grid);
+        let n = ctx.grid.global.unknowns();
+        let params = SolveParams {
+            tol: 1e-10,
+            max_iters: 5_000,
+            ..Default::default()
+        };
+        let live_host = rng_values(n, 7);
+
+        let b_live = Field::from_interior(&ctx.dev, &ctx.grid, &live_host);
+        let mut x_solo = ctx.field();
+        let mut ws = Workspace::new(&ctx.dev, &ctx.grid);
+        let solo_out = bicgstab_solve(
+            &ctx,
+            Scope::Global,
+            &b_live,
+            &mut x_solo,
+            &mut IdentityPrec,
+            &mut ws,
+            &params,
+        );
+        let solo = (solo_out, x_solo.interior_to_host(&ctx.grid));
+
+        let b_zero = ctx.field();
+        let bs = [&b_zero, &b_live];
+        let mut x0 = ctx.field();
+        let mut x1 = ctx.field();
+        let mut xs = [&mut x0, &mut x1];
+        let mut p0 = IdentityPrec;
+        let mut p1 = IdentityPrec;
+        let mut precs = [&mut p0, &mut p1];
+        let mut bws = BatchWorkspace::new(&ctx.dev, &ctx.grid, 2);
+        let outs = bicgstab_solve_batch(
+            &ctx,
+            Scope::Global,
+            &bs,
+            &mut xs,
+            &mut precs,
+            &mut bws,
+            &params,
+            &[],
+        );
+        assert!(outs[0].converged, "{:?}", outs[0]);
+        assert_eq!(outs[0].iterations, 0);
+        assert_eq!(outs[0].residual_history, vec![0.0]);
+        assert!(x0.interior_to_host(&ctx.grid).iter().all(|&v| v == 0.0));
+        let bx = x1.interior_to_host(&ctx.grid);
+        assert_lane_matches_solo("live lane", &solo, &outs[1], &bx);
+    }
+
+    /// An identity preconditioner that fires a cancel token after a set
+    /// number of applications — a deterministic stand-in for a client
+    /// abandoning one lane mid-solve.
+    struct CancelAfter {
+        token: CancelToken,
+        after: usize,
+        count: usize,
+    }
+
+    impl<T: Scalar, D: Device, C: Communicator<T>> Preconditioner<T, D, C> for CancelAfter {
+        fn apply(
+            &mut self,
+            _ctx: &RankCtx<T, D, C>,
+            rhs: &mut Field<T>,
+            out: &mut Field<T>,
+        ) -> usize {
+            self.count += 1;
+            if self.count == self.after {
+                self.token.cancel();
+            }
+            out.copy_from(rhs);
+            0
+        }
+
+        fn traits(&self) -> PrecTraits {
+            PrecTraits {
+                fixed: true,
+                comm_free: true,
+                reduction_free: true,
+            }
+        }
+
+        fn name(&self) -> &'static str {
+            "CancelAfter"
+        }
+    }
+
+    fn cancel_lane_run(
+        fire_after: Option<usize>,
+        seeds: [u64; 2],
+    ) -> (Vec<SolveOutcome>, Vec<Vec<f64>>) {
+        let mut g = GlobalGrid::dirichlet([5, 4, 3], [0.15; 3], [0.0; 3]);
+        g.bc = paper_bcs();
+        let grid = BlockGrid::new(g, Decomp::single(), 0);
+        let ctx: RankCtx<f64, _, SelfComm<f64>> =
+            RankCtx::new(Serial::new(Recorder::disabled()), SelfComm::default(), grid);
+        let n = ctx.grid.global.unknowns();
+        let params = SolveParams {
+            tol: 1e-11,
+            max_iters: 5_000,
+            ..Default::default()
+        };
+        let hosts: Vec<Vec<f64>> = seeds.iter().map(|&s| rng_values(n, s)).collect();
+        let bfields: Vec<Field<f64>> = hosts
+            .iter()
+            .map(|h| Field::from_interior(&ctx.dev, &ctx.grid, h))
+            .collect();
+        let bs: Vec<&Field<f64>> = bfields.iter().collect();
+        let mut xfields: Vec<Field<f64>> = (0..2).map(|_| ctx.field()).collect();
+        let mut xs: Vec<&mut Field<f64>> = xfields.iter_mut().collect();
+        let token = CancelToken::new();
+        let mut p0 = CancelAfter {
+            token: token.clone(),
+            after: fire_after.unwrap_or(usize::MAX),
+            count: 0,
+        };
+        let mut p1 = CancelAfter {
+            token: CancelToken::new(),
+            after: usize::MAX,
+            count: 0,
+        };
+        let mut precs = [&mut p0, &mut p1];
+        let mut bws = BatchWorkspace::new(&ctx.dev, &ctx.grid, 2);
+        let cancels = if fire_after.is_some() {
+            vec![Some(token), None]
+        } else {
+            Vec::new()
+        };
+        let outs = bicgstab_solve_batch(
+            &ctx,
+            Scope::Global,
+            &bs,
+            &mut xs,
+            &mut precs,
+            &mut bws,
+            &params,
+            &cancels,
+        );
+        let sols = xfields
+            .iter()
+            .map(|x| x.interior_to_host(&ctx.grid))
+            .collect();
+        (outs, sols)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        // Satellite: cancelling one lane mid-solve leaves every other
+        // lane's outcome and solution bitwise unchanged, wherever the
+        // cancellation lands in the schedule.
+        #[test]
+        fn cancelled_lane_leaves_other_lanes_bitwise_unchanged(
+            fire in 1usize..12,
+            seed in 0u64..1000,
+        ) {
+            let seeds = [seed.wrapping_mul(2).wrapping_add(1), seed.wrapping_mul(2).wrapping_add(2)];
+            let (base_outs, base_sols) = cancel_lane_run(None, seeds);
+            prop_assert!(base_outs[0].converged && base_outs[1].converged);
+            let (outs, sols) = cancel_lane_run(Some(fire), seeds);
+
+            // Lane 0 either got cancelled or converged first — never both.
+            if outs[0].cancelled {
+                prop_assert!(!outs[0].converged);
+                prop_assert!(outs[0].iterations <= base_outs[0].iterations);
+            } else {
+                prop_assert_eq!(outs[0].iterations, base_outs[0].iterations);
+            }
+
+            // Lane 1 is bitwise untouched by its neighbour's fate.
+            prop_assert!(outs[1].converged);
+            prop_assert_eq!(outs[1].iterations, base_outs[1].iterations);
+            prop_assert_eq!(
+                bits(&outs[1].residual_history),
+                bits(&base_outs[1].residual_history)
+            );
+            prop_assert_eq!(bits(&sols[1]), bits(&base_sols[1]));
+        }
     }
 }

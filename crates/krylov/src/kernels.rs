@@ -303,6 +303,143 @@ pub fn axpy3_inplace<T: Scalar, D: Device>(
     });
 }
 
+/// Batched `KernelNorm2Axpy`: per-lane `out ← b − w` fused with `‖out‖²`,
+/// all lanes of a multi-RHS solve in one launch. The device sweeps every
+/// lane inside a single grid pass (one kernel-launch event, amortising
+/// launch and sync overhead across the batch) while folding each lane's
+/// rows with a private accumulator in solo order — lane `s` is bitwise
+/// identical to [`norm2_axpy`] over the same fields. Slices are full
+/// padded lane arrays; per-lane results land in `accs[s]`.
+pub fn norm2_axpy_batch<T: Scalar, D: Device>(
+    dev: &D,
+    info: KernelInfo,
+    grid: &BlockGrid,
+    outs: &mut [&mut [T]],
+    bs: &[&[T]],
+    ws: &[&[T]],
+    accs: &mut [[T; 1]],
+) {
+    assert_eq!(outs.len(), bs.len(), "lane count mismatch");
+    assert_eq!(outs.len(), ws.len(), "lane count mismatch");
+    let map = grid.interior_map();
+    let [nx, ny, nz] = grid.local_n;
+    let base0 = map.base;
+    let (sy, sz) = (map.sy, map.sz);
+    dev.launch_lanes_reduce(info, map, outs, accs, |s, j, k, row| {
+        let b0 = base0 + j * sy + k * sz;
+        let (bsl, wsl) = (bs[s], ws[s]);
+        for (i, v) in row.iter_mut().enumerate() {
+            *v = bsl[b0 + i] - wsl[b0 + i];
+        }
+        let mid = row_has_deep_middle(nx, ny, nz, j, k);
+        [fold_row_edge_last(row.len(), mid, |i| row[i] * row[i])]
+    });
+}
+
+/// Batched `KernelBiCGS2F`: per-lane `y ← y + a x` fused with the dot
+/// `g · y` over the updated values, all lanes in one launch. Lane `s`
+/// (coefficient `coefs[s]`) is bitwise identical to [`axpy_dot`] over
+/// the same fields.
+#[allow(clippy::too_many_arguments)]
+pub fn axpy_dot_batch<T: Scalar, D: Device>(
+    dev: &D,
+    info: KernelInfo,
+    grid: &BlockGrid,
+    ys: &mut [&mut [T]],
+    xs: &[&[T]],
+    coefs: &[T],
+    gs: &[&[T]],
+    accs: &mut [[T; 1]],
+) {
+    assert_eq!(ys.len(), xs.len(), "lane count mismatch");
+    assert_eq!(ys.len(), coefs.len(), "lane count mismatch");
+    assert_eq!(ys.len(), gs.len(), "lane count mismatch");
+    let map = grid.interior_map();
+    let [nx, ny, nz] = grid.local_n;
+    let base0 = map.base;
+    let (sy, sz) = (map.sy, map.sz);
+    dev.launch_lanes_reduce(info, map, ys, accs, |s, j, k, row| {
+        let b = base0 + j * sy + k * sz;
+        let (xsl, gsl, a) = (xs[s], gs[s], coefs[s]);
+        for (i, v) in row.iter_mut().enumerate() {
+            *v += a * xsl[b + i];
+        }
+        let mid = row_has_deep_middle(nx, ny, nz, j, k);
+        [fold_row_edge_last(row.len(), mid, |i| gsl[b + i] * row[i])]
+    });
+}
+
+/// Batched merged x-update: per-lane `y ← (y + a1 x1) + a2 x2` with the
+/// chained grouping of [`axpy2_chained_inplace`], all lanes in one
+/// launch (the deferred `KernelBiCGS4` sweeps of a multi-RHS iteration).
+/// Lane `s` is bitwise identical to the solo chained kernel.
+#[allow(clippy::too_many_arguments)]
+pub fn axpy2_chained_batch<T: Scalar, D: Device>(
+    dev: &D,
+    info: KernelInfo,
+    grid: &BlockGrid,
+    ys: &mut [&mut [T]],
+    x1s: &[&[T]],
+    a1s: &[T],
+    x2s: &[&[T]],
+    a2s: &[T],
+) {
+    assert_eq!(ys.len(), x1s.len(), "lane count mismatch");
+    assert_eq!(ys.len(), a1s.len(), "lane count mismatch");
+    assert_eq!(ys.len(), x2s.len(), "lane count mismatch");
+    assert_eq!(ys.len(), a2s.len(), "lane count mismatch");
+    let map = grid.interior_map();
+    let base0 = map.base;
+    let (sy, sz) = (map.sy, map.sz);
+    dev.launch_lanes(info, map, ys, |s, j, k, row| {
+        let b = base0 + j * sy + k * sz;
+        let (x1, x2, a1, a2) = (x1s[s], x2s[s], a1s[s], a2s[s]);
+        for (i, v) in row.iter_mut().enumerate() {
+            let v1 = *v + a1 * x1[b + i];
+            *v = v1 + a2 * x2[b + i];
+        }
+    });
+}
+
+/// Batched `KernelBiCGS56`: per-lane `r ← r − ω t` with `‖r‖²` and
+/// `p ← r + β (p − ω w)` in one two-output sweep across every lane.
+/// Lane `s` (scalars `omegas[s]`, `betas[s]`) is bitwise identical to
+/// [`residual_p_update_fused`] over the same fields.
+#[allow(clippy::too_many_arguments)]
+pub fn residual_p_update_fused_batch<T: Scalar, D: Device>(
+    dev: &D,
+    info: KernelInfo,
+    grid: &BlockGrid,
+    rs: &mut [&mut [T]],
+    ps: &mut [&mut [T]],
+    ts: &[&[T]],
+    ws: &[&[T]],
+    omegas: &[T],
+    betas: &[T],
+    accs: &mut [[T; 1]],
+) {
+    assert_eq!(rs.len(), ps.len(), "lane count mismatch");
+    assert_eq!(rs.len(), ts.len(), "lane count mismatch");
+    assert_eq!(rs.len(), ws.len(), "lane count mismatch");
+    assert_eq!(rs.len(), omegas.len(), "lane count mismatch");
+    assert_eq!(rs.len(), betas.len(), "lane count mismatch");
+    let map = grid.interior_map();
+    let base0 = map.base;
+    let (sy, sz) = (map.sy, map.sz);
+    dev.launch_lanes2_reduce(info, map, rs, map, ps, accs, |s, j, k, row_r, row_p| {
+        let b = base0 + j * sy + k * sz;
+        let (tsl, wsl, omega, beta) = (ts[s], ws[s], omegas[s], betas[s]);
+        let mut acc = T::ZERO;
+        for i in 0..row_r.len() {
+            let rv = row_r[i] - omega * tsl[b + i];
+            row_r[i] = rv;
+            acc += rv * rv;
+            row_p[i] = rv + beta * (row_p[i] - omega * wsl[b + i]);
+        }
+        [acc]
+    });
+}
+
 /// Local interior dot product `a · b` (reduced per back-end policy).
 ///
 /// Rows fold in the canonical edge-last order ([`fold_row_edge_last`]),
@@ -728,6 +865,153 @@ mod tests {
         for (c, q) in clean.iter().zip(&poisoned) {
             assert!(q.is_finite(), "a fused reduction read a ghost cell: {q}");
             assert_eq!(c.to_bits(), q.to_bits());
+        }
+    }
+
+    #[test]
+    fn batch_kernels_bitwise_match_solo_per_lane() {
+        // Every *_batch kernel must leave each lane bitwise identical to
+        // the solo kernel run over that lane's fields alone — fields and
+        // reduction scalars both.
+        let (dev, grid) = setup_rect();
+        let nb = 3;
+        let coefs: Vec<f64> = vec![0.37, -1.19, 0.73];
+        let omegas: Vec<f64> = vec![0.41, 0.29, -0.63];
+        let betas: Vec<f64> = vec![-0.87, 1.31, 0.11];
+
+        // Per-lane field sets, one "batched" copy and one "solo" copy.
+        let mk = |seed: u64| rng_field(&dev, &grid, seed);
+        let mut r_b: Vec<Field<f64>> = (0..nb).map(|l| mk(100 + l as u64)).collect();
+        let mut r_s: Vec<Field<f64>> = (0..nb).map(|l| mk(100 + l as u64)).collect();
+        let mut p_b: Vec<Field<f64>> = (0..nb).map(|l| mk(200 + l as u64)).collect();
+        let mut p_s: Vec<Field<f64>> = (0..nb).map(|l| mk(200 + l as u64)).collect();
+        let t: Vec<Field<f64>> = (0..nb).map(|l| mk(300 + l as u64)).collect();
+        let w: Vec<Field<f64>> = (0..nb).map(|l| mk(400 + l as u64)).collect();
+        let g: Vec<Field<f64>> = (0..nb).map(|l| mk(500 + l as u64)).collect();
+        let b_rhs: Vec<Field<f64>> = (0..nb).map(|l| mk(600 + l as u64)).collect();
+
+        // norm2_axpy_batch vs norm2_axpy
+        let mut out_b: Vec<Field<f64>> = (0..nb).map(|_| Field::zeros(&dev, &grid)).collect();
+        let mut accs = vec![[0.0f64; 1]; nb];
+        {
+            let mut outs: Vec<&mut [f64]> = out_b.iter_mut().map(|f| f.as_mut_slice()).collect();
+            let bs: Vec<&[f64]> = b_rhs.iter().map(|f| f.as_slice()).collect();
+            let ws: Vec<&[f64]> = w.iter().map(|f| f.as_slice()).collect();
+            norm2_axpy_batch(&dev, INFO_NORM2AXPY, &grid, &mut outs, &bs, &ws, &mut accs);
+        }
+        for l in 0..nb {
+            let mut out_ref = Field::zeros(&dev, &grid);
+            let n2 = norm2_axpy(&dev, INFO_NORM2AXPY, &grid, &mut out_ref, &b_rhs[l], &w[l]);
+            assert_eq!(accs[l][0].to_bits(), n2.to_bits());
+            for (a, b) in out_b[l].as_slice().iter().zip(out_ref.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+
+        // axpy_dot_batch vs axpy_dot (updates r in place)
+        let mut accs2 = vec![[0.0f64; 1]; nb];
+        {
+            let mut ys: Vec<&mut [f64]> = r_b.iter_mut().map(|f| f.as_mut_slice()).collect();
+            let xs: Vec<&[f64]> = w.iter().map(|f| f.as_slice()).collect();
+            let gs: Vec<&[f64]> = g.iter().map(|f| f.as_slice()).collect();
+            axpy_dot_batch(
+                &dev,
+                INFO_BICGS2F,
+                &grid,
+                &mut ys,
+                &xs,
+                &coefs,
+                &gs,
+                &mut accs2,
+            );
+        }
+        for l in 0..nb {
+            let s = axpy_dot(
+                &dev,
+                INFO_BICGS2F,
+                &grid,
+                &mut r_s[l],
+                &w[l],
+                coefs[l],
+                &g[l],
+            );
+            assert_eq!(accs2[l][0].to_bits(), s.to_bits());
+            for (a, b) in r_b[l].as_slice().iter().zip(r_s[l].as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+
+        // residual_p_update_fused_batch vs residual_p_update_fused
+        let mut accs3 = vec![[0.0f64; 1]; nb];
+        {
+            let mut rs: Vec<&mut [f64]> = r_b.iter_mut().map(|f| f.as_mut_slice()).collect();
+            let mut ps: Vec<&mut [f64]> = p_b.iter_mut().map(|f| f.as_mut_slice()).collect();
+            let ts: Vec<&[f64]> = t.iter().map(|f| f.as_slice()).collect();
+            let ws: Vec<&[f64]> = w.iter().map(|f| f.as_slice()).collect();
+            residual_p_update_fused_batch(
+                &dev,
+                INFO_BICGS56,
+                &grid,
+                &mut rs,
+                &mut ps,
+                &ts,
+                &ws,
+                &omegas,
+                &betas,
+                &mut accs3,
+            );
+        }
+        for l in 0..nb {
+            let n2 = residual_p_update_fused(
+                &dev,
+                INFO_BICGS56,
+                &grid,
+                &mut r_s[l],
+                &mut p_s[l],
+                &t[l],
+                &w[l],
+                omegas[l],
+                betas[l],
+            );
+            assert_eq!(accs3[l][0].to_bits(), n2.to_bits());
+            for (a, b) in r_b[l].as_slice().iter().zip(r_s[l].as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            for (a, b) in p_b[l].as_slice().iter().zip(p_s[l].as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+
+        // axpy2_chained_batch vs axpy2_chained_inplace (updates p in place)
+        {
+            let mut ys: Vec<&mut [f64]> = p_b.iter_mut().map(|f| f.as_mut_slice()).collect();
+            let x1s: Vec<&[f64]> = t.iter().map(|f| f.as_slice()).collect();
+            let x2s: Vec<&[f64]> = g.iter().map(|f| f.as_slice()).collect();
+            axpy2_chained_batch(
+                &dev,
+                INFO_BICGS4,
+                &grid,
+                &mut ys,
+                &x1s,
+                &coefs,
+                &x2s,
+                &omegas,
+            );
+        }
+        for l in 0..nb {
+            axpy2_chained_inplace(
+                &dev,
+                INFO_BICGS4,
+                &grid,
+                &mut p_s[l],
+                &t[l],
+                coefs[l],
+                &g[l],
+                omegas[l],
+            );
+            for (a, b) in p_b[l].as_slice().iter().zip(p_s[l].as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
         }
     }
 

@@ -45,11 +45,13 @@ mod precond;
 mod richardson;
 mod schwarz;
 
-pub use bicgstab::{bicgstab_solve, Breakdown, Scope, SolveOutcome, SolveParams};
+pub use bicgstab::{
+    bicgstab_solve, bicgstab_solve_batch, Breakdown, Scope, SolveOutcome, SolveParams,
+};
 pub use cancel::CancelToken;
 pub use cheby::{global_bounds, local_bounds, ChebyMode, ChebyOutcome, ChebyshevIteration};
 pub use config::{SolverKind, SolverOptions};
-pub use ctx::{RankCtx, Workspace};
+pub use ctx::{BatchWorkspace, RankCtx, Workspace};
 pub use precond::{ChebyPrecond, IdentityPrec, InnerBiCgsPrec, PrecTraits, Preconditioner};
 pub use richardson::RichardsonPrec;
 pub use schwarz::RasPrec;

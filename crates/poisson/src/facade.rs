@@ -4,7 +4,8 @@ use accel::{Device, Scalar};
 use blockgrid::{BlockGrid, Decomp, Field};
 use comm::{Communicator, ReduceOp};
 use krylov::{
-    bicgstab_solve, RankCtx, Scope, SolveOutcome, SolveParams, SolverKind, SolverOptions, Workspace,
+    bicgstab_solve, bicgstab_solve_batch, BatchWorkspace, CancelToken, RankCtx, Scope,
+    SolveOutcome, SolveParams, SolverKind, SolverOptions, Workspace,
 };
 
 use crate::assemble::{local_exact, local_rhs};
@@ -76,6 +77,25 @@ pub struct PoissonSolver<T: Scalar, D: Device, C: Communicator<T>> {
     b_norm: f64,
     x: Field<T>,
     problem: PoissonProblem,
+    /// Lane workspaces for [`PoissonSolver::solve_batch`], grown lazily
+    /// to the widest batch seen and reused across batches (the warm
+    /// path of a batching serving layer).
+    batch_ws: BatchWorkspace<T>,
+    /// Per-lane iterates for `solve_batch`, same growth policy.
+    batch_xs: Vec<Field<T>>,
+}
+
+/// One lane's result from a batched facade solve
+/// ([`PoissonSolver::solve_batch`]).
+#[derive(Clone, Debug)]
+pub struct LaneSolve {
+    /// The lane's solver outcome (identical on every rank).
+    pub outcome: SolveOutcome,
+    /// This rank's interior solution, un-normalised back to the lane's
+    /// original RHS scale (one D2H transfer per lane).
+    pub solution_local: Vec<f64>,
+    /// Global RHS norm used for this lane's normalisation.
+    pub rhs_norm: f64,
 }
 
 impl<T: Scalar, D: Device, C: Communicator<T>> PoissonSolver<T, D, C> {
@@ -116,6 +136,7 @@ impl<T: Scalar, D: Device, C: Communicator<T>> PoissonSolver<T, D, C> {
 
         let ws = Workspace::new(&ctx.dev, &ctx.grid);
         let x = Field::zeros(&ctx.dev, &ctx.grid);
+        let batch_ws = BatchWorkspace::new(&ctx.dev, &ctx.grid, 0);
         Ok(Self {
             ctx,
             ws,
@@ -123,6 +144,8 @@ impl<T: Scalar, D: Device, C: Communicator<T>> PoissonSolver<T, D, C> {
             b_norm,
             x,
             problem,
+            batch_ws,
+            batch_xs: Vec::new(),
         })
     }
 
@@ -153,6 +176,159 @@ impl<T: Scalar, D: Device, C: Communicator<T>> PoissonSolver<T, D, C> {
         }
         let b_scaled: Vec<T> = rhs_local.iter().map(|&v| T::from_f64(v / b_norm)).collect();
         Ok((b_scaled, b_norm))
+    }
+
+    /// Validate and globally normalise a batch of local RHS slices with
+    /// **one** reduction carrying every lane's squared norm and validity
+    /// flag (the batched counterpart of
+    /// [`normalised`](PoissonSolver::normalised); per-lane slots fold
+    /// element-wise, so each lane's verdict and scale are bitwise those
+    /// of a solo normalisation). Verdicts derive from reduced values, so
+    /// every rank returns the same per-lane `Result`s.
+    #[allow(clippy::type_complexity)]
+    fn normalised_many(
+        ctx: &RankCtx<T, D, C>,
+        rhs_locals: &[&[f64]],
+    ) -> Vec<Result<(Vec<T>, f64), SetupError>> {
+        let expected: usize = ctx.grid.local_n.iter().product();
+        let mut sums: Vec<T> = Vec::with_capacity(2 * rhs_locals.len());
+        for rhs in rhs_locals {
+            let (local_sq, bad) = if rhs.len() == expected {
+                (rhs.iter().map(|v| v * v).sum::<f64>(), 0.0)
+            } else {
+                (0.0, 1.0)
+            };
+            sums.push(T::from_f64(local_sq));
+            sums.push(T::from_f64(bad));
+        }
+        ctx.comm.all_reduce(&mut sums, ReduceOp::Sum);
+        rhs_locals
+            .iter()
+            .enumerate()
+            .map(|(l, rhs)| {
+                if sums[2 * l + 1].to_f64() != 0.0 {
+                    return Err(SetupError::RhsSizeMismatch {
+                        expected,
+                        got: rhs.len(),
+                    });
+                }
+                let b_norm = sums[2 * l].to_f64().max(0.0).sqrt();
+                if !(b_norm > 0.0 && b_norm.is_finite()) {
+                    return Err(SetupError::ZeroRhs);
+                }
+                let b_scaled: Vec<T> = rhs.iter().map(|&v| T::from_f64(v / b_norm)).collect();
+                Ok((b_scaled, b_norm))
+            })
+            .collect()
+    }
+
+    /// Solve one batch of right-hand sides concurrently over this rank's
+    /// subdomain ([`krylov::bicgstab_solve_batch`]): every sweep, halo
+    /// exchange and reduction is amortised across the batch, and each
+    /// lane's iterates are bitwise those of a solo
+    /// [`solve`](PoissonSolver::solve) against the same RHS.
+    ///
+    /// Lanes are validated and normalised collectively (one reduction);
+    /// an invalid lane gets its [`SetupError`] while the remaining lanes
+    /// ride the batch — the valid-lane set is identical on every rank.
+    /// `cancels` is empty (no cancellation) or one optional token per
+    /// input lane; `params.cancel` must be `None` (per-lane tokens
+    /// replace it). Lane workspaces are allocated lazily and kept for
+    /// the next batch.
+    pub fn solve_batch(
+        &mut self,
+        rhs_locals: &[&[f64]],
+        kind: SolverKind,
+        opts: &SolverOptions,
+        params: &SolveParams,
+        cancels: &[Option<CancelToken>],
+    ) -> Vec<Result<LaneSolve, SetupError>> {
+        let nb = rhs_locals.len();
+        assert!(
+            cancels.is_empty() || cancels.len() == nb,
+            "cancels must be empty or carry one optional token per lane"
+        );
+        if nb == 0 {
+            return Vec::new();
+        }
+        let mut errs: Vec<Option<SetupError>> = Vec::with_capacity(nb);
+        let mut b_fields: Vec<Field<T>> = Vec::new();
+        let mut norms: Vec<f64> = Vec::new();
+        for lane in Self::normalised_many(&self.ctx, rhs_locals) {
+            match lane {
+                Ok((scaled, b_norm)) => {
+                    b_fields.push(Field::from_interior(&self.ctx.dev, &self.ctx.grid, &scaled));
+                    norms.push(b_norm);
+                    errs.push(None);
+                }
+                Err(e) => errs.push(Some(e)),
+            }
+        }
+
+        let nv = b_fields.len();
+        let outs = if nv > 0 {
+            while self.batch_ws.lanes.len() < nv {
+                self.batch_ws
+                    .lanes
+                    .push(Workspace::new(&self.ctx.dev, &self.ctx.grid));
+            }
+            while self.batch_xs.len() < nv {
+                self.batch_xs
+                    .push(Field::zeros(&self.ctx.dev, &self.ctx.grid));
+            }
+            for x in self.batch_xs.iter_mut().take(nv) {
+                x.fill_zero();
+            }
+            let bs: Vec<&Field<T>> = b_fields.iter().collect();
+            let mut xs: Vec<&mut Field<T>> = self.batch_xs.iter_mut().take(nv).collect();
+            let mut boxes: Vec<_> = (0..nv)
+                .map(|_| kind.build_preconditioner(&self.ctx, opts))
+                .collect();
+            let mut precs: Vec<_> = boxes.iter_mut().map(|p| &mut **p).collect();
+            let lane_cancels: Vec<Option<CancelToken>> = if cancels.is_empty() {
+                Vec::new()
+            } else {
+                (0..nb)
+                    .filter(|&l| errs[l].is_none())
+                    .map(|l| cancels[l].clone())
+                    .collect()
+            };
+            bicgstab_solve_batch(
+                &self.ctx,
+                Scope::Global,
+                &bs,
+                &mut xs,
+                &mut precs,
+                &mut self.batch_ws,
+                params,
+                &lane_cancels,
+            )
+        } else {
+            Vec::new()
+        };
+
+        let mut solved = outs.into_iter();
+        let mut slot = 0usize;
+        errs.into_iter()
+            .map(|e| match e {
+                Some(err) => Err(err),
+                None => {
+                    let outcome = solved.next().expect("one outcome per valid lane");
+                    let rhs_norm = norms[slot];
+                    let solution_local: Vec<f64> = self.batch_xs[slot]
+                        .interior_to_host(&self.ctx.grid)
+                        .into_iter()
+                        .map(|v| v.to_f64() * rhs_norm)
+                        .collect();
+                    slot += 1;
+                    Ok(LaneSolve {
+                        outcome,
+                        solution_local,
+                        rhs_norm,
+                    })
+                }
+            })
+            .collect()
     }
 
     /// Swap in a fresh local right-hand side, keeping the grid, the
@@ -556,6 +732,185 @@ mod tests {
         let sf: Vec<u64> = fresh.solution_local().iter().map(|v| v.to_bits()).collect();
         let sw: Vec<u64> = warm.solution_local().iter().map(|v| v.to_bits()).collect();
         assert_eq!(sf, sw, "solutions diverge");
+    }
+
+    /// The facade-level batching guarantee: each lane of `solve_batch`
+    /// reproduces a solo `resolve_with_rhs` against the same RHS
+    /// bitwise — outcome, residual history, normalisation and the
+    /// un-normalised solution — and the lane workspaces are reused by a
+    /// following (wider or narrower) batch without perturbing it.
+    #[test]
+    fn solve_batch_lanes_match_solo_facade_bitwise() {
+        let kind = SolverKind::BiCgsGNoCommCi;
+        let opts = SolverOptions {
+            eig_min_factor: 10.0,
+            ..Default::default()
+        };
+        let params = SolveParams {
+            tol: 1e-11,
+            max_iters: 20_000,
+            record_history: true,
+            ..Default::default()
+        };
+        let p = paper_problem(9);
+        let mut solver: PoissonSolver<f64, _, _> = PoissonSolver::new(
+            p.clone(),
+            Decomp::single(),
+            Serial::new(Recorder::disabled()),
+            SelfComm::default(),
+        );
+        let rhs_paper = crate::assemble::local_rhs(&p, solver.grid());
+        let rhs_other: Vec<f64> = rhs_paper.iter().map(|v| 2.0 * v + 0.5).collect();
+        let rhs_third: Vec<f64> = rhs_paper.iter().map(|v| -v + 1.5).collect();
+
+        let mut solo = Vec::new();
+        for rhs in [&rhs_paper, &rhs_other, &rhs_third] {
+            let out = solver.resolve_with_rhs(rhs, kind, &opts, &params).unwrap();
+            assert!(out.converged, "{out:?}");
+            solo.push((out, solver.rhs_norm(), solver.solution_local()));
+        }
+
+        let lanes = solver.solve_batch(
+            &[&rhs_paper, &rhs_other, &rhs_third],
+            kind,
+            &opts,
+            &params,
+            &[],
+        );
+        assert_eq!(lanes.len(), 3);
+        for (l, (lane, (so, snorm, ssol))) in lanes.iter().zip(&solo).enumerate() {
+            let lane = lane.as_ref().expect("valid lane");
+            assert!(lane.outcome.converged, "lane {l}");
+            assert_eq!(so.iterations, lane.outcome.iterations, "lane {l}");
+            assert_eq!(snorm.to_bits(), lane.rhs_norm.to_bits(), "lane {l}: norm");
+            let hs: Vec<u64> = so.residual_history.iter().map(|v| v.to_bits()).collect();
+            let hb: Vec<u64> = lane
+                .outcome
+                .residual_history
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            assert_eq!(hs, hb, "lane {l}: residual histories diverge");
+            let ss: Vec<u64> = ssol.iter().map(|v| v.to_bits()).collect();
+            let sb: Vec<u64> = lane.solution_local.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(ss, sb, "lane {l}: solutions diverge");
+        }
+
+        // A narrower follow-up batch reuses the (wider) lane cache and
+        // still reproduces its solo solve bitwise.
+        let again = solver.solve_batch(&[&rhs_other], kind, &opts, &params, &[]);
+        let lane = again[0].as_ref().expect("valid lane");
+        let (so, snorm, ssol) = &solo[1];
+        assert_eq!(so.iterations, lane.outcome.iterations);
+        assert_eq!(snorm.to_bits(), lane.rhs_norm.to_bits());
+        let ss: Vec<u64> = ssol.iter().map(|v| v.to_bits()).collect();
+        let sb: Vec<u64> = lane.solution_local.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(ss, sb, "cache reuse perturbed the lane");
+    }
+
+    /// Collective lane validation: a malformed lane gets its
+    /// [`SetupError`] while the surviving lanes solve bitwise as solo —
+    /// on every rank, with the verdicts riding one shared reduction.
+    #[test]
+    fn solve_batch_rejects_bad_lanes_without_poisoning_the_batch() {
+        let kind = SolverKind::BiCgsGNoCommCi;
+        let opts = SolverOptions {
+            eig_min_factor: 10.0,
+            ..Default::default()
+        };
+        let params = SolveParams {
+            tol: 1e-10,
+            max_iters: 20_000,
+            record_history: false,
+            ..Default::default()
+        };
+        let p = paper_problem(9);
+        let mut solver: PoissonSolver<f64, _, _> = PoissonSolver::new(
+            p.clone(),
+            Decomp::single(),
+            Serial::new(Recorder::disabled()),
+            SelfComm::default(),
+        );
+        let rhs_paper = crate::assemble::local_rhs(&p, solver.grid());
+        let n = rhs_paper.len();
+        let solo = solver
+            .resolve_with_rhs(&rhs_paper, kind, &opts, &params)
+            .unwrap();
+        let solo_sol = solver.solution_local();
+
+        let zero = vec![0.0; n];
+        let short = vec![1.0; n - 1];
+        let lanes = solver.solve_batch(&[&zero, &rhs_paper, &short], kind, &opts, &params, &[]);
+        assert_eq!(lanes[0].as_ref().unwrap_err(), &SetupError::ZeroRhs);
+        assert_eq!(
+            lanes[2].as_ref().unwrap_err(),
+            &SetupError::RhsSizeMismatch {
+                expected: n,
+                got: n - 1
+            }
+        );
+        let live = lanes[1].as_ref().expect("valid lane");
+        assert!(live.outcome.converged);
+        assert_eq!(live.outcome.iterations, solo.iterations);
+        let ss: Vec<u64> = solo_sol.iter().map(|v| v.to_bits()).collect();
+        let sb: Vec<u64> = live.solution_local.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(ss, sb, "bad neighbours perturbed the live lane");
+    }
+
+    /// Distributed facade batching: 8 ranks, two lanes, each lane
+    /// bitwise its solo facade solve under rank-ordered reductions.
+    #[test]
+    fn distributed_solve_batch_matches_solo_facade() {
+        let decomp = Decomp::new([2, 2, 2]);
+        let kind = SolverKind::BiCgsGNoCommCi;
+        let results = run_ranks::<f64, _, _>(8, ReduceOrder::RankOrder, move |comm| {
+            let p = paper_problem(13);
+            let opts = SolverOptions {
+                eig_min_factor: 10.0,
+                ..Default::default()
+            };
+            let params = SolveParams {
+                tol: 1e-11,
+                max_iters: 20_000,
+                record_history: true,
+                ..Default::default()
+            };
+            let mut solver: PoissonSolver<f64, Serial, ThreadComm<f64>> =
+                PoissonSolver::new(p.clone(), decomp, Serial::new(Recorder::disabled()), comm);
+            let rhs_paper = crate::assemble::local_rhs(&p, solver.grid());
+            let rhs_other: Vec<f64> = rhs_paper.iter().map(|v| 1.5 * v - 0.25).collect();
+            let mut solo = Vec::new();
+            for rhs in [&rhs_paper, &rhs_other] {
+                let out = solver.resolve_with_rhs(rhs, kind, &opts, &params).unwrap();
+                solo.push((out, solver.solution_local()));
+            }
+            let lanes = solver.solve_batch(&[&rhs_paper, &rhs_other], kind, &opts, &params, &[]);
+            (solo, lanes)
+        });
+        for (rank, (solo, lanes)) in results.iter().enumerate() {
+            for (l, (lane, (so, ssol))) in lanes.iter().zip(solo).enumerate() {
+                let lane = lane.as_ref().expect("valid lane");
+                assert!(
+                    so.converged && lane.outcome.converged,
+                    "rank {rank} lane {l}"
+                );
+                assert_eq!(
+                    so.iterations, lane.outcome.iterations,
+                    "rank {rank} lane {l}"
+                );
+                let hs: Vec<u64> = so.residual_history.iter().map(|v| v.to_bits()).collect();
+                let hb: Vec<u64> = lane
+                    .outcome
+                    .residual_history
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect();
+                assert_eq!(hs, hb, "rank {rank} lane {l}: histories diverge");
+                let ss: Vec<u64> = ssol.iter().map(|v| v.to_bits()).collect();
+                let sb: Vec<u64> = lane.solution_local.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(ss, sb, "rank {rank} lane {l}: solutions diverge");
+            }
+        }
     }
 
     /// The same warm-path guarantee distributed: 8 ranks, overlapped

@@ -69,6 +69,11 @@ pub struct JobMetrics {
     pub iterations: usize,
     /// `true` when a cached warm session served this job.
     pub warm: bool,
+    /// Lanes in the batched solve this job rode: `1` means it ran solo,
+    /// larger values mean the scheduler coalesced it with that many
+    /// compatible jobs into one multi-RHS solve (sweeps, halos and
+    /// reductions amortised across all of them).
+    pub batch_size: usize,
     /// Device spec the job ran on.
     pub device: String,
     /// Global completion order (monotone across the service).
@@ -156,6 +161,13 @@ impl JobShared {
     /// Move the request out (exactly once, by the executing worker).
     pub(crate) fn take_request(&self) -> Option<SolveRequest> {
         sync::lock(&self.request).take()
+    }
+
+    /// Inspect the request without taking it (batch-formation
+    /// fingerprint checks on still-queued jobs). `None` once a worker
+    /// has claimed the request.
+    pub(crate) fn peek_request<R>(&self, f: impl FnOnce(&SolveRequest) -> R) -> Option<R> {
+        sync::lock(&self.request).as_ref().map(f)
     }
 
     pub(crate) fn set_running(&self) {

@@ -91,6 +91,45 @@ impl Scheduler {
         }
     }
 
+    /// Remove up to `limit` queued jobs satisfying `matches`, scanning
+    /// highest class first and FIFO within each class — the same order
+    /// `pop` would eventually serve them in. Jobs that don't match keep
+    /// their queue positions. Never blocks; an empty (or closed and
+    /// drained) queue returns an empty vec.
+    ///
+    /// This is the batch-formation hook: a worker that has already
+    /// popped and leased a job calls this to pull compatible queued
+    /// jobs into the same multi-RHS solve. The predicate runs under the
+    /// queue lock, so it must be quick and must not block or panic
+    /// (callers wrap panicky checks in `catch_unwind`).
+    pub(crate) fn take_batchmates(
+        &self,
+        limit: usize,
+        matches: impl Fn(&JobShared) -> bool,
+    ) -> Vec<Arc<JobShared>> {
+        let mut taken = Vec::new();
+        if limit == 0 {
+            return taken;
+        }
+        let mut st = sync::lock(&self.state);
+        for class in st.classes.iter_mut() {
+            let mut kept = VecDeque::with_capacity(class.len());
+            while let Some(job) = class.pop_front() {
+                if taken.len() < limit && matches(&job) {
+                    taken.push(job);
+                } else {
+                    kept.push_back(job);
+                }
+            }
+            *class = kept;
+            if taken.len() >= limit {
+                break;
+            }
+        }
+        st.len -= taken.len();
+        taken
+    }
+
     /// Close the queue and drain everything still waiting (for
     /// shutdown shedding). Wakes every blocked worker.
     pub(crate) fn close(&self) -> Vec<Arc<JobShared>> {
@@ -174,6 +213,39 @@ mod tests {
             SubmitError::ShuttingDown
         );
         assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn batchmates_come_out_in_pop_order_and_the_rest_keep_their_places() {
+        // Queue (pop order): High 10, Normal 1, 2, 3, Low 20. Matching
+        // the odd ids with limit 2 must take 1 then 3 (FIFO within
+        // class, classes high-first) — not Low 21, which is beyond the
+        // limit — and leave the rest popping in the original order.
+        let q = Scheduler::new(16);
+        for (id, p) in [
+            (1, Priority::Normal),
+            (2, Priority::Normal),
+            (10, Priority::High),
+            (3, Priority::Normal),
+            (21, Priority::Low),
+            (20, Priority::Low),
+        ] {
+            q.push(job(id, p)).unwrap();
+        }
+        let taken = q.take_batchmates(2, |j| j.id % 2 == 1);
+        assert_eq!(taken.iter().map(|j| j.id).collect::<Vec<_>>(), vec![1, 3]);
+        assert_eq!(q.len(), 4);
+        let rest: Vec<u64> = (0..4).map(|_| q.pop().unwrap().id).collect();
+        assert_eq!(rest, vec![10, 2, 21, 20], "non-mates keep queue order");
+    }
+
+    #[test]
+    fn batchmates_with_no_match_or_zero_limit_take_nothing() {
+        let q = Scheduler::new(8);
+        q.push(job(1, Priority::Normal)).unwrap();
+        assert!(q.take_batchmates(4, |_| false).is_empty());
+        assert!(q.take_batchmates(0, |_| true).is_empty());
+        assert_eq!(q.len(), 1);
     }
 
     proptest! {

@@ -16,7 +16,7 @@ use accel::{AnyDevice, DeviceLease, DevicePool, Recorder};
 use blockgrid::Decomp;
 use check::{try_run_ranks_checked, CheckConfig, Checked};
 use comm::ReduceOrder;
-use krylov::{SolveOutcome, SolveParams};
+use krylov::{CancelToken, SolveOutcome, SolveParams};
 use poisson::PoissonSolver;
 
 use crate::job::{JobError, JobHandle, JobMetrics, JobOutput, JobResult, JobShared, SubmitError};
@@ -78,6 +78,17 @@ pub struct ServiceConfig {
     /// Warm sessions kept alive across jobs; `0` disables reuse (every
     /// job builds cold).
     pub session_capacity: usize,
+    /// Most lanes one worker may coalesce into a single batched
+    /// multi-RHS solve. After popping a job, the worker pulls up to
+    /// `batch_window - 1` still-queued jobs with the same session
+    /// fingerprint (identical [`SessionKey`] plus solve envelope) into
+    /// the same solve, amortising stencil sweeps, halo exchanges and
+    /// allreduce latency across all of them; each lane keeps its own
+    /// cancel token, deadline and metrics, and its result is
+    /// bitwise-identical to a solo run. `0` or `1` disables coalescing.
+    /// Riding lanes never displace higher classes from the worker
+    /// itself — the queue still pops strictly by class.
+    pub batch_window: usize,
     /// Reduction order for multi-rank worlds spawned by the service.
     pub order: ReduceOrder,
 }
@@ -89,6 +100,7 @@ impl Default for ServiceConfig {
             queue_capacity: 64,
             devices: Vec::new(),
             session_capacity: 8,
+            batch_window: 1,
             order: ReduceOrder::RankOrder,
         }
     }
@@ -144,6 +156,7 @@ struct ServiceInner {
     specs: Vec<String>,
     stats: StatsInner,
     order: ReduceOrder,
+    batch_window: usize,
     next_id: AtomicU64,
 }
 
@@ -204,6 +217,7 @@ impl SolveService {
             specs,
             stats: StatsInner::default(),
             order: cfg.order,
+            batch_window: cfg.batch_window.max(1),
             next_id: AtomicU64::new(0),
         });
         let mut workers = Vec::with_capacity(cfg.workers);
@@ -293,6 +307,14 @@ impl Drop for SolveService {
     }
 }
 
+/// One member of a coalesced batch: the job, its claimed request, and
+/// its queue wait measured when it left the queue.
+struct Lane {
+    job: Arc<JobShared>,
+    request: SolveRequest,
+    queue_wait: Duration,
+}
+
 fn worker_loop(inner: &ServiceInner) {
     while let Some(job) = inner.queue.pop() {
         let queue_wait = job.submitted.elapsed();
@@ -311,18 +333,211 @@ fn worker_loop(inner: &ServiceInner) {
         }
         job.set_running();
         let lease = inner.pool.acquire();
-        let result = execute(inner, &job, request, &lease, queue_wait);
-        // Return the slot before publishing the result: a submitter
-        // reacting to this job's completion must find the device (and
-        // its per-slot warm session) available again, not still leased.
-        drop(lease);
-        match &result {
-            JobResult::Done(_) => inner.stats.bump(&inner.stats.completed),
-            JobResult::Failed(_) => inner.stats.bump(&inner.stats.failed),
-            JobResult::Cancelled => inner.stats.bump(&inner.stats.cancelled),
-            JobResult::Shed => inner.stats.bump(&inner.stats.shed),
+        let primary = Lane {
+            job,
+            request,
+            queue_wait,
         };
-        job.finish(result);
+        let (lanes, key) = form_batch(inner, primary, &lease);
+        let results = match key {
+            Some(key) if lanes.len() > 1 => execute_batch(inner, &lanes, key, &lease),
+            _ => {
+                // LINT: panic-ok(form_batch always returns at least the
+                // primary job as lane 0)
+                let lane = &lanes[0];
+                vec![execute(
+                    inner,
+                    &lane.job,
+                    &lane.request,
+                    &lease,
+                    lane.queue_wait,
+                )]
+            }
+        };
+        // Return the slot before publishing the results: a submitter
+        // reacting to a completion must find the device (and its
+        // per-slot warm session) available again, not still leased.
+        drop(lease);
+        for (lane, result) in lanes.iter().zip(results) {
+            match &result {
+                JobResult::Done(_) => inner.stats.bump(&inner.stats.completed),
+                JobResult::Failed(_) => inner.stats.bump(&inner.stats.failed),
+                JobResult::Cancelled => inner.stats.bump(&inner.stats.cancelled),
+                JobResult::Shed => inner.stats.bump(&inner.stats.shed),
+            };
+            lane.job.finish(result);
+        }
+    }
+}
+
+/// Whether a still-queued job can ride `key`'s batched solve: same
+/// session fingerprint (so the one constructed solver fits every lane)
+/// plus the same solve envelope (`tol`, `max_iters` — the batched
+/// driver runs one stopping rule for all lanes), and not a checked job
+/// (the harness owns its world and always runs alone).
+///
+/// The key derivation discretises the candidate's problem, which panics
+/// on singular input; a panicking candidate simply doesn't match and is
+/// left queued to fail on its own solo pop.
+fn lane_compatible(
+    key: &SessionKey,
+    primary: &SolveRequest,
+    spec: &str,
+    slot: usize,
+    req: &SolveRequest,
+) -> bool {
+    !req.checked
+        && req.tol.to_bits() == primary.tol.to_bits()
+        && req.max_iters == primary.max_iters
+        && catch_unwind(AssertUnwindSafe(|| SessionKey::of(req, spec, slot) == *key))
+            .unwrap_or(false)
+}
+
+/// Coalesce still-queued jobs compatible with the popped `primary`
+/// into one batch, bounded by the configured window. Lanes are claimed
+/// in pop order; a claimed lane whose cancel fired or deadline expired
+/// while queued is finished right here (Cancelled/Shed) and never
+/// occupies a lane. Returns the lanes (primary first) and the session
+/// key they share — `None` when batching is off, the job is checked,
+/// or the key derivation panicked (the solo path re-derives and
+/// reports that panic properly).
+fn form_batch(
+    inner: &ServiceInner,
+    primary: Lane,
+    lease: &DeviceLease<AnyDevice>,
+) -> (Vec<Lane>, Option<SessionKey>) {
+    if inner.batch_window <= 1 || primary.request.checked {
+        return (vec![primary], None);
+    }
+    // LINT: panic-ok(the pool is built with exactly one spec per slot)
+    let spec = inner.specs[lease.slot()].clone();
+    let slot = lease.slot();
+    let Ok(key) = catch_unwind(AssertUnwindSafe(|| {
+        SessionKey::of(&primary.request, &spec, slot)
+    })) else {
+        return (vec![primary], None);
+    };
+    let mates = inner
+        .queue
+        .take_batchmates(inner.batch_window - 1, |candidate| {
+            candidate
+                .peek_request(|req| lane_compatible(&key, &primary.request, &spec, slot, req))
+                .unwrap_or(false)
+        });
+    let mut lanes = vec![primary];
+    let now = Instant::now();
+    for mate in mates {
+        let queue_wait = mate.submitted.elapsed();
+        let Some(request) = mate.take_request() else {
+            continue;
+        };
+        if mate.cancel.is_cancelled() {
+            inner.stats.bump(&inner.stats.cancelled);
+            mate.finish(JobResult::Cancelled);
+            continue;
+        }
+        if mate.deadline_expired(now) {
+            inner.stats.bump(&inner.stats.shed);
+            mate.finish(JobResult::Shed);
+            continue;
+        }
+        mate.set_running();
+        lanes.push(Lane {
+            job: mate,
+            request,
+            queue_wait,
+        });
+    }
+    (lanes, Some(key))
+}
+
+/// Execute a formed batch as one multi-RHS solve on the leased device,
+/// returning one terminal result per lane (in lane order). Session
+/// acquisition mirrors the solo path: one warm checkout or one cold
+/// build serves every lane; a panic anywhere condemns the whole batch
+/// and quarantines the session.
+fn execute_batch(
+    inner: &ServiceInner,
+    lanes: &[Lane],
+    key: SessionKey,
+    lease: &DeviceLease<AnyDevice>,
+) -> Vec<JobResult> {
+    // LINT: panic-ok(the pool is built with exactly one spec per slot)
+    let spec = inner.specs[lease.slot()].clone();
+    let setup_start = Instant::now();
+    let (mut session, warm) = match inner.cache.checkout(&key) {
+        Some(session) => {
+            inner.stats.bump(&inner.stats.warm_hits);
+            (session, true)
+        }
+        // LINT: panic-ok(execute_batch is only called with >= 2 lanes)
+        None => match Session::build(&key, &lanes[0].request, inner.order, lease) {
+            Ok(session) => {
+                inner.stats.bump(&inner.stats.cold_builds);
+                (session, false)
+            }
+            Err(JobError::Panicked(msg)) => {
+                inner.stats.bump(&inner.stats.quarantined);
+                return lanes
+                    .iter()
+                    .map(|_| {
+                        inner.stats.bump(&inner.stats.panicked);
+                        JobResult::Failed(JobError::Panicked(msg.clone()))
+                    })
+                    .collect();
+            }
+            Err(e) => return lanes.iter().map(|_| JobResult::Failed(e.clone())).collect(),
+        },
+    };
+    let setup = setup_start.elapsed();
+    let reqs: Vec<&SolveRequest> = lanes.iter().map(|l| &l.request).collect();
+    let cancels: Vec<Option<CancelToken>> =
+        lanes.iter().map(|l| Some(l.job.cancel.clone())).collect();
+    let solve_start = Instant::now();
+    match session.run_batch(&reqs, &cancels) {
+        Ok(per_lane) => {
+            let solve = solve_start.elapsed();
+            if inner.cache.checkin(key, session) {
+                inner.stats.bump(&inner.stats.evicted);
+            }
+            lanes
+                .iter()
+                .zip(per_lane)
+                .map(|(lane, verdict)| match verdict {
+                    Ok(outcome) if outcome.cancelled => JobResult::Cancelled,
+                    Ok(outcome) => JobResult::Done(done(
+                        inner,
+                        outcome,
+                        lane.queue_wait,
+                        setup,
+                        solve,
+                        warm,
+                        lanes.len(),
+                        spec.clone(),
+                    )),
+                    Err(e) => JobResult::Failed(JobError::Setup(e)),
+                })
+                .collect()
+        }
+        Err(JobError::Panicked(msg)) => {
+            // The session is dropped instead of checked in: one
+            // tenant's panic quarantines the shared world for the
+            // whole batch.
+            inner.stats.bump(&inner.stats.quarantined);
+            lanes
+                .iter()
+                .map(|_| {
+                    inner.stats.bump(&inner.stats.panicked);
+                    JobResult::Failed(JobError::Panicked(msg.clone()))
+                })
+                .collect()
+        }
+        Err(e) => {
+            if inner.cache.checkin(key, session) {
+                inner.stats.bump(&inner.stats.evicted);
+            }
+            lanes.iter().map(|_| JobResult::Failed(e.clone())).collect()
+        }
     }
 }
 
@@ -332,20 +547,20 @@ fn worker_loop(inner: &ServiceInner) {
 fn execute(
     inner: &ServiceInner,
     job: &JobShared,
-    request: SolveRequest,
+    request: &SolveRequest,
     lease: &DeviceLease<AnyDevice>,
     queue_wait: Duration,
 ) -> JobResult {
     // LINT: panic-ok(the pool is built with exactly one spec per slot)
     let spec = inner.specs[lease.slot()].clone();
     if request.checked {
-        return execute_checked(inner, job, &request, &spec, queue_wait);
+        return execute_checked(inner, job, request, &spec, queue_wait);
     }
     let setup_start = Instant::now();
     // The key derivation discretises the problem, which panics on
     // singular input — isolate it like any other job panic.
     let key = match catch_unwind(AssertUnwindSafe(|| {
-        SessionKey::of(&request, &spec, lease.slot())
+        SessionKey::of(request, &spec, lease.slot())
     })) {
         Ok(key) => key,
         Err(payload) => {
@@ -358,7 +573,7 @@ fn execute(
             inner.stats.bump(&inner.stats.warm_hits);
             (session, true)
         }
-        None => match Session::build(&key, &request, inner.order, lease) {
+        None => match Session::build(&key, request, inner.order, lease) {
             Ok(session) => {
                 inner.stats.bump(&inner.stats.cold_builds);
                 (session, false)
@@ -375,7 +590,7 @@ fn execute(
     };
     let setup = setup_start.elapsed();
     let solve_start = Instant::now();
-    match session.run(&request, job.cancel.clone()) {
+    match session.run(request, job.cancel.clone()) {
         Ok(outcome) => {
             let solve = solve_start.elapsed();
             if inner.cache.checkin(key, session) {
@@ -384,7 +599,9 @@ fn execute(
             if outcome.cancelled {
                 JobResult::Cancelled
             } else {
-                JobResult::Done(done(inner, outcome, queue_wait, setup, solve, warm, spec))
+                JobResult::Done(done(
+                    inner, outcome, queue_wait, setup, solve, warm, 1, spec,
+                ))
             }
         }
         Err(JobError::Panicked(msg)) => {
@@ -474,6 +691,7 @@ fn execute_checked(
                     Duration::ZERO,
                     solve,
                     false,
+                    1,
                     spec.to_string(),
                 ))
             }
@@ -490,6 +708,7 @@ fn execute_checked(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn done(
     inner: &ServiceInner,
     outcome: SolveOutcome,
@@ -497,6 +716,7 @@ fn done(
     setup: Duration,
     solve: Duration,
     warm: bool,
+    batch_size: usize,
     device: String,
 ) -> JobOutput {
     let metrics = JobMetrics {
@@ -505,8 +725,78 @@ fn done(
         solve,
         iterations: outcome.iterations,
         warm,
+        batch_size,
         device,
         completion_seq: inner.stats.bump(&inner.stats.completion_seq),
     };
     JobOutput { outcome, metrics }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::Priority;
+    use krylov::SolverKind;
+    use poisson::unit_cube_dirichlet;
+    use proptest::prelude::*;
+
+    fn job_with(id: u64, n: usize, kind: SolverKind, tol: f64, class: usize) -> Arc<JobShared> {
+        let mut req = SolveRequest::new(unit_cube_dirichlet(n), kind);
+        req.tol = tol;
+        req.priority = match class {
+            0 => Priority::High,
+            1 => Priority::Normal,
+            _ => Priority::Low,
+        };
+        Arc::new(JobShared::new(id, req))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        // Batch formation never merges jobs with different session
+        // fingerprints (different discretisation, solver kind, or solve
+        // envelope), whatever mix is queued — and while window remains
+        // it never strands a compatible job in the queue either.
+        #[test]
+        fn formation_coalesces_compatible_jobs_and_only_those(
+            mix in prop::collection::vec((0usize..2, 0usize..2, 0usize..2, 0usize..3), 1..24),
+            window in 1usize..6,
+        ) {
+            let q = Scheduler::new(256);
+            for (i, &(nsel, ksel, tsel, class)) in mix.iter().enumerate() {
+                let n = [5, 7][nsel];
+                let kind = [SolverKind::BiCgs, SolverKind::BiCgsGCi][ksel];
+                let tol = [1e-8, 1e-6][tsel];
+                q.push(job_with(i as u64, n, kind, tol, class)).unwrap();
+            }
+            let primary = q.pop().expect("queue is non-empty");
+            let preq = primary.take_request().expect("queued jobs hold their request");
+            let key = SessionKey::of(&preq, "serial", 0);
+            let taken = q.take_batchmates(window, |cand| {
+                cand.peek_request(|r| lane_compatible(&key, &preq, "serial", 0, r))
+                    .unwrap_or(false)
+            });
+            prop_assert!(taken.len() <= window);
+            for mate in &taken {
+                let same_fingerprint = mate
+                    .peek_request(|r| {
+                        SessionKey::of(r, "serial", 0) == key
+                            && r.tol.to_bits() == preq.tol.to_bits()
+                            && r.max_iters == preq.max_iters
+                            && !r.checked
+                    })
+                    .expect("mates still hold their request until claimed");
+                prop_assert!(same_fingerprint, "incompatible job {} was coalesced", mate.id);
+            }
+            if taken.len() < window {
+                for leftover in q.close() {
+                    let compatible = leftover
+                        .peek_request(|r| lane_compatible(&key, &preq, "serial", 0, r))
+                        .unwrap_or(false);
+                    prop_assert!(!compatible, "compatible job {} was left queued", leftover.id);
+                }
+            }
+        }
+    }
 }

@@ -213,6 +213,48 @@ fn run_one<C: comm::Communicator<f64>>(
     }
 }
 
+/// Run every lane of a coalesced batch through one multi-RHS solve on
+/// this rank's solver. Per-lane setup refusals (zero RHS, size
+/// mismatch) come back in the lane's slot without poisoning the batch;
+/// the verdicts are collective, so every rank returns the same vec.
+///
+/// Every lane brings its own RHS (a scattered override or a fresh
+/// assembly from its problem closures) — the batched path never reuses
+/// the session's offloaded `b`, so `b_source` provenance is untouched.
+fn run_lanes<C: comm::Communicator<f64>>(
+    solver: &mut PoissonSolver<f64, AnyDevice, C>,
+    reqs: &[&SolveRequest],
+    params: &SolveParams,
+    cancels: &[Option<CancelToken>],
+) -> Vec<Result<SolveOutcome, SetupError>> {
+    // LINT: panic-ok(callers always pass at least one lane request)
+    let head = reqs[0];
+    let assembled: Vec<Result<Vec<f64>, SetupError>> = reqs
+        .iter()
+        .map(|req| match &req.rhs {
+            Some(global) => scatter(solver.grid(), global),
+            None => Ok(local_rhs(&req.problem, solver.grid())),
+        })
+        .collect();
+    // Lanes whose scatter failed stay in the batch as empty slices so
+    // lane indexing (and the collective normalisation) stays aligned on
+    // every rank; their recorded error wins below. A global-size
+    // mismatch is rank-uniform, so this stays collective.
+    let rhs_locals: Vec<&[f64]> = assembled
+        .iter()
+        .map(|r| r.as_deref().unwrap_or(&[]))
+        .collect();
+    let lanes = solver.solve_batch(&rhs_locals, head.kind, &head.opts, params, cancels);
+    lanes
+        .into_iter()
+        .zip(assembled)
+        .map(|(lane, pre)| match pre {
+            Err(e) => Err(e),
+            Ok(_) => lane.map(|l| l.outcome),
+        })
+        .collect()
+}
+
 impl Session {
     /// Construct the session for `req` cold. The single-rank flavour
     /// runs on a clone of the leased device; multi-rank worlds build
@@ -398,6 +440,91 @@ impl Session {
             None => Some(RhsSource::of(&req.problem)),
         };
         Ok(outcome)
+    }
+
+    /// Execute a coalesced batch of jobs as one multi-RHS solve.
+    ///
+    /// Callers guarantee the requests share this session's key plus the
+    /// solve envelope (`tol`, `max_iters`) — batch formation enforces
+    /// it. Each lane carries its own cancel token; cancelling one lane
+    /// freezes it and leaves every other lane bitwise-unchanged.
+    ///
+    /// `Ok` carries one slot per lane: the lane's outcome, or its own
+    /// clean setup refusal (a bad lane never poisons its batchmates).
+    /// `Err(JobError::Panicked)` condemns the whole batch and the
+    /// caller must quarantine the session, exactly like [`Session::run`].
+    pub(crate) fn run_batch(
+        &mut self,
+        reqs: &[&SolveRequest],
+        cancels: &[Option<CancelToken>],
+    ) -> Result<Vec<Result<SolveOutcome, SetupError>>, JobError> {
+        // LINT: panic-ok(callers always pass at least one lane request)
+        let head = reqs[0];
+        let params = SolveParams {
+            tol: head.tol,
+            max_iters: head.max_iters,
+            record_history: false,
+            overlap_halo: head.opts.overlap_halo,
+            overlap_reduce: head.opts.overlap_reduce,
+            // Per-lane tokens travel through `cancels`; a params-level
+            // token is a solo-path concept the batched driver rejects.
+            cancel: None,
+            ..Default::default()
+        };
+        let out = match &mut self.world {
+            SessionWorld::Single(solver) => {
+                match catch_unwind(AssertUnwindSafe(|| {
+                    run_lanes(solver, reqs, &params, cancels)
+                })) {
+                    Ok(lanes) => Ok(lanes),
+                    Err(p) => Err(JobError::Panicked(panic_message(p))),
+                }
+            }
+            SessionWorld::Multi { ranks, poisoner } => {
+                let results: Vec<_> = std::thread::scope(|s| {
+                    let handles: Vec<_> = ranks
+                        .iter_mut()
+                        .map(|solver| {
+                            let poi = poisoner.clone();
+                            let params = params.clone();
+                            s.spawn(move || {
+                                let r = catch_unwind(AssertUnwindSafe(|| {
+                                    run_lanes(solver, reqs, &params, cancels)
+                                }));
+                                if r.is_err() {
+                                    poi.poison();
+                                }
+                                r
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        // LINT: panic-ok(rank closures run under catch_unwind)
+                        .map(|h| h.join().expect("rank threads catch their panics"))
+                        .collect()
+                });
+                let mut out = None;
+                let mut panics = Vec::new();
+                for r in results {
+                    match r {
+                        // Lane verdicts are collective: every rank's vec
+                        // is identical, so rank 0's stands for all.
+                        Ok(lanes) => out = out.or(Some(lanes)),
+                        Err(p) => panics.push(panic_message(p)),
+                    }
+                }
+                if !panics.is_empty() {
+                    Err(JobError::Panicked(primary_panic(panics)))
+                } else {
+                    // LINT: panic-ok(no panics means every rank returned
+                    // its lane vec, and ranks >= 2 here)
+                    Ok(out.expect("every rank returned lane outcomes"))
+                }
+            }
+        }?;
+        self.solves += reqs.len() as u64;
+        Ok(out)
     }
 }
 

@@ -353,6 +353,154 @@ fn shutdown_sheds_queued_jobs_and_finishes_running_ones() {
     assert_eq!(stats.completed, 1);
 }
 
+/// A distinct global RHS override for lane `seed` of a batching test:
+/// smooth, nonzero, and cheap to regenerate for the reference run.
+fn rhs_override(problem: &PoissonProblem, seed: u64) -> Vec<f64> {
+    let n = problem.discretize().unknowns();
+    (0..n)
+        .map(|i| 1.0 + ((i as f64) * 0.37 + seed as f64).sin())
+        .collect()
+}
+
+#[test]
+fn compatible_queued_jobs_coalesce_into_one_batched_solve_bitwise() {
+    // Pin the single worker behind a gate, queue three jobs that share
+    // a session fingerprint but carry different right-hand sides, then
+    // release: the first popped job must pull the other two into one
+    // batched solve, and every lane must be bitwise-identical to the
+    // same request served solo.
+    let gate = Arc::new(AtomicBool::new(false));
+    let svc = SolveService::start(ServiceConfig {
+        workers: 1,
+        batch_window: 4,
+        ..ServiceConfig::default()
+    });
+    let blocker = svc.submit(quick(gated_problem(&gate))).unwrap();
+    wait_until_running(&blocker);
+    let base = quick(unit_cube_dirichlet(9));
+    let handles: Vec<JobHandle> = (0..3)
+        .map(|i| {
+            let mut req = base.clone();
+            req.rhs = Some(rhs_override(&base.problem, i));
+            svc.submit(req).unwrap()
+        })
+        .collect();
+    gate.store(true, Ordering::SeqCst);
+    assert!(blocker.wait().output().is_some());
+    let solo_svc = single_worker(8);
+    for (i, handle) in handles.iter().enumerate() {
+        let result = handle.wait();
+        let out = result.output().unwrap_or_else(|| {
+            panic!("batched lane {i} must complete, got {result:?}");
+        });
+        assert!(out.outcome.converged, "lane {i} must converge");
+        assert_eq!(
+            out.metrics.batch_size, 3,
+            "three compatible jobs must form one 3-lane batch"
+        );
+        let mut req = base.clone();
+        req.rhs = Some(rhs_override(&base.problem, i as u64));
+        let solo = solo_svc.submit(req).unwrap().wait();
+        let solo = solo.output().expect("solo reference completes");
+        assert_eq!(solo.metrics.batch_size, 1);
+        assert_eq!(out.outcome.iterations, solo.outcome.iterations);
+        assert_eq!(
+            out.outcome.final_residual.to_bits(),
+            solo.outcome.final_residual.to_bits(),
+            "lane {i} must be bitwise-identical to its solo solve"
+        );
+    }
+    let stats = svc.stats();
+    assert_eq!(stats.completed, 4);
+    assert_eq!(
+        stats.cold_builds, 2,
+        "the blocker builds one session, the whole batch shares one more"
+    );
+}
+
+#[test]
+fn formation_honors_cancel_and_deadline_before_claiming_a_lane() {
+    // Of three fingerprint-compatible queued jobs, one is cancelled and
+    // one is past its deadline by the time the worker forms the batch:
+    // neither may occupy a lane, and the survivor runs (solo, as a
+    // 1-lane batch collapses to the ordinary path).
+    let gate = Arc::new(AtomicBool::new(false));
+    let svc = SolveService::start(ServiceConfig {
+        workers: 1,
+        batch_window: 4,
+        ..ServiceConfig::default()
+    });
+    let blocker = svc.submit(quick(gated_problem(&gate))).unwrap();
+    wait_until_running(&blocker);
+    let base = quick(unit_cube_dirichlet(9));
+    let survivor = svc.submit(base.clone()).unwrap();
+    let doomed = svc.submit(base.clone()).unwrap();
+    let mut stale_req = base.clone();
+    stale_req.deadline = Some(Duration::from_millis(5));
+    let stale = svc.submit(stale_req).unwrap();
+    doomed.cancel();
+    #[allow(clippy::disallowed_methods)]
+    std::thread::sleep(Duration::from_millis(20));
+    gate.store(true, Ordering::SeqCst);
+    assert!(blocker.wait().output().is_some());
+    assert!(matches!(doomed.wait(), JobResult::Cancelled));
+    assert!(matches!(stale.wait(), JobResult::Shed));
+    let out = survivor.wait();
+    let out = out.output().expect("survivor completes");
+    assert!(out.outcome.converged);
+    assert_eq!(
+        out.metrics.batch_size, 1,
+        "with both mates dropped at formation the survivor runs solo"
+    );
+    let stats = svc.stats();
+    assert_eq!(stats.cancelled, 1);
+    assert_eq!(stats.shed, 1);
+    assert_eq!(stats.completed, 2);
+}
+
+#[test]
+fn multi_rank_jobs_coalesce_and_match_their_solo_runs() {
+    let gate = Arc::new(AtomicBool::new(false));
+    let svc = SolveService::start(ServiceConfig {
+        workers: 1,
+        batch_window: 4,
+        ..ServiceConfig::default()
+    });
+    let blocker = svc.submit(quick(gated_problem(&gate))).unwrap();
+    wait_until_running(&blocker);
+    let mut base = quick(paper_problem(9));
+    base.decomp = [2, 1, 1];
+    base.kind = SolverKind::BiCgsGCi;
+    let handles: Vec<JobHandle> = (0..2)
+        .map(|i| {
+            let mut req = base.clone();
+            req.rhs = Some(rhs_override(&base.problem, 10 + i));
+            svc.submit(req).unwrap()
+        })
+        .collect();
+    gate.store(true, Ordering::SeqCst);
+    assert!(blocker.wait().output().is_some());
+    let solo_svc = single_worker(8);
+    for (i, handle) in handles.iter().enumerate() {
+        let result = handle.wait();
+        let out = result.output().unwrap_or_else(|| {
+            panic!("multi-rank lane {i} must complete, got {result:?}");
+        });
+        assert!(out.outcome.converged);
+        assert_eq!(out.metrics.batch_size, 2);
+        let mut req = base.clone();
+        req.rhs = Some(rhs_override(&base.problem, 10 + i as u64));
+        let solo = solo_svc.submit(req).unwrap().wait();
+        let solo = solo.output().expect("solo reference completes");
+        assert_eq!(out.outcome.iterations, solo.outcome.iterations);
+        assert_eq!(
+            out.outcome.final_residual.to_bits(),
+            solo.outcome.final_residual.to_bits(),
+            "multi-rank lane {i} must match its solo solve bitwise"
+        );
+    }
+}
+
 mod no_job_lost {
     //! Property: every admitted job reaches exactly one terminal state,
     //! whatever mix of good, poison, cancelled and stale jobs arrives,

@@ -26,14 +26,16 @@ const COLLECTIVES: &[&str] = &[
     "all_reduce",
     "iall_reduce",
     "iall_reduce_batch",
+    "iall_reduce_many",
     "reduce_batch",
     "reduce_finish",
+    "reduce_finish_many",
     "barrier",
 ];
 
 /// Collectives that need a halo-ish receiver to count (`begin`, `finish`
 /// and `exchange` are too generic otherwise).
-const HALO_COLLECTIVES: &[&str] = &["begin", "finish", "exchange"];
+const HALO_COLLECTIVES: &[&str] = &["begin", "finish", "exchange", "exchange_batch"];
 
 /// Run SPMD002 over every function of a file (test code included — the
 /// balanced-arms rule keeps legitimate rank-scripted tests quiet).

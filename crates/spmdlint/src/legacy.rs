@@ -40,6 +40,9 @@ pub const UNSAFE_ALLOWLIST: &[&str] = &[
 pub const MUST_USE_TYPES: &[(&str, &str)] = &[
     ("crates/comm/src/types.rs", "RecvRequest"),
     ("crates/comm/src/types.rs", "ReduceRequest"),
+    // Dropping a chunked handle abandons both the in-flight head chunk
+    // and the never-reduced tail scalars.
+    ("crates/comm/src/types.rs", "ReduceManyRequest"),
     ("crates/blockgrid/src/halo.rs", "PendingExchange"),
     // Dropping a job handle silently discards the tenant's result.
     ("crates/serve/src/job.rs", "JobHandle"),

@@ -1,9 +1,10 @@
 //! SPMD001 — split-phase begin/finish pairing.
 //!
 //! Every split-phase begin (`iall_reduce`/`iall_reduce_batch` returning a
-//! `ReduceRequest`, `halo.begin` returning a `PendingExchange`,
-//! `apply_shell_dot` returning a `PendingDotFold`) must reach its finish
-//! (`reduce_finish`, `finish`, `fold`) on **every** control-flow path.
+//! `ReduceRequest`, `iall_reduce_many` returning a `ReduceManyRequest`,
+//! `halo.begin` returning a `PendingExchange`, `apply_shell_dot`
+//! returning a `PendingDotFold`) must reach its finish (`reduce_finish`,
+//! `reduce_finish_many`, `finish`, `fold`) on **every** control-flow path.
 //! The walker interprets a function body statement-by-statement over the
 //! token tree: `if`/`else` and `match` arms are merged with AND semantics
 //! (finished only if finished on every arm), loops with OR, and `return`
@@ -40,6 +41,12 @@ const CLASSES: &[BeginClass] = &[
         begins: &["iall_reduce", "iall_reduce_batch"],
         finish: "reduce_finish",
         handle: "ReduceRequest",
+        contextual_halo: false,
+    },
+    BeginClass {
+        begins: &["iall_reduce_many"],
+        finish: "reduce_finish_many",
+        handle: "ReduceManyRequest",
         contextual_halo: false,
     },
     BeginClass {

@@ -385,6 +385,88 @@ impl Laplacian {
         (tr, tt, gt)
     }
 
+    /// Batched `KernelBiCGS1`: per-lane `w = A u` fused with the local
+    /// dot `g · w`, every lane of a multi-RHS solve in one launch. The
+    /// device strides lanes inside a single grid sweep (one kernel-launch
+    /// event for the whole batch) while folding each lane's rows with a
+    /// private accumulator in solo order, so lane `s` — field and scalar
+    /// — is bitwise identical to [`Laplacian::apply_fused_dot`] over the
+    /// same fields. Slices are full padded lane arrays with current
+    /// ghosts; per-lane dots land in `accs[s]`.
+    pub fn apply_fused_dot_batch<T: Scalar, D: Device>(
+        &self,
+        dev: &D,
+        info: KernelInfo,
+        us: &[&[T]],
+        ws: &mut [&mut [T]],
+        gs: &[&[T]],
+        accs: &mut [[T; 1]],
+    ) {
+        assert_eq!(us.len(), ws.len(), "lane count mismatch");
+        assert_eq!(us.len(), gs.len(), "lane count mismatch");
+        let ([cx, cy, cz], sy, sz) = self.coeffs::<T>();
+        let map = self.grid.interior_map();
+        let [nx, ny, nz] = self.grid.local_n;
+        let base0 = map.base;
+        let two = T::from_f64(2.0);
+        dev.launch_lanes_reduce(info, map, ws, accs, |s, j, k, row| {
+            let b = base0 + j * sy + k * sz;
+            let (usl, gsl) = (us[s], gs[s]);
+            for (i, out) in row.iter_mut().enumerate() {
+                let c = b + i;
+                let uc = usl[c];
+                *out = cx * (two * uc - usl[c - 1] - usl[c + 1])
+                    + cy * (two * uc - usl[c - sy] - usl[c + sy])
+                    + cz * (two * uc - usl[c - sz] - usl[c + sz]);
+            }
+            let mid = row_has_deep_middle(nx, ny, nz, j, k);
+            [fold_row_edge_last(row.len(), mid, |i| gsl[b + i] * row[i])]
+        });
+    }
+
+    /// Batched `KernelBiCGS3F`: per-lane `t = A u` fused with the three
+    /// local dots `(t · r, t · t, g · t)`, every lane in one launch.
+    /// Lane `s` is bitwise identical to
+    /// [`Laplacian::apply_fused_dot3`] over the same fields; per-lane
+    /// dot triples land in `accs[s]`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn apply_fused_dot3_batch<T: Scalar, D: Device>(
+        &self,
+        dev: &D,
+        info: KernelInfo,
+        us: &[&[T]],
+        ts: &mut [&mut [T]],
+        rs: &[&[T]],
+        gs: &[&[T]],
+        accs: &mut [[T; 3]],
+    ) {
+        assert_eq!(us.len(), ts.len(), "lane count mismatch");
+        assert_eq!(us.len(), rs.len(), "lane count mismatch");
+        assert_eq!(us.len(), gs.len(), "lane count mismatch");
+        let ([cx, cy, cz], sy, sz) = self.coeffs::<T>();
+        let map = self.grid.interior_map();
+        let [nx, ny, nz] = self.grid.local_n;
+        let base0 = map.base;
+        let two = T::from_f64(2.0);
+        dev.launch_lanes_reduce(info, map, ts, accs, |s, j, k, row| {
+            let b = base0 + j * sy + k * sz;
+            let (usl, rsl, gsl) = (us[s], rs[s], gs[s]);
+            for (i, out) in row.iter_mut().enumerate() {
+                let c = b + i;
+                let uc = usl[c];
+                *out = cx * (two * uc - usl[c - 1] - usl[c + 1])
+                    + cy * (two * uc - usl[c - sy] - usl[c + sy])
+                    + cz * (two * uc - usl[c - sz] - usl[c + sz]);
+            }
+            let mid = row_has_deep_middle(nx, ny, nz, j, k);
+            [
+                fold_row_edge_last(row.len(), mid, |i| row[i] * rsl[b + i]),
+                fold_row_edge_last(row.len(), mid, |i| row[i] * row[i]),
+                fold_row_edge_last(row.len(), mid, |i| gsl[b + i] * row[i]),
+            ]
+        });
+    }
+
     /// Stencil sweep over one sub-map of the interior that also deposits
     /// per-row partials of `NR` dot products into `slots`. `terms`
     /// receives the padded linear index `c` and the freshly computed
@@ -650,6 +732,68 @@ mod tests {
                 ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
             })
             .collect()
+    }
+
+    #[test]
+    fn batched_fused_dots_bitwise_match_solo_per_lane() {
+        // apply_fused_dot_batch / apply_fused_dot3_batch must leave each
+        // lane — output field and reduction scalars — bitwise identical
+        // to the solo fused sweeps, on every back-end.
+        let bc = [[BcKind::Dirichlet, BcKind::Neumann]; 3];
+        let grid = single_rank_grid([5, 4, 3], bc);
+        let lap = Laplacian::new(&grid);
+        let nb = 3;
+        let n = grid.global.unknowns();
+        let run = |dev: &dyn Fn() -> accel::AnyDevice| {
+            let dev = dev();
+            let mk = |seed: u64| {
+                let mut f = Field::from_interior(&dev, &grid, &rng_values(n, seed));
+                apply_physical_bcs(&grid, &mut f, &Recorder::disabled(), false);
+                f
+            };
+            let us: Vec<Field<f64>> = (0..nb).map(|l| mk(70 + l as u64)).collect();
+            let rs: Vec<Field<f64>> = (0..nb).map(|l| mk(80 + l as u64)).collect();
+            let gs: Vec<Field<f64>> = (0..nb).map(|l| mk(90 + l as u64)).collect();
+            let mut w_b: Vec<Field<f64>> = (0..nb).map(|_| Field::zeros(&dev, &grid)).collect();
+            let mut accs1 = vec![[0.0f64; 1]; nb];
+            {
+                let usl: Vec<&[f64]> = us.iter().map(|f| f.as_slice()).collect();
+                let gsl: Vec<&[f64]> = gs.iter().map(|f| f.as_slice()).collect();
+                let mut wm: Vec<&mut [f64]> = w_b.iter_mut().map(|f| f.as_mut_slice()).collect();
+                lap.apply_fused_dot_batch(&dev, INFO_APPLY, &usl, &mut wm, &gsl, &mut accs1);
+            }
+            let mut t_b: Vec<Field<f64>> = (0..nb).map(|_| Field::zeros(&dev, &grid)).collect();
+            let mut accs3 = vec![[0.0f64; 3]; nb];
+            {
+                let usl: Vec<&[f64]> = us.iter().map(|f| f.as_slice()).collect();
+                let rsl: Vec<&[f64]> = rs.iter().map(|f| f.as_slice()).collect();
+                let gsl: Vec<&[f64]> = gs.iter().map(|f| f.as_slice()).collect();
+                let mut tm: Vec<&mut [f64]> = t_b.iter_mut().map(|f| f.as_mut_slice()).collect();
+                lap.apply_fused_dot3_batch(&dev, INFO_APPLY, &usl, &mut tm, &rsl, &gsl, &mut accs3);
+            }
+            for l in 0..nb {
+                let mut w_ref = Field::zeros(&dev, &grid);
+                let d = lap.apply_fused_dot(&dev, INFO_APPLY, &us[l], &mut w_ref, &gs[l]);
+                assert_eq!(accs1[l][0].to_bits(), d.to_bits());
+                for (a, b) in w_b[l].as_slice().iter().zip(w_ref.as_slice()) {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+                let mut t_ref = Field::zeros(&dev, &grid);
+                let (tr, tt, gt) =
+                    lap.apply_fused_dot3(&dev, INFO_APPLY, &us[l], &mut t_ref, &rs[l], &gs[l]);
+                assert_eq!(accs3[l][0].to_bits(), tr.to_bits());
+                assert_eq!(accs3[l][1].to_bits(), tt.to_bits());
+                assert_eq!(accs3[l][2].to_bits(), gt.to_bits());
+                for (a, b) in t_b[l].as_slice().iter().zip(t_ref.as_slice()) {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+        };
+        run(&|| accel::AnyDevice::Serial(Serial::new(Recorder::disabled())));
+        run(&|| accel::AnyDevice::Threads(Threads::new(3, Recorder::disabled())));
+        run(&|| {
+            accel::AnyDevice::SimGpu(SimGpu::new(GpuSimParams::mi250x(), Recorder::disabled()))
+        });
     }
 
     fn single_rank_grid(n: [usize; 3], bc: [[BcKind; 2]; 3]) -> BlockGrid {

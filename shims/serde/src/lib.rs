@@ -79,6 +79,12 @@ pub trait Serialize {
 /// exercises deserialisation, so no methods are required.
 pub trait Deserialize {}
 
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
 impl Serialize for bool {
     fn to_value(&self) -> Value {
         Value::Bool(*self)
