@@ -119,6 +119,10 @@ pub enum Event {
     AllReduce {
         /// Number of scalars reduced.
         elems: u32,
+        /// Payload bytes per stage (`elems × element width`): the
+        /// per-precision width is carried with the event so the
+        /// performance model never has to assume 8 B/scalar.
+        bytes: u64,
     },
     /// Begin of a named stage (for trace rendering).
     Begin {

@@ -239,7 +239,7 @@ fn ablation_halo_overlap(c: &mut Criterion) {
     use accel::{Event, Threads};
     use blockgrid::{BlockGrid, GlobalGrid, HaloExchange};
     use comm::run_ranks_recorded;
-    use perfmodel::{replay, MachineModel};
+    use perfmodel::MachineModel;
     use std::time::Duration;
 
     const RANKS: usize = 8;
@@ -289,11 +289,7 @@ fn ablation_halo_overlap(c: &mut Criterion) {
 
     let machine = MachineModel::mi250x();
     let modeled = |streams: &[Vec<Event>]| -> Duration {
-        let worst = streams
-            .iter()
-            .map(|evs| replay(evs, &machine, RANKS).total_s())
-            .fold(0.0, f64::max);
-        Duration::from_secs_f64(worst)
+        Duration::from_secs_f64(bench::worst_rank_replay(streams, &machine, RANKS).total_s())
     };
 
     let mut group = c.benchmark_group("ablation_halo_overlap");
@@ -310,15 +306,8 @@ fn ablation_halo_overlap(c: &mut Criterion) {
     // worth >= 1.2x per operator application in this regime.
     let sync_streams = record_world(false);
     let over_streams = record_world(true);
-    let breakdown = |streams: &[Vec<Event>]| {
-        streams
-            .iter()
-            .map(|evs| replay(evs, &machine, RANKS))
-            .max_by(|a, b| a.total_s().total_cmp(&b.total_s()))
-            .expect("at least one rank")
-    };
-    let sync_b = breakdown(&sync_streams);
-    let over_b = breakdown(&over_streams);
+    let sync_b = bench::worst_rank_replay(&sync_streams, &machine, RANKS);
+    let over_b = bench::worst_rank_replay(&over_streams, &machine, RANKS);
     let (sync_s, over_s) = (sync_b.total_s(), over_b.total_s());
     assert!(
         sync_s >= 1.2 * over_s,
@@ -362,7 +351,7 @@ fn ablation_halo_overlap(c: &mut Criterion) {
 /// strong-scaling regime of the paper's Fig. 6.
 fn ablation_reduce_overlap(c: &mut Criterion) {
     use accel::Event;
-    use perfmodel::{replay, CostBreakdown, MachineModel};
+    use perfmodel::{CostBreakdown, MachineModel};
     use std::time::Duration;
 
     const RANKS: usize = 8;
@@ -396,11 +385,7 @@ fn ablation_reduce_overlap(c: &mut Criterion) {
 
     let machine = MachineModel::mi250x();
     let worst = |streams: &[Vec<Event>], model_ranks: usize| -> CostBreakdown {
-        streams
-            .iter()
-            .map(|evs| replay(evs, &machine, model_ranks))
-            .max_by(|a, b| a.total_s().total_cmp(&b.total_s()))
-            .expect("at least one rank")
+        bench::worst_rank_replay(streams, &machine, model_ranks)
     };
 
     let mut group = c.benchmark_group("ablation_reduce_overlap");
@@ -476,7 +461,7 @@ fn ablation_reduce_overlap(c: &mut Criterion) {
 /// per-iteration time must drop by at least the 1.25x bar.
 fn ablation_fused_kernels(c: &mut Criterion) {
     use accel::Event;
-    use perfmodel::{replay, scale_events, CostBreakdown, MachineModel};
+    use perfmodel::{CostBreakdown, MachineModel};
     use std::time::Duration;
 
     const RANKS: usize = 8;
@@ -521,11 +506,7 @@ fn ablation_fused_kernels(c: &mut Criterion) {
     // take the slowest rank's modeled solve time.
     let worst = |streams: &[Vec<Event>], local: usize| -> CostBreakdown {
         let r = local as f64 / RECORDED_LOCAL;
-        streams
-            .iter()
-            .map(|evs| replay(&scale_events(evs, r.powi(3), r.powi(2)), &machine, RANKS))
-            .max_by(|a, b| a.total_s().total_cmp(&b.total_s()))
-            .expect("at least one rank")
+        bench::worst_rank_replay_scaled(streams, &machine, RANKS, r.powi(3), r.powi(2))
     };
 
     let mut group = c.benchmark_group("ablation_fused_kernels");
@@ -622,53 +603,7 @@ fn ablation_fused_kernels(c: &mut Criterion) {
 
     // Refresh the committed stable-schema summary artifact at the
     // repository root, so the headline figures travel with the tree.
-    update_summary("fused_kernels", serde::Serialize::to_value(&record));
-}
-
-/// Merge one ablation's headline record into the committed
-/// `results/bench_summary.json` at the repository root. The summary is a
-/// `{schema_version, sections: {<ablation>: ...}}` document so several
-/// ablations can contribute rows without clobbering each other; a legacy
-/// v1 file (the flat fused-kernels record) is migrated into its section
-/// on first contact.
-fn update_summary(section: &str, value: serde::Value) {
-    use serde::Value;
-    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .ancestors()
-        .nth(2)
-        .expect("bench crate sits two levels below the repository root");
-    std::fs::create_dir_all(root.join("results")).expect("create results/");
-    let path = root.join("results/bench_summary.json");
-    let prior = std::fs::read_to_string(&path)
-        .ok()
-        .and_then(|s| serde_json::from_str(&s).ok());
-    let mut sections: Vec<(String, Value)> = match prior {
-        Some(Value::Object(entries)) => match entries.iter().position(|(k, _)| k == "sections") {
-            Some(i) => match entries.into_iter().nth(i) {
-                Some((_, Value::Object(secs))) => secs,
-                _ => Vec::new(),
-            },
-            // a legacy v1 flat file is the fused-kernels record
-            None if entries.iter().any(|(k, _)| k == "rows") => {
-                vec![("fused_kernels".into(), Value::Object(entries))]
-            }
-            None => Vec::new(),
-        },
-        _ => Vec::new(),
-    };
-    match sections.iter_mut().find(|(k, _)| k == section) {
-        Some(slot) => slot.1 = value,
-        None => sections.push((section.into(), value)),
-    }
-    let doc = Value::Object(vec![
-        ("schema_version".into(), Value::U64(2)),
-        ("sections".into(), Value::Object(sections)),
-    ]);
-    std::fs::write(
-        &path,
-        serde_json::to_string_pretty(&doc).expect("serialise"),
-    )
-    .expect("write results/bench_summary.json");
+    bench::update_summary("fused_kernels", serde::Serialize::to_value(&record));
 }
 
 /// Batched multi-RHS solves: B independent single-lane solves vs one
@@ -689,7 +624,7 @@ fn update_summary(section: &str, value: serde::Value) {
 fn ablation_batched_rhs(c: &mut Criterion) {
     use accel::{Event, Threads};
     use comm::run_ranks_recorded;
-    use perfmodel::{replay, CostBreakdown, MachineModel};
+    use perfmodel::{CostBreakdown, MachineModel};
     use std::time::{Duration, Instant};
 
     const RANKS: usize = 8;
@@ -800,11 +735,7 @@ fn ablation_batched_rhs(c: &mut Criterion) {
 
     let machine = MachineModel::mi250x();
     let worst = |streams: &[Vec<Event>]| -> CostBreakdown {
-        streams
-            .iter()
-            .map(|evs| replay(evs, &machine, RANKS))
-            .max_by(|a, b| a.total_s().total_cmp(&b.total_s()))
-            .expect("at least one rank")
+        bench::worst_rank_replay(streams, &machine, RANKS)
     };
 
     // One recorded run per (width, arm) for the model replay; the wall
@@ -924,7 +855,130 @@ fn ablation_batched_rhs(c: &mut Criterion) {
         rows,
     };
     bench::write_bench_json("batched_rhs", &record).expect("write BENCH_batched_rhs.json");
-    update_summary("batched_rhs", serde::Serialize::to_value(&record));
+    bench::update_summary("batched_rhs", serde::Serialize::to_value(&record));
+}
+
+/// Mixed-precision Chebyshev preconditioning: f32 inner sweeps, state
+/// and halo wire words under the f64 outer recurrence, vs the all-f64
+/// baseline, on real 8-rank Threads `G(CI)` solves.
+///
+/// Same methodology as [`ablation_fused_kernels`]: record the
+/// 16³-per-rank event streams live — the halved kernel footprints of
+/// the f32 sweeps and the half-width wire words of the f32 halo band
+/// are measured, not synthesized — scale them to production-size local
+/// blocks and replay through the MI250X node model, reporting the
+/// slowest rank. The convergence side of the trade rides on the same
+/// runs: the outer iteration count must stay within ±2 of the all-f64
+/// baseline (the guard the poisson test suite also pins per back-end).
+fn ablation_mixed_precision(c: &mut Criterion) {
+    use accel::Event;
+    use perfmodel::{CostBreakdown, MachineModel};
+    use std::time::Duration;
+
+    const RANKS: usize = 8;
+    // nodes = 33 under a 2x2x2 decomp: each rank owns a 16^3 block.
+    const RECORDED_LOCAL: f64 = 16.0;
+    const LOCALS: [usize; 4] = [64, 128, 256, 320];
+
+    let record = |mixed: bool| -> (usize, Vec<Vec<Event>>) {
+        let workers = std::thread::available_parallelism()
+            .map_or(1, |p| p.get() / RANKS)
+            .max(1);
+        let mut cfg = bench::RunConfig::small(SolverKind::BiCgsGCi);
+        cfg.nodes = 33;
+        cfg.decomp = [2, 2, 2];
+        cfg.device = format!("threads:{workers}");
+        cfg.record_events = true;
+        cfg.tol = 1e-8;
+        cfg.opts.mixed_precision = mixed;
+        let res = bench::run_once(&cfg);
+        assert!(res.outcome.converged, "{:?}", res.outcome);
+        (res.outcome.iterations, res.events)
+    };
+
+    let (iters_f64, f64_streams) = record(false);
+    let (iters_mixed, mixed_streams) = record(true);
+    let drift = (iters_mixed as i64 - iters_f64 as i64).abs();
+    assert!(
+        drift <= 2,
+        "mixed precision drifted {drift} outer iterations \
+         ({iters_mixed} mixed vs {iters_f64} f64)"
+    );
+
+    let machine = MachineModel::mi250x();
+    let worst = |streams: &[Vec<Event>], local: usize| -> CostBreakdown {
+        let r = local as f64 / RECORDED_LOCAL;
+        bench::worst_rank_replay_scaled(streams, &machine, RANKS, r.powi(3), r.powi(2))
+    };
+
+    let mut group = c.benchmark_group("ablation_mixed_precision");
+    group.sample_size(10);
+    for local in LOCALS {
+        group.bench_with_input(BenchmarkId::new("f64", local), &local, |b, &n| {
+            b.iter_custom(|_| Duration::from_secs_f64(worst(&f64_streams, n).total_s()))
+        });
+        group.bench_with_input(BenchmarkId::new("mixed", local), &local, |b, &n| {
+            b.iter_custom(|_| Duration::from_secs_f64(worst(&mixed_streams, n).total_s()))
+        });
+    }
+    group.finish();
+
+    #[derive(serde::Serialize)]
+    struct Row {
+        local_nodes: usize,
+        f64_iter_s: f64,
+        mixed_iter_s: f64,
+        per_iteration_speedup: f64,
+        f64_total: CostBreakdown,
+        mixed_total: CostBreakdown,
+    }
+    #[derive(serde::Serialize)]
+    struct MixedRecord {
+        schema_version: u32,
+        recorded_ranks: usize,
+        machine: &'static str,
+        iterations_f64: usize,
+        iterations_mixed: usize,
+        rows: Vec<Row>,
+    }
+    let rows: Vec<Row> = LOCALS
+        .iter()
+        .map(|&n| {
+            let base = worst(&f64_streams, n);
+            let mix = worst(&mixed_streams, n);
+            let f64_iter_s = base.total_s() / iters_f64 as f64;
+            let mixed_iter_s = mix.total_s() / iters_mixed as f64;
+            let per_iteration_speedup = f64_iter_s / mixed_iter_s;
+            // The headline claim: once the local block is bandwidth
+            // bound, halving the preconditioner's streamed bytes must
+            // model >= 1.2x faster per outer iteration.
+            if n >= 256 {
+                assert!(
+                    per_iteration_speedup >= 1.2,
+                    "mixed precision below the 1.2x bar at {n}^3/rank: \
+                     {per_iteration_speedup:.3}"
+                );
+            }
+            Row {
+                local_nodes: n,
+                f64_iter_s,
+                mixed_iter_s,
+                per_iteration_speedup,
+                f64_total: base,
+                mixed_total: mix,
+            }
+        })
+        .collect();
+    let record = MixedRecord {
+        schema_version: 1,
+        recorded_ranks: RANKS,
+        machine: "mi250x",
+        iterations_f64: iters_f64,
+        iterations_mixed: iters_mixed,
+        rows,
+    };
+    bench::write_bench_json("mixed_precision", &record).expect("write BENCH_mixed_precision.json");
+    bench::update_summary("mixed_precision", serde::Serialize::to_value(&record));
 }
 
 /// Algorithm 1's mid-loop convergence check vs Algorithm 3 (the paper's
@@ -993,6 +1047,6 @@ fn ablation_reduction(c: &mut Criterion) {
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(300));
-    targets = ablation_comm, ablation_ci_iters, ablation_rescale, ablation_fusion, ablation_reduction, ablation_polynomial, ablation_early_exit, ablation_overlap, ablation_halo_overlap, ablation_reduce_overlap, ablation_fused_kernels, ablation_batched_rhs
+    targets = ablation_comm, ablation_ci_iters, ablation_rescale, ablation_fusion, ablation_reduction, ablation_polynomial, ablation_early_exit, ablation_overlap, ablation_halo_overlap, ablation_reduce_overlap, ablation_fused_kernels, ablation_batched_rhs, ablation_mixed_precision
 );
 criterion_main!(benches);

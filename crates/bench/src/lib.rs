@@ -308,6 +308,86 @@ pub fn write_bench_json<T: Serialize>(name: &str, payload: &T) -> std::io::Resul
     Ok(path.display().to_string())
 }
 
+/// Replay every rank's recorded event stream through `machine` at
+/// `model_ranks` and return the slowest rank's cost breakdown — the
+/// worst-rank figure every model-replay ablation reports. Panics on an
+/// empty stream set.
+pub fn worst_rank_replay(
+    streams: &[Vec<Event>],
+    machine: &perfmodel::MachineModel,
+    model_ranks: usize,
+) -> perfmodel::CostBreakdown {
+    streams
+        .iter()
+        .map(|evs| perfmodel::replay(evs, machine, model_ranks))
+        .max_by(|a, b| a.total_s().total_cmp(&b.total_s()))
+        .expect("at least one rank stream")
+}
+
+/// [`worst_rank_replay`] with each stream first rescaled from the
+/// recorded local block to a production-size one: kernel/transfer
+/// footprints by `volume_ratio`, halo payloads by `face_ratio` (see
+/// [`perfmodel::scale_events`]).
+pub fn worst_rank_replay_scaled(
+    streams: &[Vec<Event>],
+    machine: &perfmodel::MachineModel,
+    model_ranks: usize,
+    volume_ratio: f64,
+    face_ratio: f64,
+) -> perfmodel::CostBreakdown {
+    let scaled: Vec<Vec<Event>> = streams
+        .iter()
+        .map(|evs| perfmodel::scale_events(evs, volume_ratio, face_ratio))
+        .collect();
+    worst_rank_replay(&scaled, machine, model_ranks)
+}
+
+/// Merge one ablation's headline record into the committed
+/// `results/bench_summary.json` at the repository root. The summary is a
+/// `{schema_version, sections: {<ablation>: ...}}` document so several
+/// ablations can contribute rows without clobbering each other; a legacy
+/// v1 file (the flat fused-kernels record) is migrated into its section
+/// on first contact.
+pub fn update_summary(section: &str, value: serde::Value) {
+    use serde::Value;
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("bench crate sits two levels below the repository root");
+    std::fs::create_dir_all(root.join("results")).expect("create results/");
+    let path = root.join("results/bench_summary.json");
+    let prior = std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|s| serde_json::from_str(&s).ok());
+    let mut sections: Vec<(String, Value)> = match prior {
+        Some(Value::Object(entries)) => match entries.iter().position(|(k, _)| k == "sections") {
+            Some(i) => match entries.into_iter().nth(i) {
+                Some((_, Value::Object(secs))) => secs,
+                _ => Vec::new(),
+            },
+            // a legacy v1 flat file is the fused-kernels record
+            None if entries.iter().any(|(k, _)| k == "rows") => {
+                vec![("fused_kernels".into(), Value::Object(entries))]
+            }
+            None => Vec::new(),
+        },
+        _ => Vec::new(),
+    };
+    match sections.iter_mut().find(|(k, _)| k == section) {
+        Some(slot) => slot.1 = value,
+        None => sections.push((section.into(), value)),
+    }
+    let doc = Value::Object(vec![
+        ("schema_version".into(), Value::U64(2)),
+        ("sections".into(), Value::Object(sections)),
+    ]);
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&doc).expect("serialise"),
+    )
+    .expect("write results/bench_summary.json");
+}
+
 /// Sum the elements streamed by the Bi-CGSTAB hot-path full-grid
 /// sweeps in an event stream: kernels outside `Preconditioner`
 /// stages, excluding the O(faces) boundary/halo-staging kernels and

@@ -12,6 +12,10 @@ use crate::grid::BlockGrid;
 pub const INFO_HALO_PACK: KernelInfo = KernelInfo::new("KernelHaloPack", 16, 0);
 /// Ghost unpack: one read + one write per face element, no flops.
 pub const INFO_HALO_UNPACK: KernelInfo = KernelInfo::new("KernelHaloUnpack", 16, 0);
+/// Single-precision face pack: half the streamed bytes per face element.
+pub const INFO_HALO_PACK_F32: KernelInfo = KernelInfo::new("KernelHaloPackF32", 8, 0);
+/// Single-precision ghost unpack: half the streamed bytes per element.
+pub const INFO_HALO_UNPACK_F32: KernelInfo = KernelInfo::new("KernelHaloUnpackF32", 8, 0);
 
 /// Face-plane halo exchange for one subdomain (Fig. 1 of the paper).
 ///
@@ -44,6 +48,10 @@ pub struct HaloExchange<T: Scalar> {
     grid: BlockGrid,
     /// Per-axis free lists of face-sized message buffers.
     pool: Mutex<[Vec<Vec<T>>; 3]>,
+    /// Per-axis free lists of single-precision staging planes for the
+    /// mixed-precision exchange (`f32` faces bit-packed into `T` wire
+    /// words before they enter the communicator's native channels).
+    pool_f32: Mutex<[Vec<Vec<f32>>; 3]>,
 }
 
 impl<T: Scalar> Clone for HaloExchange<T> {
@@ -64,6 +72,18 @@ pub struct PendingExchange {
     overlap: bool,
 }
 
+/// Token for a split-phase single-precision exchange in flight (the
+/// mixed-precision analogue of [`PendingExchange`], completed with
+/// [`HaloExchange::finish_f32`]).
+#[must_use = "a begun f32 halo exchange must be completed with finish_f32()"]
+#[derive(Debug)]
+pub struct PendingExchangeF32 {
+    recvs: [[Option<RecvRequest>; 2]; 3],
+    msgs: u32,
+    bytes: u64,
+    overlap: bool,
+}
+
 /// Message tag for a face moving from side `1 - side` toward `side` along
 /// `axis`. Sender of its own `side` face uses `face_tag(axis, side)`; the
 /// receiver filling its `side` ghost expects `face_tag(axis, 1 - side)`.
@@ -71,14 +91,23 @@ fn face_tag(axis: usize, side: usize) -> Tag {
     (axis * 2 + side) as Tag
 }
 
+/// Tag of a single-precision face message: its own band of six tags
+/// (`6..12`), disjoint from the full-precision solo band (`0..6`), so a
+/// channel+tag pair still always carries one fixed message size even
+/// when `f64` and `f32` exchanges interleave on the same channel — the
+/// `f32` wire payload is roughly half the `f64` one.
+fn face_tag_f32(axis: usize, side: usize) -> Tag {
+    6 + face_tag(axis, side)
+}
+
 /// Tag of a batched face message carrying `lanes` packed planes. Each
 /// lane count gets its own band of six face tags, disjoint from the
-/// solo band (`lanes = 0` is never sent): a channel+tag pair therefore
-/// always carries one fixed message size, which communication checkers
-/// (and real MPI matching) can rely on even as the active-lane set of a
-/// batched solve shrinks between exchanges.
+/// solo `f64` band (`0..6`) and the solo `f32` band (`6..12`): a
+/// channel+tag pair therefore always carries one fixed message size,
+/// which communication checkers (and real MPI matching) can rely on even
+/// as the active-lane set of a batched solve shrinks between exchanges.
 fn batch_face_tag(axis: usize, side: usize, lanes: usize) -> Tag {
-    lanes as Tag * 6 + face_tag(axis, side)
+    (lanes as Tag + 1) * 6 + face_tag(axis, side)
 }
 
 impl<T: Scalar> HaloExchange<T> {
@@ -87,6 +116,7 @@ impl<T: Scalar> HaloExchange<T> {
         Self {
             grid: grid.clone(),
             pool: Mutex::new([Vec::new(), Vec::new(), Vec::new()]),
+            pool_f32: Mutex::new([Vec::new(), Vec::new(), Vec::new()]),
         }
     }
 
@@ -108,16 +138,27 @@ impl<T: Scalar> HaloExchange<T> {
         }
     }
 
+    /// Number of `T` wire words one `f32` face plane of `axis` packs to.
+    fn wire_len(&self, axis: usize) -> usize {
+        self.face_len(axis).div_ceil(T::F32_LANES)
+    }
+
     /// Take a face buffer for `axis` from the pool (or allocate one).
     fn acquire(&self, axis: usize) -> Vec<T> {
-        self.acquire_lanes(axis, 1)
+        self.acquire_len(axis, self.face_len(axis))
     }
 
     /// Take a buffer holding `lanes` consecutive face planes for `axis`
     /// from the pool (or allocate one). Solo and batched exchanges share
     /// the pool: `resize` adjusts a recycled buffer to either payload.
     fn acquire_lanes(&self, axis: usize, lanes: usize) -> Vec<T> {
-        let len = self.face_len(axis) * lanes;
+        self.acquire_len(axis, self.face_len(axis) * lanes)
+    }
+
+    /// Take a buffer of exactly `len` elements from the `axis` free list
+    /// (solo faces, batched multi-lane faces and `f32` wire words all
+    /// share the list — `resize` adjusts a recycled buffer in place).
+    fn acquire_len(&self, axis: usize, len: usize) -> Vec<T> {
         let mut buf = self.pool.lock().unwrap_or_else(|p| p.into_inner())[axis]
             .pop()
             .unwrap_or_default();
@@ -130,15 +171,34 @@ impl<T: Scalar> HaloExchange<T> {
         self.pool.lock().unwrap_or_else(|p| p.into_inner())[axis].push(buf);
     }
 
+    /// Take a single-precision staging plane for `axis` from the `f32`
+    /// pool (or allocate one).
+    fn acquire_f32(&self, axis: usize) -> Vec<f32> {
+        let len = self.face_len(axis);
+        let mut buf = self.pool_f32.lock().unwrap_or_else(|p| p.into_inner())[axis]
+            .pop()
+            .unwrap_or_default();
+        buf.resize(len, 0.0);
+        buf
+    }
+
+    /// Return a staging plane to the `axis` `f32` free list for reuse.
+    fn recycle_f32(&self, axis: usize, buf: Vec<f32>) {
+        self.pool_f32.lock().unwrap_or_else(|p| p.into_inner())[axis].push(buf);
+    }
+
     /// Pack the interior plane adjacent to (`axis`, `side`) into `buf`
-    /// as a device kernel over the buffer's rows.
-    fn pack_face<D: Device>(
+    /// as a device kernel over the buffer's rows. Generic over the face
+    /// element type so the full- and mixed-precision exchanges share one
+    /// kernel body (`info` carries the per-precision traffic accounting).
+    fn pack_face<S: Scalar, D: Device>(
         &self,
         dev: &D,
-        field: &Field<T>,
+        info: KernelInfo,
+        field: &Field<S>,
         axis: usize,
         side: usize,
-        buf: &mut [T],
+        buf: &mut [S],
     ) {
         let n = self.grid.local_n;
         let [pnx, pny, _] = self.grid.padded();
@@ -158,7 +218,7 @@ impl<T: Scalar> HaloExchange<T> {
                     sy: n[1],
                     sz: n[1] * n[2],
                 };
-                dev.launch_rows(INFO_HALO_PACK, map, buf, |kk, _, row| {
+                dev.launch_rows(info, map, buf, |kk, _, row| {
                     for (jj, v) in row.iter_mut().enumerate() {
                         *v = us[idx(fixed, jj + 1, kk + 1)];
                     }
@@ -173,7 +233,7 @@ impl<T: Scalar> HaloExchange<T> {
                     sy: n[0],
                     sz: n[0] * n[2],
                 };
-                dev.launch_rows(INFO_HALO_PACK, map, buf, |kk, _, row| {
+                dev.launch_rows(info, map, buf, |kk, _, row| {
                     for (ii, v) in row.iter_mut().enumerate() {
                         *v = us[idx(ii + 1, fixed, kk + 1)];
                     }
@@ -188,7 +248,7 @@ impl<T: Scalar> HaloExchange<T> {
                     sy: n[0],
                     sz: n[0] * n[1],
                 };
-                dev.launch_rows(INFO_HALO_PACK, map, buf, |jj, _, row| {
+                dev.launch_rows(info, map, buf, |jj, _, row| {
                     for (ii, v) in row.iter_mut().enumerate() {
                         *v = us[idx(ii + 1, jj + 1, fixed)];
                     }
@@ -198,14 +258,16 @@ impl<T: Scalar> HaloExchange<T> {
     }
 
     /// Unpack a received plane into the ghost layer at (`axis`, `side`)
-    /// as a device kernel over the ghost layer's rows.
-    fn unpack_face<D: Device>(
+    /// as a device kernel over the ghost layer's rows (generic over the
+    /// face element type, like [`HaloExchange::pack_face`]).
+    fn unpack_face<S: Scalar, D: Device>(
         &self,
         dev: &D,
-        field: &mut Field<T>,
+        info: KernelInfo,
+        field: &mut Field<S>,
         axis: usize,
         side: usize,
-        plane: &[T],
+        plane: &[S],
     ) {
         let n = self.grid.local_n;
         let [pnx, pny, _] = self.grid.padded();
@@ -224,7 +286,7 @@ impl<T: Scalar> HaloExchange<T> {
                     sy,
                     sz,
                 };
-                dev.launch_rows(INFO_HALO_UNPACK, map, field.as_mut_slice(), |j, k, row| {
+                dev.launch_rows(info, map, field.as_mut_slice(), |j, k, row| {
                     row[0] = plane[k * n[1] + j];
                 });
             }
@@ -237,7 +299,7 @@ impl<T: Scalar> HaloExchange<T> {
                     sy,
                     sz,
                 };
-                dev.launch_rows(INFO_HALO_UNPACK, map, field.as_mut_slice(), |_, k, row| {
+                dev.launch_rows(info, map, field.as_mut_slice(), |_, k, row| {
                     for (ii, v) in row.iter_mut().enumerate() {
                         *v = plane[k * n[0] + ii];
                     }
@@ -252,7 +314,7 @@ impl<T: Scalar> HaloExchange<T> {
                     sy,
                     sz,
                 };
-                dev.launch_rows(INFO_HALO_UNPACK, map, field.as_mut_slice(), |j, _, row| {
+                dev.launch_rows(info, map, field.as_mut_slice(), |j, _, row| {
                     for (ii, v) in row.iter_mut().enumerate() {
                         *v = plane[j * n[0] + ii];
                     }
@@ -263,7 +325,7 @@ impl<T: Scalar> HaloExchange<T> {
 
     /// The sanitizer-hook description of `field`'s in-flight ghost planes:
     /// every interface face, identified by the buffer's base address.
-    fn hazard(&self, field: &Field<T>) -> ExchangeHazard {
+    fn hazard<S: Scalar>(&self, field: &Field<S>) -> ExchangeHazard {
         let mut faces = 0u8;
         for axis in 0..3 {
             for side in 0..2 {
@@ -274,7 +336,7 @@ impl<T: Scalar> HaloExchange<T> {
         }
         ExchangeHazard {
             base: field.as_slice().as_ptr() as usize,
-            elem_bytes: T::BYTES,
+            elem_bytes: S::BYTES,
             padded: field.padded(),
             faces,
         }
@@ -304,7 +366,7 @@ impl<T: Scalar> HaloExchange<T> {
             for side in 0..2 {
                 if let Some(neighbor) = self.grid.boundary(axis, side).neighbor() {
                     let mut face = self.acquire(axis);
-                    self.pack_face(dev, field, axis, side, &mut face);
+                    self.pack_face(dev, INFO_HALO_PACK, field, axis, side, &mut face);
                     bytes += (face.len() * T::BYTES) as u64;
                     msgs += 1;
                     comm.send(neighbor, face_tag(axis, side), face);
@@ -365,7 +427,7 @@ impl<T: Scalar> HaloExchange<T> {
             for (side, slot) in slots.iter().enumerate() {
                 if let Some(req) = slot {
                     let plane = comm.wait(*req);
-                    self.unpack_face(dev, field, axis, side, &plane);
+                    self.unpack_face(dev, INFO_HALO_UNPACK, field, axis, side, &plane);
                     self.recycle(axis, plane);
                 }
             }
@@ -391,6 +453,122 @@ impl<T: Scalar> HaloExchange<T> {
     pub fn exchange<D: Device, C: Communicator<T>>(&self, dev: &D, comm: &C, field: &mut Field<T>) {
         let pending = self.begin_impl(dev, comm, field, false);
         self.finish(dev, comm, pending, field);
+    }
+
+    fn begin_f32_impl<D: Device, C: Communicator<T>>(
+        &self,
+        dev: &D,
+        comm: &C,
+        field: &Field<f32>,
+        overlap: bool,
+    ) -> PendingExchangeF32 {
+        // Post all receives first, on the f32 tag band so the half-size
+        // payloads never share a (channel, tag) with full-precision faces.
+        let mut recvs: [[Option<RecvRequest>; 2]; 3] = [[None; 2]; 3];
+        for (axis, slots) in recvs.iter_mut().enumerate() {
+            for (side, slot) in slots.iter_mut().enumerate() {
+                if let Some(neighbor) = self.grid.boundary(axis, side).neighbor() {
+                    *slot = Some(comm.irecv(neighbor, face_tag_f32(axis, 1 - side)));
+                }
+            }
+        }
+        // ...then all sends: device-pack the f32 face plane, bit-pack it
+        // into `T` wire words (two lanes per f64 word) and ship those
+        // through the communicator's native channels — the wire bytes
+        // are the word bytes, i.e. genuinely about half the f64 face.
+        let mut msgs = 0u32;
+        let mut bytes = 0u64;
+        for axis in 0..3 {
+            for side in 0..2 {
+                if let Some(neighbor) = self.grid.boundary(axis, side).neighbor() {
+                    let mut staging = self.acquire_f32(axis);
+                    self.pack_face(dev, INFO_HALO_PACK_F32, field, axis, side, &mut staging);
+                    let mut words = self.acquire_len(axis, self.wire_len(axis));
+                    T::pack_f32_words(&staging, &mut words);
+                    self.recycle_f32(axis, staging);
+                    bytes += (words.len() * T::BYTES) as u64;
+                    msgs += 1;
+                    comm.send(neighbor, face_tag_f32(axis, side), words);
+                }
+            }
+        }
+        if overlap {
+            comm.recorder().record(Event::Begin {
+                name: HALO_OVERLAP_STAGE,
+            });
+            comm.recorder().record(Event::Halo { msgs, bytes });
+        }
+        dev.on_exchange_begin(self.hazard(field));
+        PendingExchangeF32 {
+            recvs,
+            msgs,
+            bytes,
+            overlap,
+        }
+    }
+
+    /// Start a split-phase single-precision exchange of `field`'s
+    /// interface ghosts (the mixed-precision preconditioner path).
+    ///
+    /// Identical contract to [`HaloExchange::begin`], but each face
+    /// travels as `f32` bit patterns packed into `T` wire words, so the
+    /// message payload is roughly half the full-precision one. Must be
+    /// completed with [`HaloExchange::finish_f32`].
+    pub fn begin_f32<D: Device, C: Communicator<T>>(
+        &self,
+        dev: &D,
+        comm: &C,
+        field: &Field<f32>,
+    ) -> PendingExchangeF32 {
+        self.begin_f32_impl(dev, comm, field, true)
+    }
+
+    /// Complete a split-phase single-precision exchange: wait for every
+    /// posted receive, unpack the wire words back into `f32` ghost
+    /// planes bit-exactly, and recycle all buffers into the pools.
+    pub fn finish_f32<D: Device, C: Communicator<T>>(
+        &self,
+        dev: &D,
+        comm: &C,
+        pending: PendingExchangeF32,
+        field: &mut Field<f32>,
+    ) {
+        dev.on_exchange_finish(self.hazard(field));
+        for (axis, slots) in pending.recvs.iter().enumerate() {
+            for (side, slot) in slots.iter().enumerate() {
+                if let Some(req) = slot {
+                    let words = comm.wait(*req);
+                    assert_eq!(words.len(), self.wire_len(axis), "f32 wire length mismatch");
+                    let mut staging = self.acquire_f32(axis);
+                    T::unpack_f32_words(&words, &mut staging);
+                    self.recycle(axis, words);
+                    self.unpack_face(dev, INFO_HALO_UNPACK_F32, field, axis, side, &staging);
+                    self.recycle_f32(axis, staging);
+                }
+            }
+        }
+        if pending.overlap {
+            comm.recorder().record(Event::End {
+                name: HALO_OVERLAP_STAGE,
+            });
+        } else {
+            comm.recorder().record(Event::Halo {
+                msgs: pending.msgs,
+                bytes: pending.bytes,
+            });
+        }
+    }
+
+    /// Synchronous single-precision exchange (begin + finish back to
+    /// back) — the mixed-precision analogue of [`HaloExchange::exchange`].
+    pub fn exchange_f32<D: Device, C: Communicator<T>>(
+        &self,
+        dev: &D,
+        comm: &C,
+        field: &mut Field<f32>,
+    ) {
+        let pending = self.begin_f32_impl(dev, comm, field, false);
+        self.finish_f32(dev, comm, pending, field);
     }
 
     /// Exchange the interface ghost layers of **every** field in `fields`
@@ -434,7 +612,14 @@ impl<T: Scalar> HaloExchange<T> {
                 if let Some(neighbor) = self.grid.boundary(axis, side).neighbor() {
                     let mut face = self.acquire_lanes(axis, nl);
                     for (b, field) in fields.iter().enumerate() {
-                        self.pack_face(dev, field, axis, side, &mut face[b * flen..(b + 1) * flen]);
+                        self.pack_face(
+                            dev,
+                            INFO_HALO_PACK,
+                            field,
+                            axis,
+                            side,
+                            &mut face[b * flen..(b + 1) * flen],
+                        );
                     }
                     bytes += (face.len() * T::BYTES) as u64;
                     msgs += 1;
@@ -459,7 +644,14 @@ impl<T: Scalar> HaloExchange<T> {
                     let plane = comm.wait(*req);
                     assert_eq!(plane.len(), nl * flen, "batched halo plane size mismatch");
                     for (b, field) in fields.iter_mut().enumerate() {
-                        self.unpack_face(dev, field, axis, side, &plane[b * flen..(b + 1) * flen]);
+                        self.unpack_face(
+                            dev,
+                            INFO_HALO_UNPACK,
+                            field,
+                            axis,
+                            side,
+                            &plane[b * flen..(b + 1) * flen],
+                        );
                     }
                     self.recycle(axis, plane);
                 }
@@ -861,6 +1053,198 @@ mod tests {
             halo.exchange(&dev, &comm, &mut solo);
             assert_eq!(batched.as_slice(), solo.as_slice());
             check_ghosts(&grid, &batched);
+        });
+    }
+
+    fn make_field_f32(dev: &Serial, grid: &BlockGrid) -> Field<f32> {
+        let n = grid.local_n;
+        let mut interior = Vec::with_capacity(n[0] * n[1] * n[2]);
+        for k in 0..n[2] {
+            for j in 0..n[1] {
+                for i in 0..n[0] {
+                    // The encoded values stay below 2^24, so they are
+                    // exactly representable in f32 and ghost provenance
+                    // can be checked with exact equality.
+                    interior.push(encode([
+                        grid.offset[0] + i,
+                        grid.offset[1] + j,
+                        grid.offset[2] + k,
+                    ]) as f32);
+                }
+            }
+        }
+        Field::from_interior(dev, grid, &interior)
+    }
+
+    fn check_ghosts_f32(grid: &BlockGrid, field: &Field<f32>) {
+        // Reuse the f64 checker by widening: the payload is bit-exact.
+        let dev = Serial::new(Recorder::disabled());
+        let mut wide = Field::<f64>::zeros(&dev, grid);
+        for (w, v) in wide.as_mut_slice().iter_mut().zip(field.as_slice()) {
+            *w = f64::from(*v);
+        }
+        check_ghosts(grid, &wide);
+    }
+
+    fn f32_exchange_world(global_n: [usize; 3], ns: [usize; 3]) {
+        let decomp = Decomp::new(ns);
+        run_ranks::<f64, _, _>(decomp.ranks(), ReduceOrder::RankOrder, |comm| {
+            let dev = Serial::new(Recorder::disabled());
+            let global = GlobalGrid::dirichlet(global_n, [0.1; 3], [0.0; 3]);
+            let grid = BlockGrid::new(global, decomp, comm.rank());
+            let mut field = make_field_f32(&dev, &grid);
+            let halo = HaloExchange::<f64>::new(&grid);
+            halo.exchange_f32(&dev, &comm, &mut field);
+            check_ghosts_f32(&grid, &field);
+        });
+    }
+
+    #[test]
+    fn f32_exchange_two_ranks() {
+        f32_exchange_world([8, 4, 4], [2, 1, 1]);
+    }
+
+    #[test]
+    fn f32_exchange_eight_ranks() {
+        f32_exchange_world([8, 8, 8], [2, 2, 2]);
+    }
+
+    #[test]
+    fn f32_exchange_uneven_odd_faces() {
+        // Odd face element counts exercise the zero tail lane of the
+        // two-lanes-per-word packing.
+        f32_exchange_world([7, 5, 6], [3, 2, 2]);
+    }
+
+    #[test]
+    fn f32_split_phase_eight_ranks() {
+        let decomp = Decomp::new([2, 2, 2]);
+        run_ranks::<f64, _, _>(8, ReduceOrder::RankOrder, |comm| {
+            let dev = Serial::new(Recorder::disabled());
+            let global = GlobalGrid::dirichlet([8, 8, 8], [0.1; 3], [0.0; 3]);
+            let grid = BlockGrid::new(global, decomp, comm.rank());
+            let mut field = make_field_f32(&dev, &grid);
+            let halo = HaloExchange::<f64>::new(&grid);
+            let pending = halo.begin_f32(&dev, &comm, &field);
+            halo.finish_f32(&dev, &comm, pending, &mut field);
+            check_ghosts_f32(&grid, &field);
+        });
+    }
+
+    #[test]
+    fn f32_exchange_halves_wire_bytes() {
+        let decomp = Decomp::new([2, 1, 1]);
+        let recorders: Vec<Recorder> = (0..2).map(|_| Recorder::enabled()).collect();
+        let handles = recorders.clone();
+        comm::run_ranks_recorded::<f64, _, _>(2, ReduceOrder::RankOrder, recorders, |comm| {
+            let dev = Serial::new(Recorder::disabled());
+            let global = GlobalGrid::dirichlet([4, 3, 3], [0.1; 3], [0.0; 3]);
+            let grid = BlockGrid::new(global, decomp, comm.rank());
+            let halo = HaloExchange::<f64>::new(&grid);
+            let mut wide = make_field(&dev, &grid);
+            halo.exchange(&dev, &comm, &mut wide);
+            let mut field = make_field_f32(&dev, &grid);
+            halo.exchange_f32(&dev, &comm, &mut field);
+        });
+        for rec in &handles {
+            let evs = rec.snapshot();
+            // 9-element face: 72 B in f64, ceil(9/2) = 5 wire words =
+            // 40 B in f32 — the payload genuinely (almost) halves.
+            assert!(
+                evs.iter().any(|e| matches!(
+                    e,
+                    Event::Halo { msgs: 1, bytes } if *bytes == (3 * 3 * 8) as u64
+                )),
+                "missing f64 halo event: {evs:?}"
+            );
+            assert!(
+                evs.iter().any(|e| matches!(
+                    e,
+                    Event::Halo { msgs: 1, bytes } if *bytes == (5 * 8) as u64
+                )),
+                "missing halved f32 halo event: {evs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn f32_split_phase_records_overlap_window() {
+        let decomp = Decomp::new([2, 1, 1]);
+        let recorders: Vec<Recorder> = (0..2).map(|_| Recorder::enabled()).collect();
+        let handles = recorders.clone();
+        comm::run_ranks_recorded::<f64, _, _>(2, ReduceOrder::RankOrder, recorders, |comm| {
+            let dev = Serial::new(Recorder::disabled());
+            let global = GlobalGrid::dirichlet([4, 3, 3], [0.1; 3], [0.0; 3]);
+            let grid = BlockGrid::new(global, decomp, comm.rank());
+            let field = make_field_f32(&dev, &grid);
+            let halo = HaloExchange::<f64>::new(&grid);
+            let pending = halo.begin_f32(&dev, &comm, &field);
+            let mut field = field;
+            halo.finish_f32(&dev, &comm, pending, &mut field);
+        });
+        for rec in &handles {
+            let evs = rec.snapshot();
+            let begin = evs
+                .iter()
+                .position(|e| matches!(e, Event::Begin { name } if *name == HALO_OVERLAP_STAGE))
+                .expect("missing overlap Begin");
+            let halo = evs
+                .iter()
+                .position(|e| matches!(e, Event::Halo { msgs: 1, .. }))
+                .expect("missing halo event");
+            let end = evs
+                .iter()
+                .position(|e| matches!(e, Event::End { name } if *name == HALO_OVERLAP_STAGE))
+                .expect("missing overlap End");
+            assert!(begin < halo && halo < end, "window out of order: {evs:?}");
+        }
+    }
+
+    #[test]
+    fn f32_and_f64_exchanges_interleave_on_disjoint_tags() {
+        // Both precisions in flight on the same channels at once: the
+        // per-precision tag bands keep the half-size f32 messages from
+        // ever matching a full-precision receive.
+        let decomp = Decomp::new([2, 2, 1]);
+        run_ranks::<f64, _, _>(4, ReduceOrder::RankOrder, |comm| {
+            let dev = Serial::new(Recorder::disabled());
+            let global = GlobalGrid::dirichlet([8, 8, 4], [0.1; 3], [0.0; 3]);
+            let grid = BlockGrid::new(global, decomp, comm.rank());
+            let mut wide = make_field(&dev, &grid);
+            let mut narrow = make_field_f32(&dev, &grid);
+            let halo = HaloExchange::<f64>::new(&grid);
+            let pending_wide = halo.begin(&dev, &comm, &wide);
+            let pending_narrow = halo.begin_f32(&dev, &comm, &narrow);
+            halo.finish_f32(&dev, &comm, pending_narrow, &mut narrow);
+            halo.finish(&dev, &comm, pending_wide, &mut wide);
+            check_ghosts(&grid, &wide);
+            check_ghosts_f32(&grid, &narrow);
+        });
+    }
+
+    #[test]
+    fn f32_buffers_recycle_through_both_pools() {
+        let decomp = Decomp::new([2, 1, 1]);
+        run_ranks::<f64, _, _>(2, ReduceOrder::RankOrder, |comm| {
+            let dev = Serial::new(Recorder::disabled());
+            let global = GlobalGrid::dirichlet([6, 3, 3], [0.1; 3], [0.0; 3]);
+            let grid = BlockGrid::new(global, decomp, comm.rank());
+            let mut field = make_field_f32(&dev, &grid);
+            let halo = HaloExchange::<f64>::new(&grid);
+            for _ in 0..4 {
+                halo.exchange_f32(&dev, &comm, &mut field);
+            }
+            // One interface face along x: the wire words recycle through
+            // the shared word pool and the staging plane through the f32
+            // pool, one buffer each in steady state.
+            let pool = halo.pool.lock().unwrap();
+            let pool_f32 = halo.pool_f32.lock().unwrap();
+            assert_eq!(pool[0].len(), 1, "axis-0 word pool should hold one buffer");
+            assert_eq!(
+                pool_f32[0].len(),
+                1,
+                "axis-0 staging pool should hold one buffer"
+            );
         });
     }
 

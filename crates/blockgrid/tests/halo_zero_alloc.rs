@@ -68,14 +68,20 @@ fn halo_exchange_is_allocation_free_after_warmup() {
             .map(|i| i as f64 * 0.25 + 1.0)
             .collect();
         let mut field = Field::from_interior(&dev, &grid, &interior);
+        let interior32: Vec<f32> = interior.iter().map(|&v| v as f32).collect();
+        let mut field32 = Field::from_interior(&dev, &grid, &interior32);
         let halo = HaloExchange::new(&grid);
 
         // Warm-up: populate the buffer pool and the communicator's
-        // message queues on both flavours of the exchange.
+        // message queues on both flavours of the exchange, in both
+        // precisions (the f32 path has its own pool and tag band).
         for _ in 0..3 {
             halo.exchange(&dev, &comm, &mut field);
             let pending = halo.begin(&dev, &comm, &field);
             halo.finish(&dev, &comm, pending, &mut field);
+            halo.exchange_f32(&dev, &comm, &mut field32);
+            let pending = halo.begin_f32(&dev, &comm, &field32);
+            halo.finish_f32(&dev, &comm, pending, &mut field32);
         }
         // Make sure every rank is warm before anyone starts counting
         // (a cold neighbour would still only bump its *own* counter,
@@ -87,6 +93,9 @@ fn halo_exchange_is_allocation_free_after_warmup() {
             halo.exchange(&dev, &comm, &mut field);
             let pending = halo.begin(&dev, &comm, &field);
             halo.finish(&dev, &comm, pending, &mut field);
+            halo.exchange_f32(&dev, &comm, &mut field32);
+            let pending = halo.begin_f32(&dev, &comm, &field32);
+            halo.finish_f32(&dev, &comm, pending, &mut field32);
         }
         my_allocs() - before
     });

@@ -114,6 +114,33 @@ fn eight_rank_batched_solve_runs_clean_under_full_checking() {
     }
 }
 
+/// The mixed-precision Chebyshev path under full checking across 8
+/// ranks: the f32 state sweeps, the cast kernels at the precision
+/// boundary and the half-width wire words of the f32 halo band must
+/// produce zero diagnostics with the communicating `G(CI/f32)`
+/// preconditioner in the loop.
+#[test]
+fn eight_rank_mixed_precision_solve_runs_clean_under_full_checking() {
+    let decomp = Decomp::new([2, 2, 2]);
+    let results = try_run_ranks_checked::<f64, _, _>(8, CheckConfig::default(), move |comm| {
+        let dev = Checked::new(Serial::new(Recorder::disabled()));
+        let mut solver: PoissonSolver<f64, _, _> =
+            PoissonSolver::new(paper_problem(13), decomp, dev, comm);
+        let opts = SolverOptions {
+            mixed_precision: true,
+            ..solver_opts()
+        };
+        let out = solver.solve(SolverKind::BiCgsGCi, &opts, &solve_params());
+        let (l2, _) = solver.error_vs_exact();
+        (out.converged, out.iterations, l2)
+    })
+    .unwrap_or_else(|failure| panic!("false positives under checking:\n{failure}"));
+    for (converged, _iters, l2) in &results {
+        assert!(converged);
+        assert!(*l2 < 1e-3, "relative L2 error {l2}");
+    }
+}
+
 /// Same checked world on the threaded back-end, with the plain solver's
 /// preconditioned configuration — back-end independence of the checkers.
 #[test]

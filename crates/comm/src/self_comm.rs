@@ -73,6 +73,7 @@ impl<T: Scalar> Communicator<T> for SelfComm<T> {
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         self.recorder.record(Event::AllReduce {
             elems: vals.len() as u32,
+            bytes: (vals.len() * T::BYTES) as u64,
         });
     }
 

@@ -354,6 +354,7 @@ impl<T: Scalar> Communicator<T> for ThreadComm<T> {
         self.stats.allreduces.fetch_add(1, Ordering::Relaxed);
         self.recorder.record(Event::AllReduce {
             elems: vals.len() as u32,
+            bytes: (vals.len() * T::BYTES) as u64,
         });
         self.collective_exchange(vals, op);
     }
@@ -374,6 +375,7 @@ impl<T: Scalar> Communicator<T> for ThreadComm<T> {
         self.stats.allreduces.fetch_add(1, Ordering::Relaxed);
         self.recorder.record(Event::AllReduce {
             elems: vals.len() as u32,
+            bytes: (vals.len() * T::BYTES) as u64,
         });
         let generation = self.collective_begin(vals, op);
         ReduceRequest {
@@ -508,8 +510,14 @@ mod tests {
                 });
             }
         });
-        assert_eq!(snapshot[0].snapshot(), vec![Event::AllReduce { elems: 1 }]);
-        assert_eq!(snapshot[1].snapshot(), vec![Event::AllReduce { elems: 1 }]);
+        assert_eq!(
+            snapshot[0].snapshot(),
+            vec![Event::AllReduce { elems: 1, bytes: 8 }]
+        );
+        assert_eq!(
+            snapshot[1].snapshot(),
+            vec![Event::AllReduce { elems: 1, bytes: 8 }]
+        );
     }
 
     #[test]

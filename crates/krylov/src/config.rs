@@ -6,7 +6,9 @@ use comm::Communicator;
 use crate::bicgstab::Scope;
 use crate::cheby::{global_bounds, local_bounds, ChebyMode};
 use crate::ctx::RankCtx;
-use crate::precond::{ChebyPrecond, IdentityPrec, InnerBiCgsPrec, PrecTraits, Preconditioner};
+use crate::precond::{
+    ChebyPrecond, IdentityPrec, InnerBiCgsPrec, MixedChebyPrecond, PrecTraits, Preconditioner,
+};
 
 /// One of the six solvers evaluated in the paper (Table I / Table II).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -55,6 +57,12 @@ pub struct SolverOptions {
     /// `G(BiCGS)` / `BJ(BiCGS)` preconditioners. Mirrors
     /// `SolveParams::fuse_kernels`.
     pub fuse_kernels: bool,
+    /// Run the Chebyshev preconditioner's sweeps, state and halo traffic
+    /// in `f32` under the `f64` outer recurrence (default off). Only the
+    /// `BJ(CI)` / `G(CI)` / `GNoComm(CI)` flavours have an inner
+    /// precision to lower; the inner-Bi-CGSTAB preconditioners ignore
+    /// the flag.
+    pub mixed_precision: bool,
 }
 
 impl Default for SolverOptions {
@@ -69,6 +77,7 @@ impl Default for SolverOptions {
             overlap_halo: true,
             overlap_reduce: true,
             fuse_kernels: true,
+            mixed_precision: false,
         }
     }
 }
@@ -162,25 +171,41 @@ impl SolverKind {
             }
             Self::BiCgsBjCi => {
                 let bounds = local_bounds(ctx).rescaled(opts.eig_max_shrink, opts.eig_min_factor);
-                let mut p =
-                    ChebyPrecond::new(ctx, ChebyMode::BlockJacobi, bounds, opts.ci_iterations);
-                p.set_overlap(opts.overlap_halo);
-                Box::new(p)
+                cheby_prec(ctx, ChebyMode::BlockJacobi, bounds, opts)
             }
             Self::BiCgsGCi => {
                 let bounds = global_bounds(ctx).rescaled(opts.eig_max_shrink, opts.eig_min_factor);
-                let mut p = ChebyPrecond::new(ctx, ChebyMode::Global, bounds, opts.ci_iterations);
-                p.set_overlap(opts.overlap_halo);
-                Box::new(p)
+                cheby_prec(ctx, ChebyMode::Global, bounds, opts)
             }
             Self::BiCgsGNoCommCi => {
                 let bounds = global_bounds(ctx).rescaled(opts.eig_max_shrink, opts.eig_min_factor);
-                let mut p =
-                    ChebyPrecond::new(ctx, ChebyMode::GlobalNoComm, bounds, opts.ci_iterations);
-                p.set_overlap(opts.overlap_halo);
-                Box::new(p)
+                cheby_prec(ctx, ChebyMode::GlobalNoComm, bounds, opts)
             }
         }
+    }
+}
+
+/// Build a Chebyshev preconditioner in `mode`, picking the element
+/// width from [`SolverOptions::mixed_precision`].
+fn cheby_prec<T, D, C>(
+    ctx: &RankCtx<T, D, C>,
+    mode: ChebyMode,
+    bounds: stencil::SpectralBounds,
+    opts: &SolverOptions,
+) -> Box<dyn Preconditioner<T, D, C>>
+where
+    T: Scalar,
+    D: Device,
+    C: Communicator<T>,
+{
+    if opts.mixed_precision {
+        let mut p = MixedChebyPrecond::new(ctx, mode, bounds, opts.ci_iterations);
+        p.set_overlap(opts.overlap_halo);
+        Box::new(p)
+    } else {
+        let mut p = ChebyPrecond::new(ctx, mode, bounds, opts.ci_iterations);
+        p.set_overlap(opts.overlap_halo);
+        Box::new(p)
     }
 }
 
@@ -248,5 +273,49 @@ mod tests {
         assert_eq!(o.ci_iterations, 24);
         assert_eq!(o.eig_max_shrink, 1e-4);
         assert_eq!(o.eig_min_factor, 100.0);
+        assert!(!o.mixed_precision, "mixed precision is opt-in");
+    }
+
+    #[test]
+    fn mixed_precision_flag_switches_the_cheby_family() {
+        use accel::{Recorder, Serial};
+        use blockgrid::{BlockGrid, Decomp, GlobalGrid};
+        use comm::SelfComm;
+        let grid = BlockGrid::new(
+            GlobalGrid::dirichlet([8, 8, 8], [0.1; 3], [0.0; 3]),
+            Decomp::single(),
+            0,
+        );
+        let ctx: RankCtx<f64, _, _> =
+            RankCtx::new(Serial::new(Recorder::disabled()), SelfComm::default(), grid);
+        // eig_min_factor 10: the paper's single-rank setting — the
+        // multi-rank 100 would collapse this tiny grid's spectrum.
+        let opts = SolverOptions {
+            mixed_precision: true,
+            eig_min_factor: 10.0,
+            ..Default::default()
+        };
+        let f64_opts = SolverOptions {
+            eig_min_factor: 10.0,
+            ..Default::default()
+        };
+        for (kind, name) in [
+            (SolverKind::BiCgsBjCi, "BJ(CI/f32)"),
+            (SolverKind::BiCgsGCi, "G(CI/f32)"),
+            (SolverKind::BiCgsGNoCommCi, "GNoComm(CI/f32)"),
+        ] {
+            let p = kind.build_preconditioner(&ctx, &opts);
+            assert_eq!(p.name(), name);
+            assert_eq!(
+                Some(p.traits()),
+                kind.prec_traits(),
+                "Table I row unchanged"
+            );
+            let q = kind.build_preconditioner(&ctx, &f64_opts);
+            assert!(!q.name().contains("f32"), "default stays f64: {}", q.name());
+        }
+        // the flag is inert for the non-Chebyshev configurations
+        let p = SolverKind::BiCgs.build_preconditioner(&ctx, &opts);
+        assert_eq!(p.name(), "Identity");
     }
 }

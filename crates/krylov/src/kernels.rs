@@ -63,6 +63,18 @@ pub const INFO_FOLD1: KernelInfo = KernelInfo::new("KernelFold1", 8, 1);
 /// Fold of per-row dot partials for a three-way split fused dot
 /// (`NR = 3`, `KernelBiCGS3F` split form).
 pub const INFO_FOLD3: KernelInfo = KernelInfo::new("KernelFold3", 24, 3);
+/// `KernelCI1f32`: the Chebyshev start step in single precision — the
+/// same sweep as `KernelCI1` at half the element width (40 B → 20 B).
+pub const INFO_CI1_F32: KernelInfo = KernelInfo::new("KernelCI1f32", 20, 12);
+/// `KernelCI2f32`: the single-precision Chebyshev sweep (56 B → 28 B).
+pub const INFO_CI2_F32: KernelInfo = KernelInfo::new("KernelCI2f32", 28, 16);
+/// Single-precision scaling kernel (16 B → 8 B).
+pub const INFO_SCALE_F32: KernelInfo = KernelInfo::new("KernelScaleF32", 8, 1);
+/// Down-cast `f64 → f32` entry sweep of the mixed-precision
+/// preconditioner (8 B read + 4 B write per element, no flops booked).
+pub const INFO_CAST_DOWN: KernelInfo = KernelInfo::new("KernelCastDown", 12, 0);
+/// Up-cast `f32 → f64` exit sweep (4 B read + 8 B write per element).
+pub const INFO_CAST_UP: KernelInfo = KernelInfo::new("KernelCastUp", 12, 0);
 
 /// `y ← y + a x` over the interior.
 pub fn axpy_inplace<T: Scalar, D: Device>(
@@ -535,6 +547,51 @@ pub fn norm2_local<T: Scalar, D: Device>(
     a: &Field<T>,
 ) -> T {
     dot(dev, info, grid, a, a)
+}
+
+/// `out ← (f32) src` over the interior: the rounding boundary of the
+/// mixed-precision preconditioner. Each element rounds to the nearest
+/// representable `f32` (ties to even); ghosts are not touched — the
+/// caller refreshes them in the target precision.
+pub fn cast_down<T: Scalar, D: Device>(
+    dev: &D,
+    info: KernelInfo,
+    grid: &BlockGrid,
+    out: &mut Field<f32>,
+    src: &Field<T>,
+) {
+    let map = grid.interior_map();
+    let ss = src.as_slice();
+    let base0 = map.base;
+    let (sy, sz) = (map.sy, map.sz);
+    dev.launch_rows(info, map, out.as_mut_slice(), |j, k, row| {
+        let b = base0 + j * sy + k * sz;
+        for (i, v) in row.iter_mut().enumerate() {
+            *v = ss[b + i].to_f64() as f32;
+        }
+    });
+}
+
+/// `out ← (T) src` over the interior — exact when `T = f64` (every
+/// `f32` is representable), so the up-cast out of the mixed-precision
+/// preconditioner introduces no rounding of its own.
+pub fn cast_up<T: Scalar, D: Device>(
+    dev: &D,
+    info: KernelInfo,
+    grid: &BlockGrid,
+    out: &mut Field<T>,
+    src: &Field<f32>,
+) {
+    let map = grid.interior_map();
+    let ss = src.as_slice();
+    let base0 = map.base;
+    let (sy, sz) = (map.sy, map.sz);
+    dev.launch_rows(info, map, out.as_mut_slice(), |j, k, row| {
+        let b = base0 + j * sy + k * sz;
+        for (i, v) in row.iter_mut().enumerate() {
+            *v = T::from_f64(f64::from(ss[b + i]));
+        }
+    });
 }
 
 /// `out ← factor * src` over the interior.
@@ -1013,6 +1070,38 @@ mod tests {
                 assert_eq!(a.to_bits(), b.to_bits());
             }
         }
+    }
+
+    #[test]
+    fn casts_roundtrip_and_ignore_poisoned_ghosts() {
+        // The precision boundary: down-cast rounds once, up-cast is
+        // exact, and neither sweep reads or writes a ghost cell — a NaN
+        // planted there must neither leak into the output interior nor
+        // be cleared.
+        let (dev, grid) = setup_rect();
+        let mut src = rng_field(&dev, &grid, 31);
+        poison_ghosts(&grid, &mut src);
+        let mut narrow = Field::<f32>::zeros(&dev, &grid);
+        cast_down(&dev, INFO_CAST_DOWN, &grid, &mut narrow, &src);
+        for v in narrow.as_slice() {
+            assert!(v.is_finite(), "cast_down touched a ghost");
+        }
+        let mut wide = Field::<f64>::zeros(&dev, &grid);
+        cast_up(&dev, INFO_CAST_UP, &grid, &mut wide, &narrow);
+        let si = src.interior_to_host(&grid);
+        let wi = wide.interior_to_host(&grid);
+        for (a, b) in si.iter().zip(&wi) {
+            assert_eq!(f64::from(*a as f32), *b, "f64→f32→f64 must round once");
+        }
+    }
+
+    #[test]
+    fn f32_info_constants_halve_sweep_traffic() {
+        assert_eq!(INFO_CI1_F32.bytes_per_elem * 2, INFO_CI1.bytes_per_elem);
+        assert_eq!(INFO_CI2_F32.bytes_per_elem * 2, INFO_CI2.bytes_per_elem);
+        assert_eq!(INFO_SCALE_F32.bytes_per_elem * 2, INFO_SCALE.bytes_per_elem);
+        assert_eq!(INFO_CI1_F32.flops_per_elem, INFO_CI1.flops_per_elem);
+        assert_eq!(INFO_CI2_F32.flops_per_elem, INFO_CI2.flops_per_elem);
     }
 
     #[test]

@@ -41,6 +41,7 @@ mod cheby;
 mod config;
 mod ctx;
 pub mod kernels;
+mod mixed;
 mod precond;
 mod richardson;
 mod schwarz;
@@ -52,6 +53,9 @@ pub use cancel::CancelToken;
 pub use cheby::{global_bounds, local_bounds, ChebyMode, ChebyOutcome, ChebyshevIteration};
 pub use config::{SolverKind, SolverOptions};
 pub use ctx::{BatchWorkspace, RankCtx, Workspace};
-pub use precond::{ChebyPrecond, IdentityPrec, InnerBiCgsPrec, PrecTraits, Preconditioner};
+pub use mixed::MixedChebyshev;
+pub use precond::{
+    ChebyPrecond, IdentityPrec, InnerBiCgsPrec, MixedChebyPrecond, PrecTraits, Preconditioner,
+};
 pub use richardson::RichardsonPrec;
 pub use schwarz::RasPrec;

@@ -86,6 +86,14 @@ fn fused_solve_is_allocation_free_after_warmup() {
         // preconditioner. An unreachable tolerance pins the iteration
         // count so the audit covers full steady-state loop bodies.
         let mut prec = SolverKind::BiCgsGCi.build_preconditioner(&ctx, &opts);
+        // The mixed-precision flavour shares the audit: its f32 state
+        // fields, f32 halo pool and cast kernels must be just as
+        // steady-state as the f64 path.
+        let mixed_opts = SolverOptions {
+            mixed_precision: true,
+            ..opts
+        };
+        let mut mixed_prec = SolverKind::BiCgsGCi.build_preconditioner(&ctx, &mixed_opts);
         let params = SolveParams {
             tol: 1e-300,
             max_iters: 4,
@@ -106,6 +114,16 @@ fn fused_solve_is_allocation_free_after_warmup() {
             &mut ws,
             &params,
         );
+        x.copy_from(&x0);
+        bicgstab_solve(
+            &ctx,
+            Scope::Global,
+            &b,
+            &mut x,
+            &mut *mixed_prec,
+            &mut ws,
+            &params,
+        );
         // Every rank warm before anyone starts counting (a cold
         // neighbour would still only bump its *own* counter, but the
         // barrier keeps the steady-state claim honest).
@@ -119,6 +137,16 @@ fn fused_solve_is_allocation_free_after_warmup() {
             &b,
             &mut x,
             &mut *prec,
+            &mut ws,
+            &params,
+        );
+        x.copy_from(&x0);
+        bicgstab_solve(
+            &ctx,
+            Scope::Global,
+            &b,
+            &mut x,
+            &mut *mixed_prec,
             &mut ws,
             &params,
         );

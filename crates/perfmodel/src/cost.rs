@@ -45,7 +45,7 @@ pub fn event_cost_s(ev: &Event, machine: &MachineModel, ranks: usize) -> f64 {
     match ev {
         Event::Kernel { bytes, flops, .. } => machine.kernel_cost_s(*bytes, *flops),
         Event::Halo { msgs, bytes } => machine.halo_cost_s(*msgs, *bytes, ranks),
-        Event::AllReduce { elems } => machine.allreduce_cost_s(*elems, ranks),
+        Event::AllReduce { bytes, .. } => machine.allreduce_cost_s(*bytes, ranks),
         Event::H2D { bytes } | Event::D2H { bytes } => machine.transfer_cost_s(*bytes),
         Event::Begin { .. } | Event::End { .. } => 0.0,
     }
@@ -161,7 +161,10 @@ mod tests {
                 msgs: 6,
                 bytes: 4800,
             },
-            Event::AllReduce { elems: 2 },
+            Event::AllReduce {
+                elems: 2,
+                bytes: 16,
+            },
             Event::D2H { bytes: 8000 },
             Event::End { name: "iter" },
         ]
@@ -174,7 +177,7 @@ mod tests {
         assert!(b.compute_s > 0.0 && b.comm_s > 0.0 && b.transfer_s > 0.0);
         let manual = m.kernel_cost_s(24_000, 12_000)
             + m.halo_cost_s(6, 4800, 64)
-            + m.allreduce_cost_s(2, 64)
+            + m.allreduce_cost_s(16, 64)
             + m.transfer_cost_s(8000);
         assert!((b.total_s() - manual).abs() < 1e-15);
     }
@@ -216,6 +219,54 @@ mod tests {
             saved >= floor,
             "saved {saved} should cover the dedup traffic {floor}"
         );
+    }
+
+    #[test]
+    fn f64_replays_price_identically_to_the_legacy_8_byte_rule() {
+        // Regression for the byte-carrying AllReduce event: a double-
+        // precision stream (whose recorders set `bytes = elems × 8`)
+        // must replay to exactly what the old hard-coded 8-B/scalar
+        // formula produced, across rank counts and element counts.
+        let m = MachineModel::mi250x();
+        for ranks in [1usize, 2, 8, 64, 512] {
+            for elems in [1u32, 2, 4, 64] {
+                let ev = Event::AllReduce {
+                    elems,
+                    bytes: u64::from(elems) * 8,
+                };
+                let legacy = if ranks <= 1 {
+                    0.0
+                } else {
+                    let stages = (ranks as f64).log2().ceil();
+                    stages * m.sync_stage_us * 1e-6
+                        + stages * (elems as u64 * 8) as f64 / (m.net_bw_gbps * 1e9)
+                };
+                let now = event_cost_s(&ev, &m, ranks);
+                assert!(
+                    (now - legacy).abs() < 1e-18,
+                    "ranks {ranks} elems {elems}: {now} != legacy {legacy}"
+                );
+            }
+        }
+        // And a single-precision reduction of the same element count is
+        // strictly cheaper on the wire (same sync floor, half the bytes).
+        let wide = event_cost_s(
+            &Event::AllReduce {
+                elems: 64,
+                bytes: 512,
+            },
+            &m,
+            64,
+        );
+        let narrow = event_cost_s(
+            &Event::AllReduce {
+                elems: 64,
+                bytes: 256,
+            },
+            &m,
+            64,
+        );
+        assert!(narrow < wide);
     }
 
     #[test]
@@ -273,7 +324,10 @@ mod tests {
             bytes: 4_800_000,
             flops: 400_000,
         };
-        let red = Event::AllReduce { elems: 4 };
+        let red = Event::AllReduce {
+            elems: 4,
+            bytes: 32,
+        };
         let sync = vec![red.clone(), kernel.clone()];
         let overlapped = vec![
             Event::Begin {
@@ -286,7 +340,7 @@ mod tests {
             },
         ];
         let k = m.kernel_cost_s(4_800_000, 400_000);
-        let r = m.allreduce_cost_s(4, 512);
+        let r = m.allreduce_cost_s(32, 512);
         let bs = replay(&sync, &m, 512);
         let bo = replay(&overlapped, &m, 512);
         assert!((bs.total_s() - (k + r)).abs() < 1e-15, "sync adds");
@@ -321,7 +375,10 @@ mod tests {
             Event::Begin {
                 name: accel::REDUCE_OVERLAP_STAGE,
             },
-            Event::AllReduce { elems: 2 },
+            Event::AllReduce {
+                elems: 2,
+                bytes: 16,
+            },
             Event::Kernel {
                 name: "k",
                 elems: 10,
@@ -330,7 +387,7 @@ mod tests {
             },
         ];
         let b = replay(&evs, &m, 8);
-        let expect = m.allreduce_cost_s(2, 8) + m.kernel_cost_s(320, 100);
+        let expect = m.allreduce_cost_s(16, 8) + m.kernel_cost_s(320, 100);
         assert!((b.total_s() - expect).abs() < 1e-15);
     }
 
@@ -383,6 +440,12 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         // reductions untouched
-        assert_eq!(scaled[3], Event::AllReduce { elems: 2 });
+        assert_eq!(
+            scaled[3],
+            Event::AllReduce {
+                elems: 2,
+                bytes: 16
+            }
+        );
     }
 }

@@ -179,13 +179,16 @@ impl MachineModel {
         cost
     }
 
-    /// Cost of one allreduce over `ranks` ranks (seconds).
-    pub fn allreduce_cost_s(&self, elems: u32, ranks: usize) -> f64 {
+    /// Cost of one allreduce moving `bytes` payload bytes per tree stage
+    /// over `ranks` ranks (seconds). The payload width is carried by the
+    /// event (`elems × element width`) rather than assumed to be
+    /// 8 B/scalar, so mixed-precision reductions are priced honestly.
+    pub fn allreduce_cost_s(&self, bytes: u64, ranks: usize) -> f64 {
         if ranks <= 1 {
             return 0.0;
         }
         let stages = (ranks as f64).log2().ceil();
-        self.sync_cost_s(ranks) + stages * (elems as u64 * 8) as f64 / (self.net_bw_gbps * 1e9)
+        self.sync_cost_s(ranks) + stages * bytes as f64 / (self.net_bw_gbps * 1e9)
     }
 
     /// Cost of a host↔device transfer (seconds).
@@ -227,10 +230,10 @@ mod tests {
     #[test]
     fn allreduce_scales_logarithmically() {
         let m = MachineModel::mi250x();
-        let c64 = m.allreduce_cost_s(2, 64);
-        let c8 = m.allreduce_cost_s(2, 8);
+        let c64 = m.allreduce_cost_s(16, 64);
+        let c8 = m.allreduce_cost_s(16, 8);
         assert!((c64 / c8 - 2.0).abs() < 1e-6, "log2 64 / log2 8 = 2");
-        assert_eq!(m.allreduce_cost_s(2, 1), 0.0);
+        assert_eq!(m.allreduce_cost_s(16, 1), 0.0);
     }
 
     #[test]
@@ -273,7 +276,7 @@ mod tests {
         // ~0.4 ms per collective at 64 ranks — what makes plain BiCGSTAB
         // communication-bound in Table II.
         let m = MachineModel::mi250x();
-        let c = m.allreduce_cost_s(2, 64);
+        let c = m.allreduce_cost_s(16, 64);
         assert!((0.3e-3..0.6e-3).contains(&c), "allreduce at 64 ranks: {c}");
     }
 
@@ -285,7 +288,7 @@ mod tests {
     #[test]
     fn single_rank_collectives_are_free() {
         let m = MachineModel::mi250x();
-        assert_eq!(m.allreduce_cost_s(2, 1), 0.0);
+        assert_eq!(m.allreduce_cost_s(16, 1), 0.0);
         // loopback halo has wire cost only, no sync
         assert!(m.halo_cost_s(1, 800, 1) < m.halo_cost_s(1, 800, 2));
     }

@@ -124,9 +124,15 @@ mod tests {
             msgs: 6,
             bytes: 6 * 32 * 32 * 8,
         });
-        evs.push(Event::AllReduce { elems: 1 });
-        evs.push(Event::AllReduce { elems: 2 });
-        evs.push(Event::AllReduce { elems: 2 });
+        evs.push(Event::AllReduce { elems: 1, bytes: 8 });
+        evs.push(Event::AllReduce {
+            elems: 2,
+            bytes: 16,
+        });
+        evs.push(Event::AllReduce {
+            elems: 2,
+            bytes: 16,
+        });
         evs
     }
 
@@ -220,7 +226,7 @@ mod proptests {
                 .map(|_| Event::Kernel { name: "k", elems, bytes: elems * bpe, flops: elems })
                 .collect();
             profile.push(Event::Halo { msgs: 6, bytes: 6 * 32 * 32 * 8 });
-            profile.push(Event::AllReduce { elems: 2 });
+            profile.push(Event::AllReduce { elems: 2, bytes: 16 });
             let pts = strong_scaling(
                 &profile,
                 [32; 3],
